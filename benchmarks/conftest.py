@@ -1,0 +1,42 @@
+"""Benchmark-suite configuration.
+
+``pytest benchmarks/ --benchmark-only`` regenerates every table and
+figure of the paper at the ``REPRO_SCALE`` workload size (default
+``small``) and times the regeneration.  Experiment results are cached
+inside :mod:`repro.experiments.common` for the life of the process, so
+composite artifacts (Fig. 7 after Fig. 6, Fig. 10 after Table III) are
+timed on top of shared work rather than recomputing it.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import SCALES, scale_from_env
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The workload scale for all benchmark runs."""
+    return scale_from_env(default="small")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _results_dir(tmp_path_factory):
+    """Redirect CSV artifacts to a temp dir unless the user overrode it."""
+    if "REPRO_RESULTS_DIR" not in os.environ:
+        os.environ["REPRO_RESULTS_DIR"] = str(
+            tmp_path_factory.mktemp("bench-results"))
+    yield
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer.
+
+    Experiment regeneration is minutes-scale work; statistical repetition
+    belongs to the kernel microbenchmarks, not here.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,98 @@
+"""Benches: the extension/ablation experiments (X1–X4)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from .conftest import run_once
+
+
+def test_ext_quire(benchmark, scale):
+    res = run_once(benchmark, run_experiment, "ext-quire", scale=scale,
+                   quiet=True)
+    print("\n" + res.text)
+    # deferred rounding helps both formats (the §II-C argument)
+    for row in res.data.values():
+        assert row["gain_posit"] >= 1.0
+        assert row["gain_float"] >= 1.0
+
+
+def test_ext_fft(benchmark, scale):
+    res = run_once(benchmark, run_experiment, "ext-fft", scale=scale,
+                   quiet=True)
+    print("\n" + res.text)
+    assert res.data["unit tones"]["raw"]["fp16"] < 0.01
+
+
+def test_ext_bicg(benchmark, scale):
+    res = run_once(benchmark, run_experiment, "ext-bicg", scale=scale,
+                   quiet=True)
+    print("\n" + res.text)
+    assert len(res.data) >= 3
+
+
+def test_ext_scaling(benchmark, scale):
+    res = run_once(benchmark, run_experiment, "ext-scaling", scale=scale,
+                   quiet=True)
+    print("\n" + res.text)
+    med = res.data["medians"]
+    assert med["diag-mean-pow2"] > med["none"] + 0.5
+
+
+def test_ext_sod(benchmark, scale):
+    from repro.experiments.ext_sod import run as run_sod
+    res = run_once(benchmark, run_sod, scale=scale, quiet=True,
+                   n_cells=48, t_final=0.12)
+    print("\n" + res.text)
+    per = res.data["unit-scale Sod"]["per_format"]
+    assert per["posit16es1"]["dev_vs_fp64"] <= per["fp16"]["dev_vs_fp64"]
+
+
+def test_ext_gustafson(benchmark, scale):
+    res = run_once(benchmark, run_experiment, "ext-gustafson",
+                   scale=scale, quiet=True)
+    print("\n" + res.text)
+    assert res.data["uniform [0,1)"]["adv_quire"] > 0.3
+
+
+def test_ext_cg_target(benchmark, scale):
+    from repro.experiments.ext_cg_target import run as run_tgt
+    res = run_once(benchmark, run_tgt, scale=scale, quiet=True,
+                   matrices=("662_bus", "bcsstk06"))
+    print("\n" + res.text)
+    for d in res.data.values():
+        assert d["per_target"][10].converged
+
+
+def test_ext_stochastic(benchmark, scale):
+    res = run_once(benchmark, run_experiment, "ext-stochastic",
+                   scale=scale, quiet=True)
+    print("\n" + res.text)
+    assert res.data["drift"]["fp16 (RN)"] > 0.3
+    assert res.data["drift"]["fp16 (SR)"] < 0.05
+
+
+def test_ext_jacobi(benchmark, scale):
+    from repro.experiments.ext_jacobi import run as run_jac
+    res = run_once(benchmark, run_jac, scale=scale, quiet=True,
+                   matrices=("lund_a", "bcsstk06", "nos2"))
+    print("\n" + res.text)
+    assert res.data["median_jacobi_ratio"] < 1.3
+
+
+def test_ext_factor_norms(benchmark, scale):
+    res = run_once(benchmark, run_experiment, "ext-factor-norms",
+                   scale=scale, quiet=True)
+    print("\n" + res.text)
+    for d in res.data.values():
+        import math
+        if math.isfinite(d["chol_norm_ratio"]):
+            assert abs(d["chol_norm_ratio"] - 1.0) < 1e-6
+        assert abs(d["qr_norm_ratio"] - 1.0) < 1e-6
+
+
+def test_ext_bounds(benchmark, scale):
+    res = run_once(benchmark, run_experiment, "ext-bounds",
+                   scale=scale, quiet=True)
+    print("\n" + res.text)
+    assert res.data["sound"] == res.data["total"]

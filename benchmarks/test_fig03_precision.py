@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 3 (format precision curves)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from .conftest import run_once
+
+
+def test_fig3_regeneration(benchmark, scale):
+    res = run_once(benchmark, run_experiment, "fig3", scale=scale,
+                   quiet=True)
+    print("\n" + res.text)
+    lo, hi = res.data["golden_zones"]["posit32es2"]
+    # paper Fig. 3b: posit(32,2) beats fp32 from ~1e-6 to ~1e6
+    assert 1e-7 < lo < 1e-5 and 1e5 < hi < 1e7

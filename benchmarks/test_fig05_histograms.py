@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 5 (entry precision histograms)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from .conftest import run_once
+
+
+def test_fig5_regeneration(benchmark, scale):
+    res = run_once(benchmark, run_experiment, "fig5", scale=scale,
+                   quiet=True)
+    print("\n" + res.text)
+    # paper: "Most matrices seem to fit nicely within the golden-zone"
+    assert res.data["posit32es2"]["fraction_in_golden_zone"] > 0.5
+    assert res.data["posit32es3"]["fraction_in_golden_zone"] > 0.5

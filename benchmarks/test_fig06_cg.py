@@ -1,0 +1,40 @@
+"""Bench: regenerate Fig. 6 (CG, native range)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_experiment
+from repro.matrices.suite import SUITE_ORDER
+
+from .conftest import run_once
+
+
+def test_fig6_regeneration(benchmark, scale):
+    res = run_once(benchmark, run_experiment, "fig6", scale=scale,
+                   quiet=True)
+    print("\n" + res.text)
+
+    # shape 1: Float64 reference converges everywhere
+    assert all(res.data[m]["fp64"].converged for m in SUITE_ORDER)
+
+    # shape 2: fp32 ≈ posit(32,3) on commonly-converged matrices
+    ratios = [res.data[m]["posit32es3"].iterations
+              / res.data[m]["fp32"].iterations
+              for m in SUITE_ORDER
+              if res.data[m]["fp32"].converged
+              and res.data[m]["posit32es3"].converged]
+    assert 0.7 < float(np.median(ratios)) < 1.4
+
+    # shape 3: posit(32,2) penalized on the large-norm tail
+    def penalty(names):
+        vals = []
+        for m in names:
+            f, p = res.data[m]["fp32"], res.data[m]["posit32es2"]
+            if f.converged:
+                pit = (p.iterations if p.converged
+                       else 3 * scale.cg_max_iterations)
+                vals.append(pit / f.iterations)
+        return float(np.median(vals))
+
+    assert penalty(SUITE_ORDER[-5:]) > 1.5 * penalty(SUITE_ORDER[:8])

@@ -1,0 +1,26 @@
+"""Bench: regenerate Fig. 7 (CG after power-of-two rescaling)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+from repro.matrices.suite import SUITE_ORDER
+
+from .conftest import run_once
+
+
+def test_fig7_regeneration(benchmark, scale):
+    res = run_once(benchmark, run_experiment, "fig7", scale=scale,
+                   quiet=True)
+    print("\n" + res.text)
+
+    # shape: every format converges on every matrix after rescaling
+    for m in SUITE_ORDER:
+        for fmt in ("fp32", "posit32es2", "posit32es3"):
+            assert res.data[m][fmt].converged, (m, fmt)
+
+    # shape: posit(32,3) at least competitive with fp32 (few losses)
+    losses = sum(
+        1 for m in SUITE_ORDER
+        if res.data[m]["posit32es3"].iterations
+        > 1.1 * res.data[m]["fp32"].iterations)
+    assert losses <= 4

@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig. 8 (Cholesky, native range)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+from .conftest import run_once
+
+
+def test_fig8_regeneration(benchmark, scale):
+    res = run_once(benchmark, run_experiment, "fig8", scale=scale,
+                   quiet=True)
+    print("\n" + res.text)
+    advs = [r["adv_es2"] for r in res.data["rows"]
+            if math.isfinite(r["adv_es2"])]
+    # paper: no consistent posit(32,2) win in the native range …
+    assert float(np.median(advs)) < 0.9
+    # … and the advantage decays as the norm grows (Fig. 8b)
+    assert res.data["slope"] < 0

@@ -1,0 +1,26 @@
+"""Bench: regenerate Fig. 10 (IR step reduction / factor accuracy)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+from .conftest import run_once
+
+
+def test_fig10_regeneration(benchmark, scale):
+    res = run_once(benchmark, run_experiment, "fig10", scale=scale,
+                   quiet=True)
+    print("\n" + res.text)
+    gains = [g for g in res.data["digit_gains"].values()
+             if math.isfinite(g)]
+    # paper Fig. 10b: posit16 close to the theoretical +0.6-digit mark
+    assert len(gains) >= 10
+    assert 0.4 < float(np.median(gains)) < 0.8
+    # Fig. 10a: step reductions overwhelmingly non-negative
+    reds = [v for v in res.data["reductions"].values()
+            if math.isfinite(v)]
+    assert sum(1 for v in reds if v >= 0) >= 0.85 * len(reds)

@@ -1,0 +1,96 @@
+"""Kernel microbenchmarks: the primitives every experiment is built on.
+
+These are the genuinely statistical benchmarks (many rounds); the
+per-artifact regeneration benches in the ``test_table*/test_fig*``
+modules time one full experiment each.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arith import FPContext
+from repro.linalg import cholesky_factor, conjugate_gradient
+from repro.matrices import random_dense_spd
+from repro.posit.rounding import (posit_decode_array, posit_encode_array,
+                                  posit_round)
+from repro.posit.codec import posit_config
+
+
+@pytest.fixture(scope="module")
+def values_1m():
+    rng = np.random.default_rng(1)
+    return rng.standard_normal(1_000_000)
+
+
+@pytest.fixture(scope="module")
+def values_4k():
+    rng = np.random.default_rng(2)
+    return rng.standard_normal(4096)
+
+
+class TestQuantizationThroughput:
+    @pytest.mark.parametrize("fmt", [(16, 1), (16, 2), (32, 2), (32, 3)])
+    def test_posit_round_1m(self, benchmark, values_1m, fmt):
+        nbits, es = fmt
+        out = benchmark(posit_round, values_1m, nbits, es)
+        assert np.isfinite(out).all()
+
+    def test_posit_round_small_arrays(self, benchmark, values_4k):
+        # the solver hot path: many small quantizations
+        out = benchmark(posit_round, values_4k, 32, 2)
+        assert out.shape == values_4k.shape
+
+    def test_encode_decode_roundtrip(self, benchmark, values_4k):
+        cfg = posit_config(32, 2)
+
+        def roundtrip():
+            return posit_decode_array(
+                posit_encode_array(values_4k, cfg), cfg)
+
+        out = benchmark(roundtrip)
+        assert out.shape == values_4k.shape
+
+    def test_fp16_cast_reference(self, benchmark, values_1m):
+        from repro.formats import FLOAT16
+        benchmark(FLOAT16.round, values_1m)
+
+
+class TestSolverKernels:
+    @pytest.fixture(scope="class")
+    def system(self):
+        A = random_dense_spd(96, kappa=1e3, seed=3, norm2=1.0)
+        b = A @ np.full(96, 1 / np.sqrt(96))
+        return A, b
+
+    @pytest.mark.parametrize("fmt", ["fp32", "posit32es2"])
+    def test_rounded_matvec(self, benchmark, system, fmt):
+        A, b = system
+        ctx = FPContext(fmt)
+        Aq = ctx.asarray(A)
+        bq = ctx.asarray(b)
+        out = benchmark(ctx.matvec, Aq, bq)
+        assert np.isfinite(out).all()
+
+    @pytest.mark.parametrize("fmt", ["fp32", "posit32es2"])
+    def test_rounded_dot(self, benchmark, system, fmt):
+        _A, b = system
+        ctx = FPContext(fmt)
+        bq = ctx.asarray(b)
+        benchmark(ctx.dot, bq, bq)
+
+    @pytest.mark.parametrize("fmt", ["fp32", "posit16es2"])
+    def test_cholesky_factorization(self, benchmark, system, fmt):
+        A, _b = system
+        ctx = FPContext(fmt)
+        R = benchmark.pedantic(cholesky_factor, args=(ctx, A),
+                               rounds=3, iterations=1)
+        assert np.isfinite(R).all()
+
+    def test_cg_full_solve_posit(self, benchmark, system):
+        A, b = system
+        res = benchmark.pedantic(
+            conjugate_gradient, args=(FPContext("posit32es2"), A, b),
+            kwargs={"max_iterations": 600}, rounds=1, iterations=1)
+        assert res.converged

@@ -1,0 +1,20 @@
+"""Bench: regenerate Table I (matrix suite properties)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+from .conftest import run_once
+
+
+def test_table1_regeneration(benchmark, scale):
+    res = run_once(benchmark, run_experiment, "table1", scale=scale,
+                   quiet=True)
+    print("\n" + res.text)
+    # fidelity of the synthetic twins
+    for name, row in res.data.items():
+        assert row["norm2"] == pytest.approx(row["norm2_target"],
+                                             rel=1e-6), name
+        assert 0.2 < row["kappa"] / row["kappa_target"] < 5.0, name

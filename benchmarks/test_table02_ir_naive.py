@@ -1,0 +1,21 @@
+"""Bench: regenerate Table II (naive mixed-precision IR)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from .conftest import run_once
+
+
+def test_table2_regeneration(benchmark, scale):
+    res = run_once(benchmark, run_experiment, "table2", scale=scale,
+                   quiet=True)
+    print("\n" + res.text)
+    solved = res.data["solved"]
+    # paper headline: "Posit(16, 2) can solve more problems than Float16"
+    assert len(solved["posit16es2"]) > len(solved["fp16"])
+    assert len(solved["posit16es2"]) >= len(solved["posit16es1"])
+    # the mhd416b row: only posit(16,2) survives the entry range
+    per = res.data["results"]["mhd416b"]
+    assert per["posit16es2"].converged
+    assert not per["fp16"].converged

@@ -1,0 +1,77 @@
+"""Scenario: rescuing a half-precision solver on a badly scaled system.
+
+This walks the paper's §V-D story end to end on one engineering-style
+matrix (a stiffness-like SPD system with entries spanning nine orders
+of magnitude and ‖A‖₂ ≈ 3.5e9, modeled on bcsstk06):
+
+1. naive Float16 mixed-precision iterative refinement fails outright
+   (the matrix cannot even be stored in Float16's range);
+2. Posit(16,2) survives storage thanks to its reach, but the tapered
+   precision at scale 2^31 is too coarse to converge;
+3. Higham's rescaling (equilibrate, shift by μ) fixes both — and with
+   μ = USEED the posit formats land in the golden zone and beat
+   Float16 on refinement steps.
+
+Run:  python examples/mixed_precision_solver.py
+"""
+
+import numpy as np
+
+from repro.linalg import iterative_refinement, normwise_backward_error
+from repro.matrices import synthesize_spd
+from repro.scaling import higham_rescale, mu_for_format
+
+FORMATS = ("fp16", "posit16es1", "posit16es2")
+CAP = 400
+
+
+def build_system():
+    A = synthesize_spd(n=96, norm2=3.5e9, kappa_total=7.6e6,
+                       kappa_core=1.5e3, nnz=800, seed=2020)
+    xhat = np.full(96, 1.0 / np.sqrt(96))
+    return A, A @ xhat, xhat
+
+
+def report(tag: str, res) -> None:
+    entry = res.table_entry(CAP)
+    extra = ""
+    if res.failed:
+        extra = f"  ({res.failure_reason})"
+    elif res.converged:
+        extra = (f"  backward error {res.final_backward_error:.1e}, "
+                 f"factor error {res.factorization_error:.1e}")
+    print(f"  {tag:14s} steps: {entry:>6s}{extra}")
+
+
+def main() -> None:
+    A, b, xhat = build_system()
+    print(f"System: n={A.shape[0]}, ||A||_2 = {np.linalg.norm(A, 2):.2e}, "
+          f"entries span [{np.min(np.abs(A[A != 0])):.1e}, "
+          f"{np.max(np.abs(A)):.1e}]")
+    print(f"Float16 max representable: 65504 -> storage overflows\n")
+
+    print("Step 1 — naive mixed-precision IR (paper Table II):")
+    for fmt in FORMATS:
+        report(fmt, iterative_refinement(A, b, fmt, max_iterations=CAP))
+
+    print("\nStep 2 — Higham rescaling (Algorithms 4+5, Table III):")
+    for fmt in FORMATS:
+        mu = mu_for_format(fmt)
+        sc = higham_rescale(A, b, fmt)
+        res = iterative_refinement(A, b, fmt, scaling=sc,
+                                   max_iterations=CAP)
+        report(f"{fmt} (mu={mu:g})", res)
+
+    print("\nStep 3 — verify the winner actually solved the system:")
+    sc = higham_rescale(A, b, "posit16es1")
+    res = iterative_refinement(A, b, "posit16es1", scaling=sc,
+                               max_iterations=CAP)
+    err_vs_truth = np.linalg.norm(res.x - xhat) / np.linalg.norm(xhat)
+    print(f"  forward error vs known solution: {err_vs_truth:.2e}")
+    print(f"  normwise backward error:        "
+          f"{normwise_backward_error(A, res.x, b):.2e}  "
+          f"(float64 unit roundoff: {np.finfo(np.float64).eps / 2:.2e})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Quickstart: posit arithmetic from scratch.
+
+Tour of the core library: the Posit scalar type, bit-level anatomy,
+format quantization, the quire, and a first emulated computation.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import FPContext, Posit, Quire, get_format, posit_round
+
+
+def scalar_basics() -> None:
+    print("=== Posit scalars (paper §II-B) ===")
+    a = Posit(3.14159265, nbits=16, es=1)
+    b = Posit(0.1, nbits=16, es=1)
+    print(f"pi as Posit(16,1):   {float(a):.8f}   bits={a.bit_string()}")
+    print(f"0.1 as Posit(16,1):  {float(b):.8f}   bits={b.bit_string()}")
+    print(f"a + b  = {float(a + b):.8f}")
+    print(f"a * b  = {float(a * b):.8f}")
+    print(f"a / b  = {float(a / b):.8f}")
+    print(f"sqrt(a) = {float(a.sqrt()):.8f}")
+
+    fields = a.fields()
+    print(f"anatomy of pi: sign={fields['sign']} regime_k={fields['k']} "
+          f"exponent={fields['exponent']} "
+          f"fraction={fields['fraction']}/{2 ** fields['fraction_bits']}")
+
+    # posit exception handling: a single NaR value, no infinities
+    print(f"1/0 in posit:  {Posit(1.0, 16, 1) / Posit(0.0, 16, 1)}")
+    print(f"maxpos * 2 saturates: "
+          f"{float(Posit(2.0, 16, 1) * Posit(2.7e8, 16, 1)):.3g}")
+
+
+def tapered_precision() -> None:
+    print("\n=== Tapered precision: the golden zone (paper Fig. 3) ===")
+    fmt = get_format("posit32es2")
+    ref = get_format("fp32")
+    for x in [1.0, 100.0, 1e6, 1e12, 1e-12]:
+        print(f"  |x| = {x:8.0e}: posit(32,2) rounds pi*x with error "
+              f"{abs(fmt.round(np.pi * x) - np.pi * x) / (np.pi * x):.2e}"
+              f"  (fp32: "
+              f"{abs(ref.round(np.pi * x) - np.pi * x) / (np.pi * x):.2e})")
+
+
+def vectorized_rounding() -> None:
+    print("\n=== Vectorized quantization ===")
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(5)
+    print("float64:     ", np.array2string(x, precision=8))
+    print("posit(16,2): ",
+          np.array2string(posit_round(x, 16, 2), precision=8))
+    print("posit(8,0):  ",
+          np.array2string(posit_round(x, 8, 0), precision=8))
+
+
+def quire_demo() -> None:
+    print("\n=== The quire: deferred-rounding dot products (§II-C) ===")
+    n = 4096
+    xs = Posit(1.0, 16, 1)
+    # 2^-14 is representable on its own but smaller than half an ulp of
+    # 1.0 (ulp = 2^-12), so per-op rounding absorbs every increment
+    tiny = Posit(2.0 ** -14, 16, 1)
+
+    acc = xs
+    for _ in range(n):
+        acc = acc + tiny
+    print(f"per-op rounded sum of 1 + {n} * 2^-14: {float(acc)}")
+
+    q = Quire(16, 1)
+    q.add(xs)
+    for _ in range(n):
+        q.add(tiny)
+    print(f"quire sum (one final rounding):        "
+          f"{float(q.to_posit())}  (exact: {1 + n * 2.0 ** -14})")
+    print("(the paper's experiments use per-op rounding for BOTH "
+          "formats; see the ext-quire ablation)")
+
+
+def emulated_linear_algebra() -> None:
+    print("\n=== Emulated per-op-rounded linear algebra ===")
+    rng = np.random.default_rng(1)
+    A = rng.standard_normal((4, 4))
+    A = A @ A.T + 4 * np.eye(4)
+    x = rng.standard_normal(4)
+    for fmt in ("fp64", "fp32", "posit32es2", "posit16es2", "fp16"):
+        ctx = FPContext(fmt)
+        y = ctx.matvec(ctx.asarray(A), ctx.asarray(x))
+        err = np.linalg.norm(y - A @ x) / np.linalg.norm(A @ x)
+        print(f"  {fmt:12s} matvec relative error: {err:.2e}")
+
+
+if __name__ == "__main__":
+    scalar_basics()
+    tapered_precision()
+    vectorized_rounding()
+    quire_demo()
+    emulated_linear_algebra()

@@ -1,0 +1,81 @@
+"""Scenario: a CFD kernel in 16-bit arithmetic (paper §VII future work).
+
+Runs Sod's shock tube with a per-op-rounded finite-volume scheme in
+five number formats, prints an ASCII density profile against the exact
+Riemann solution, and reports how far each format drifts from the
+Float64 trajectory — the paper's posit-for-CFD hypothesis, live.
+
+Run:  python examples/shock_tube_demo.py
+"""
+
+import numpy as np
+
+from repro.apps import SOD_CLASSIC, exact_riemann_solution, simulate_sod
+from repro.arith import FPContext
+
+FORMATS = ("fp64", "fp32", "posit32es2", "fp16", "posit16es1",
+           "posit16es2")
+N_CELLS = 96
+T_FINAL = 0.2
+
+
+def ascii_profile(x, rho, exact_rho, height=12, width=64) -> str:
+    """Crude terminal plot: '#' = simulation, '.' = exact solution."""
+    cols = np.linspace(0, len(x) - 1, width).astype(int)
+    lo, hi = 0.0, 1.1
+    grid = [[" "] * width for _ in range(height)]
+
+    def row_of(v):
+        frac = (v - lo) / (hi - lo)
+        return height - 1 - int(np.clip(frac * (height - 1), 0,
+                                        height - 1))
+
+    for c, i in enumerate(cols):
+        grid[row_of(exact_rho[i])][c] = "."
+        r = rho[i]
+        if np.isfinite(r):
+            grid[row_of(r)][c] = "#"
+    return "\n".join("".join(row) for row in grid)
+
+
+def main() -> None:
+    ref = simulate_sod(FPContext("fp64"), n_cells=N_CELLS,
+                       t_final=T_FINAL)
+    exact = exact_riemann_solution(SOD_CLASSIC, ref["x"] / T_FINAL)
+
+    print(f"Sod shock tube, {N_CELLS} cells, t = {T_FINAL} "
+          f"({ref['steps']} steps, identical for every format)\n")
+    print("density profile at t=0.2 — '#' = posit(16,1) run, "
+          "'.' = exact solution")
+    p16 = simulate_sod(FPContext("posit16es1"), n_cells=N_CELLS,
+                       t_final=T_FINAL)
+    print(ascii_profile(ref["x"], p16["rho"], exact["rho"]))
+
+    print("\ndeviation from the Float64 trajectory "
+          "(pure arithmetic error):")
+    for fmt in FORMATS[1:]:
+        out = simulate_sod(FPContext(fmt), n_cells=N_CELLS,
+                           t_final=T_FINAL)
+        if np.all(np.isfinite(out["rho"])):
+            dev = np.linalg.norm(out["rho"] - ref["rho"]) \
+                / np.linalg.norm(ref["rho"])
+            print(f"  {fmt:12s} {dev:.3e}")
+        else:
+            print(f"  {fmt:12s} broke down (overflow/NaN)")
+
+    print("\nSame physics at SI pressure (1e5 Pa):")
+    si = SOD_CLASSIC.scaled(pressure_scale=1e5)
+    t_si = T_FINAL / np.sqrt(1e5)
+    for fmt in ("fp16", "posit16es2"):
+        out = simulate_sod(FPContext(fmt), si, n_cells=N_CELLS,
+                           t_final=t_si)
+        status = ("ok" if np.all(np.isfinite(out["rho"]))
+                  else "OVERFLOW — fluxes exceed the format's range")
+        print(f"  {fmt:12s} {status}")
+    print("\nPosit's reach keeps the dimensional problem alive; its "
+          "golden-zone\nprecision makes the normalized problem more "
+          "accurate than Float16.")
+
+
+if __name__ == "__main__":
+    main()

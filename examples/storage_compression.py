@@ -1,0 +1,80 @@
+"""Scenario: posits as a storage format — 4x smaller checkpoints.
+
+Memory traffic, not FLOPs, is the bottleneck the posit pitch targets:
+store state in 16 bits, compute in 64.  This script checkpoints a
+shock-tube simulation state through three 16-bit containers (posit16
+packed binary, Float16, and a truncated-fp32 "bfloat16-style" baseline)
+and measures what each gives back — on a golden-zone state and on a
+dimensional SI-pressure state.
+
+Run:  python examples/storage_compression.py
+"""
+
+import io
+import os
+
+import numpy as np
+
+from repro.apps import SOD_CLASSIC, simulate_sod
+from repro.arith import FPContext
+from repro.formats import BFLOAT16, FLOAT16
+from repro.posit import load_posit_array, save_posit_array
+
+
+def checkpoint_roundtrip_posit(state: np.ndarray, nbits: int,
+                               es: int) -> tuple[np.ndarray, int]:
+    buf = io.BytesIO()
+    save_posit_array(buf, state, nbits, es)
+    size = buf.getbuffer().nbytes
+    buf.seek(0)
+    values, _cfg = load_posit_array(buf)
+    return values, size
+
+
+def rel_err(restored: np.ndarray, original: np.ndarray) -> float:
+    if not np.all(np.isfinite(restored)):
+        return np.inf
+    return float(np.linalg.norm(restored - original)
+                 / np.linalg.norm(original))
+
+
+def report(name: str, state: np.ndarray) -> None:
+    print(f"\n--- {name}: {state.size} float64 values "
+          f"({state.nbytes} bytes raw), magnitudes "
+          f"[{np.min(np.abs(state[state != 0])):.2e}, "
+          f"{np.max(np.abs(state)):.2e}] ---")
+
+    p16, size = checkpoint_roundtrip_posit(state, 16, 1)
+    print(f"  posit(16,1) container: {size:6d} bytes  "
+          f"rel err {rel_err(p16, state):.2e}")
+    p16b, size = checkpoint_roundtrip_posit(state, 16, 2)
+    print(f"  posit(16,2) container: {size:6d} bytes  "
+          f"rel err {rel_err(p16b, state):.2e}")
+
+    with np.errstate(over="ignore"):  # fp16 overflow is the point here
+        f16 = state.astype(np.float16).astype(np.float64)
+    print(f"  float16 cast:          {state.size * 2:6d} bytes  "
+          f"rel err {rel_err(f16, state):.2e}")
+    bf = np.asarray(BFLOAT16.round(state))
+    print(f"  bfloat16 truncation:   {state.size * 2:6d} bytes  "
+          f"rel err {rel_err(bf, state):.2e}")
+
+
+if __name__ == "__main__":
+    print("16-bit checkpoint shoot-out (posit packed I/O vs IEEE casts)")
+
+    ref = simulate_sod(FPContext("fp64"), n_cells=512, t_final=0.15)
+    state = np.concatenate([ref["rho"], ref["u"], ref["p"]])
+    report("unit-scale shock tube state", state)
+
+    si = SOD_CLASSIC.scaled(pressure_scale=1e5)
+    ref_si = simulate_sod(FPContext("fp64"), si, n_cells=512,
+                          t_final=0.15 / np.sqrt(1e5))
+    state_si = np.concatenate([ref_si["rho"], ref_si["u"], ref_si["p"]])
+    report("SI-pressure shock tube state", state_si)
+
+    print("\nTakeaway: at unit scale posit16 stores the state more "
+          "accurately\nthan Float16 at identical size; at SI scale "
+          "Float16 clips pressures\nto inf while posit16 degrades "
+          "gracefully (and bfloat16 trades half\nthe precision for "
+          "fp32-range safety).")

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All project metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-use-pep517`` works on machines without the
+``wheel`` package (e.g. offline environments).
+"""
+
+from setuptools import setup
+
+setup()

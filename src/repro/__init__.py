@@ -1,0 +1,40 @@
+"""repro — reproduction of *Evaluating the Numerical Stability of Posit
+Arithmetic* (Buoncristiani, Shah, Donofrio, Shalf; IPDPS 2020).
+
+A from-scratch posit arithmetic library (bit-exact codec, exact scalar
+operations validated against rational arithmetic, vectorized NumPy
+quantization, quire) plus everything needed to rerun the paper's
+evaluation: per-operation-rounded emulation of IEEE and posit formats,
+format-parameterized CG / Cholesky / LU / GMRES / BiCG solvers,
+mixed-precision iterative refinement, the three rescaling strategies,
+a synthetic twin of the paper's Matrix Market suite, and one experiment
+module per table and figure.
+
+Quick start
+-----------
+>>> from repro import Posit, FPContext, conjugate_gradient
+>>> x = Posit(3.14159, nbits=16, es=1)
+>>> float(x * x)
+9.8701171875
+
+Regenerate a paper artifact::
+
+    python -m repro.experiments table3
+"""
+
+from .arith.context import FPContext
+from .formats import get_format
+from .linalg.cg import conjugate_gradient
+from .linalg.cholesky import cholesky_factor, cholesky_solve
+from .linalg.ir import iterative_refinement
+from .posit import Posit, PositConfig, Quire, posit_config, posit_round
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Posit", "PositConfig", "posit_config", "posit_round", "Quire",
+    "FPContext", "get_format",
+    "conjugate_gradient", "cholesky_factor", "cholesky_solve",
+    "iterative_refinement",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Analysis utilities: precision histograms, digits-of-advantage metrics
+and terminal/CSV reporting."""
+
+from .bounds import (cholesky_backward_error_bound,
+                     effective_epsilon, epsilon_profile,
+                     ir_convergence_factor, predicted_ir_iterations)
+from .backward_error import (bits_of_advantage, digits_of_advantage,
+                             percent_improvement, theoretical_extra_digits)
+from .precision import (ExtraBitsHistogram, entry_histogram,
+                        extra_bits_vs_ieee, ieee_fraction_bits,
+                        posit_fraction_bits_array, suite_average_histogram)
+from .reporting import (format_bar_chart, format_table, results_dir,
+                        write_csv)
+
+__all__ = [
+    "digits_of_advantage", "bits_of_advantage", "percent_improvement",
+    "theoretical_extra_digits",
+    "ExtraBitsHistogram", "entry_histogram", "extra_bits_vs_ieee",
+    "ieee_fraction_bits", "posit_fraction_bits_array",
+    "suite_average_histogram",
+    "format_table", "format_bar_chart", "write_csv", "results_dir",
+    "effective_epsilon", "epsilon_profile",
+    "cholesky_backward_error_bound", "ir_convergence_factor",
+    "predicted_ir_iterations",
+]

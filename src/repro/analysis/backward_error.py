@@ -1,0 +1,78 @@
+"""Digits-of-precision comparisons between formats (Figs. 8–10).
+
+The paper expresses a format's advantage over another as *extra decimal
+digits of precision*::
+
+    digits = log10(reference_error / candidate_error)
+
+(Fig. 8a/9 for solve residuals, Fig. 10b for factorization backward
+errors) and as *percent improvement* for iteration counts (Figs. 6b/7b,
+10a, Table III's "% diff" column).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "digits_of_advantage",
+    "percent_improvement",
+    "bits_of_advantage",
+    "theoretical_extra_digits",
+]
+
+
+def digits_of_advantage(reference_error: float,
+                        candidate_error: float) -> float:
+    """``log10(reference / candidate)`` — positive when candidate wins.
+
+    Handles the degenerate cases that occur in practice: both zero → 0;
+    a failed candidate (inf/NaN error) → −inf; a failed reference → +inf.
+    """
+    if reference_error == candidate_error:
+        return 0.0
+    if not np.isfinite(candidate_error):
+        return -math.inf
+    if not np.isfinite(reference_error):
+        return math.inf
+    if candidate_error <= 0.0:
+        return math.inf
+    if reference_error <= 0.0:
+        return -math.inf
+    return math.log10(reference_error / candidate_error)
+
+
+def bits_of_advantage(reference_error: float,
+                      candidate_error: float) -> float:
+    """Same as :func:`digits_of_advantage` but in binary digits."""
+    d = digits_of_advantage(reference_error, candidate_error)
+    return d * math.log2(10.0) if np.isfinite(d) else d
+
+
+def percent_improvement(reference_count: float,
+                        candidate_count: float) -> float:
+    """Relative reduction in percent: ``100·(ref − cand)/ref``.
+
+    Used for Fig. 6b/7b (iteration counts, negative when posit did
+    worse) and Table III's "% diff" column (reduction of refinement
+    steps, taking the best posit against Float16).  Non-finite or
+    non-positive references yield NaN.
+    """
+    if not np.isfinite(reference_count) or reference_count <= 0:
+        return math.nan
+    if not np.isfinite(candidate_count):
+        return math.nan
+    return 100.0 * (reference_count - candidate_count) / reference_count
+
+
+def theoretical_extra_digits(posit_fraction_bits: int,
+                             ieee_fraction_bits: int) -> float:
+    """The paper's yardstick: extra bits converted to decimal digits.
+
+    E.g. Posit(32,2) in the golden zone stores 27 fraction bits against
+    Float32's 23 — 4 extra bits ≈ 1.2 digits (§V-C2); Posit(16,1)
+    stores 12 against Float16's 10 — 2 bits ≈ 0.6 digits (§V-D2).
+    """
+    return (posit_fraction_bits - ieee_fraction_bits) * math.log10(2.0)

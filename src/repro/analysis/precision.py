@@ -1,0 +1,138 @@
+"""Per-entry precision analytics — the data behind Figs. 3 and 5.
+
+Fig. 5 histograms "the number of additional bits of precision offered by
+Posit32 relative to the Float32 format" across the nonzero entries of
+the Matrix Market suite, weighting every matrix equally.  The extra-bit
+count for an entry with base-2 scale *s* is::
+
+    posit_fraction_bits(s) − ieee_fraction_bits
+
+where IEEE fraction bits are constant (23 for Float32, 10 for Float16)
+over the normalized range and posit's vary with the regime length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..formats.base import NumberFormat
+from ..formats.native import NativeIEEEFormat
+from ..formats.posit_format import PositFormat
+from ..formats.registry import get_format
+from ..posit.codec import fraction_bits_at_scale
+
+__all__ = [
+    "ieee_fraction_bits",
+    "posit_fraction_bits_array",
+    "extra_bits_vs_ieee",
+    "ExtraBitsHistogram",
+    "entry_histogram",
+    "suite_average_histogram",
+]
+
+
+def ieee_fraction_bits(fmt: NumberFormat | str) -> int:
+    """Stored fraction bits of an IEEE format (23 for fp32, 10 for fp16)."""
+    fmt = get_format(fmt)
+    if isinstance(fmt, NativeIEEEFormat):
+        return {16: 10, 32: 23, 64: 52}[fmt.nbits]
+    if hasattr(fmt, "precision"):
+        return int(fmt.precision) - 1
+    raise TypeError(f"{fmt} is not an IEEE format")
+
+
+def posit_fraction_bits_array(x: np.ndarray,
+                              fmt: NumberFormat | str) -> np.ndarray:
+    """Stored posit fraction bits available at each |x| (0 for x = 0).
+
+    Vectorized over the entry scales; out-of-range magnitudes get 0 bits
+    (they saturate to minpos/maxpos, which carry no fraction).
+    """
+    fmt = get_format(fmt)
+    if not isinstance(fmt, PositFormat):
+        raise TypeError(f"{fmt} is not a posit format")
+    cfg = fmt.config
+    x = np.asarray(x, dtype=np.float64)
+    out = np.zeros(x.shape, dtype=np.int64)
+    nz = (x != 0) & np.isfinite(x)
+    if not np.any(nz):
+        return out
+    _, e = np.frexp(np.abs(x[nz]))
+    s = e.astype(np.int64) - 1
+    k = s >> cfg.es
+    r_len = np.where(k >= 0, k + 2, -k + 1)
+    fb = np.int64(cfg.nbits - 1 - cfg.es) - r_len
+    fb = np.clip(fb, 0, None)
+    fb[(s > cfg.max_scale) | (s < cfg.min_scale)] = 0
+    out[nz] = fb
+    return out
+
+
+def extra_bits_vs_ieee(x: np.ndarray, posit_fmt: NumberFormat | str,
+                       ieee_fmt: NumberFormat | str = "fp32") -> np.ndarray:
+    """Fig. 5's quantity: posit fraction bits minus the IEEE constant.
+
+    Positive values mean the posit represents the entry more precisely.
+    Only nonzero finite entries are returned (zeros are exact in both
+    formats and the paper loads only nonzero entries).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    nz = x[(x != 0) & np.isfinite(x)]
+    pbits = posit_fraction_bits_array(nz, posit_fmt)
+    return pbits - np.int64(ieee_fraction_bits(ieee_fmt))
+
+
+@dataclass
+class ExtraBitsHistogram:
+    """A normalized histogram of extra-bit counts (one Fig. 5 panel)."""
+
+    bins: np.ndarray     # integer bin centers (extra bits)
+    weights: np.ndarray  # fraction of entries per bin (sums to 1)
+    posit_format: str
+    ieee_format: str
+
+    @property
+    def mean_extra_bits(self) -> float:
+        """Average precision advantage across entries."""
+        return float(np.sum(self.bins * self.weights))
+
+    @property
+    def fraction_in_golden_zone(self) -> float:
+        """Fraction of entries where posit has >= as many bits as IEEE."""
+        return float(np.sum(self.weights[self.bins >= 0]))
+
+
+def entry_histogram(entries: np.ndarray, posit_fmt: NumberFormat | str,
+                    ieee_fmt: NumberFormat | str = "fp32",
+                    lo: int = -24, hi: int = 8) -> ExtraBitsHistogram:
+    """Histogram of extra bits for one matrix's nonzero entries."""
+    extra = np.clip(extra_bits_vs_ieee(entries, posit_fmt, ieee_fmt), lo, hi)
+    bins = np.arange(lo, hi + 1)
+    weights = np.zeros(bins.shape, dtype=np.float64)
+    if extra.size:
+        idx = (extra - lo).astype(np.int64)
+        np.add.at(weights, idx, 1.0)
+        weights /= extra.size
+    pf, if_ = get_format(posit_fmt), get_format(ieee_fmt)
+    return ExtraBitsHistogram(bins=bins, weights=weights,
+                              posit_format=pf.name, ieee_format=if_.name)
+
+
+def suite_average_histogram(matrices, posit_fmt: NumberFormat | str,
+                            ieee_fmt: NumberFormat | str = "fp32",
+                            lo: int = -24, hi: int = 8) -> ExtraBitsHistogram:
+    """Equal-weight average of per-matrix histograms (Fig. 5's weighting).
+
+    "each matrix was weighted equally in obtaining these plots so that
+    huge matrices would not dominate the results."
+    """
+    hists = [entry_histogram(A, posit_fmt, ieee_fmt, lo, hi)
+             for A in matrices]
+    if not hists:
+        raise ValueError("need at least one matrix")
+    weights = np.mean([h.weights for h in hists], axis=0)
+    return ExtraBitsHistogram(bins=hists[0].bins, weights=weights,
+                              posit_format=hists[0].posit_format,
+                              ieee_format=hists[0].ieee_format)

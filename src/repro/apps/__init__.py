@@ -1,0 +1,7 @@
+"""Application kernels from the paper's future-work list (SS VII)."""
+
+from .shock_tube import (SOD_CLASSIC, SodProblem, density_error,
+                         exact_riemann_solution, simulate_sod)
+
+__all__ = ["SodProblem", "SOD_CLASSIC", "exact_riemann_solution",
+           "simulate_sod", "density_error"]

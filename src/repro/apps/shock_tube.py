@@ -1,0 +1,288 @@
+"""Sod's shock tube under emulated low-precision arithmetic.
+
+The paper's future-work list (§VII) names "Sod's Shock tube for CFD" as
+a target application for the posit stability methodology.  This module
+supplies that experiment's substrate:
+
+* :func:`exact_riemann_solution` — the classical exact solution of the
+  1-D Euler Riemann problem (rarefaction / contact / shock), used as
+  ground truth;
+* :func:`simulate_sod` — a first-order finite-volume scheme (Rusanov /
+  local Lax-Friedrichs flux) whose every floating-point operation runs
+  through an :class:`FPContext`, exactly like the linear solvers;
+* :func:`density_error` — the L1 density error against the exact
+  solution, the metric the ``ext-sod`` experiment reports per format.
+
+The flow variables of the canonical Sod problem are O(0.1-1) — deep in
+the posit golden zone — which is precisely why the paper suspected CFD
+kernels of this type would suit posits.  The experiment also runs a
+dimensional (SI-pressure) variant where Float16 overflows, to exercise
+the range axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..arith.context import FPContext
+
+__all__ = ["SodProblem", "SOD_CLASSIC", "exact_riemann_solution",
+           "simulate_sod", "density_error"]
+
+
+@dataclass(frozen=True)
+class SodProblem:
+    """A two-state 1-D Riemann problem for the ideal-gas Euler equations."""
+
+    rho_l: float = 1.0
+    u_l: float = 0.0
+    p_l: float = 1.0
+    rho_r: float = 0.125
+    u_r: float = 0.0
+    p_r: float = 0.1
+    gamma: float = 1.4
+
+    def scaled(self, pressure_scale: float,
+               density_scale: float = 1.0) -> "SodProblem":
+        """A dimensionally rescaled copy (velocities scale accordingly).
+
+        Scaling p by s_p and rho by s_rho multiplies all speeds by
+        sqrt(s_p/s_rho); the *shape* of the solution is unchanged, so
+        exact solutions map through the same scaling.
+        """
+        return SodProblem(
+            rho_l=self.rho_l * density_scale, u_l=self.u_l,
+            p_l=self.p_l * pressure_scale,
+            rho_r=self.rho_r * density_scale, u_r=self.u_r,
+            p_r=self.p_r * pressure_scale, gamma=self.gamma)
+
+
+#: the canonical Sod (1978) initial data
+SOD_CLASSIC = SodProblem()
+
+
+# ---------------------------------------------------------------------------
+# Exact solution (Toro, "Riemann Solvers and Numerical Methods", ch. 4)
+# ---------------------------------------------------------------------------
+
+def _pressure_function(p: float, rho: float, pk: float,
+                       gamma: float) -> tuple[float, float]:
+    """Toro's f_K(p) and its derivative for one side of the star region."""
+    a = np.sqrt(gamma * pk / rho)
+    if p > pk:  # shock
+        A = 2.0 / ((gamma + 1.0) * rho)
+        B = (gamma - 1.0) / (gamma + 1.0) * pk
+        sq = np.sqrt(A / (p + B))
+        f = (p - pk) * sq
+        df = sq * (1.0 - 0.5 * (p - pk) / (p + B))
+    else:  # rarefaction
+        f = (2.0 * a / (gamma - 1.0)) * (
+            (p / pk) ** ((gamma - 1.0) / (2.0 * gamma)) - 1.0)
+        df = (1.0 / (rho * a)) * (p / pk) ** (
+            -(gamma + 1.0) / (2.0 * gamma))
+    return f, df
+
+
+def _solve_star_state(prob: SodProblem) -> tuple[float, float]:
+    """Newton iteration for (p*, u*) in the star region."""
+    g = prob.gamma
+    a_l = np.sqrt(g * prob.p_l / prob.rho_l)
+    a_r = np.sqrt(g * prob.p_r / prob.rho_r)
+    du = prob.u_r - prob.u_l
+    # two-rarefaction initial guess (robust for Sod-like data)
+    p = ((a_l + a_r - 0.5 * (g - 1.0) * du)
+         / (a_l / prob.p_l ** ((g - 1.0) / (2.0 * g))
+            + a_r / prob.p_r ** ((g - 1.0) / (2.0 * g)))) \
+        ** (2.0 * g / (g - 1.0))
+    p = max(p, 1e-12)
+    for _ in range(60):
+        f_l, df_l = _pressure_function(p, prob.rho_l, prob.p_l, g)
+        f_r, df_r = _pressure_function(p, prob.rho_r, prob.p_r, g)
+        delta = (f_l + f_r + du) / (df_l + df_r)
+        p_new = max(p - delta, 1e-14)
+        if abs(p_new - p) <= 1e-14 * p:
+            p = p_new
+            break
+        p = p_new
+    f_l, _ = _pressure_function(p, prob.rho_l, prob.p_l, g)
+    f_r, _ = _pressure_function(p, prob.rho_r, prob.p_r, g)
+    u = 0.5 * (prob.u_l + prob.u_r) + 0.5 * (f_r - f_l)
+    return p, u
+
+
+def exact_riemann_solution(prob: SodProblem,
+                           xi: np.ndarray) -> dict[str, np.ndarray]:
+    """Sample the exact solution at similarity coordinates ``xi = x/t``.
+
+    Returns ``{"rho", "u", "p"}`` arrays.  Float64 throughout — this is
+    the measurement reference, not emulated arithmetic.
+    """
+    g = prob.gamma
+    xi = np.asarray(xi, dtype=np.float64)
+    p_star, u_star = _solve_star_state(prob)
+
+    rho = np.empty_like(xi)
+    u = np.empty_like(xi)
+    p = np.empty_like(xi)
+
+    a_l = np.sqrt(g * prob.p_l / prob.rho_l)
+    a_r = np.sqrt(g * prob.p_r / prob.rho_r)
+    gm1, gp1 = g - 1.0, g + 1.0
+
+    left_of_contact = xi <= u_star
+    # --- left side -------------------------------------------------------
+    if p_star > prob.p_l:  # left shock
+        rho_star_l = prob.rho_l * ((p_star / prob.p_l + gm1 / gp1)
+                                   / (gm1 / gp1 * p_star / prob.p_l + 1.0))
+        s_l = prob.u_l - a_l * np.sqrt(
+            gp1 / (2 * g) * p_star / prob.p_l + gm1 / (2 * g))
+        pre = xi < s_l
+        mid = left_of_contact & ~pre
+        rho[pre], u[pre], p[pre] = prob.rho_l, prob.u_l, prob.p_l
+        rho[mid], u[mid], p[mid] = rho_star_l, u_star, p_star
+    else:  # left rarefaction
+        rho_star_l = prob.rho_l * (p_star / prob.p_l) ** (1.0 / g)
+        a_star_l = a_l * (p_star / prob.p_l) ** (gm1 / (2 * g))
+        head = prob.u_l - a_l
+        tail = u_star - a_star_l
+        pre = xi < head
+        fan = (xi >= head) & (xi < tail)
+        mid = left_of_contact & (xi >= tail)
+        rho[pre], u[pre], p[pre] = prob.rho_l, prob.u_l, prob.p_l
+        u[fan] = 2.0 / gp1 * (a_l + 0.5 * gm1 * prob.u_l + xi[fan])
+        c = 2.0 / gp1 * (a_l + 0.5 * gm1 * (prob.u_l - xi[fan]))
+        rho[fan] = prob.rho_l * (c / a_l) ** (2.0 / gm1)
+        p[fan] = prob.p_l * (c / a_l) ** (2.0 * g / gm1)
+        rho[mid], u[mid], p[mid] = rho_star_l, u_star, p_star
+
+    # --- right side ------------------------------------------------------
+    right = ~left_of_contact
+    if p_star > prob.p_r:  # right shock
+        rho_star_r = prob.rho_r * ((p_star / prob.p_r + gm1 / gp1)
+                                   / (gm1 / gp1 * p_star / prob.p_r + 1.0))
+        s_r = prob.u_r + a_r * np.sqrt(
+            gp1 / (2 * g) * p_star / prob.p_r + gm1 / (2 * g))
+        post = xi > s_r
+        mid = right & ~post
+        rho[post], u[post], p[post] = prob.rho_r, prob.u_r, prob.p_r
+        rho[mid], u[mid], p[mid] = rho_star_r, u_star, p_star
+    else:  # right rarefaction
+        rho_star_r = prob.rho_r * (p_star / prob.p_r) ** (1.0 / g)
+        a_star_r = a_r * (p_star / prob.p_r) ** (gm1 / (2 * g))
+        head = prob.u_r + a_r
+        tail = u_star + a_star_r
+        post = xi > head
+        fan = (xi <= head) & (xi > tail)
+        mid = right & (xi <= tail)
+        rho[post], u[post], p[post] = prob.rho_r, prob.u_r, prob.p_r
+        u[fan] = 2.0 / gp1 * (-a_r + 0.5 * gm1 * prob.u_r + xi[fan])
+        c = 2.0 / gp1 * (a_r - 0.5 * gm1 * (prob.u_r - xi[fan]))
+        rho[fan] = prob.rho_r * (c / a_r) ** (2.0 / gm1)
+        p[fan] = prob.p_r * (c / a_r) ** (2.0 * g / gm1)
+        rho[mid], u[mid], p[mid] = rho_star_r, u_star, p_star
+
+    return {"rho": rho, "u": u, "p": p}
+
+
+# ---------------------------------------------------------------------------
+# Finite-volume solver under emulated arithmetic
+# ---------------------------------------------------------------------------
+
+def _euler_flux(ctx: FPContext, rho, mom, ene, gamma: float):
+    """Physical flux of the 1-D Euler equations, every op rounded."""
+    u = ctx.div(mom, rho)
+    kinetic = ctx.mul(0.5, ctx.mul(mom, u))
+    p = ctx.mul(gamma - 1.0, ctx.sub(ene, kinetic))
+    f_rho = mom
+    f_mom = ctx.add(ctx.mul(mom, u), p)
+    f_ene = ctx.mul(u, ctx.add(ene, p))
+    return f_rho, f_mom, f_ene, u, p
+
+
+def simulate_sod(ctx: FPContext, prob: SodProblem = SOD_CLASSIC,
+                 n_cells: int = 200, t_final: float = 0.2,
+                 cfl: float = 0.45,
+                 domain: tuple[float, float] = (-0.5, 0.5)) -> dict:
+    """Run the shock tube with a per-op-rounded Rusanov scheme.
+
+    The time step is fixed up front from the exact wave speeds (in
+    float64) so every format integrates the *same* number of identical
+    steps — differences between formats are purely arithmetic, never
+    trajectory-control artifacts.
+
+    Returns ``{"x", "rho", "u", "p", "steps", "dt"}``; non-finite fields
+    mean the format broke down (e.g. Float16 overflow on dimensional
+    data).
+    """
+    x_lo, x_hi = domain
+    dx = (x_hi - x_lo) / n_cells
+    x = x_lo + dx * (np.arange(n_cells) + 0.5)
+    g = prob.gamma
+
+    # fixed dt from the exact maximal wave speed (measurement precision)
+    p_star, u_star = _solve_star_state(prob)
+    a_l = np.sqrt(g * prob.p_l / prob.rho_l)
+    a_r = np.sqrt(g * prob.p_r / prob.rho_r)
+    smax = max(abs(prob.u_l) + a_l, abs(prob.u_r) + a_r,
+               abs(u_star) + a_l, abs(u_star) + a_r)
+    steps = max(1, int(np.ceil(t_final * smax / (cfl * dx))))
+    dt = t_final / steps
+    lam = dt / dx
+
+    left = x < 0.0
+    rho = ctx.asarray(np.where(left, prob.rho_l, prob.rho_r))
+    u0 = np.where(left, prob.u_l, prob.u_r)
+    p0 = np.where(left, prob.p_l, prob.p_r)
+    mom = ctx.asarray(rho * u0)
+    ene = ctx.asarray(p0 / (g - 1.0) + 0.5 * rho * u0 * u0)
+
+    def pad(v):  # transmissive boundaries
+        return np.concatenate([v[:1], v, v[-1:]])
+
+    for _ in range(steps):
+        r_p, m_p, e_p = pad(rho), pad(mom), pad(ene)
+        f_r, f_m, f_e, vel, pres = _euler_flux(ctx, r_p, m_p, e_p, g)
+        if not (np.all(np.isfinite(pres)) and np.all(r_p > 0)):
+            return {"x": x, "rho": np.full(n_cells, np.nan),
+                    "u": np.full(n_cells, np.nan),
+                    "p": np.full(n_cells, np.nan),
+                    "steps": steps, "dt": dt}
+        sound = ctx.sqrt(ctx.div(ctx.mul(g, pres), r_p))
+        speed = np.abs(vel) + sound  # wave-speed bound (comparison only)
+
+        # Rusanov flux at each interface i+1/2, every op rounded
+        def interface(fL, fR, qL, qR, a):
+            avg = ctx.mul(0.5, ctx.add(fL, fR))
+            jump = ctx.mul(0.5, ctx.mul(a, ctx.sub(qR, qL)))
+            return ctx.sub(avg, jump)
+
+        a_iface = np.maximum(speed[:-1], speed[1:])
+        F_r = interface(f_r[:-1], f_r[1:], r_p[:-1], r_p[1:], a_iface)
+        F_m = interface(f_m[:-1], f_m[1:], m_p[:-1], m_p[1:], a_iface)
+        F_e = interface(f_e[:-1], f_e[1:], e_p[:-1], e_p[1:], a_iface)
+
+        rho = ctx.sub(rho, ctx.mul(lam, ctx.sub(F_r[1:], F_r[:-1])))
+        mom = ctx.sub(mom, ctx.mul(lam, ctx.sub(F_m[1:], F_m[:-1])))
+        ene = ctx.sub(ene, ctx.mul(lam, ctx.sub(F_e[1:], F_e[:-1])))
+
+    vel = np.where(rho != 0, mom / rho, np.nan)
+    pres = (g - 1.0) * (ene - 0.5 * mom * vel)
+    return {"x": x, "rho": rho, "u": vel, "p": pres,
+            "steps": steps, "dt": dt}
+
+
+def density_error(ctx: FPContext, prob: SodProblem = SOD_CLASSIC,
+                  n_cells: int = 200, t_final: float = 0.2) -> float:
+    """Relative L1 density error of the emulated run vs the exact solution.
+
+    Returns inf when the format broke down mid-run.
+    """
+    out = simulate_sod(ctx, prob, n_cells=n_cells, t_final=t_final)
+    if not np.all(np.isfinite(out["rho"])):
+        return np.inf
+    exact = exact_riemann_solution(prob, out["x"] / t_final)
+    num = float(np.sum(np.abs(out["rho"] - exact["rho"])))
+    den = float(np.sum(np.abs(exact["rho"])))
+    return num / den

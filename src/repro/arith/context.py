@@ -1,0 +1,176 @@
+"""``FPContext`` — emulated arithmetic in a chosen number format.
+
+Every solver in :mod:`repro.linalg` is written once against this
+context.  Swapping the format swaps the arithmetic, exactly as the
+paper's C++ operator overloading let "one algorithm specification test
+each different arithmetic format" (§IV-A).
+
+Semantics: each method computes its operation in float64 (which holds
+every supported format's values exactly) and rounds the result to the
+context's format — one rounding per arithmetic operation, never
+deferred.  Reductions round every partial sum too; see
+:mod:`repro.arith.summation` for the two supported orders.
+
+A Float64 context skips quantization entirely (float64 *is* the carrier),
+making reference runs cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.base import NumberFormat
+from ..formats.native import FLOAT64
+from ..formats.registry import get_format
+from .sparse import ELLMatrix
+from .summation import SUM_ORDERS, rounded_sum_last_axis
+
+__all__ = ["FPContext"]
+
+
+def _identity(x: np.ndarray) -> np.ndarray:
+    return x
+
+
+class FPContext:
+    """Per-operation-rounded arithmetic in a given format.
+
+    Parameters
+    ----------
+    fmt:
+        Format name or :class:`NumberFormat`.
+    sum_order:
+        ``"pairwise"`` (default, vectorizable) or ``"sequential"``
+        (the literal scalar-loop order); both round every addition.
+    """
+
+    def __init__(self, fmt: NumberFormat | str,
+                 sum_order: str = "pairwise"):
+        self.fmt = get_format(fmt)
+        if sum_order not in SUM_ORDERS:
+            raise ValueError(f"sum_order must be one of {SUM_ORDERS}")
+        self.sum_order = sum_order
+        self._exact = self.fmt == FLOAT64
+        self._rnd = _identity if self._exact else self.fmt.round
+
+    # -- basics ---------------------------------------------------------
+    @property
+    def is_exact(self) -> bool:
+        """True for the Float64 context (no quantization applied)."""
+        return self._exact
+
+    def round(self, x):
+        """Quantize values into the context's format."""
+        return x if self._exact else self.fmt.round(x)
+
+    def asarray(self, x):
+        """Convert to a float64 array holding format-representable values.
+
+        :class:`~repro.arith.sparse.ELLMatrix` inputs come back as
+        quantized ELL matrices (padding entries are exact zeros either
+        way).
+        """
+        if isinstance(x, ELLMatrix):
+            return x if self._exact else x.quantized(self.fmt.round)
+        arr = np.array(x, dtype=np.float64)
+        return arr if self._exact else np.asarray(self.fmt.round(arr))
+
+    # -- elementwise ops (one rounding each) ------------------------------
+    # NaN operands are legitimate mid-computation (posit NaR carriers,
+    # IEEE overflow products), so invalid-op warnings are silenced; the
+    # NaNs propagate and surface as solver failures.
+    def add(self, a, b):
+        with np.errstate(invalid="ignore", over="ignore"):
+            return self._rnd(np.add(a, b))
+
+    def sub(self, a, b):
+        with np.errstate(invalid="ignore", over="ignore"):
+            return self._rnd(np.subtract(a, b))
+
+    def mul(self, a, b):
+        with np.errstate(invalid="ignore", over="ignore"):
+            return self._rnd(np.multiply(a, b))
+
+    def div(self, a, b):
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return self._rnd(np.divide(a, b))
+
+    def sqrt(self, a):
+        with np.errstate(invalid="ignore"):
+            return self._rnd(np.sqrt(a))
+
+    # -- reductions ------------------------------------------------------
+    def sum(self, x) -> float:
+        """Rounded sum of all elements of a 1-D array."""
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if x.size == 0:
+            return 0.0
+        if self._exact:
+            # float64 reference still sums in a well-defined order
+            return float(np.sum(x))
+        return float(rounded_sum_last_axis(x, self._rnd, self.sum_order))
+
+    def dot(self, x, y) -> float:
+        """Rounded inner product: round every product, round every add."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if self._exact:
+            return float(x @ y)
+        with np.errstate(invalid="ignore", over="ignore"):
+            products = self._rnd(x * y)
+        return float(rounded_sum_last_axis(products, self._rnd,
+                                           self.sum_order))
+
+    def matvec(self, A, x) -> np.ndarray:
+        """Rounded matrix-vector product (row-wise rounded dots).
+
+        Accepts a dense array or an :class:`ELLMatrix`; the sparse path
+        rounds one product per stored entry and reduces over the padded
+        row width instead of the full dimension.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if isinstance(A, ELLMatrix):
+            if self._exact:
+                return A.matvec64(x)
+            with np.errstate(invalid="ignore", over="ignore"):
+                products = self._rnd(A.data * x[A.cols])
+            return rounded_sum_last_axis(products, self._rnd,
+                                         self.sum_order)
+        A = np.asarray(A, dtype=np.float64)
+        if self._exact:
+            return A @ x
+        with np.errstate(invalid="ignore", over="ignore"):
+            products = self._rnd(A * x[np.newaxis, :])
+        return rounded_sum_last_axis(products, self._rnd, self.sum_order)
+
+    def outer(self, x, y) -> np.ndarray:
+        """Rounded outer product."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        with np.errstate(invalid="ignore", over="ignore"):
+            return self._rnd(np.multiply.outer(x, y))
+
+    def gemm(self, A, B) -> np.ndarray:
+        """Rounded matrix-matrix product, accumulated over k per sum_order."""
+        A = np.asarray(A, dtype=np.float64)
+        B = np.asarray(B, dtype=np.float64)
+        if self._exact:
+            return A @ B
+        # stack of rounded rank-1 terms, then rounded reduction over k
+        terms = self._rnd(A[:, :, np.newaxis] * B[np.newaxis, :, :])
+        # move k to the last axis: terms[i, k, j] -> [i, j, k]
+        terms = np.moveaxis(terms, 1, -1)
+        return rounded_sum_last_axis(terms, self._rnd, self.sum_order)
+
+    # -- compound helpers (each primitive rounded) -------------------------
+    def axpy(self, alpha: float, x, y) -> np.ndarray:
+        """``y + alpha*x`` with the product and the sum each rounded."""
+        return self.add(y, self.mul(alpha, x))
+
+    def norm2(self, x) -> float:
+        """Rounded 2-norm: rounded dot then rounded sqrt."""
+        return float(self.sqrt(self.dot(x, x)))
+
+    # -- misc ------------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"<FPContext {self.fmt.name} sum={self.sum_order}>"

@@ -1,0 +1,108 @@
+"""Radix-2 FFT under emulated per-op-rounded arithmetic.
+
+The paper's future-work section (§VII) singles out the FFT as a
+promising posit application "because its narrow working range makes it
+easy to squeeze into the Posit golden-zone".  This module provides the
+rounded-arithmetic FFT used by the ``ext-fft`` experiment to test that
+hypothesis ahead of the authors.
+
+Complex values are carried as separate real/imaginary float64 arrays so
+each real operation rounds through the :class:`FPContext` exactly like
+the solvers.  The implementation is the iterative Cooley–Tukey
+radix-2 DIT transform; twiddle factors are quantized once up front
+(they live on the unit circle — deep inside any golden zone).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .context import FPContext
+
+__all__ = ["fft_rounded", "ifft_rounded", "fft_roundtrip_error"]
+
+
+def _bit_reverse_permutation(n: int) -> np.ndarray:
+    """Index permutation for the iterative radix-2 reordering."""
+    bits = n.bit_length() - 1
+    idx = np.arange(n)
+    rev = np.zeros(n, dtype=np.int64)
+    for _ in range(bits):
+        rev = (rev << 1) | (idx & 1)
+        idx >>= 1
+    return rev
+
+
+def _complex_mul(ctx: FPContext, ar, ai, br, bi):
+    """(ar+i·ai)(br+i·bi) with every real op rounded (4 mul, 2 add)."""
+    rr = ctx.sub(ctx.mul(ar, br), ctx.mul(ai, bi))
+    ri = ctx.add(ctx.mul(ar, bi), ctx.mul(ai, br))
+    return rr, ri
+
+
+def fft_rounded(ctx: FPContext, x: np.ndarray,
+                inverse: bool = False) -> np.ndarray:
+    """DFT of *x* (real or complex) with per-op-rounded arithmetic.
+
+    The length must be a power of two.  Returns a complex128 array whose
+    real/imag parts hold exact format values.  The inverse transform
+    includes the 1/n normalization (n is a power of two, so the division
+    is exact in IEEE formats and costs at most a regime step in posit).
+    """
+    x = np.asarray(x)
+    n = x.shape[0]
+    if n == 0 or (n & (n - 1)) != 0:
+        raise ValueError(f"FFT length must be a power of two, got {n}")
+
+    re = ctx.asarray(np.real(x).astype(np.float64))
+    im = ctx.asarray(np.imag(x).astype(np.float64))
+    perm = _bit_reverse_permutation(n)
+    re, im = re[perm].copy(), im[perm].copy()
+
+    sign = 1.0 if inverse else -1.0
+    size = 2
+    while size <= n:
+        half = size // 2
+        angles = sign * 2.0 * np.pi * np.arange(half) / size
+        wr = ctx.asarray(np.cos(angles))
+        wi = ctx.asarray(np.sin(angles))
+        # butterflies for every block at this stage, vectorized over blocks
+        starts = np.arange(0, n, size)
+        top = (starts[:, None] + np.arange(half)[None, :]).ravel()
+        bot = top + half
+        twr = np.tile(wr, starts.size)
+        twi = np.tile(wi, starts.size)
+
+        tr, ti = _complex_mul(ctx, re[bot], im[bot], twr, twi)
+        new_top_r = ctx.add(re[top], tr)
+        new_top_i = ctx.add(im[top], ti)
+        new_bot_r = ctx.sub(re[top], tr)
+        new_bot_i = ctx.sub(im[top], ti)
+        re[top], im[top] = new_top_r, new_top_i
+        re[bot], im[bot] = new_bot_r, new_bot_i
+        size *= 2
+
+    if inverse:
+        inv_n = 1.0 / n  # exact power of two
+        re = ctx.mul(re, inv_n)
+        im = ctx.mul(im, inv_n)
+    with np.errstate(invalid="ignore"):  # NaN carriers combine silently
+        return re + 1j * im
+
+
+def ifft_rounded(ctx: FPContext, x: np.ndarray) -> np.ndarray:
+    """Inverse DFT with per-op-rounded arithmetic (1/n normalized)."""
+    return fft_rounded(ctx, x, inverse=True)
+
+
+def fft_roundtrip_error(ctx: FPContext, x: np.ndarray) -> float:
+    """Relative L2 error of ``ifft(fft(x))`` against the input.
+
+    The ext-fft experiment's metric: forward + inverse transform in the
+    emulated format, compared with the exact signal.
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    back = ifft_rounded(ctx, fft_rounded(ctx, x))
+    num = float(np.linalg.norm(back - x))
+    den = float(np.linalg.norm(x)) or 1.0
+    return num / den

@@ -1,0 +1,136 @@
+"""ELL (padded-row) sparse matrices for emulated matvecs.
+
+The suite matrices are sparse (4–30 nonzeros per row at full scale);
+the dense emulated matvec quantizes n² products per application, almost
+all of them exact zeros.  The classic HPC answer is the ELLPACK layout:
+every row padded to the maximum row length, giving rectangular
+``data``/``cols`` arrays that vectorize perfectly — the per-op-rounded
+matvec becomes one rounded gather-multiply over ``n × k`` entries plus
+a ``log₂ k``-level rounded pairwise reduction, a ~40× saving at the
+paper's native sizes.
+
+Semantics: padding slots multiply exact zeros, which round to exact
+zeros and add exactly — so the ELL matvec performs the same *rounded*
+operations as the dense one on the nonzero entries (the reduction tree
+shape differs, which is just another valid per-op-rounded association
+order; see :mod:`repro.arith.summation`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ELLMatrix"]
+
+
+@dataclass
+class ELLMatrix:
+    """A square sparse matrix in ELLPACK layout.
+
+    Attributes
+    ----------
+    data:
+        ``(n, k)`` float64 entries; padding slots hold 0.0.
+    cols:
+        ``(n, k)`` int64 column indices; padding slots point at column
+        0 (harmless: they multiply a 0 entry).
+    """
+
+    data: np.ndarray
+    cols: np.ndarray
+
+    def __post_init__(self):
+        self.data = np.asarray(self.data, dtype=np.float64)
+        self.cols = np.asarray(self.cols, dtype=np.int64)
+        if self.data.shape != self.cols.shape or self.data.ndim != 2:
+            raise ValueError("data and cols must share an (n, k) shape")
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def from_dense(cls, A: np.ndarray) -> "ELLMatrix":
+        """Convert a square dense matrix (zeros are dropped)."""
+        A = np.asarray(A, dtype=np.float64)
+        n = A.shape[0]
+        if A.shape != (n, n):
+            raise ValueError(f"expected a square matrix, got {A.shape}")
+        counts = np.count_nonzero(A, axis=1)
+        k = max(1, int(counts.max()) if n else 1)
+        data = np.zeros((n, k), dtype=np.float64)
+        cols = np.zeros((n, k), dtype=np.int64)
+        for i in range(n):
+            nz = np.nonzero(A[i])[0]
+            data[i, :nz.size] = A[i, nz]
+            cols[i, :nz.size] = nz
+        return cls(data=data, cols=cols)
+
+    @classmethod
+    def from_scipy(cls, M) -> "ELLMatrix":
+        """Convert any scipy.sparse matrix."""
+        import scipy.sparse
+        csr = scipy.sparse.csr_matrix(M)
+        n = csr.shape[0]
+        if csr.shape != (n, n):
+            raise ValueError(f"expected a square matrix, got {csr.shape}")
+        counts = np.diff(csr.indptr)
+        k = max(1, int(counts.max()) if n else 1)
+        data = np.zeros((n, k), dtype=np.float64)
+        cols = np.zeros((n, k), dtype=np.int64)
+        for i in range(n):
+            lo, hi = csr.indptr[i], csr.indptr[i + 1]
+            data[i, :hi - lo] = csr.data[lo:hi]
+            cols[i, :hi - lo] = csr.indices[lo:hi]
+        return cls(data=data, cols=cols)
+
+    # -- properties --------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        n = self.data.shape[0]
+        return (n, n)
+
+    @property
+    def n(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def row_width(self) -> int:
+        """The padded row length k."""
+        return self.data.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.data))
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the dense float64 matrix."""
+        n, k = self.data.shape
+        out = np.zeros((n, n), dtype=np.float64)
+        rows = np.repeat(np.arange(n), k)
+        np.add.at(out, (rows, self.cols.ravel()), self.data.ravel())
+        return out
+
+    def diagonal(self) -> np.ndarray:
+        """The main diagonal (zeros where absent or stored as zero).
+
+        Padding slots reference column 0 but hold zero data, so they
+        are excluded — otherwise row 0's padding would shadow its
+        genuine diagonal entry.
+        """
+        n = self.n
+        out = np.zeros(n, dtype=np.float64)
+        hit = (self.cols == np.arange(n)[:, None]) & (self.data != 0.0)
+        rows, slots = np.nonzero(hit)
+        out[rows] = self.data[rows, slots]
+        return out
+
+    # -- float64 reference operations --------------------------------------
+    def matvec64(self, x: np.ndarray) -> np.ndarray:
+        """Exact float64 matvec (for measurements, not emulation)."""
+        x = np.asarray(x, dtype=np.float64)
+        return np.einsum("ij,ij->i", self.data, x[self.cols])
+
+    def quantized(self, rnd) -> "ELLMatrix":
+        """A copy with the entries rounded by *rnd* (padding stays 0)."""
+        return ELLMatrix(data=np.asarray(rnd(self.data)),
+                         cols=self.cols.copy())

@@ -1,0 +1,60 @@
+"""Rounded triangular solves.
+
+Column-oriented forward/backward substitution with one rounding per
+arithmetic operation.  The column orientation turns the inner loop into
+full-vector updates (n quantizer calls for the whole solve instead of
+n²) while keeping the "round after every op" contract: the running
+right-hand side plays the role of the sequential accumulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .context import FPContext
+
+__all__ = ["solve_lower", "solve_upper"]
+
+
+def solve_lower(ctx: FPContext, L: np.ndarray, b: np.ndarray,
+                transposed_upper: np.ndarray | None = None) -> np.ndarray:
+    """Solve ``L y = b`` for lower-triangular L with rounded arithmetic.
+
+    When the factorization produced an upper factor R and the caller
+    needs ``Rᵀ y = b`` (paper Algorithm 2 line 5), pass R via
+    *transposed_upper* — the solve then reads rows of R directly and
+    avoids materializing the transpose.
+    """
+    if transposed_upper is not None:
+        R = np.asarray(transposed_upper, dtype=np.float64)
+        n = R.shape[0]
+        y = np.array(b, dtype=np.float64)
+        for j in range(n):
+            yj = ctx.div(y[j], R[j, j])
+            y[j] = yj
+            if j + 1 < n:
+                y[j + 1:] = ctx.sub(y[j + 1:], ctx.mul(R[j, j + 1:], yj))
+        return y
+
+    L = np.asarray(L, dtype=np.float64)
+    n = L.shape[0]
+    y = np.array(b, dtype=np.float64)
+    for j in range(n):
+        yj = ctx.div(y[j], L[j, j])
+        y[j] = yj
+        if j + 1 < n:
+            y[j + 1:] = ctx.sub(y[j + 1:], ctx.mul(L[j + 1:, j], yj))
+    return y
+
+
+def solve_upper(ctx: FPContext, U: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``U x = b`` for upper-triangular U with rounded arithmetic."""
+    U = np.asarray(U, dtype=np.float64)
+    n = U.shape[0]
+    x = np.array(b, dtype=np.float64)
+    for j in range(n - 1, -1, -1):
+        xj = ctx.div(x[j], U[j, j])
+        x[j] = xj
+        if j > 0:
+            x[:j] = ctx.sub(x[:j], ctx.mul(U[:j, j], xj))
+    return x

@@ -1,0 +1,100 @@
+"""Run-scale configuration for experiments and benchmarks.
+
+The paper's experiments run 19 matrices through CG / Cholesky / iterative
+refinement in four arithmetic formats.  Emulating per-operation rounding in
+pure Python is orders of magnitude slower than the authors' C++ library, so
+the harness supports three scales selected by the ``REPRO_SCALE``
+environment variable (or explicitly through :class:`RunScale`):
+
+``small``
+    Matrix dimension capped at 96, iteration budgets tightened.  The whole
+    experiment suite regenerates in a couple of minutes.  This is the
+    default for ``pytest benchmarks/``.
+``medium``
+    Dimension capped at 256 — the paper's smaller matrices (lund_b,
+    bcsstk01/02/22, lund_a, nos1) run at their native size.
+``full``
+    Native sizes from Table I (up to n = 1138).  Slow in pure Python but
+    faithful.
+
+The *shape* of every reproduced result (which format wins, where the
+crossovers fall) is stable across scales; EXPERIMENTS.md records the scale
+used for the committed numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["RunScale", "SCALES", "current_scale", "scale_from_env"]
+
+
+@dataclass(frozen=True)
+class RunScale:
+    """Caps applied to experiment workloads.
+
+    Attributes
+    ----------
+    name:
+        Scale identifier (``small`` / ``medium`` / ``full``).
+    max_dimension:
+        Synthetic matrices are generated with ``min(paper_n, max_dimension)``
+        unknowns.
+    cg_max_iterations:
+        Iteration budget for conjugate gradient runs.
+    ir_max_iterations:
+        Refinement-step budget; the paper reports ``1000+`` when exceeded,
+        so ``full`` uses exactly 1000.
+    nnz_cap:
+        Upper bound on requested non-zeros (scaled with dimension).
+    """
+
+    name: str
+    max_dimension: int
+    cg_max_iterations: int
+    ir_max_iterations: int
+    nnz_cap: int
+
+    def cap_dimension(self, n: int) -> int:
+        """Return the dimension to actually generate for a paper size *n*."""
+        return min(int(n), self.max_dimension)
+
+    def cap_nnz(self, nnz: int, n: int) -> int:
+        """Scale a paper nnz target to the capped dimension."""
+        capped_n = self.cap_dimension(n)
+        if capped_n >= n:
+            return min(int(nnz), self.nnz_cap)
+        # keep the same fill *fraction* when the matrix shrinks, but never
+        # drop below ~4 entries per row (a near-diagonal twin would make
+        # the factorization experiments trivially easy)
+        fill = nnz / float(n * n)
+        scaled = int(round(fill * capped_n * capped_n))
+        return max(4 * capped_n, min(scaled, self.nnz_cap))
+
+
+SCALES: dict[str, RunScale] = {
+    "small": RunScale("small", max_dimension=96, cg_max_iterations=1200,
+                      ir_max_iterations=400, nnz_cap=40_000),
+    "medium": RunScale("medium", max_dimension=256, cg_max_iterations=3000,
+                       ir_max_iterations=1000, nnz_cap=80_000),
+    "full": RunScale("full", max_dimension=1200, cg_max_iterations=6000,
+                     ir_max_iterations=1000, nnz_cap=200_000),
+}
+
+
+def scale_from_env(default: str = "small") -> RunScale:
+    """Resolve the run scale from ``REPRO_SCALE`` (falling back to *default*)."""
+    name = os.environ.get("REPRO_SCALE", default).strip().lower()
+    try:
+        return SCALES[name]
+    except KeyError:
+        valid = ", ".join(sorted(SCALES))
+        raise ValueError(
+            f"REPRO_SCALE={name!r} is not a valid scale (choose from {valid})"
+        ) from None
+
+
+def current_scale() -> RunScale:
+    """The scale in effect for this process (reads the environment)."""
+    return scale_from_env()

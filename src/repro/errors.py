@@ -1,0 +1,77 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (TypeError, ValueError from user misuse)
+propagate normally.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class PositError(ReproError):
+    """Base class for posit arithmetic errors."""
+
+
+class NaRError(PositError):
+    """An operation produced or consumed NaR (Not a Real).
+
+    Posit has a single exception value; when strict mode is enabled the
+    library raises this instead of silently propagating NaR.
+    """
+
+
+class InvalidPositConfig(PositError):
+    """The (nbits, es) pair does not describe a valid posit format."""
+
+
+class FormatError(ReproError):
+    """Base class for number-format layer errors."""
+
+
+class UnknownFormatError(FormatError, KeyError):
+    """A format name was not found in the registry."""
+
+
+class LinAlgError(ReproError):
+    """Base class for solver failures."""
+
+
+class FactorizationError(LinAlgError):
+    """A factorization broke down (non-positive pivot, NaN/inf entry).
+
+    Corresponds to the '-' entries of Table II in the paper: the
+    low-precision Cholesky factorization failed outright.
+    """
+
+    def __init__(self, message: str, *, stage: str = "factorization",
+                 pivot_index: int | None = None):
+        super().__init__(message)
+        self.stage = stage
+        self.pivot_index = pivot_index
+
+
+class ConvergenceError(LinAlgError):
+    """An iterative method exhausted its iteration budget.
+
+    Experiments generally *record* non-convergence rather than raising;
+    this error exists for strict callers of the public API.
+    """
+
+    def __init__(self, message: str, *, iterations: int | None = None,
+                 residual: float | None = None):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class ScalingError(ReproError):
+    """A matrix rescaling strategy could not be applied."""
+
+
+class MatrixGenerationError(ReproError):
+    """A synthetic matrix could not be generated to specification."""

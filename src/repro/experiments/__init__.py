@@ -1,0 +1,15 @@
+"""The experiment harness: one module per paper table/figure plus
+extension/ablation studies.  See ``python -m repro.experiments list``."""
+
+from .common import (CG_FORMATS, CHOLESKY_FORMATS, IR_FORMATS,
+                     ExperimentResult, clear_cache, run_cg_suite,
+                     run_cholesky_suite, run_ir_suite, suite_systems)
+from .runner import EXPERIMENTS, PAPER_ARTIFACTS, main, run_experiment
+
+__all__ = [
+    "ExperimentResult", "EXPERIMENTS", "PAPER_ARTIFACTS",
+    "run_experiment", "main", "clear_cache",
+    "CG_FORMATS", "CHOLESKY_FORMATS", "IR_FORMATS",
+    "run_cg_suite", "run_cholesky_suite", "run_ir_suite",
+    "suite_systems",
+]

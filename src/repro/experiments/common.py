@@ -1,0 +1,190 @@
+"""Shared plumbing for the experiment harness.
+
+Each experiment module reproduces one paper artifact (table or figure)
+and exposes ``run(scale=None, quiet=False) -> ExperimentResult``.  The
+heavyweight workloads (a full CG sweep over the suite, the IR tables)
+are cached per process so that composite figures (e.g. Fig. 8 reuses
+the Cholesky solves of Fig. 9's baseline) do not recompute them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..arith.context import FPContext
+from ..config import RunScale, current_scale
+from ..linalg.cg import conjugate_gradient
+from ..linalg.cholesky import cholesky_solve
+from ..errors import FactorizationError
+from ..linalg.ir import IRResult, iterative_refinement
+from ..matrices.suite import (SUITE_ORDER, load_matrix, matrix_spec,
+                              right_hand_side)
+from ..scaling.diagonal_mean import scale_by_diagonal_mean
+from ..scaling.higham import higham_rescale
+from ..scaling.power_of_two import scale_to_inf_norm
+
+__all__ = [
+    "CG_FORMATS", "IR_FORMATS", "CHOLESKY_FORMATS",
+    "ExperimentResult", "suite_systems",
+    "run_cg_suite", "run_cholesky_suite", "run_ir_suite",
+    "clear_cache",
+]
+
+#: formats compared in the CG experiments (Fig. 6/7); fp64 is the reference
+CG_FORMATS = ("fp64", "fp32", "posit32es2", "posit32es3")
+#: formats compared in the Cholesky experiments (Fig. 8/9)
+CHOLESKY_FORMATS = ("fp32", "posit32es2", "posit32es3")
+#: formats compared in the IR experiments (Tables II/III, Fig. 10)
+IR_FORMATS = ("fp16", "posit16es1", "posit16es2")
+
+
+@dataclass
+class ExperimentResult:
+    """What an experiment hands back to the runner and the benches."""
+
+    experiment_id: str         # e.g. "fig6"
+    title: str
+    text: str                  # the rendered table/figure
+    csv_path: str | None
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def show(self) -> None:  # pragma: no cover - console I/O
+        print(self.text)
+
+
+_CACHE: dict[tuple, Any] = {}
+
+
+def clear_cache() -> None:
+    """Drop all cached workload results (used by tests)."""
+    _CACHE.clear()
+
+
+def _cached(key: tuple, builder: Callable[[], Any]) -> Any:
+    if key not in _CACHE:
+        _CACHE[key] = builder()
+    return _CACHE[key]
+
+
+def suite_systems(scale: RunScale):
+    """Yield ``(spec, A, b)`` for the whole suite at *scale* (cached)."""
+    def build():
+        out = []
+        for name in SUITE_ORDER:
+            spec = matrix_spec(name)
+            A = load_matrix(name, scale)
+            out.append((spec, A, right_hand_side(A)))
+        return out
+    return _cached(("systems", scale.name), build)
+
+
+# ---------------------------------------------------------------------------
+# CG sweeps (Figs. 6 & 7)
+# ---------------------------------------------------------------------------
+
+def run_cg_suite(scale: RunScale, rescaled: bool = False,
+                 formats: tuple[str, ...] = CG_FORMATS,
+                 rtol: float = 1e-5,
+                 sparse: bool | None = None) -> dict[str, dict[str, Any]]:
+    """CG over the full suite in every format.
+
+    Returns ``{matrix: {format: CGResult}}``.  With ``rescaled=True``
+    the power-of-two ∞-norm scaling of §V-B is applied first.  With
+    ``sparse`` (default: automatic at the ``full`` scale) the matvecs
+    run through the ELL layout — same rounded operations on the
+    nonzeros, ~80× faster at n ≈ 1000.
+    """
+    if sparse is None:
+        sparse = scale.name == "full"
+
+    def build():
+        from ..arith.sparse import ELLMatrix
+        results: dict[str, dict[str, Any]] = {}
+        for spec, A, b in suite_systems(scale):
+            if rescaled:
+                ss = scale_to_inf_norm(A, b)
+                A_run, b_run = ss.A, ss.b
+            else:
+                A_run, b_run = A, b
+            if sparse:
+                A_run = ELLMatrix.from_dense(A_run)
+            per_fmt = {}
+            for fmt in formats:
+                per_fmt[fmt] = conjugate_gradient(
+                    FPContext(fmt), A_run, b_run, rtol=rtol,
+                    max_iterations=scale.cg_max_iterations)
+            results[spec.name] = per_fmt
+        return results
+    return _cached(("cg", scale.name, rescaled, formats, rtol, sparse),
+                   build)
+
+
+# ---------------------------------------------------------------------------
+# Cholesky sweeps (Figs. 8 & 9)
+# ---------------------------------------------------------------------------
+
+def run_cholesky_suite(scale: RunScale, rescaled: bool = False,
+                       formats: tuple[str, ...] = CHOLESKY_FORMATS
+                       ) -> dict[str, dict[str, float]]:
+    """Single-pass Cholesky solve over the suite in every format.
+
+    Returns ``{matrix: {format: relative_backward_error}}`` (inf when
+    the factorization broke down).  With ``rescaled=True`` the paper's
+    Algorithm 3 (diagonal-mean power-of-two scaling) is applied.
+    """
+    def build():
+        results: dict[str, dict[str, float]] = {}
+        for spec, A, b in suite_systems(scale):
+            if rescaled:
+                ss = scale_by_diagonal_mean(A, b)
+                A_run, b_run = ss.A, ss.b
+            else:
+                A_run, b_run = A, b
+            per_fmt = {}
+            for fmt in formats:
+                try:
+                    out = cholesky_solve(FPContext(fmt), A_run, b_run)
+                    per_fmt[fmt] = out.relative_backward_error
+                except FactorizationError:
+                    per_fmt[fmt] = np.inf
+            results[spec.name] = per_fmt
+        return results
+    return _cached(("chol", scale.name, rescaled, formats), build)
+
+
+# ---------------------------------------------------------------------------
+# Iterative-refinement sweeps (Tables II & III, Fig. 10)
+# ---------------------------------------------------------------------------
+
+def run_ir_suite(scale: RunScale, higham: bool = False,
+                 formats: tuple[str, ...] = IR_FORMATS
+                 ) -> dict[str, dict[str, IRResult]]:
+    """Mixed-precision IR over the suite, naive or Higham-rescaled.
+
+    Returns ``{matrix: {format: IRResult}}``.
+    """
+    def build():
+        results: dict[str, dict[str, IRResult]] = {}
+        for spec, A, b in suite_systems(scale):
+            per_fmt: dict[str, IRResult] = {}
+            for fmt in formats:
+                if higham:
+                    try:
+                        sc = higham_rescale(A, b, fmt)
+                    except Exception as exc:
+                        per_fmt[fmt] = IRResult(
+                            False, True, 0, np.inf, np.inf,
+                            failure_reason=f"rescaling failed: {exc}")
+                        continue
+                    per_fmt[fmt] = iterative_refinement(
+                        A, b, fmt, scaling=sc,
+                        max_iterations=scale.ir_max_iterations)
+                else:
+                    per_fmt[fmt] = iterative_refinement(
+                        A, b, fmt, max_iterations=scale.ir_max_iterations)
+            results[spec.name] = per_fmt
+        return results
+    return _cached(("ir", scale.name, higham, formats), build)

@@ -1,0 +1,142 @@
+"""Extension X6 — Gustafson's original experiment, and the paper's critique.
+
+§III: in the seminal posit paper, Gustafson shows a 32-bit posit
+beating an IEEE *double* on Gaussian elimination, given (a) one step of
+iterative refinement with the residual computed in the quire and (b) a
+matrix with pseudo-random entries uniform on [0, 1) — "which naturally
+gives Posit an advantage over Float since most of these entries will
+lie close to 0 on a log-scale".
+
+This experiment re-creates that setup and then applies the paper's
+critique: rerun the identical protocol with the entries shifted out of
+the golden zone (scaled by 1e6).  The posit-32 advantage over Float32
+collapses, demonstrating why the paper "levels the playing field" with
+scientific matrices and no quire.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from ..analysis.backward_error import digits_of_advantage
+from ..analysis.reporting import format_table, write_csv
+from ..arith.context import FPContext
+from ..config import RunScale, current_scale
+from ..errors import FactorizationError
+from ..linalg.lu import lu_factor, lu_solve
+from ..posit.codec import encode, decode_float, posit_config
+from .common import ExperimentResult
+
+__all__ = ["run"]
+
+
+def _quire_residual(A: np.ndarray, x: np.ndarray, b: np.ndarray,
+                    nbits: int, es: int) -> np.ndarray:
+    """b − A·x with each row's dot product fused (one posit rounding).
+
+    Exact rational accumulation then a single rounding — Gustafson's
+    quire-based residual.
+    """
+    cfg = posit_config(nbits, es)
+    out = np.empty_like(b)
+    for i in range(b.shape[0]):
+        acc = Fraction(float(b[i]))
+        row = A[i]
+        for j in range(row.shape[0]):
+            acc -= Fraction(float(row[j])) * Fraction(float(x[j]))
+        out[i] = decode_float(encode(acc, cfg), cfg)
+    return out
+
+
+def _solve_with_refinement(fmt_name: str, A: np.ndarray, b: np.ndarray,
+                           quire_refine: bool) -> np.ndarray:
+    """LU solve in *fmt*, optionally one quire-residual refinement step."""
+    ctx = FPContext(fmt_name)
+    factors = lu_factor(ctx, A)
+    x = lu_solve(ctx, factors, b)
+    if quire_refine and fmt_name.startswith("posit"):
+        fmt = ctx.fmt
+        r = _quire_residual(np.asarray(ctx.asarray(A)), x,
+                            np.asarray(ctx.asarray(b)),
+                            fmt.nbits, fmt.es)
+        d = lu_solve(ctx, factors, r)
+        x = ctx.add(x, d)
+    return x
+
+
+def run(scale: RunScale | None = None, quiet: bool = False,
+        n: int = 24, trials: int = 3, seed: int = 1717
+        ) -> ExperimentResult:
+    """Gustafson's protocol on [0,1) matrices, then shifted out of zone."""
+    scale = scale or current_scale()
+    rng = np.random.default_rng(seed)
+
+    workloads = {"uniform [0,1)": 1.0, "shifted (x 1e6)": 1.0e6}
+    rows = []
+    csv_rows = []
+    data = {}
+    for wname, factor in workloads.items():
+        errs = {"fp32": [], "posit32es2": [], "posit32es2+quire": [],
+                "fp64": []}
+        for _t in range(trials):
+            A = rng.random((n, n)) * factor
+            A += n * np.eye(n) * factor  # diagonally dominant → solvable
+            xhat = rng.random(n)
+            b = A @ xhat
+
+            def fwd(x):
+                return float(np.linalg.norm(x - xhat)
+                             / np.linalg.norm(xhat))
+
+            try:
+                errs["fp64"].append(fwd(
+                    _solve_with_refinement("fp64", A, b, False)))
+                errs["fp32"].append(fwd(
+                    _solve_with_refinement("fp32", A, b, False)))
+                errs["posit32es2"].append(fwd(
+                    _solve_with_refinement("posit32es2", A, b, False)))
+                errs["posit32es2+quire"].append(fwd(
+                    _solve_with_refinement("posit32es2", A, b, True)))
+            except FactorizationError:
+                for v in errs.values():
+                    v.append(np.inf)
+        med = {k: float(np.median(v)) for k, v in errs.items()}
+        adv_plain = digits_of_advantage(med["fp32"], med["posit32es2"])
+        adv_quire = digits_of_advantage(med["fp32"],
+                                        med["posit32es2+quire"])
+        rows.append([wname, med["fp32"], med["posit32es2"],
+                     med["posit32es2+quire"], med["fp64"],
+                     adv_plain, adv_quire])
+        csv_rows.append(rows[-1])
+        data[wname] = {"medians": med, "adv_plain": adv_plain,
+                       "adv_quire": adv_quire}
+
+    table = format_table(
+        ["workload", "fp32", "posit32", "posit+quire", "fp64",
+         "adv", "adv+quire"],
+        rows, col_width=12, first_col_width=16,
+        title=(f"X6 — Gustafson's protocol: forward error of Gaussian "
+               f"elimination, n={n} (adv = posit digits over fp32)"))
+    uz = data["uniform [0,1)"]
+    sz = data["shifted (x 1e6)"]
+    note = (f"Golden-zone matrices reward posit "
+            f"({uz['adv_quire']:+.2f} digits with the quire); shifting "
+            f"the same protocol out of the zone cuts the advantage to "
+            f"{sz['adv_quire']:+.2f} — the paper's §III critique, "
+            "quantified.")
+    csv_path = write_csv(
+        "ext_gustafson.csv",
+        ["workload", "fp32", "posit32es2", "posit32es2_quire", "fp64",
+         "adv_plain", "adv_quire"], csv_rows)
+    result = ExperimentResult("ext-gustafson",
+                              "X6: Gustafson's original experiment",
+                              table + "\n" + note, csv_path, data)
+    if not quiet:  # pragma: no cover
+        result.show()
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run()

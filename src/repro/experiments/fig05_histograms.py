@@ -1,0 +1,60 @@
+"""Fig. 5 — extra fraction bits of Posit32 over Float32 for suite entries.
+
+The paper histograms, per nonzero matrix entry, how many more fraction
+bits Posit(32,2) / Posit(32,3) provide than Float32's constant 23,
+weighting every matrix equally.  The finding: "Most matrices seem to
+fit nicely within the golden-zone for Posits."
+"""
+
+from __future__ import annotations
+
+from ..analysis.precision import suite_average_histogram
+from ..analysis.reporting import format_bar_chart, write_csv
+from ..config import RunScale, current_scale
+from .common import ExperimentResult, suite_systems
+
+__all__ = ["run"]
+
+
+def run(scale: RunScale | None = None, quiet: bool = False
+        ) -> ExperimentResult:
+    """Regenerate the Fig. 5 histograms for Posit(32,2) and Posit(32,3)."""
+    scale = scale or current_scale()
+    matrices = [A for _spec, A, _b in suite_systems(scale)]
+
+    sections = []
+    csv_rows = []
+    data = {}
+    for posit_fmt in ("posit32es2", "posit32es3"):
+        hist = suite_average_histogram(matrices, posit_fmt, "fp32")
+        # show only the occupied range for readability
+        occupied = hist.weights > 0
+        bins = hist.bins[occupied]
+        weights = hist.weights[occupied]
+        chart = format_bar_chart(
+            [f"{b:+d} bits" for b in bins], list(100.0 * weights),
+            title=(f"Fig. 5 — {posit_fmt} extra fraction bits vs Float32 "
+                   f"(% of entries, matrices equally weighted)"),
+            value_format="{:.1f}%")
+        stats = (f"  mean extra bits: {hist.mean_extra_bits:+.2f}   "
+                 f"entries at >= Float32 precision: "
+                 f"{100 * hist.fraction_in_golden_zone:.1f}%")
+        sections.append(chart + "\n" + stats)
+        data[posit_fmt] = {
+            "mean_extra_bits": hist.mean_extra_bits,
+            "fraction_in_golden_zone": hist.fraction_in_golden_zone,
+        }
+        for b, w in zip(hist.bins, hist.weights):
+            csv_rows.append([posit_fmt, int(b), float(w)])
+
+    csv_path = write_csv("fig05_histograms.csv",
+                         ["posit_format", "extra_bits", "weight"], csv_rows)
+    result = ExperimentResult("fig5", "Fig. 5: entry precision histograms",
+                              "\n\n".join(sections), csv_path, data)
+    if not quiet:  # pragma: no cover
+        result.show()
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run()

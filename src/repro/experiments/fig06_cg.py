@@ -1,0 +1,101 @@
+"""Fig. 6 — CG convergence, matrices in their native range.
+
+Panel (a): iterations to convergence for Float32, Posit(32,2) and
+Posit(32,3) (Float64 shown for reference), matrices ordered by
+increasing 2-norm.  Panel (b): percent improvement of Posit32 over
+Float32 (negative = posit worse).
+
+Paper findings this experiment reproduces:
+
+* Float32 and Posit(32,3) show similar convergence;
+* Posit(32,2) degrades — and eventually fails — as the matrix norm
+  grows ("matrices to the right of bcsstk01 do not converge for
+  Posit(32, 2)").
+"""
+
+from __future__ import annotations
+
+from ..analysis.backward_error import percent_improvement
+from ..analysis.reporting import format_bar_chart, format_table, write_csv
+from ..config import RunScale, current_scale
+from ..matrices.suite import SUITE_ORDER
+from .common import CG_FORMATS, ExperimentResult, run_cg_suite
+
+__all__ = ["run", "iteration_cell"]
+
+
+def iteration_cell(result, cap: int) -> str:
+    """Render one CG outcome like the paper: count, 'X' (diverged) or cap+."""
+    if result.diverged:
+        return "X"
+    if not result.converged:
+        return f"{cap}+"
+    return str(result.iterations)
+
+
+def run(scale: RunScale | None = None, quiet: bool = False,
+        rescaled: bool = False, experiment_id: str = "fig6",
+        title: str = "Fig. 6: CG convergence (native range)"
+        ) -> ExperimentResult:
+    """Regenerate Fig. 6 (or Fig. 7 when ``rescaled=True``)."""
+    scale = scale or current_scale()
+    results = run_cg_suite(scale, rescaled=rescaled)
+    cap = scale.cg_max_iterations
+
+    rows = []
+    csv_rows = []
+    improvements_es2 = []
+    improvements_es3 = []
+    data = {}
+    for name in SUITE_ORDER:
+        per = results[name]
+        cells = [iteration_cell(per[f], cap) for f in CG_FORMATS]
+        f32 = per["fp32"]
+        imp2 = (percent_improvement(f32.iterations,
+                                    per["posit32es2"].iterations)
+                if f32.converged and per["posit32es2"].converged
+                else float("nan"))
+        imp3 = (percent_improvement(f32.iterations,
+                                    per["posit32es3"].iterations)
+                if f32.converged and per["posit32es3"].converged
+                else float("nan"))
+        improvements_es2.append(imp2)
+        improvements_es3.append(imp3)
+        rows.append([name, *cells])
+        csv_rows.append([name] + [per[f].iterations for f in CG_FORMATS]
+                        + [per[f].converged for f in CG_FORMATS]
+                        + [imp2, imp3])
+        data[name] = {f: per[f] for f in CG_FORMATS}
+
+    headers = ["Matrix", *CG_FORMATS]
+    panel_a = format_table(
+        headers, rows, col_width=12,
+        title=(f"{title} — panel (a): iterations "
+               f"(X = diverged, {cap}+ = budget exhausted; "
+               f"scale={scale.name})"))
+    panel_b = format_bar_chart(
+        SUITE_ORDER, improvements_es2,
+        title="panel (b): % improvement of Posit(32,2) over Float32 "
+              "(negative = posit worse)",
+        value_format="{:+.1f}%")
+    panel_b3 = format_bar_chart(
+        SUITE_ORDER, improvements_es3,
+        title="panel (b'): % improvement of Posit(32,3) over Float32",
+        value_format="{:+.1f}%")
+
+    csv_path = write_csv(
+        f"{experiment_id}_cg.csv",
+        ["matrix"] + [f"iters_{f}" for f in CG_FORMATS]
+        + [f"converged_{f}" for f in CG_FORMATS]
+        + ["pct_improvement_es2", "pct_improvement_es3"],
+        csv_rows)
+
+    text = "\n\n".join([panel_a, panel_b, panel_b3])
+    result = ExperimentResult(experiment_id, title, text, csv_path, data)
+    if not quiet:  # pragma: no cover
+        result.show()
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run()

@@ -1,0 +1,102 @@
+"""Fig. 8 — Cholesky direct solve, native range.
+
+Panel (a): Posit32's advantage over Float32 in extra decimal digits of
+precision, ``log10(FloatResidual / PositResidual)``, per matrix.
+Panel (b): the Posit(32,2) advantage plotted against matrix norm — the
+paper's evidence that "the advantage that either format offers degrades
+when matrix-norm is increased".
+
+Paper findings reproduced: Posit(32,2) does *not* beat Float32 in the
+native range; Posit(32,3) offers some benefit; the advantage decays
+with ‖A‖.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..analysis.backward_error import digits_of_advantage
+from ..analysis.reporting import (format_bar_chart, format_table,
+                                  write_csv)
+from ..config import RunScale, current_scale
+from ..matrices.suite import SUITE_ORDER, matrix_spec
+from .common import CHOLESKY_FORMATS, ExperimentResult, run_cholesky_suite
+
+__all__ = ["run", "advantage_rows"]
+
+
+def advantage_rows(results: dict) -> list[dict]:
+    """Per-matrix digits-of-advantage records shared by Figs. 8 and 9."""
+    rows = []
+    for name in SUITE_ORDER:
+        per = results[name]
+        ref = per["fp32"]
+        rows.append({
+            "matrix": name,
+            "norm2": matrix_spec(name).norm2,
+            "err_fp32": ref,
+            "err_es2": per["posit32es2"],
+            "err_es3": per["posit32es3"],
+            "adv_es2": digits_of_advantage(ref, per["posit32es2"]),
+            "adv_es3": digits_of_advantage(ref, per["posit32es3"]),
+        })
+    return rows
+
+
+def run(scale: RunScale | None = None, quiet: bool = False,
+        rescaled: bool = False, experiment_id: str = "fig8",
+        title: str = "Fig. 8: Cholesky backward error (native range)"
+        ) -> ExperimentResult:
+    """Regenerate Fig. 8 (or Fig. 9 when ``rescaled=True``)."""
+    scale = scale or current_scale()
+    results = run_cholesky_suite(scale, rescaled=rescaled)
+    rows = advantage_rows(results)
+
+    table = format_table(
+        ["Matrix", "fp32 err", "es2 err", "es3 err",
+         "es2 digits", "es3 digits"],
+        [[r["matrix"], r["err_fp32"], r["err_es2"], r["err_es3"],
+          r["adv_es2"], r["adv_es3"]] for r in rows],
+        title=f"{title} — relative backward error ||b-Ax||/||b|| and "
+              f"posit digits of advantage (scale={scale.name})")
+
+    chart_a = format_bar_chart(
+        [r["matrix"] for r in rows],
+        [r["adv_es2"] for r in rows],
+        title="panel (a): Posit(32,2) extra digits over Float32 "
+              "(positive = posit wins)",
+        value_format="{:+.2f}")
+
+    # panel (b): advantage vs log10(norm) correlation
+    finite = [(math.log10(r["norm2"]), r["adv_es2"]) for r in rows
+              if np.isfinite(r["adv_es2"])]
+    if len(finite) >= 2:
+        lx = np.array([p[0] for p in finite])
+        ly = np.array([p[1] for p in finite])
+        slope, intercept = np.polyfit(lx, ly, 1)
+        trend = (f"panel (b): advantage vs log10(||A||2): slope = "
+                 f"{slope:+.3f} digits/decade (intercept {intercept:+.2f})")
+    else:
+        slope, intercept = math.nan, math.nan
+        trend = "panel (b): insufficient finite data for the trend fit"
+
+    csv_path = write_csv(
+        f"{experiment_id}_cholesky.csv",
+        ["matrix", "norm2", "err_fp32", "err_posit32es2",
+         "err_posit32es3", "digits_adv_es2", "digits_adv_es3"],
+        [[r["matrix"], r["norm2"], r["err_fp32"], r["err_es2"],
+          r["err_es3"], r["adv_es2"], r["adv_es3"]] for r in rows])
+
+    text = "\n\n".join([table, chart_a, trend])
+    data = {"rows": rows, "slope": slope, "intercept": intercept,
+            "formats": CHOLESKY_FORMATS}
+    result = ExperimentResult(experiment_id, title, text, csv_path, data)
+    if not quiet:  # pragma: no cover
+        result.show()
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run()

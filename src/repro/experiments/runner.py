@@ -1,0 +1,127 @@
+"""Command-line entry point: ``python -m repro.experiments <exp> [...]``.
+
+Regenerates any (or every) paper artifact::
+
+    python -m repro.experiments table1 fig6 --scale small
+    python -m repro.experiments all --scale medium
+    repro-experiments list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from ..config import SCALES, RunScale, scale_from_env
+from .common import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "main", "run_experiment"]
+
+
+def _lazy(module: str) -> Callable[..., ExperimentResult]:
+    def call(**kwargs) -> ExperimentResult:
+        import importlib
+        mod = importlib.import_module(f"repro.experiments.{module}")
+        return mod.run(**kwargs)
+    return call
+
+
+#: experiment id → (description, runner)
+EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
+    "table1": ("Table I: matrix suite properties", _lazy("table01_suite")),
+    "fig3": ("Fig. 3: format precision curves", _lazy("fig03_precision")),
+    "fig5": ("Fig. 5: entry precision histograms",
+             _lazy("fig05_histograms")),
+    "fig6": ("Fig. 6: CG, native range", _lazy("fig06_cg")),
+    "fig7": ("Fig. 7: CG, rescaled", _lazy("fig07_cg_scaled")),
+    "fig8": ("Fig. 8: Cholesky, native range", _lazy("fig08_cholesky")),
+    "fig9": ("Fig. 9: Cholesky, Algorithm-3 rescaling",
+             _lazy("fig09_cholesky_scaled")),
+    "table2": ("Table II: naive mixed-precision IR",
+               _lazy("table02_ir_naive")),
+    "table3": ("Table III: IR after Higham rescaling",
+               _lazy("table03_ir_higham")),
+    "fig10": ("Fig. 10: IR step reduction / factor accuracy",
+              _lazy("fig10_ir_analysis")),
+    "ext-quire": ("X1: quire / fused-op ablation", _lazy("ext_quire")),
+    "ext-fft": ("X2: FFT accuracy (future work)", _lazy("ext_fft")),
+    "ext-bicg": ("X3: BiCG iterate growth (future work)",
+                 _lazy("ext_bicg")),
+    "ext-scaling": ("X4: Cholesky rescaling ablation",
+                    _lazy("ext_scaling")),
+    "ext-sod": ("X5: Sod shock tube (future work)", _lazy("ext_sod")),
+    "ext-gustafson": ("X6: Gustafson's original experiment",
+                      _lazy("ext_gustafson")),
+    "ext-cg-target": ("X7: CG rescaling-target sweep",
+                      _lazy("ext_cg_target")),
+    "ext-stochastic": ("X8: stochastic-rounding ablation",
+                       _lazy("ext_stochastic")),
+    "ext-jacobi": ("X9: Jacobi preconditioning vs static rescaling",
+                   _lazy("ext_jacobi")),
+    "ext-factor-norms": ("X10: factor-norm identities (SS VI)",
+                         _lazy("ext_factor_norms")),
+    "ext-bounds": ("X11: error bounds with posit-aware epsilon",
+                   _lazy("ext_bounds")),
+}
+
+#: the paper's own artifacts, in paper order (extensions excluded)
+PAPER_ARTIFACTS = ("table1", "fig3", "fig5", "fig6", "fig7", "fig8",
+                   "fig9", "table2", "table3", "fig10")
+
+
+def run_experiment(exp_id: str, scale: RunScale | None = None,
+                   quiet: bool = False) -> ExperimentResult:
+    """Run one experiment by id (programmatic entry point)."""
+    try:
+        _desc, fn = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise KeyError(f"unknown experiment {exp_id!r}; known: "
+                       f"{sorted(EXPERIMENTS)}") from None
+    return fn(scale=scale, quiet=quiet)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiments", nargs="+",
+                        help="experiment ids, 'all' (paper artifacts), "
+                             "'everything' (incl. extensions), or 'list'")
+    parser.add_argument("--scale", choices=sorted(SCALES),
+                        default=None,
+                        help="workload scale (default: $REPRO_SCALE or "
+                             "'small')")
+    args = parser.parse_args(argv)
+
+    if args.experiments == ["list"]:
+        for eid, (desc, _fn) in EXPERIMENTS.items():
+            print(f"{eid:12s} {desc}")
+        return 0
+
+    ids: list[str] = []
+    for e in args.experiments:
+        if e == "all":
+            ids.extend(PAPER_ARTIFACTS)
+        elif e == "everything":
+            ids.extend(EXPERIMENTS)
+        elif e in EXPERIMENTS:
+            ids.append(e)
+        else:
+            parser.error(f"unknown experiment {e!r} "
+                         f"(known: {', '.join(EXPERIMENTS)}, all, list)")
+
+    scale = SCALES[args.scale] if args.scale else scale_from_env()
+    for eid in ids:
+        t0 = time.time()
+        print(f"\n===== {eid} ({EXPERIMENTS[eid][0]}) =====")
+        result = run_experiment(eid, scale=scale)
+        dt = time.time() - t0
+        where = f" [csv: {result.csv_path}]" if result.csv_path else ""
+        print(f"----- {eid} done in {dt:.1f}s{where}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Table I — the matrix suite and its measured properties.
+
+The paper lists its 19 Matrix Market matrices with condition number,
+dimension, 2-norm and non-zero count, ordered by increasing 2-norm.
+This experiment regenerates the table from our synthetic twins,
+printing both the paper's target values and the measured ones so the
+fidelity of the substitution is visible at a glance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.reporting import format_table, write_csv
+from ..config import RunScale, current_scale
+from ..linalg.norms import condition_number_2, two_norm
+from .common import ExperimentResult, suite_systems
+
+__all__ = ["run"]
+
+
+def run(scale: RunScale | None = None, quiet: bool = False
+        ) -> ExperimentResult:
+    """Regenerate Table I (paper targets vs measured twin properties)."""
+    scale = scale or current_scale()
+    rows = []
+    data = {}
+    for spec, A, _b in suite_systems(scale):
+        measured_kappa = condition_number_2(A)
+        measured_norm = two_norm(A)
+        nnz = int(np.count_nonzero(A))
+        rows.append([spec.name, spec.kappa, measured_kappa,
+                     spec.n, A.shape[0], spec.norm2, measured_norm,
+                     spec.nnz, nnz])
+        data[spec.name] = {
+            "kappa_target": spec.kappa, "kappa": measured_kappa,
+            "n_target": spec.n, "n": A.shape[0],
+            "norm2_target": spec.norm2, "norm2": measured_norm,
+            "nnz_target": spec.nnz, "nnz": nnz,
+        }
+
+    headers = ["Matrix", "k(A) tgt", "k(A) meas", "N tgt", "N",
+               "||A||2 tgt", "||A||2", "NNZ tgt", "NNZ"]
+    text = format_table(
+        headers, rows,
+        title=(f"Table I — matrix suite (scale={scale.name}); synthetic "
+               "twins of the Matrix Market originals"))
+    csv_path = write_csv("table01_suite.csv", headers, rows)
+    result = ExperimentResult("table1", "Table I: matrix suite",
+                              text, csv_path, data)
+    if not quiet:  # pragma: no cover - console I/O
+        result.show()
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run()

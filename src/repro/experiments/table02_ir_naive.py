@@ -1,0 +1,96 @@
+"""Table II — out-of-the-box mixed-precision iterative refinement.
+
+Refinement-step counts for Float16, Posit(16,1) and Posit(16,2)
+factorizations with no rescaling.  '-' marks a failed factorization or
+diverged refinement; 'N+' marks budget exhaustion with a successful
+factorization (the paper's '1000+').
+
+Paper finding reproduced: "Posit(16, 2) can solve more problems than
+Float16" thanks to its wider dynamic range.
+"""
+
+from __future__ import annotations
+
+from ..analysis.reporting import format_table, write_csv
+from ..config import RunScale, current_scale
+from ..matrices.suite import SUITE_ORDER, TABLE2_ROWS
+from .common import ExperimentResult, IR_FORMATS, run_ir_suite
+
+__all__ = ["run", "solved_sets"]
+
+#: the paper's Table II entries, for side-by-side comparison in output
+PAPER_TABLE2 = {
+    "mhd416b": ("-", "-", "8"), "662_bus": ("52", "187", "90"),
+    "lund_b": ("7", "12", "6"), "bcsstk02": ("13", "51", "23"),
+    "685_bus": ("17", "160", "45"), "nos6": ("-", "1000+", "1000+"),
+    "494_bus": ("-", "-", "991"), "bcsstk09": ("-", "-", "872"),
+    "lund_a": ("-", "-", "35"), "bcsstk01": ("-", "-", "60"),
+    "nos2": ("-", "-", "1000+"),
+}
+
+
+def solved_sets(results: dict) -> dict[str, set[str]]:
+    """Which matrices each format solved (converged within budget)."""
+    out: dict[str, set[str]] = {f: set() for f in IR_FORMATS}
+    for name, per in results.items():
+        for fmt, res in per.items():
+            if res.converged:
+                out[fmt].add(name)
+    return out
+
+
+def run(scale: RunScale | None = None, quiet: bool = False,
+        higham: bool = False, experiment_id: str = "table2",
+        title: str = "Table II: naive mixed-precision IR",
+        paper_rows: dict | None = None) -> ExperimentResult:
+    """Regenerate Table II (or Table III via ``higham=True``)."""
+    scale = scale or current_scale()
+    results = run_ir_suite(scale, higham=higham)
+    cap = scale.ir_max_iterations
+    paper = PAPER_TABLE2 if paper_rows is None else paper_rows
+
+    rows = []
+    csv_rows = []
+    for name in SUITE_ORDER:
+        per = results[name]
+        cells = [per[f].table_entry(cap) for f in IR_FORMATS]
+        ref = paper.get(name)
+        paper_cells = list(ref) if ref else ["·", "·", "·"]
+        rows.append([name, *cells, *paper_cells])
+        csv_rows.append(
+            [name] + cells
+            + [per[f].iterations for f in IR_FORMATS]
+            + [per[f].factorization_error for f in IR_FORMATS]
+            + [per[f].failure_reason for f in IR_FORMATS])
+
+    solved = solved_sets(results)
+    summary = ("solved: " + ", ".join(
+        f"{f}={len(solved[f])}" for f in IR_FORMATS)
+        + f"  (paper rows with any convergence: {len(paper)})")
+
+    headers = (["Matrix"] + [f"{f}" for f in IR_FORMATS]
+               + [f"paper:{f.replace('posit16es', 'P16,')}"
+                  for f in IR_FORMATS])
+    table = format_table(
+        headers, rows, col_width=12, first_col_width=10,
+        title=(f"{title} — refinement steps "
+               f"(cap {cap}, scale={scale.name}); right half = paper"))
+    csv_path = write_csv(
+        f"{experiment_id}_ir.csv",
+        ["matrix"] + [f"entry_{f}" for f in IR_FORMATS]
+        + [f"iters_{f}" for f in IR_FORMATS]
+        + [f"fact_err_{f}" for f in IR_FORMATS]
+        + [f"failure_{f}" for f in IR_FORMATS],
+        csv_rows)
+
+    data = {"results": results, "solved": solved, "cap": cap,
+            "paper": paper, "table2_rows": TABLE2_ROWS}
+    result = ExperimentResult(experiment_id, title,
+                              table + "\n" + summary, csv_path, data)
+    if not quiet:  # pragma: no cover
+        result.show()
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run()

@@ -1,0 +1,27 @@
+"""Unified number-format layer: IEEE (native + emulated) and posit formats
+behind one quantization interface.
+
+>>> from repro.formats import get_format
+>>> get_format("posit32es2").round(3.14159265358979)
+3.1415926516056061
+"""
+
+from .base import NumberFormat
+from .ieee import BFLOAT16, FP8_E4M3, FP8_E5M2, IEEEFormat
+from .native import FLOAT16, FLOAT32, FLOAT64, NativeIEEEFormat
+from .posit_format import (POSIT8_0, POSIT16_1, POSIT16_2, POSIT32_2,
+                           POSIT32_3, PositFormat)
+from .properties import (digits_of_precision_at, format_summary, golden_zone,
+                         precision_curve, spacing_at)
+from .registry import available_formats, get_format, register_format
+from .rounding_modes import DirectedIEEEFormat, StochasticRounding
+
+__all__ = [
+    "NumberFormat", "NativeIEEEFormat", "IEEEFormat", "PositFormat",
+    "FLOAT16", "FLOAT32", "FLOAT64", "BFLOAT16", "FP8_E4M3", "FP8_E5M2",
+    "POSIT8_0", "POSIT16_1", "POSIT16_2", "POSIT32_2", "POSIT32_3",
+    "get_format", "register_format", "available_formats",
+    "spacing_at", "digits_of_precision_at", "precision_curve",
+    "golden_zone", "format_summary",
+    "DirectedIEEEFormat", "StochasticRounding",
+]

@@ -1,0 +1,99 @@
+"""The ``NumberFormat`` interface.
+
+Every arithmetic format the experiments compare — IEEE binary16/32/64,
+emulated IEEE variants, and posits — is represented by a
+:class:`NumberFormat`.  A format knows how to **quantize** a float64
+array to its representable set; the emulated-arithmetic layer
+(:mod:`repro.arith`) then implements "compute in float64, round after
+every operation", which is exact because float64 holds every value of
+every supported format.
+
+Design notes
+------------
+* Formats are immutable and hashable; they compare by identity key.
+* ``round`` must be idempotent, monotone (weakly order-preserving) and
+  sign-symmetric — the property-based tests enforce this for every
+  registered format.
+* ``max_value`` / ``min_positive`` describe the finite representable
+  range; ``eps_at_one`` is the spacing just above 1.0, the natural
+  cross-format precision yardstick (the posit "golden zone" spacing).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+import numpy as np
+
+__all__ = ["NumberFormat"]
+
+
+class NumberFormat(abc.ABC):
+    """Abstract base class for all number formats."""
+
+    #: short machine name, e.g. ``"fp32"`` or ``"posit16es2"``
+    name: str = "abstract"
+    #: display name used in experiment tables, e.g. ``"Posit(16, 2)"``
+    display_name: str = "abstract"
+    #: storage width in bits (used for fair-comparison groupings)
+    nbits: int = 0
+
+    @abc.abstractmethod
+    def round(self, x: np.ndarray | float) -> np.ndarray | float:
+        """Quantize float64 values to the nearest representable value.
+
+        Scalars in, scalar out; arrays in, array out.  Must be
+        idempotent.  Non-finite inputs map to the format's exceptional
+        value (NaN for IEEE and — since the carrier is float64 — for
+        posit NaR as well).
+        """
+
+    # -- representable-range metadata ------------------------------------
+    @property
+    @abc.abstractmethod
+    def max_value(self) -> float:
+        """Largest finite representable magnitude."""
+
+    @property
+    @abc.abstractmethod
+    def min_positive(self) -> float:
+        """Smallest positive representable value (subnormal/minpos)."""
+
+    @property
+    @abc.abstractmethod
+    def eps_at_one(self) -> float:
+        """Spacing between 1.0 and the next larger representable value."""
+
+    @property
+    def decimal_digits_at_one(self) -> float:
+        """Approximate decimal digits of precision near 1.0."""
+        return -float(np.log10(self.eps_at_one))
+
+    @property
+    def dynamic_range_decades(self) -> float:
+        """log10(max_value / min_positive) — the format's total reach."""
+        return float(np.log10(self.max_value) - np.log10(self.min_positive))
+
+    # -- behaviour flags ----------------------------------------------------
+    @property
+    def saturates(self) -> bool:
+        """True when out-of-range values clamp (posit) rather than
+        overflow to infinity (IEEE)."""
+        return False
+
+    # -- identity -----------------------------------------------------------
+    def _key(self) -> tuple[Any, ...]:
+        return (type(self).__name__, self.name)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, NumberFormat) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+    def __str__(self) -> str:
+        return self.display_name

@@ -1,0 +1,68 @@
+"""Posit formats as :class:`NumberFormat` instances."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..posit.codec import PositConfig, posit_config
+from ..posit.rounding import posit_round
+from .base import NumberFormat
+
+__all__ = ["PositFormat", "POSIT8_0", "POSIT16_1", "POSIT16_2",
+           "POSIT32_2", "POSIT32_3"]
+
+
+class PositFormat(NumberFormat):
+    """A posit(nbits, es) arithmetic format.
+
+    Quantization delegates to the vectorized kernel in
+    :mod:`repro.posit.rounding`.  Note the two posit-specific behaviours
+    that matter in the experiments: saturation at ±maxpos instead of
+    overflow to infinity, and clamping to ±minpos instead of underflow
+    to zero — both are what give Posit16 its "superior reach" in the
+    paper's Table II.
+    """
+
+    def __init__(self, nbits: int, es: int):
+        self._cfg: PositConfig = posit_config(nbits, es)
+        self.nbits = nbits
+        self.es = es
+        self.name = f"posit{nbits}es{es}"
+        self.display_name = f"Posit({nbits}, {es})"
+
+    @property
+    def config(self) -> PositConfig:
+        """The underlying codec configuration."""
+        return self._cfg
+
+    def round(self, x):
+        out = posit_round(x, self._cfg.nbits, self._cfg.es)
+        return float(out) if np.isscalar(x) or np.ndim(x) == 0 else out
+
+    @property
+    def max_value(self) -> float:
+        return float(self._cfg.maxpos)
+
+    @property
+    def min_positive(self) -> float:
+        return float(self._cfg.minpos)
+
+    @property
+    def eps_at_one(self) -> float:
+        return float(self._cfg.eps_at_one)
+
+    @property
+    def useed(self) -> int:
+        """``2**(2**es)`` — the Higham-rescaling μ for posit (paper §V-D)."""
+        return self._cfg.useed
+
+    @property
+    def saturates(self) -> bool:
+        return True
+
+
+POSIT8_0 = PositFormat(8, 0)
+POSIT16_1 = PositFormat(16, 1)
+POSIT16_2 = PositFormat(16, 2)
+POSIT32_2 = PositFormat(32, 2)
+POSIT32_3 = PositFormat(32, 3)

@@ -1,0 +1,132 @@
+"""Format precision analytics — the data behind the paper's Fig. 3.
+
+Fig. 3(a) plots the *absolute* precision (spacing between consecutive
+representable values) of each format across ``[1e-12, 1e12]``; Fig. 3(b)
+plots *relative* precision as "digits of precision".  These functions
+compute both for any :class:`NumberFormat` by direct probing: round a
+value, step to the next representable value via the format's own
+``round``, and measure the gap.  Probing (rather than closed forms)
+keeps the figure honest — it exercises the same quantizers the solvers
+use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import NumberFormat
+from .registry import get_format
+
+__all__ = [
+    "spacing_at",
+    "digits_of_precision_at",
+    "precision_curve",
+    "golden_zone",
+    "format_summary",
+]
+
+
+def spacing_at(fmt: NumberFormat | str, x: np.ndarray) -> np.ndarray:
+    """Gap between the representable value at/below |x| and the next one up.
+
+    Returns NaN where *x* is outside the format's finite positive range.
+    """
+    fmt = get_format(fmt)
+    x = np.abs(np.asarray(x, dtype=np.float64))
+    base = np.asarray(fmt.round(x), dtype=np.float64)
+    out = np.full(x.shape, np.nan)
+    ok = (base > 0) & np.isfinite(base) & (base < fmt.max_value)
+    if not np.any(ok):
+        return out
+    b = base[ok]
+    # binary-search the next representable value above b: start one ulp64
+    # up and double the probe until rounding moves off b.
+    probe = np.nextafter(b, np.inf)
+    nxt = np.asarray(fmt.round(probe), dtype=np.float64)
+    step = np.spacing(b)
+    # The loop terminates because once the probe passes the midpoint of
+    # the gap, rounding lands on the next value; gaps are finite here.
+    for _ in range(200):
+        stuck = nxt <= b
+        if not np.any(stuck):
+            break
+        step = np.where(stuck, step * 2.0, step)
+        probe = np.where(stuck, b + step, probe)
+        nxt = np.asarray(fmt.round(probe), dtype=np.float64)
+    # probe overshoot can skip a value; re-round the midpoint down.
+    mid = np.asarray(fmt.round((b + nxt) / 2.0), dtype=np.float64)
+    nxt = np.where(mid > b, mid, nxt)
+    out[ok] = nxt - b
+    return out
+
+
+def digits_of_precision_at(fmt: NumberFormat | str,
+                           x: np.ndarray) -> np.ndarray:
+    """Decimal digits of relative precision at |x| (Fig. 3b's y-axis).
+
+    ``-log10(spacing / value)`` evaluated at the representable value
+    bracketing x from below.  NaN outside the finite range.
+    """
+    fmt = get_format(fmt)
+    x = np.abs(np.asarray(x, dtype=np.float64))
+    gap = spacing_at(fmt, x)
+    base = np.asarray(fmt.round(x), dtype=np.float64)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return -np.log10(gap / base)
+
+
+def precision_curve(fmt: NumberFormat | str, lo: float = 1e-12,
+                    hi: float = 1e12, points: int = 241) -> dict:
+    """Sampled precision curves over a log grid (the Fig. 3 series).
+
+    Returns ``{"x", "absolute", "digits"}`` arrays of length *points*.
+    """
+    fmt = get_format(fmt)
+    x = np.logspace(np.log10(lo), np.log10(hi), points)
+    gap = spacing_at(fmt, x)
+    digits = digits_of_precision_at(fmt, x)
+    return {"x": x, "absolute": gap, "digits": digits, "format": fmt.name}
+
+
+def golden_zone(posit_fmt: NumberFormat | str,
+                reference: NumberFormat | str = "fp32") -> tuple[float, float]:
+    """The |x| interval where the posit format beats *reference* precision.
+
+    de Dinechin's "golden zone" (paper §II-B): where posit's relative
+    spacing is strictly smaller than the IEEE reference's.  Computed
+    analytically from the regime geometry: the posit has
+    ``nbits - 3 - es + r`` extra fraction bits at scale regions
+    ``|k| <= r``; it beats an IEEE format with p significand bits while
+    its own fraction width exceeds p-1 bits.
+    """
+    from ..posit.codec import fraction_bits_at_scale
+    pf = get_format(posit_fmt)
+    rf = get_format(reference)
+    if not hasattr(pf, "config"):
+        raise TypeError(f"{pf} is not a posit format")
+    ref_frac_bits = -int(np.round(np.log2(rf.eps_at_one)))  # p - 1
+    cfg = pf.config
+    scales = range(cfg.min_scale, cfg.max_scale + 1)
+    good = [s for s in scales
+            if fraction_bits_at_scale(s, cfg) >= ref_frac_bits]
+    if not good:
+        return (np.nan, np.nan)
+    lo = float(np.ldexp(1.0, min(good)))
+    hi = float(np.ldexp(1.0, max(good) + 1))
+    return (lo, hi)
+
+
+def format_summary(fmt: NumberFormat | str) -> dict:
+    """One row of the format-properties table printed by the Fig. 3 bench."""
+    fmt = get_format(fmt)
+    return {
+        "name": fmt.name,
+        "display": fmt.display_name,
+        "bits": fmt.nbits,
+        "eps_at_one": fmt.eps_at_one,
+        "digits_at_one": fmt.decimal_digits_at_one,
+        "max": fmt.max_value,
+        "min_positive": fmt.min_positive,
+        "dynamic_range_decades": fmt.dynamic_range_decades,
+        "saturates": fmt.saturates,
+    }

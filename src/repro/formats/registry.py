@@ -1,0 +1,66 @@
+"""Name → format registry.
+
+Experiments refer to formats by short names (``"fp32"``,
+``"posit16es2"``); :func:`get_format` resolves them, with a dynamic
+fallback that parses ``positNesE`` / ``ieeeNpPeW`` patterns so users can
+ask for arbitrary widths without pre-registration.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import UnknownFormatError
+from .base import NumberFormat
+from .ieee import BFLOAT16, FP8_E4M3, FP8_E5M2, IEEEFormat
+from .native import FLOAT16, FLOAT32, FLOAT64
+from .posit_format import (POSIT8_0, POSIT16_1, POSIT16_2, POSIT32_2,
+                           POSIT32_3, PositFormat)
+
+__all__ = ["get_format", "register_format", "available_formats"]
+
+_REGISTRY: dict[str, NumberFormat] = {}
+
+
+def register_format(fmt: NumberFormat, *aliases: str) -> NumberFormat:
+    """Register *fmt* under its name and any extra *aliases*."""
+    for key in (fmt.name, *aliases):
+        _REGISTRY[key.lower()] = fmt
+    return fmt
+
+
+for _fmt, _alias in [
+    (FLOAT16, "float16"), (FLOAT32, "float32"), (FLOAT64, "float64"),
+    (BFLOAT16, "bfloat16"), (FP8_E4M3, "e4m3"), (FP8_E5M2, "e5m2"),
+    (POSIT8_0, "posit8"), (POSIT16_1, None), (POSIT16_2, "posit16"),
+    (POSIT32_2, "posit32"), (POSIT32_3, None),
+]:
+    register_format(_fmt, *([_alias] if _alias else []))
+
+_POSIT_RE = re.compile(r"^posit(\d+)es(\d+)$")
+_IEEE_RE = re.compile(r"^ieee(\d+)p(\d+)e(\d+)$")
+
+
+def get_format(name: str | NumberFormat) -> NumberFormat:
+    """Resolve a format by name (case-insensitive) or pass one through.
+
+    Raises :class:`UnknownFormatError` for unresolvable names.
+    """
+    if isinstance(name, NumberFormat):
+        return name
+    key = name.strip().lower()
+    if key in _REGISTRY:
+        return _REGISTRY[key]
+    m = _POSIT_RE.match(key)
+    if m:
+        return register_format(PositFormat(int(m.group(1)), int(m.group(2))))
+    m = _IEEE_RE.match(key)
+    if m:
+        return register_format(IEEEFormat(int(m.group(2)), int(m.group(3))))
+    raise UnknownFormatError(
+        f"unknown number format {name!r}; known: {sorted(_REGISTRY)}")
+
+
+def available_formats() -> dict[str, NumberFormat]:
+    """A copy of the registry (name → format)."""
+    return dict(_REGISTRY)

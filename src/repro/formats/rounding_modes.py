@@ -1,0 +1,159 @@
+"""Alternative rounding modes: directed IEEE rounding and stochastic
+rounding.
+
+The paper's experiments use round-to-nearest-even exclusively (posit
+has no other mode), but the mixed-precision iterative-refinement
+literature it builds on (Higham et al.) actively studies **stochastic
+rounding** as a cure for the stagnation of low-precision accumulation.
+This module adds those modes so the ``ext-stochastic`` ablation can ask
+"would a different Float16 rounding mode have changed Table II?":
+
+* :class:`DirectedIEEEFormat` — an :class:`IEEEFormat` with
+  ``toward_zero`` / ``down`` / ``up`` rounding (saturating at ±max,
+  since directed overflow-to-inf is never what a solver wants);
+* :class:`StochasticRounding` — wraps *any* deterministic format and
+  rounds to one of the two bracketing representable values with
+  probability proportional to proximity; unbiased
+  (``E[round(x)] = x``) and reproducible via an explicit seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import NumberFormat
+from .ieee import IEEEFormat
+
+__all__ = ["DirectedIEEEFormat", "StochasticRounding"]
+
+_DIRECTED = ("toward_zero", "down", "up")
+
+
+class DirectedIEEEFormat(IEEEFormat):
+    """IEEE emulation with a directed rounding mode.
+
+    Mode semantics follow IEEE 754 §4.3 in value space; magnitudes
+    beyond the largest finite value saturate to ±max (documented
+    deviation: no overflow to infinity, keeping solver breakdown
+    semantics identical across modes).
+    """
+
+    def __init__(self, precision: int, exp_bits: int, mode: str,
+                 name: str | None = None):
+        if mode not in _DIRECTED:
+            raise ValueError(f"mode must be one of {_DIRECTED}, "
+                             f"got {mode!r}")
+        self.mode = mode
+        super().__init__(precision, exp_bits,
+                         name=name or
+                         f"ieee{1 + exp_bits + precision - 1}"
+                         f"p{precision}e{exp_bits}_{mode}",
+                         display_name=f"IEEE(p={precision}, "
+                                      f"w={exp_bits}, {mode})")
+
+    def _key(self):
+        return super()._key() + (self.mode,)
+
+    def _round_impl(self, arr: np.ndarray) -> np.ndarray:
+        out = arr.copy()
+        finite = np.isfinite(arr) & (arr != 0)
+        if not np.any(finite):
+            return out
+        v = arr[finite]
+        with np.errstate(invalid="ignore"):
+            _, e = np.frexp(np.abs(v))
+        s_eff = np.maximum(e.astype(np.int64) - 1, np.int64(self.emin))
+        g = np.ldexp(1.0, (s_eff - np.int64(self.precision - 1))
+                     .astype(np.int32))
+        scaled = v / g
+        if self.mode == "toward_zero":
+            r = np.trunc(scaled) * g
+        elif self.mode == "down":
+            r = np.floor(scaled) * g
+        else:  # up
+            r = np.ceil(scaled) * g
+        r = np.clip(r, -self._max, self._max)
+        out[finite] = r
+        return out
+
+
+class StochasticRounding(NumberFormat):
+    """Stochastic rounding on top of any deterministic format.
+
+    ``round(x)`` returns the representable value just below x with
+    probability ``(hi - x)/(hi - lo)`` and the one just above otherwise,
+    so ``E[round(x)] = x`` exactly.  Exactly-representable inputs are
+    returned unchanged.  The generator state advances on every call;
+    reseed (or construct a fresh instance) for reproducible runs.
+    """
+
+    def __init__(self, base: NumberFormat, seed: int = 0):
+        self.base = base
+        self.name = f"{base.name}_sr"
+        self.display_name = f"{base.display_name}+SR"
+        self.nbits = base.nbits
+        self._rng = np.random.default_rng(seed)
+
+    def reseed(self, seed: int) -> None:
+        """Reset the RNG (for reproducible experiment repetitions)."""
+        self._rng = np.random.default_rng(seed)
+
+    def _key(self):
+        return ("StochasticRounding", self.base._key())
+
+    def round(self, x):
+        arr = np.asarray(x, dtype=np.float64)
+        scalar = np.isscalar(x) or arr.ndim == 0
+        arr = np.atleast_1d(arr).astype(np.float64)
+        out = self._round_impl(arr)
+        return float(out[0]) if scalar else out
+
+    def _round_impl(self, arr: np.ndarray) -> np.ndarray:
+        nearest = np.asarray(self.base.round(arr), dtype=np.float64)
+        out = nearest.copy()
+        # candidates: nearest and its neighbour on the other side of x
+        inexact = np.isfinite(nearest) & (nearest != arr) \
+            & np.isfinite(arr)
+        if not np.any(inexact):
+            return out
+        x = arr[inexact]
+        a = nearest[inexact]
+        # Find the bracketing value b on x's side of a by doubling the
+        # offset until rounding escapes a.  While round(a + d) == a we
+        # know d <= gap/2, so 2d <= gap and the first escape lands
+        # exactly on the adjacent representable value — never beyond.
+        d = x - a  # nonzero by construction
+        b = np.asarray(self.base.round(a + d), dtype=np.float64)
+        for _ in range(80):
+            stuck = (b == a) & np.isfinite(b)
+            if not np.any(stuck):
+                break
+            d = np.where(stuck, 2.0 * d, d)
+            b = np.where(stuck,
+                         np.asarray(self.base.round(a + d),
+                                    dtype=np.float64), b)
+        # saturation / non-finite fallbacks keep the deterministic value
+        b = np.where(np.isfinite(b), b, a)
+        gap = b - a
+        with np.errstate(invalid="ignore", divide="ignore"):
+            p_b = np.where(gap != 0.0, (x - a) / gap, 0.0)
+        p_b = np.clip(p_b, 0.0, 1.0)
+        u = self._rng.random(x.shape)
+        out[inexact] = np.where(u < p_b, b, a)
+        return out
+
+    @property
+    def max_value(self) -> float:
+        return self.base.max_value
+
+    @property
+    def min_positive(self) -> float:
+        return self.base.min_positive
+
+    @property
+    def eps_at_one(self) -> float:
+        return self.base.eps_at_one
+
+    @property
+    def saturates(self) -> bool:
+        return self.base.saturates

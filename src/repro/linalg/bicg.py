@@ -1,0 +1,163 @@
+"""BiCG and BiCGSTAB under emulated arithmetic.
+
+The paper hypothesizes (§VI) that "certain procedures such as Bi-CG
+which have been observed to produce even larger iterates than
+traditional CG may limit the potential for re-scaling as a means to
+stabilize Posit since the working dynamic range is very high", and
+lists Bi-CG as future work.  These solvers let the ``ext-bicg``
+experiment test that hypothesis by tracking the dynamic range of the
+iterates alongside convergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..arith.context import FPContext
+from .norms import relative_backward_error
+
+__all__ = ["BiCGResult", "bicg", "bicgstab", "iterate_dynamic_range"]
+
+
+@dataclass
+class BiCGResult:
+    """Outcome of a BiCG/BiCGSTAB run, with iterate-magnitude telemetry."""
+
+    converged: bool
+    diverged: bool
+    iterations: int
+    relative_residual: float
+    true_relative_residual: float
+    x: np.ndarray
+    #: per-iteration max |entry| over all work vectors — the "dynamic
+    #: range of the iterates" the paper's hypothesis is about
+    iterate_peaks: list[float] = field(default_factory=list)
+
+    @property
+    def peak_dynamic_range(self) -> float:
+        """log10(max peak / min peak) across the whole run."""
+        peaks = [p for p in self.iterate_peaks if p > 0 and np.isfinite(p)]
+        if not peaks:
+            return np.inf
+        return float(np.log10(max(peaks) / min(peaks)))
+
+
+def _track(peaks: list[float], *vectors: np.ndarray) -> None:
+    m = max(float(np.max(np.abs(v))) for v in vectors)
+    peaks.append(m)
+
+
+def bicg(ctx: FPContext, A: np.ndarray, b: np.ndarray, rtol: float = 1e-5,
+         max_iterations: int = 5000) -> BiCGResult:
+    """Classic (unstabilized) BiCG with per-op-rounded arithmetic.
+
+    For symmetric A this is mathematically CG run with an extra shadow
+    sequence; its iterates are the ones the paper warns can grow large.
+    """
+    A = ctx.asarray(A)
+    At = np.ascontiguousarray(A.T)
+    b = ctx.asarray(np.asarray(b, dtype=np.float64))
+    n = b.shape[0]
+    x = np.zeros(n)
+    r = b.copy()
+    rt = r.copy()
+    p = r.copy()
+    pt = rt.copy()
+    norm_b = float(np.linalg.norm(b)) or 1.0
+    peaks: list[float] = []
+    rho = ctx.dot(rt, r)
+    res = float(np.linalg.norm(r))
+
+    for it in range(1, max_iterations + 1):
+        Ap = ctx.matvec(A, p)
+        denom = ctx.dot(pt, Ap)
+        if denom == 0.0 or not np.isfinite(denom) or rho == 0.0:
+            return _bicg_finish(A, b, x, it, np.inf, norm_b, peaks,
+                                diverged=True)
+        alpha = ctx.div(rho, denom)
+        x = ctx.add(x, ctx.mul(alpha, p))
+        r = ctx.sub(r, ctx.mul(alpha, Ap))
+        Atpt = ctx.matvec(At, pt)
+        rt = ctx.sub(rt, ctx.mul(alpha, Atpt))
+        _track(peaks, x, r, p, pt)
+
+        res = float(np.linalg.norm(r))
+        if not np.isfinite(res):
+            return _bicg_finish(A, b, x, it, np.inf, norm_b, peaks,
+                                diverged=True)
+        if res <= rtol * norm_b:
+            return _bicg_finish(A, b, x, it, res, norm_b, peaks,
+                                converged=True)
+        rho_new = ctx.dot(rt, r)
+        if rho_new == 0.0 or not np.isfinite(rho_new):
+            return _bicg_finish(A, b, x, it, res, norm_b, peaks,
+                                diverged=True)
+        beta = ctx.div(rho_new, rho)
+        p = ctx.add(r, ctx.mul(beta, p))
+        pt = ctx.add(rt, ctx.mul(beta, pt))
+        rho = rho_new
+    return _bicg_finish(A, b, x, max_iterations, res, norm_b, peaks)
+
+
+def bicgstab(ctx: FPContext, A: np.ndarray, b: np.ndarray,
+             rtol: float = 1e-5, max_iterations: int = 5000) -> BiCGResult:
+    """BiCGSTAB with per-op-rounded arithmetic."""
+    A = ctx.asarray(A)
+    b = ctx.asarray(np.asarray(b, dtype=np.float64))
+    n = b.shape[0]
+    x = np.zeros(n)
+    r = b.copy()
+    r0 = r.copy()
+    p = r.copy()
+    norm_b = float(np.linalg.norm(b)) or 1.0
+    peaks: list[float] = []
+    rho = ctx.dot(r0, r)
+    res = float(np.linalg.norm(r))
+
+    for it in range(1, max_iterations + 1):
+        Ap = ctx.matvec(A, p)
+        denom = ctx.dot(r0, Ap)
+        if denom == 0.0 or not np.isfinite(denom):
+            return _bicg_finish(A, b, x, it, res, norm_b, peaks,
+                                diverged=True)
+        alpha = ctx.div(rho, denom)
+        s = ctx.sub(r, ctx.mul(alpha, Ap))
+        As = ctx.matvec(A, s)
+        ss = ctx.dot(As, As)
+        omega = ctx.div(ctx.dot(As, s), ss) if ss != 0.0 else 0.0
+        x = ctx.add(x, ctx.add(ctx.mul(alpha, p), ctx.mul(omega, s)))
+        r = ctx.sub(s, ctx.mul(omega, As))
+        _track(peaks, x, r, p, s)
+
+        res = float(np.linalg.norm(r))
+        if not np.isfinite(res):
+            return _bicg_finish(A, b, x, it, np.inf, norm_b, peaks,
+                                diverged=True)
+        if res <= rtol * norm_b:
+            return _bicg_finish(A, b, x, it, res, norm_b, peaks,
+                                converged=True)
+        rho_new = ctx.dot(r0, r)
+        if rho == 0.0 or omega == 0.0 or not np.isfinite(rho_new):
+            return _bicg_finish(A, b, x, it, res, norm_b, peaks,
+                                diverged=True)
+        beta = ctx.mul(ctx.div(rho_new, rho), ctx.div(alpha, omega))
+        p = ctx.add(r, ctx.mul(beta, ctx.sub(p, ctx.mul(omega, Ap))))
+        rho = rho_new
+    return _bicg_finish(A, b, x, max_iterations, res, norm_b, peaks)
+
+
+def _bicg_finish(A, b, x, iterations, res, norm_b, peaks, *,
+                 converged=False, diverged=False) -> BiCGResult:
+    rel = res / norm_b if np.isfinite(res) else np.inf
+    return BiCGResult(converged=converged, diverged=diverged,
+                      iterations=iterations, relative_residual=rel,
+                      true_relative_residual=relative_backward_error(
+                          A, x, b),
+                      x=x, iterate_peaks=peaks)
+
+
+def iterate_dynamic_range(result: BiCGResult) -> float:
+    """Convenience accessor for the paper's §VI quantity."""
+    return result.peak_dynamic_range

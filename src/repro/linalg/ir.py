@@ -1,0 +1,182 @@
+"""Mixed-precision iterative refinement — the paper's §IV-E / §V-D.
+
+The O(n³) Cholesky factorization runs in a **low-precision** format
+(Float16, Posit(16,1) or Posit(16,2) in the paper); the factors are then
+promoted to Float64 and classic refinement iterations
+
+    rᵢ = b − A·xᵢ₋₁   (Float64)
+    solve Rᵀy = rᵢ, R·d = y   (Float64, using the low-precision factors)
+    xᵢ = xᵢ₋₁ + d
+
+run until the solution is "accurate to Float64 precision".  Following
+the paper, everything after the factorization happens in Float64 to
+isolate the effect of the factorization precision on the convergence
+rate.
+
+Outcome encoding matches Table II/III:
+
+* ``failed`` (paper '-'): the low-precision factorization broke down, or
+  refinement diverged because the factor was too inaccurate;
+* ``iterations`` with ``converged=False`` (paper '1000+'): the
+  factorization succeeded but refinement did not converge in budget;
+* otherwise the refinement-step count the tables report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..arith.context import FPContext
+from ..errors import FactorizationError
+from ..formats.base import NumberFormat
+from ..formats.registry import get_format
+from .cholesky import cholesky_factor
+from .norms import factorization_backward_error, normwise_backward_error
+
+__all__ = ["IRResult", "iterative_refinement", "lower_precision_storage"]
+
+#: float64 unit roundoff
+_U64 = float(np.finfo(np.float64).eps) / 2.0
+
+
+def lower_precision_storage(A: np.ndarray, fmt: NumberFormat | str,
+                            clamp_overflow: bool = True) -> np.ndarray:
+    """Cast a matrix into a low-precision format for the factorization.
+
+    Per the paper: "If an entry in the matrix is larger than the maximum
+    representable value of Float16 or Posit16 then we round down to this
+    value" — i.e. IEEE overflow during *storage* is clamped to ±max
+    (posit saturates on its own).  Underflow to zero is the format's own
+    behaviour and is kept.
+    """
+    fmt = get_format(fmt)
+    A64 = np.asarray(A, dtype=np.float64)
+    low = np.asarray(fmt.round(A64))
+    if clamp_overflow:
+        over = np.isinf(low)
+        if np.any(over):
+            low = np.where(over, np.copysign(fmt.max_value, A64), low)
+    return low
+
+
+@dataclass
+class IRResult:
+    """Outcome of a mixed-precision IR run."""
+
+    converged: bool
+    failed: bool                 # factorization broke down / diverged ('-')
+    iterations: int
+    final_backward_error: float  # normwise, float64 measurement
+    factorization_error: float   # ‖RᵀR − A_low‖_F / ‖A_low‖_F, inf if failed
+    failure_reason: str = ""
+    history: list[float] = field(default_factory=list)
+    x: np.ndarray | None = None  # the refined solution (None on failure)
+
+    def table_entry(self, budget: int) -> str:
+        """Format the outcome exactly like the paper's Tables II/III."""
+        if self.failed:
+            return "-"
+        if not self.converged:
+            return f"{budget}+"
+        return str(self.iterations)
+
+
+def iterative_refinement(A: np.ndarray, b: np.ndarray,
+                         factor_format: NumberFormat | str,
+                         max_iterations: int = 1000,
+                         tolerance: float = 4.0 * _U64,
+                         sum_order: str = "pairwise",
+                         divergence_patience: int = 25,
+                         record_history: bool = False,
+                         scaling=None) -> IRResult:
+    """Run mixed-precision iterative refinement on SPD ``Ax = b``.
+
+    Parameters
+    ----------
+    A, b:
+        The system, in float64 working precision.
+    factor_format:
+        The low-precision format for the Cholesky factorization stage.
+    tolerance:
+        Convergence threshold on the Rigal–Gaches normwise backward
+        error — "accurate to Float64 precision" (a few units of u₆₄).
+    divergence_patience:
+        Refinement is abandoned as *failed* when the backward error has
+        not improved for this many consecutive steps while still above
+        sqrt(u₆₄) — the paper's "too much error in the factorization to
+        reliably derive an accurate solution".
+    scaling:
+        Optional :class:`repro.scaling.higham.HighamScaledSystem` (or
+        any object with ``A_scaled`` and ``correction_solve(R, r)``).
+        When provided, the *scaled* matrix is factorized in low
+        precision and corrections are mapped back through the scaling
+        — the paper's Table III configuration.
+    """
+    A64 = np.asarray(A, dtype=np.float64)
+    b64 = np.asarray(b, dtype=np.float64)
+    fmt = get_format(factor_format)
+    low_ctx = FPContext(fmt, sum_order=sum_order)
+
+    factor_target = (np.asarray(scaling.A_scaled, dtype=np.float64)
+                     if scaling is not None else A64)
+    A_low = lower_precision_storage(factor_target, fmt)
+    if not np.all(np.isfinite(A_low)):
+        return IRResult(False, True, 0, np.inf, np.inf,
+                        failure_reason="matrix not storable in format")
+
+    try:
+        R = cholesky_factor(low_ctx, A_low)
+    except FactorizationError as exc:
+        return IRResult(False, True, 0, np.inf, np.inf,
+                        failure_reason=f"factorization: {exc}")
+    if not np.all(np.isfinite(R)):
+        return IRResult(False, True, 0, np.inf, np.inf,
+                        failure_reason="non-finite factor")
+
+    fact_err = factorization_backward_error(A_low, R)
+
+    # Refinement stage: everything in float64 from here (paper §V-D2).
+    diag = np.diag(R)
+    if np.any(diag <= 0):
+        return IRResult(False, True, 0, np.inf, fact_err,
+                        failure_reason="non-positive factor diagonal")
+
+    import scipy.linalg as sla
+    x = np.zeros_like(b64)
+    history: list[float] = []
+    best = np.inf
+    stall = 0
+    for i in range(1, max_iterations + 1):
+        r = b64 - A64 @ x
+        if scaling is not None:
+            d = scaling.correction_solve(R, r)
+        else:
+            y = sla.solve_triangular(R, r, trans="T", lower=False)
+            d = sla.solve_triangular(R, y, trans="N", lower=False)
+        x = x + d
+        err = normwise_backward_error(A64, x, b64)
+        if record_history:
+            history.append(err)
+        if not np.isfinite(err):
+            return IRResult(False, True, i, np.inf, fact_err,
+                            failure_reason="refinement diverged (non-finite)",
+                            history=history)
+        if err <= tolerance:
+            return IRResult(True, False, i, err, fact_err,
+                            history=history, x=x)
+        if err < best:
+            best = err
+            stall = 0
+        else:
+            stall += 1
+            if stall >= divergence_patience and best > np.sqrt(_U64):
+                return IRResult(False, True, i, err, fact_err,
+                                failure_reason="refinement stagnated far "
+                                               "from solution",
+                                history=history)
+
+    return IRResult(False, False, max_iterations, best, fact_err,
+                    failure_reason="iteration budget exhausted",
+                    history=history, x=x)

@@ -1,0 +1,22 @@
+"""Matrix workloads: the Table-I synthetic-twin suite, generators and
+MatrixMarket I/O."""
+
+from .generators import (apply_givens_mix, graph_laplacian_spd, laplacian_1d,
+                         laplacian_2d, random_dense_spd, spd_from_spectrum,
+                         synthesize_spd)
+from .market import (MatrixMarketError, read_matrix_market,
+                     validate_spd_structure, write_matrix_market)
+from .spectra import SpectrumSpec, sample_spectrum
+from .suite import (SUITE, SUITE_ORDER, TABLE2_ROWS, TABLE3_ROWS, MatrixSpec,
+                    load_matrix, load_suite, matrix_spec, right_hand_side)
+
+__all__ = [
+    "SpectrumSpec", "sample_spectrum",
+    "apply_givens_mix", "spd_from_spectrum", "synthesize_spd",
+    "laplacian_1d", "laplacian_2d", "graph_laplacian_spd",
+    "random_dense_spd",
+    "MatrixSpec", "SUITE", "SUITE_ORDER", "TABLE2_ROWS", "TABLE3_ROWS",
+    "matrix_spec", "load_matrix", "load_suite", "right_hand_side",
+    "MatrixMarketError", "read_matrix_market", "write_matrix_market",
+    "validate_spd_structure",
+]

@@ -1,0 +1,69 @@
+"""MatrixMarket I/O.
+
+The paper sources its suite from the NIST Matrix Market repository.
+This module reads (and writes) MatrixMarket files so the harness can run
+on the genuine matrices when they are available (set
+``REPRO_MATRIX_DIR``); it validates that a loaded matrix is usable for
+the paper's experiments (square, symmetric, finite).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import scipy.io
+import scipy.sparse
+
+from ..errors import ReproError
+
+__all__ = ["read_matrix_market", "write_matrix_market",
+           "validate_spd_structure"]
+
+
+class MatrixMarketError(ReproError):
+    """A MatrixMarket file could not be read or failed validation."""
+
+
+def read_matrix_market(path: str, dense: bool = True,
+                       validate: bool = True) -> np.ndarray:
+    """Read a MatrixMarket file into a dense float64 symmetric matrix."""
+    if not os.path.exists(path):
+        raise MatrixMarketError(f"no such file: {path}")
+    try:
+        M = scipy.io.mmread(path)
+    except Exception as exc:  # scipy raises bare ValueError on bad files
+        raise MatrixMarketError(f"failed to parse {path}: {exc}") from exc
+    if scipy.sparse.issparse(M):
+        M = M.toarray()
+    A = np.asarray(M, dtype=np.float64)
+    if validate:
+        validate_spd_structure(A, source=path)
+    return A if dense else scipy.sparse.csr_matrix(A)
+
+
+def write_matrix_market(path: str, A: np.ndarray,
+                        comment: str = "") -> None:
+    """Write a dense symmetric matrix as a coordinate MatrixMarket file."""
+    sp = scipy.sparse.coo_matrix(np.asarray(A, dtype=np.float64))
+    scipy.io.mmwrite(path, sp, comment=comment, symmetry="symmetric")
+
+
+def validate_spd_structure(A: np.ndarray, source: str = "<array>",
+                           sym_rtol: float = 1e-12) -> None:
+    """Check the structural requirements of the paper's experiments.
+
+    Square, finite, symmetric (to tolerance) and positive diagonal.
+    Positive-definiteness itself is not verified here (it costs a
+    factorization); the solvers report it faithfully if violated.
+    """
+    A = np.asarray(A)
+    if A.ndim != 2 or A.shape[0] != A.shape[1]:
+        raise MatrixMarketError(f"{source}: matrix is not square: {A.shape}")
+    if not np.all(np.isfinite(A)):
+        raise MatrixMarketError(f"{source}: matrix has non-finite entries")
+    scale = float(np.max(np.abs(A))) or 1.0
+    if float(np.max(np.abs(A - A.T))) > sym_rtol * scale:
+        raise MatrixMarketError(f"{source}: matrix is not symmetric")
+    if np.any(np.diag(A) <= 0):
+        raise MatrixMarketError(f"{source}: non-positive diagonal entries")

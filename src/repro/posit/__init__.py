@@ -1,0 +1,42 @@
+"""From-scratch posit arithmetic: bit-exact codec, exact scalar ops,
+vectorized quantization, and the quire.
+
+Public surface:
+
+* :class:`Posit` -- scalar type with operator overloading (paper IV-A).
+* :func:`posit_round` -- vectorized float64 -> nearest-posit quantization,
+  the kernel behind every emulated posit operation in the solvers.
+* :class:`PositConfig` / :func:`posit_config` -- format descriptors.
+* :class:`Quire` / :func:`fused_dot` -- exact deferred-rounding accumulator
+  (used only by the ablation experiments; the paper's main results
+  round after every operation).
+"""
+
+from .codec import (PositConfig, all_patterns, decode_float, decode_fraction,
+                    encode, fraction_bits_at_scale, posit_config,
+                    round_to_nearest)
+from .io import (load_posit_array, pack_posit_array,
+                 save_posit_array, unpack_posit_array)
+from .quire import Quire, fused_dot, fused_dot_float
+from .rounding import posit_decode_array, posit_encode_array, posit_round
+from .scalar import Posit
+
+__all__ = [
+    "Posit",
+    "PositConfig",
+    "posit_config",
+    "encode",
+    "decode_float",
+    "decode_fraction",
+    "round_to_nearest",
+    "fraction_bits_at_scale",
+    "all_patterns",
+    "posit_round",
+    "posit_encode_array",
+    "posit_decode_array",
+    "Quire",
+    "fused_dot",
+    "fused_dot_float",
+    "pack_posit_array", "unpack_posit_array",
+    "save_posit_array", "load_posit_array",
+]

@@ -1,0 +1,110 @@
+"""Posit inspector CLI: ``python -m repro.posit``.
+
+Three modes:
+
+* ``python -m repro.posit 3.14159 --nbits 16 --es 1`` — encode a value
+  and print its field-by-field anatomy, rounding error and neighbours;
+* ``python -m repro.posit --pattern 0x5922 --nbits 16 --es 1`` — decode
+  a raw bit pattern;
+* ``python -m repro.posit --table --nbits 6 --es 1`` — dump the whole
+  value table of a small format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from fractions import Fraction
+
+from .codec import decode_fraction, encode, posit_config
+from .scalar import Posit
+
+
+def _field_view(p: Posit) -> str:
+    cfg = p.config
+    bits = p.bit_string()
+    if p.is_nar or p.is_zero:
+        return f"  bits: {bits}  ({'NaR' if p.is_nar else 'zero'})"
+    f = p.fields()
+    # reconstruct field widths from the regime run
+    from .codec import regime_length
+    r_len = regime_length(f["k"], cfg)
+    e_bits = min(cfg.es, cfg.nbits - 1 - r_len)
+    sign_b = bits[0]
+    regime_b = bits[1:1 + r_len]
+    exp_b = bits[1 + r_len:1 + r_len + e_bits]
+    frac_b = bits[1 + r_len + e_bits:]
+    lines = [
+        f"  bits:     {bits}",
+        f"  fields:   sign={sign_b}  regime={regime_b} (k={f['k']})"
+        + (f"  exp={exp_b} (e={f['exponent']})" if e_bits else
+           "  exp=<none>")
+        + (f"  frac={frac_b}" if frac_b else "  frac=<none>"),
+        f"  value =   (-1)^{f['sign']} * {cfg.useed}^{f['k']} * "
+        f"2^{f['exponent']} * (1 + {f['fraction']}/"
+        f"{1 << f['fraction_bits']})",
+        f"  exact =   {p.as_fraction()}  =  {float(p)!r}",
+        f"  scale 2^{f['scale']}, {f['fraction_bits']} fraction bits "
+        f"stored here",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.posit",
+        description="Inspect posit encodings.")
+    parser.add_argument("value", nargs="?", type=float,
+                        help="real value to encode")
+    parser.add_argument("--nbits", type=int, default=16)
+    parser.add_argument("--es", type=int, default=1)
+    parser.add_argument("--pattern", type=lambda s: int(s, 0),
+                        help="decode this raw pattern instead")
+    parser.add_argument("--table", action="store_true",
+                        help="print every value of the format "
+                             "(small nbits only)")
+    args = parser.parse_args(argv)
+    cfg = posit_config(args.nbits, args.es)
+
+    if args.table:
+        if args.nbits > 12:
+            parser.error("--table only for nbits <= 12")
+        print(f"# {cfg}: useed={cfg.useed}, maxpos={float(cfg.maxpos):g},"
+              f" minpos={float(cfg.minpos):g}")
+        from .tables import value_table
+        try:
+            for pattern, value in value_table(args.nbits, args.es):
+                print(f"{pattern:0{args.nbits}b}  {float(value)!r}")
+        except BrokenPipeError:  # e.g. piped into `head`
+            sys.stderr.close()
+        return 0
+
+    if args.pattern is not None:
+        p = Posit.from_pattern(args.pattern, args.nbits, args.es)
+        print(f"{cfg} pattern 0x{args.pattern:0{(args.nbits + 3) // 4}x}:")
+        print(_field_view(p))
+        return 0
+
+    if args.value is None:
+        parser.error("provide a value, --pattern or --table")
+
+    p = Posit(args.value, args.nbits, args.es)
+    print(f"{args.value!r} -> {cfg}:")
+    print(_field_view(p))
+    if not (p.is_nar or p.is_zero):
+        err = Fraction(args.value) - p.as_fraction()
+        rel = abs(err) / abs(Fraction(args.value)) \
+            if args.value else Fraction(0)
+        print(f"  rounding error: {float(err):.3e} "
+              f"(relative {float(rel):.3e})")
+        below = Posit.from_pattern(p.pattern - 1, args.nbits, args.es)
+        above = Posit.from_pattern(p.pattern + 1, args.nbits, args.es)
+        if not below.is_nar:
+            print(f"  neighbour below: {float(below)!r}")
+        if not above.is_nar:
+            print(f"  neighbour above: {float(above)!r}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,384 @@
+"""Bit-exact posit encode/decode for arbitrary ``(nbits, es)``.
+
+This module is the reference implementation of the posit binary format
+(Gustafson & Yonemoto 2017; Posit Standard 2022 rounding semantics) used
+throughout the library:
+
+* :func:`encode` maps an exact real value (``fractions.Fraction``, ``int``
+  or ``float``) to the *n*-bit posit pattern that the standard's
+  round-to-nearest / ties-to-even rule selects.  All arithmetic is done
+  with unbounded Python integers and rationals, so the result is exact —
+  this plays the role the authors' GNU-GMP ground truth played for their
+  C++ library.
+* :func:`decode_fraction` / :func:`decode_float` map a pattern back to its
+  exact value.
+
+Pattern conventions
+-------------------
+Patterns are unsigned integers in ``[0, 2**nbits)``.  Pattern ``0`` is the
+posit zero; pattern ``2**(nbits-1)`` is NaR ("Not a Real").  Negative
+posits are the two's complement of their absolute value's pattern, which
+makes the signed-integer ordering of patterns identical to the numeric
+ordering of the values they encode — the property all the fast rounding
+paths in :mod:`repro.posit.rounding` rely on.
+
+Rounding rule
+-------------
+Values are rounded to the nearest representable posit; ties go to the
+pattern with an even integer representation.  Because the encoding is
+monotone with locally uniform granularity, "nearest pattern" and "nearest
+value" coincide.  Two saturation rules depart from IEEE behaviour:
+``0 < |x| <= minpos`` rounds to ±minpos (never to zero) and
+``|x| >= maxpos`` rounds to ±maxpos (never to NaR).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from functools import lru_cache
+from typing import Iterator, Union
+
+from ..errors import InvalidPositConfig, NaRError
+
+__all__ = [
+    "PositConfig",
+    "posit_config",
+    "encode",
+    "decode_fraction",
+    "decode_float",
+    "round_to_nearest",
+    "negate",
+    "pattern_abs",
+    "is_negative_pattern",
+    "all_patterns",
+    "floor_log2",
+    "regime_length",
+    "fraction_bits_at_scale",
+]
+
+Real = Union[int, float, Fraction]
+
+
+def floor_log2(value: Fraction) -> int:
+    """Exact ``floor(log2(value))`` for a positive rational."""
+    if value <= 0:
+        raise ValueError("floor_log2 requires a positive value")
+    num, den = value.numerator, value.denominator
+    # First guess from bit lengths, then correct by at most one.
+    s = num.bit_length() - den.bit_length()
+    # value >= 2**s  <=>  num * 2**-s >= den
+    if s >= 0:
+        if num < den << s:
+            s -= 1
+    else:
+        if num << (-s) < den:
+            s -= 1
+    return s
+
+
+@dataclass(frozen=True)
+class PositConfig:
+    """Static properties of a posit format ``(nbits, es)``.
+
+    The dataclass is hashable and cached via :func:`posit_config`; treat
+    instances as interned singletons.
+    """
+
+    nbits: int
+    es: int
+
+    def __post_init__(self) -> None:
+        if self.nbits < 2:
+            raise InvalidPositConfig(f"nbits must be >= 2, got {self.nbits}")
+        if self.es < 0:
+            raise InvalidPositConfig(f"es must be >= 0, got {self.es}")
+        if self.es > 8:
+            raise InvalidPositConfig(
+                f"es={self.es} gives a useed of 2**{2 ** self.es}; values "
+                "beyond es=8 are not meaningful and overflow fast paths")
+
+    # -- derived constants -------------------------------------------------
+    @property
+    def useed(self) -> int:
+        """``2**(2**es)`` — the regime step factor (paper Eq. 3)."""
+        return 1 << (1 << self.es)
+
+    @property
+    def npat(self) -> int:
+        """Number of bit patterns, ``2**nbits``."""
+        return 1 << self.nbits
+
+    @property
+    def nar_pattern(self) -> int:
+        """Pattern of NaR: sign bit set, all other bits clear."""
+        return 1 << (self.nbits - 1)
+
+    @property
+    def maxpos_pattern(self) -> int:
+        """Pattern of the largest positive posit (all ones after the sign)."""
+        return (1 << (self.nbits - 1)) - 1
+
+    @property
+    def minpos_pattern(self) -> int:
+        """Pattern of the smallest positive posit."""
+        return 1
+
+    @property
+    def max_scale(self) -> int:
+        """Scale (base-2 exponent) of maxpos: ``(nbits-2) * 2**es``."""
+        return (self.nbits - 2) << self.es
+
+    @property
+    def min_scale(self) -> int:
+        """Scale of minpos (= -max_scale)."""
+        return -self.max_scale
+
+    @property
+    def maxpos(self) -> Fraction:
+        """Largest representable value, ``useed**(nbits-2)``, exactly."""
+        return Fraction(1 << self.max_scale)
+
+    @property
+    def minpos(self) -> Fraction:
+        """Smallest positive representable value, exactly."""
+        return Fraction(1, 1 << self.max_scale)
+
+    @property
+    def max_fraction_bits(self) -> int:
+        """Fraction bits available in the widest-fraction region (|x| near 1)."""
+        return max(0, self.nbits - 3 - self.es)
+
+    @property
+    def eps_at_one(self) -> Fraction:
+        """Spacing of posits just above 1 (the golden-zone ulp)."""
+        return Fraction(1, 1 << self.max_fraction_bits)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"Posit({self.nbits}, {self.es})"
+
+
+@lru_cache(maxsize=None)
+def posit_config(nbits: int, es: int) -> PositConfig:
+    """Interned accessor for :class:`PositConfig` instances."""
+    return PositConfig(nbits, es)
+
+
+def regime_length(k: int, cfg: PositConfig) -> int:
+    """Length in bits of the regime field for run value *k* (incl. terminator).
+
+    The terminator bit is absent when the run fills the whole pattern.
+    """
+    raw = k + 2 if k >= 0 else -k + 1
+    return min(raw, cfg.nbits - 1)
+
+
+def fraction_bits_at_scale(scale: int, cfg: PositConfig) -> int:
+    """Number of stored fraction bits for a value with base-2 *scale*.
+
+    This is the quantity plotted in the paper's Fig. 5 histograms (via the
+    difference against Float32's constant 23 bits).  Scales outside the
+    representable range return 0.
+    """
+    if scale > cfg.max_scale or scale < cfg.min_scale:
+        return 0
+    k = scale >> cfg.es
+    avail = cfg.nbits - 1 - regime_length(k, cfg)
+    return max(0, avail - cfg.es)
+
+
+# ---------------------------------------------------------------------------
+# Encode
+# ---------------------------------------------------------------------------
+
+def _to_fraction(value: Real) -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            raise ValueError("NaN/inf must be handled by the caller (NaR)")
+        return Fraction(value)  # exact
+    raise TypeError(f"unsupported value type {type(value)!r}")
+
+
+def encode(value: Real, cfg: PositConfig) -> int:
+    """Round an exact real *value* to its nearest posit pattern.
+
+    ``float('nan')`` and infinities map to the NaR pattern.  Zero maps to
+    pattern ``0``.  Everything else follows the Posit Standard rounding
+    rules described in the module docstring.
+    """
+    if isinstance(value, float) and (math.isnan(value) or math.isinf(value)):
+        return cfg.nar_pattern
+    q = _to_fraction(value)
+    if q == 0:
+        return 0
+    negative = q < 0
+    pattern = _encode_magnitude(-q if negative else q, cfg)
+    if negative:
+        pattern = (cfg.npat - pattern) & (cfg.npat - 1)
+    return pattern
+
+
+def _encode_magnitude(q: Fraction, cfg: PositConfig) -> int:
+    """Encode a positive rational magnitude; returns a pattern in [1, maxpos]."""
+    if q >= cfg.maxpos:
+        return cfg.maxpos_pattern
+    if q <= cfg.minpos:
+        return cfg.minpos_pattern
+
+    s = floor_log2(q)  # q = f * 2**s with f in [1, 2)
+    k = s >> cfg.es  # floor division (Python >> floors for negatives)
+    e = s - (k << cfg.es)  # in [0, 2**es)
+    # After the clamps above: -(nbits-2) < scale-position => avail >= 0.
+    r_len = regime_length(k, cfg)
+    keep = cfg.nbits - 1 - r_len  # payload bits actually stored
+    if k >= 0:
+        regime_pattern = ((1 << (k + 1)) - 1) << 1  # k+1 ones then a zero
+    else:
+        regime_pattern = 1  # -k zeros then a one
+
+    frac = q / (1 << s) - 1 if s >= 0 else q * (1 << -s) - 1
+    # Real-valued "infinite precision" pattern below the regime:
+    #   payload = (e + frac) * 2**(keep - es), in [0, 2**keep)
+    payload = (e + frac) * Fraction(1 << keep, 1 << cfg.es) \
+        if keep >= cfg.es else (e + frac) / Fraction(1 << (cfg.es - keep))
+    exact = (regime_pattern << keep) + payload
+
+    pattern = _round_half_even_fraction(exact)
+    # Rounding up may step past maxpos's neighbour; clamp (never to NaR).
+    if pattern > cfg.maxpos_pattern:
+        pattern = cfg.maxpos_pattern
+    if pattern < 1:  # cannot happen by construction, defensive
+        pattern = 1
+    return pattern
+
+
+def _round_half_even_fraction(x: Fraction) -> int:
+    """Round a non-negative rational to the nearest integer, ties to even."""
+    floor = x.numerator // x.denominator
+    rem = x - floor
+    half = Fraction(1, 2)
+    if rem > half:
+        return floor + 1
+    if rem < half:
+        return floor
+    return floor + (floor & 1)
+
+
+# ---------------------------------------------------------------------------
+# Decode
+# ---------------------------------------------------------------------------
+
+def is_negative_pattern(pattern: int, cfg: PositConfig) -> bool:
+    """True when *pattern* encodes a negative value (sign bit set, not NaR)."""
+    return pattern > cfg.nar_pattern
+
+
+def pattern_abs(pattern: int, cfg: PositConfig) -> int:
+    """Pattern of ``|value|`` (two's complement negation when negative)."""
+    if is_negative_pattern(pattern, cfg):
+        return (cfg.npat - pattern) & (cfg.npat - 1)
+    return pattern
+
+
+def negate(pattern: int, cfg: PositConfig) -> int:
+    """Pattern of the negated value.  Zero and NaR are their own negations."""
+    if pattern == 0 or pattern == cfg.nar_pattern:
+        return pattern
+    return (cfg.npat - pattern) & (cfg.npat - 1)
+
+
+def _decode_fields(pattern: int, cfg: PositConfig) -> tuple[int, int, int, int]:
+    """Return ``(sign, scale, frac_numerator, frac_bits)`` for a pattern.
+
+    ``value = (-1)**sign * 2**scale * (1 + frac_numerator / 2**frac_bits)``.
+    Pattern must not be 0 or NaR.
+    """
+    npos = cfg.nbits - 1
+    sign = 1 if is_negative_pattern(pattern, cfg) else 0
+    mag = pattern_abs(pattern, cfg)
+
+    # Regime: run of identical bits starting at the top of the npos field.
+    first = (mag >> (npos - 1)) & 1
+    run = 0
+    for i in range(npos - 1, -1, -1):
+        if (mag >> i) & 1 == first:
+            run += 1
+        else:
+            break
+    k = run - 1 if first == 1 else -run
+    r_len = min(run + 1, npos)  # terminator absent if run fills the field
+    w = npos - r_len  # payload width
+    payload = mag & ((1 << w) - 1) if w > 0 else 0
+
+    e_bits = min(cfg.es, w)
+    if e_bits > 0:
+        e = (payload >> (w - e_bits)) << (cfg.es - e_bits)
+    else:
+        e = 0
+    f_bits = w - e_bits
+    frac = payload & ((1 << f_bits) - 1) if f_bits > 0 else 0
+
+    scale = (k << cfg.es) + e
+    return sign, scale, frac, f_bits
+
+
+def decode_fraction(pattern: int, cfg: PositConfig) -> Fraction:
+    """Exact rational value of *pattern*.
+
+    Raises :class:`NaRError` for the NaR pattern — NaR has no real value.
+    """
+    pattern &= cfg.npat - 1
+    if pattern == 0:
+        return Fraction(0)
+    if pattern == cfg.nar_pattern:
+        raise NaRError("NaR has no real value")
+    sign, scale, frac, f_bits = _decode_fields(pattern, cfg)
+    significand = Fraction((1 << f_bits) + frac, 1 << f_bits)
+    if scale >= 0:
+        value = significand * (1 << scale)
+    else:
+        value = significand / (1 << -scale)
+    return -value if sign else value
+
+
+def decode_float(pattern: int, cfg: PositConfig) -> float:
+    """Value of *pattern* as a float (NaR decodes to NaN).
+
+    For every posit with ``nbits <= 32`` and ``es <= 3`` the value is
+    exactly representable in IEEE double precision, so this conversion is
+    lossless for all formats the paper studies.
+    """
+    pattern &= cfg.npat - 1
+    if pattern == 0:
+        return 0.0
+    if pattern == cfg.nar_pattern:
+        return math.nan
+    sign, scale, frac, f_bits = _decode_fields(pattern, cfg)
+    significand = 1.0 + frac / float(1 << f_bits) if f_bits else 1.0
+    value = math.ldexp(significand, scale)
+    return -value if sign else value
+
+
+def round_to_nearest(value: Real, cfg: PositConfig) -> float:
+    """Quantize *value* to the nearest posit and return it as a float.
+
+    This is the scalar reference for :func:`repro.posit.rounding.posit_round`.
+    """
+    return decode_float(encode(value, cfg), cfg)
+
+
+def all_patterns(cfg: PositConfig, include_nar: bool = False) -> Iterator[int]:
+    """Iterate every pattern of the format (optionally including NaR).
+
+    Intended for exhaustive testing and for building the value tables of
+    :mod:`repro.posit.tables`; only sensible for small ``nbits``.
+    """
+    for p in range(cfg.npat):
+        if p == cfg.nar_pattern and not include_nar:
+            continue
+        yield p

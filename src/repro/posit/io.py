@@ -1,0 +1,115 @@
+"""Packed binary storage for posit arrays.
+
+A posit's whole point is memory efficiency: a posit(16,1) vector should
+occupy 16 bits per element on disk and on the wire, not the 64 of its
+float64 carrier.  This module packs carrier arrays to their true
+storage width and back:
+
+* :func:`pack_posit_array` / :func:`unpack_posit_array` — NumPy buffers
+  of the format's natural width (8/16/32/64-bit patterns; other widths
+  are bit-packed tightly);
+* :func:`save_posit_array` / :func:`load_posit_array` — a small
+  self-describing file container (magic, nbits, es, count, patterns).
+
+Round-tripping quantizes through the format once — by construction,
+``unpack(pack(x)) == posit_round(x)``.
+"""
+
+from __future__ import annotations
+
+import io as _io
+import struct
+
+import numpy as np
+
+from ..errors import PositError
+from .codec import PositConfig, posit_config
+from .rounding import posit_decode_array, posit_encode_array
+
+__all__ = ["pack_posit_array", "unpack_posit_array",
+           "save_posit_array", "load_posit_array"]
+
+_MAGIC = b"RPST"
+_VERSION = 1
+
+_NATURAL_DTYPES = {8: np.uint8, 16: np.uint16, 32: np.uint32,
+                   64: np.uint64}
+
+
+def pack_posit_array(x: np.ndarray, nbits: int, es: int) -> bytes:
+    """Quantize *x* to posit(nbits, es) and pack the patterns tightly.
+
+    Returns raw little-endian bytes: one pattern per ``nbits`` bits (a
+    natural integer width when nbits ∈ {8, 16, 32}, otherwise a dense
+    bitstream padded to a byte boundary at the end).
+    """
+    cfg = posit_config(nbits, es)
+    arr = np.atleast_1d(np.asarray(x, dtype=np.float64)).ravel()
+    patterns = posit_encode_array(arr, cfg)
+    if nbits in _NATURAL_DTYPES:
+        return patterns.astype(f"<u{nbits // 8}").tobytes()
+    # odd widths: dense bitstream, MSB-first per value
+    bits = np.zeros(arr.size * nbits, dtype=np.uint8)
+    for i, shift in enumerate(range(nbits - 1, -1, -1)):
+        bits[i::nbits] = (patterns >> shift) & 1
+    return np.packbits(bits).tobytes()
+
+
+def unpack_posit_array(payload: bytes, count: int, nbits: int,
+                       es: int) -> np.ndarray:
+    """Unpack *count* posit(nbits, es) patterns into float64 values."""
+    cfg = posit_config(nbits, es)
+    if nbits in _NATURAL_DTYPES:
+        expected = count * (nbits // 8)
+        if len(payload) < expected:
+            raise PositError(f"payload too short: {len(payload)} bytes "
+                             f"for {count} posit{nbits} values")
+        patterns = np.frombuffer(payload[:expected],
+                                 dtype=f"<u{nbits // 8}") \
+            .astype(np.int64)
+    else:
+        need_bits = count * nbits
+        raw = np.frombuffer(payload, dtype=np.uint8)
+        bits = np.unpackbits(raw)
+        if bits.size < need_bits:
+            raise PositError(f"payload too short: {bits.size} bits "
+                             f"for {count} posit{nbits} values")
+        bits = bits[:need_bits].astype(np.int64)
+        patterns = np.zeros(count, dtype=np.int64)
+        for i, shift in enumerate(range(nbits - 1, -1, -1)):
+            patterns |= bits[i::nbits] << shift
+    return posit_decode_array(patterns, cfg)
+
+
+def save_posit_array(fh, x: np.ndarray, nbits: int, es: int) -> None:
+    """Write *x* as a posit(nbits, es) container to a binary file/stream.
+
+    *fh* may be a path or an open binary file object.
+    """
+    arr = np.atleast_1d(np.asarray(x, dtype=np.float64)).ravel()
+    header = _MAGIC + struct.pack("<BBBxQ", _VERSION, nbits, es,
+                                  arr.size)
+    payload = pack_posit_array(arr, nbits, es)
+    if isinstance(fh, (str, bytes)):
+        with open(fh, "wb") as f:
+            f.write(header)
+            f.write(payload)
+    else:
+        fh.write(header)
+        fh.write(payload)
+
+
+def load_posit_array(fh) -> tuple[np.ndarray, PositConfig]:
+    """Read a posit container; returns ``(values, config)``."""
+    if isinstance(fh, (str, bytes)):
+        with open(fh, "rb") as f:
+            data = f.read()
+    else:
+        data = fh.read()
+    if len(data) < 16 or data[:4] != _MAGIC:
+        raise PositError("not a posit container (bad magic)")
+    version, nbits, es, count = struct.unpack("<BBBxQ", data[4:16])
+    if version != _VERSION:
+        raise PositError(f"unsupported container version {version}")
+    values = unpack_posit_array(data[16:], count, nbits, es)
+    return values, posit_config(nbits, es)

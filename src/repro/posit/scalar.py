@@ -1,0 +1,277 @@
+"""A ``Posit`` scalar type with operator overloading.
+
+The paper (§IV-A) implemented its posit library as a C++ class with
+overloaded ``+ - * /`` so that one algorithm specification could be run
+under any arithmetic format.  This module is the Python analogue: a
+small immutable value type wrapping a bit pattern and a
+:class:`~repro.posit.codec.PositConfig`, with every operation correctly
+rounded via the exact rational core in :mod:`repro.posit.arithmetic`.
+
+Example
+-------
+>>> from repro.posit import Posit
+>>> a = Posit(1.5, nbits=16, es=1)
+>>> b = Posit(0.1, nbits=16, es=1)
+>>> float(a + b)
+1.5999755859375
+>>> (a / Posit(0.0, 16, 1)).is_nar
+True
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Union
+
+from ..errors import NaRError
+from . import arithmetic as _arith
+from .codec import (PositConfig, decode_float, decode_fraction, encode,
+                    posit_config)
+
+__all__ = ["Posit"]
+
+_Number = Union[int, float, Fraction, "Posit"]
+
+
+class Posit:
+    """An immutable posit scalar.
+
+    Parameters
+    ----------
+    value:
+        A real number to round into the format, or another :class:`Posit`
+        (re-rounded if the formats differ).
+    nbits, es:
+        Format parameters; the paper writes this as ``Posit(nbits, es)``.
+
+    Notes
+    -----
+    Mixed-format operations are deliberately **not** supported — the
+    paper's experiments keep each algorithm in a single format, and
+    silent promotion would hide rounding events.  Convert explicitly with
+    :meth:`cast`.
+    """
+
+    __slots__ = ("_pattern", "_cfg")
+
+    def __init__(self, value: _Number = 0.0, nbits: int = 32, es: int = 2):
+        cfg = posit_config(nbits, es)
+        if isinstance(value, Posit):
+            if value._cfg == cfg:
+                pattern = value._pattern
+            else:
+                pattern = (cfg.nar_pattern if value.is_nar
+                           else encode(value.as_fraction(), cfg))
+        else:
+            pattern = encode(value, cfg)
+        object.__setattr__(self, "_pattern", pattern)
+        object.__setattr__(self, "_cfg", cfg)
+
+    def __setattr__(self, *_args):  # pragma: no cover - immutability guard
+        raise AttributeError("Posit instances are immutable")
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def from_pattern(cls, pattern: int, nbits: int, es: int) -> "Posit":
+        """Build a posit directly from its bit pattern (mod ``2**nbits``)."""
+        cfg = posit_config(nbits, es)
+        self = cls.__new__(cls)
+        object.__setattr__(self, "_pattern", pattern & (cfg.npat - 1))
+        object.__setattr__(self, "_cfg", cfg)
+        return self
+
+    @classmethod
+    def nar(cls, nbits: int = 32, es: int = 2) -> "Posit":
+        """The NaR (Not a Real) value of the format."""
+        cfg = posit_config(nbits, es)
+        return cls.from_pattern(cfg.nar_pattern, nbits, es)
+
+    # -- accessors -----------------------------------------------------------
+    @property
+    def pattern(self) -> int:
+        """The raw bit pattern (unsigned, ``[0, 2**nbits)``)."""
+        return self._pattern
+
+    @property
+    def config(self) -> PositConfig:
+        """The format this value lives in."""
+        return self._cfg
+
+    @property
+    def nbits(self) -> int:
+        return self._cfg.nbits
+
+    @property
+    def es(self) -> int:
+        return self._cfg.es
+
+    @property
+    def is_nar(self) -> bool:
+        """True for the single posit exception value."""
+        return self._pattern == self._cfg.nar_pattern
+
+    @property
+    def is_zero(self) -> bool:
+        return self._pattern == 0
+
+    def as_fraction(self) -> Fraction:
+        """Exact rational value (raises :class:`NaRError` on NaR)."""
+        return decode_fraction(self._pattern, self._cfg)
+
+    def __float__(self) -> float:
+        return decode_float(self._pattern, self._cfg)
+
+    def __bool__(self) -> bool:
+        return self._pattern != 0
+
+    def cast(self, nbits: int, es: int) -> "Posit":
+        """Re-round this value into another posit format."""
+        return Posit(self, nbits=nbits, es=es)
+
+    # -- arithmetic -----------------------------------------------------------
+    def _coerce(self, other: _Number) -> "Posit | None":
+        if isinstance(other, Posit):
+            if other._cfg != self._cfg:
+                raise TypeError(
+                    f"mixed posit formats: {self._cfg} vs {other._cfg}; "
+                    "cast explicitly")
+            return other
+        if isinstance(other, (int, float, Fraction)):
+            return Posit(other, self.nbits, self.es)
+        return None
+
+    def _wrap(self, pattern: int) -> "Posit":
+        return Posit.from_pattern(pattern, self.nbits, self.es)
+
+    def __add__(self, other: _Number):
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        return self._wrap(_arith.add_patterns(self._pattern, o._pattern,
+                                              self._cfg))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: _Number):
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        return self._wrap(_arith.sub_patterns(self._pattern, o._pattern,
+                                              self._cfg))
+
+    def __rsub__(self, other: _Number):
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        return self._wrap(_arith.sub_patterns(o._pattern, self._pattern,
+                                              self._cfg))
+
+    def __mul__(self, other: _Number):
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        return self._wrap(_arith.mul_patterns(self._pattern, o._pattern,
+                                              self._cfg))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: _Number):
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        return self._wrap(_arith.div_patterns(self._pattern, o._pattern,
+                                              self._cfg))
+
+    def __rtruediv__(self, other: _Number):
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        return self._wrap(_arith.div_patterns(o._pattern, self._pattern,
+                                              self._cfg))
+
+    def __neg__(self) -> "Posit":
+        return self._wrap(_arith.neg_pattern(self._pattern, self._cfg))
+
+    def __pos__(self) -> "Posit":
+        return self
+
+    def __abs__(self) -> "Posit":
+        if self.is_nar:
+            return self
+        return -self if self < 0 else self
+
+    def sqrt(self) -> "Posit":
+        """Correctly-rounded square root (NaR for negative input)."""
+        return self._wrap(_arith.sqrt_pattern(self._pattern, self._cfg))
+
+    def fma(self, other: _Number, addend: _Number) -> "Posit":
+        """Fused ``self * other + addend`` with one rounding (ablation use)."""
+        o = self._coerce(other)
+        a = self._coerce(addend)
+        if o is None or a is None:
+            raise TypeError("fma operands must be numbers")
+        return self._wrap(_arith.fma_patterns(self._pattern, o._pattern,
+                                              a._pattern, self._cfg))
+
+    # -- comparisons -----------------------------------------------------------
+    def _cmp(self, other: _Number) -> int | None:
+        o = self._coerce(other)
+        if o is None:
+            return None
+        return _arith.compare_patterns(self._pattern, o._pattern, self._cfg)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Posit) and other._cfg != self._cfg:
+            return False
+        try:
+            c = self._cmp(other)
+        except TypeError:
+            return NotImplemented
+        return NotImplemented if c is None else c == 0
+
+    def __lt__(self, other):
+        c = self._cmp(other)
+        return NotImplemented if c is None else c < 0
+
+    def __le__(self, other):
+        c = self._cmp(other)
+        return NotImplemented if c is None else c <= 0
+
+    def __gt__(self, other):
+        c = self._cmp(other)
+        return NotImplemented if c is None else c > 0
+
+    def __ge__(self, other):
+        c = self._cmp(other)
+        return NotImplemented if c is None else c >= 0
+
+    def __hash__(self) -> int:
+        return hash((self._pattern, self._cfg.nbits, self._cfg.es))
+
+    # -- display -----------------------------------------------------------
+    def __repr__(self) -> str:
+        if self.is_nar:
+            return f"Posit(NaR, nbits={self.nbits}, es={self.es})"
+        return f"Posit({float(self)!r}, nbits={self.nbits}, es={self.es})"
+
+    def bit_string(self) -> str:
+        """The pattern as a zero-padded binary string (MSB first)."""
+        return format(self._pattern, f"0{self.nbits}b")
+
+    def fields(self) -> dict:
+        """Decomposed fields: sign, regime k, exponent, fraction, scale.
+
+        Useful for teaching/debugging; NaR and zero raise
+        :class:`NaRError` / return the zero decomposition respectively.
+        """
+        if self.is_nar:
+            raise NaRError("NaR has no field decomposition")
+        if self.is_zero:
+            return {"sign": 0, "k": 0, "exponent": 0, "fraction": 0,
+                    "fraction_bits": 0, "scale": 0}
+        from .codec import _decode_fields
+        sign, scale, frac, f_bits = _decode_fields(self._pattern, self._cfg)
+        k = scale >> self.es
+        return {"sign": sign, "k": k, "exponent": scale - (k << self.es),
+                "fraction": frac, "fraction_bits": f_bits, "scale": scale}

@@ -1,0 +1,87 @@
+"""Enumeration tables of posit value sets.
+
+Small-format posits can be enumerated exhaustively; these tables back
+the exhaustive differential tests, the precision-distribution figures
+(paper Figs. 3 and 5) and the documentation examples.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from functools import lru_cache
+
+import numpy as np
+
+from .codec import (PositConfig, all_patterns, decode_float, decode_fraction,
+                    posit_config)
+
+__all__ = [
+    "value_table",
+    "value_array",
+    "positive_values",
+    "gap_table",
+    "decimal_accuracy_at",
+]
+
+
+@lru_cache(maxsize=32)
+def value_table(nbits: int, es: int) -> tuple[tuple[int, Fraction], ...]:
+    """All (pattern, exact value) pairs, sorted by value. NaR excluded.
+
+    Cached; only call for small widths (the table has ``2**nbits - 1``
+    entries).
+    """
+    cfg = posit_config(nbits, es)
+    if nbits > 20:
+        raise ValueError("value_table is for exhaustive small widths "
+                         f"(nbits <= 20), got {nbits}")
+    pairs = [(p, decode_fraction(p, cfg)) for p in all_patterns(cfg)]
+    pairs.sort(key=lambda pv: pv[1])
+    return tuple(pairs)
+
+
+def value_array(nbits: int, es: int) -> np.ndarray:
+    """All finite posit values as a sorted float64 array (NaR excluded)."""
+    return np.array([float(v) for _, v in value_table(nbits, es)],
+                    dtype=np.float64)
+
+
+def positive_values(nbits: int, es: int) -> np.ndarray:
+    """Sorted positive posit values as float64."""
+    vals = value_array(nbits, es)
+    return vals[vals > 0]
+
+
+def gap_table(nbits: int, es: int) -> np.ndarray:
+    """``(value, gap_to_next, relative_gap)`` rows over the positive range.
+
+    ``relative_gap`` is the local relative spacing — the quantity whose
+    reciprocal log10 the paper plots as "digits of precision" in Fig. 3.
+    """
+    vals = positive_values(nbits, es)
+    gaps = np.diff(vals)
+    rel = gaps / vals[:-1]
+    return np.column_stack([vals[:-1], gaps, rel])
+
+
+def decimal_accuracy_at(x: float, nbits: int, es: int) -> float:
+    """Decimal digits of accuracy of the format near *x* (Fig. 3b metric).
+
+    Defined as ``-log10(relative gap)`` at the posit bracketing *x*.
+    Returns 0.0 outside the representable range.
+    """
+    import math
+
+    from .codec import fraction_bits_at_scale, floor_log2
+    if x <= 0:
+        raise ValueError("decimal_accuracy_at expects a positive x")
+    cfg = posit_config(nbits, es)
+    fx = Fraction(x)
+    if fx >= cfg.maxpos or fx <= cfg.minpos:
+        return 0.0
+    s = floor_log2(fx)
+    f_bits = fraction_bits_at_scale(s, cfg)
+    # relative gap in [2**s, 2**(s+1)) ranges over [2**-(f_bits+1), 2**-f_bits];
+    # use the gap at x's own significand for a smooth curve.
+    gap = math.ldexp(1.0, s - f_bits)
+    return -math.log10(gap / x)

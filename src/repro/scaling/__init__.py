@@ -1,0 +1,14 @@
+"""Matrix rescaling strategies for posit-friendly solves (paper SS V-B/C/D)."""
+
+from .diagonal_mean import scale_by_diagonal_mean, scale_by_nonzero_mean
+from .higham import (HighamScaledSystem, equilibrate_symmetric,
+                     higham_rescale, mu_for_format, nearest_power_of_four)
+from .power_of_two import (ScaledSystem, nearest_power_of_two,
+                           scale_to_inf_norm)
+
+__all__ = [
+    "ScaledSystem", "nearest_power_of_two", "scale_to_inf_norm",
+    "scale_by_diagonal_mean", "scale_by_nonzero_mean",
+    "HighamScaledSystem", "equilibrate_symmetric", "higham_rescale",
+    "mu_for_format", "nearest_power_of_four",
+]

@@ -1,0 +1,74 @@
+"""Digits-of-advantage metric tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (bits_of_advantage, digits_of_advantage,
+                            percent_improvement, theoretical_extra_digits)
+
+
+class TestDigitsOfAdvantage:
+    def test_one_digit(self):
+        assert digits_of_advantage(1e-6, 1e-7) == pytest.approx(1.0)
+
+    def test_negative_when_candidate_worse(self):
+        assert digits_of_advantage(1e-7, 1e-6) == pytest.approx(-1.0)
+
+    def test_equal_is_zero(self):
+        assert digits_of_advantage(1e-7, 1e-7) == 0.0
+        assert digits_of_advantage(0.0, 0.0) == 0.0
+
+    def test_failed_candidate(self):
+        assert digits_of_advantage(1e-7, math.inf) == -math.inf
+        assert digits_of_advantage(1e-7, math.nan) == -math.inf
+
+    def test_failed_reference(self):
+        assert digits_of_advantage(math.inf, 1e-7) == math.inf
+
+    def test_zero_errors(self):
+        assert digits_of_advantage(1e-7, 0.0) == math.inf
+        assert digits_of_advantage(0.0, 1e-7) == -math.inf
+
+
+class TestBitsOfAdvantage:
+    def test_conversion(self):
+        d = bits_of_advantage(1e-6, 1e-7)
+        assert d == pytest.approx(math.log2(10))
+
+    def test_infinite_passthrough(self):
+        assert bits_of_advantage(1e-7, math.inf) == -math.inf
+
+
+class TestPercentImprovement:
+    def test_paper_examples(self):
+        # Table III: 662_bus 71 → 31 steps = 56.3%
+        assert percent_improvement(71, 31) == pytest.approx(56.3, abs=0.1)
+        # nos6: 1000 → 151 = 84.9%
+        assert percent_improvement(1000, 151) == pytest.approx(84.9,
+                                                               abs=0.1)
+
+    def test_negative_when_worse(self):
+        assert percent_improvement(100, 150) == -50.0
+
+    def test_nan_cases(self):
+        assert math.isnan(percent_improvement(0, 10))
+        assert math.isnan(percent_improvement(math.inf, 10))
+        assert math.isnan(percent_improvement(10, math.nan))
+
+
+class TestTheoreticalDigits:
+    def test_posit32es2_vs_fp32(self):
+        """§V-C2: 4 extra bits ≈ 1.2 digits."""
+        assert theoretical_extra_digits(27, 23) == pytest.approx(1.204,
+                                                                 abs=0.01)
+
+    def test_posit16es1_vs_fp16(self):
+        """§V-D2: 2 extra bits ≈ 0.6 digits."""
+        assert theoretical_extra_digits(12, 10) == pytest.approx(0.602,
+                                                                 abs=0.01)
+
+    def test_negative(self):
+        assert theoretical_extra_digits(20, 23) < 0

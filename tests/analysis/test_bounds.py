@@ -1,0 +1,143 @@
+"""Effective-epsilon and error-bound tests."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.bounds import (cholesky_backward_error_bound,
+                                   effective_epsilon, epsilon_profile,
+                                   ir_convergence_factor,
+                                   predicted_ir_iterations)
+
+
+class TestEpsilonProfile:
+    def test_fp32_flat_in_normal_range(self):
+        prof = epsilon_profile("fp32", -60, 60)
+        vals = set(prof.values())
+        assert vals == {2.0 ** -24}
+
+    def test_fp16_subnormal_degradation(self):
+        prof = epsilon_profile("fp16", -25, 0)
+        assert prof[0] == 2.0 ** -11
+        assert prof[-14] == 2.0 ** -11     # smallest normal scale
+        assert prof[-15] == 2.0 ** -10     # one subnormal bit lost
+        assert prof[-24] == 0.5            # last subnormal: zero bits
+        assert prof[-25] == 1.0            # below: flushed entirely
+
+    def test_fp16_overflow_scale(self):
+        prof = epsilon_profile("fp16", 15, 17)
+        assert prof[15] == 2.0 ** -11
+        assert prof[16] == 1.0  # beyond maxpos
+
+    def test_posit_taper(self):
+        prof = epsilon_profile("posit16es1", -2, 30)
+        assert prof[0] == 2.0 ** -13       # 12 fraction bits + half
+        assert prof[10] > prof[0]          # tapering
+        assert prof[28] == 0.5             # maxpos scale: zero bits
+        assert epsilon_profile("posit16es1", 29, 29)[29] == 1.0
+
+
+class TestEffectiveEpsilon:
+    def test_ieee_constant_in_range(self, rng):
+        x = rng.standard_normal(100)
+        assert effective_epsilon("fp32", x) == 2.0 ** -24
+
+    def test_posit_worse_out_of_zone(self):
+        near_one = np.array([0.5, 1.0, 2.0])
+        far = np.array([1e8, 3e8])
+        assert effective_epsilon("posit16es2", far, mode="worst") > \
+            effective_epsilon("posit16es2", near_one, mode="worst")
+
+    def test_posit_beats_fp16_in_zone(self):
+        x = np.array([0.25, 1.0, 3.0])
+        assert effective_epsilon("posit16es1", x, headroom_scales=0) < \
+            effective_epsilon("fp16", x, headroom_scales=0)
+
+    def test_worst_mode_saturates_on_flush(self):
+        x = np.array([1.0, 1e-12])  # 1e-12 flushes in fp16
+        assert effective_epsilon("fp16", x, mode="worst") == 1.0
+
+    def test_norm_relative_discounts_tiny(self):
+        x = np.array([1.0, 1e-12])
+        eps = effective_epsilon("fp16", x, mode="norm_relative")
+        assert eps < 1e-3  # tiny flushed entries contribute ~nothing
+
+    def test_empty_data(self):
+        assert effective_epsilon("fp16", np.array([])) == 2.0 ** -11
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            effective_epsilon("fp16", np.ones(3), mode="median")
+
+    def test_capped_at_one(self):
+        x = np.array([1e30])
+        assert effective_epsilon("fp16", x) == 1.0
+
+
+class TestCholeskyBound:
+    @pytest.mark.parametrize("fmt", ["fp16", "fp32", "posit16es1",
+                                     "posit16es2", "posit32es2"])
+    def test_bound_dominates_measurement(self, fmt, spd_60):
+        from repro.arith import FPContext
+        from repro.errors import FactorizationError
+        from repro.linalg import (cholesky_factor,
+                                  factorization_backward_error)
+        bound = cholesky_backward_error_bound(fmt, spd_60)
+        ctx = FPContext(fmt)
+        try:
+            R = cholesky_factor(ctx, spd_60)
+        except FactorizationError:
+            return
+        measured = factorization_backward_error(
+            np.asarray(ctx.asarray(spd_60)), R)
+        assert measured <= bound
+
+    def test_bound_ordering_tracks_precision(self, spd_60):
+        b16 = cholesky_backward_error_bound("fp16", spd_60)
+        b32 = cholesky_backward_error_bound("fp32", spd_60)
+        assert b32 < b16
+
+    def test_bound_scales_with_n(self):
+        from repro.matrices import random_dense_spd
+        small = random_dense_spd(10, kappa=10.0, seed=1)
+        big = random_dense_spd(80, kappa=10.0, seed=1)
+        assert cholesky_backward_error_bound("fp16", big) > \
+            cholesky_backward_error_bound("fp16", small)
+
+
+class TestIRPredictor:
+    def test_rho_below_one_predicts_convergence(self):
+        from repro.linalg import iterative_refinement
+        from repro.matrices import random_dense_spd
+        A = random_dense_spd(40, kappa=30.0, seed=2, norm2=1.0)
+        b = A @ np.ones(40)
+        rho = ir_convergence_factor("fp16", A)
+        assert rho < 1.0
+        res = iterative_refinement(A, b, "fp16")
+        assert res.converged
+
+    def test_rho_far_above_one_predicts_failure(self):
+        from repro.linalg import iterative_refinement
+        from repro.matrices import random_dense_spd
+        A = random_dense_spd(40, kappa=1e8, seed=3, norm2=1.0)
+        b = A @ np.ones(40)
+        assert ir_convergence_factor("fp16", A) > 10.0
+        res = iterative_refinement(A, b, "fp16")
+        assert not res.converged
+
+    def test_predicted_iterations(self):
+        assert predicted_ir_iterations(0.1) == pytest.approx(16.0)
+        assert predicted_ir_iterations(1.5) == math.inf
+        assert predicted_ir_iterations(0.0) == math.inf
+
+    def test_x11_experiment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        from repro.config import SCALES
+        from repro.experiments.ext_bounds import run
+        res = run(scale=SCALES["small"], quiet=True,
+                  matrices=("662_bus", "lund_b", "bcsstk02"))
+        assert res.data["sound"] == res.data["total"]
+        assert res.data["median_looseness"] > 1.0

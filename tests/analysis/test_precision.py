@@ -1,0 +1,119 @@
+"""Precision-histogram analytics tests (Fig. 5 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (entry_histogram, extra_bits_vs_ieee,
+                            ieee_fraction_bits, posit_fraction_bits_array,
+                            suite_average_histogram)
+
+
+class TestIeeeFractionBits:
+    def test_native(self):
+        assert ieee_fraction_bits("fp16") == 10
+        assert ieee_fraction_bits("fp32") == 23
+        assert ieee_fraction_bits("fp64") == 52
+
+    def test_emulated(self):
+        assert ieee_fraction_bits("bf16") == 7
+
+    def test_posit_rejected(self):
+        with pytest.raises(TypeError):
+            ieee_fraction_bits("posit16es2")
+
+
+class TestPositFractionBits:
+    def test_golden_zone(self):
+        got = posit_fraction_bits_array(np.array([1.0, 2.0, -1.5]),
+                                        "posit32es2")
+        assert (got == 27).all()
+
+    def test_tapering(self):
+        x = np.array([1.0, 2.0 ** 20, 2.0 ** 60, 2.0 ** -60])
+        got = posit_fraction_bits_array(x, "posit32es2")
+        assert got[0] == 27
+        assert got[1] == 22  # k=5, regime 7 bits
+        assert got[2] == 12  # k=15, regime 17 bits
+        assert got[3] == 13  # k=-15, regime 16 bits (one shorter)
+
+    def test_zero_entries(self):
+        got = posit_fraction_bits_array(np.array([0.0, 1.0]),
+                                        "posit32es2")
+        assert got[0] == 0 and got[1] == 27
+
+    def test_out_of_range_zero_bits(self):
+        got = posit_fraction_bits_array(np.array([1e300]), "posit16es2")
+        assert got[0] == 0
+
+    def test_ieee_format_rejected(self):
+        with pytest.raises(TypeError):
+            posit_fraction_bits_array(np.ones(2), "fp32")
+
+    def test_matches_codec_formula(self, rng):
+        from repro.posit.codec import (floor_log2, fraction_bits_at_scale,
+                                       posit_config)
+        from fractions import Fraction
+        cfg = posit_config(16, 2)
+        x = rng.standard_normal(100) * 10.0 ** rng.integers(-12, 12, 100)
+        x = x[x != 0]
+        got = posit_fraction_bits_array(x, "posit16es2")
+        for xi, gi in zip(x, got):
+            s = floor_log2(abs(Fraction(float(xi))))
+            assert gi == fraction_bits_at_scale(s, cfg)
+
+
+class TestExtraBits:
+    def test_golden_zone_advantage(self):
+        extra = extra_bits_vs_ieee(np.array([1.0, -2.0]), "posit32es2")
+        assert (extra == 4).all()  # 27 - 23
+
+    def test_negative_far_out(self):
+        extra = extra_bits_vs_ieee(np.array([2.0 ** 100]), "posit32es2")
+        assert extra[0] < -15
+
+    def test_zeros_excluded(self):
+        extra = extra_bits_vs_ieee(np.array([0.0, 1.0, 0.0]),
+                                   "posit32es2")
+        assert extra.shape == (1,)
+
+    def test_fp16_reference(self):
+        extra = extra_bits_vs_ieee(np.array([1.0]), "posit16es1", "fp16")
+        assert extra[0] == 2  # 12 - 10, the paper's 2-bit claim
+
+
+class TestHistograms:
+    def test_weights_normalized(self, spd_60):
+        h = entry_histogram(spd_60, "posit32es2")
+        assert h.weights.sum() == pytest.approx(1.0)
+        assert (h.weights >= 0).all()
+
+    def test_clipping(self):
+        # posit fraction bits floor at 0, so the extra-bit minimum for
+        # posit(32,2) vs fp32 is -23; a tighter lo clips into bin 0
+        entries = np.array([2.0 ** 110])  # fb = 0 → extra = -23
+        h = entry_histogram(entries, "posit32es2", lo=-10, hi=8)
+        assert h.weights[0] == 1.0  # clipped into the lowest bin
+
+    def test_unit_matrix_all_golden(self):
+        entries = np.ones((5, 5))
+        h = entry_histogram(entries, "posit32es2")
+        assert h.fraction_in_golden_zone == 1.0
+        assert h.mean_extra_bits == 4.0
+
+    def test_empty_matrix(self):
+        h = entry_histogram(np.zeros((3, 3)), "posit32es2")
+        assert h.weights.sum() == 0.0
+
+    def test_suite_average_equal_weighting(self):
+        # one matrix in the golden zone, one far out: average must be
+        # 50/50 regardless of entry counts
+        good = np.ones((2, 2))
+        bad = np.full((50, 50), 2.0 ** 100)
+        h = suite_average_histogram([good, bad], "posit32es2")
+        assert h.fraction_in_golden_zone == pytest.approx(0.5)
+
+    def test_suite_average_empty_raises(self):
+        with pytest.raises(ValueError):
+            suite_average_histogram([], "posit32es2")

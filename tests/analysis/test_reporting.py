@@ -1,0 +1,98 @@
+"""Reporting/rendering tests."""
+
+from __future__ import annotations
+
+import csv
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis import (format_bar_chart, format_table, results_dir,
+                            write_csv)
+from repro.analysis.reporting import fmt_value
+
+
+class TestFmtValue:
+    def test_ints(self):
+        assert fmt_value(42, 5) == "   42"
+        assert fmt_value(np.int64(7), 3) == "  7"
+
+    def test_floats(self):
+        assert fmt_value(1.5, 6).strip() == "1.5"
+        assert "e" in fmt_value(1.23e-8, 9)
+        assert fmt_value(0.0, 4).strip() == "0"
+
+    def test_specials(self):
+        assert fmt_value(math.nan, 5).strip() == "nan"
+        assert fmt_value(math.inf, 5).strip() == "inf"
+        assert fmt_value(-math.inf, 6).strip() == "-inf"
+        assert fmt_value(None, 3).strip() == "-"
+
+    def test_strings_pass_through(self):
+        assert fmt_value("1000+", 7).strip() == "1000+"
+
+
+class TestFormatTable:
+    def test_basic(self):
+        out = format_table(["Matrix", "a", "b"],
+                           [["m1", 1, 2.5], ["m2", 3, 4.0]],
+                           title="demo")
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "Matrix" in lines[1]
+        assert "m1" in lines[3]
+
+    def test_alignment(self):
+        out = format_table(["X", "v"], [["row", 1]], col_width=8,
+                           first_col_width=6)
+        row_line = out.splitlines()[-1]
+        assert row_line.startswith("row   ")
+        assert row_line.endswith("       1")
+
+
+class TestBarChart:
+    def test_positive_bars(self):
+        out = format_bar_chart(["a", "b"], [1.0, 2.0])
+        assert "#" in out
+        assert out.count("\n") == 1
+
+    def test_negative_bars_left_of_axis(self):
+        out = format_bar_chart(["a", "b"], [5.0, -5.0])
+        lines = out.splitlines()
+        assert lines[0].index("|") < lines[0].index("#")
+        assert lines[1].index("#") < lines[1].index("|")
+
+    def test_nan_rendered(self):
+        out = format_bar_chart(["a"], [math.nan])
+        assert "(n/a)" in out
+
+    def test_all_zero(self):
+        out = format_bar_chart(["a"], [0.0])
+        assert "|" in out
+
+    def test_title(self):
+        out = format_bar_chart(["a"], [1.0], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_value_format(self):
+        out = format_bar_chart(["a"], [12.345], value_format="{:.1f}%")
+        assert "12.3%" in out
+
+
+class TestWriteCsv:
+    def test_writes_and_reads_back(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        path = write_csv("t.csv", ["a", "b"], [[1, 2], [3, None]])
+        assert os.path.dirname(path) == str(tmp_path)
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["a", "b"]
+        assert rows[2] == ["3", ""]
+
+    def test_results_dir_created(self, tmp_path, monkeypatch):
+        target = tmp_path / "nested"
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(target))
+        assert results_dir() == str(target)
+        assert target.is_dir()

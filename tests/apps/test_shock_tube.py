@@ -1,0 +1,127 @@
+"""Shock-tube substrate tests: exact Riemann solution and the
+per-op-rounded finite-volume scheme."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import (SOD_CLASSIC, SodProblem, density_error,
+                        exact_riemann_solution, simulate_sod)
+from repro.apps.shock_tube import _solve_star_state
+from repro.arith import FPContext
+
+
+class TestExactSolution:
+    def test_sod_star_state_literature_values(self):
+        # classical Sod values: p* ≈ 0.30313, u* ≈ 0.92745 (Toro tbl 4.2)
+        p_star, u_star = _solve_star_state(SOD_CLASSIC)
+        assert p_star == pytest.approx(0.30313, abs=2e-5)
+        assert u_star == pytest.approx(0.92745, abs=2e-5)
+
+    def test_far_field_states(self):
+        sol = exact_riemann_solution(SOD_CLASSIC, np.array([-10.0, 10.0]))
+        assert sol["rho"][0] == SOD_CLASSIC.rho_l
+        assert sol["p"][0] == SOD_CLASSIC.p_l
+        assert sol["rho"][1] == SOD_CLASSIC.rho_r
+        assert sol["p"][1] == SOD_CLASSIC.p_r
+
+    def test_contact_discontinuity(self):
+        # pressure and velocity are continuous across the contact,
+        # density jumps
+        p_star, u_star = _solve_star_state(SOD_CLASSIC)
+        eps = 1e-6
+        sol = exact_riemann_solution(
+            SOD_CLASSIC, np.array([u_star - eps, u_star + eps]))
+        assert sol["p"][0] == pytest.approx(sol["p"][1], rel=1e-5)
+        assert sol["u"][0] == pytest.approx(sol["u"][1], rel=1e-5)
+        assert sol["rho"][0] != pytest.approx(sol["rho"][1], rel=1e-2)
+
+    def test_rarefaction_monotone(self):
+        xi = np.linspace(-1.2, -0.1, 200)
+        sol = exact_riemann_solution(SOD_CLASSIC, xi)
+        assert (np.diff(sol["p"]) <= 1e-12).all()
+        assert (np.diff(sol["u"]) >= -1e-12).all()
+
+    def test_everything_positive(self):
+        xi = np.linspace(-3, 3, 500)
+        sol = exact_riemann_solution(SOD_CLASSIC, xi)
+        assert (sol["rho"] > 0).all()
+        assert (sol["p"] > 0).all()
+
+    def test_symmetric_problem_is_symmetric(self):
+        # mirrored initial data → mirrored solution
+        prob = SodProblem(rho_l=0.125, p_l=0.1, rho_r=1.0, p_r=1.0)
+        xi = np.linspace(-2, 2, 101)
+        a = exact_riemann_solution(SOD_CLASSIC, xi)
+        b = exact_riemann_solution(prob, -xi[::-1])
+        assert np.allclose(a["rho"], b["rho"][::-1], rtol=1e-8)
+        assert np.allclose(a["u"], -b["u"][::-1], atol=1e-8)
+
+    def test_scaled_problem_self_similar(self):
+        s = 1e5
+        scaled = SOD_CLASSIC.scaled(pressure_scale=s)
+        speed = np.sqrt(s)
+        xi = np.linspace(-1, 1, 51)
+        base = exact_riemann_solution(SOD_CLASSIC, xi)
+        big = exact_riemann_solution(scaled, xi * speed)
+        assert np.allclose(big["rho"], base["rho"], rtol=1e-8)
+        assert np.allclose(big["p"], base["p"] * s, rtol=1e-8)
+        assert np.allclose(big["u"], base["u"] * speed, rtol=1e-6)
+
+
+class TestSimulation:
+    def test_conservation_of_mass(self, fp64_ctx):
+        out = simulate_sod(fp64_ctx, n_cells=100, t_final=0.1)
+        # transmissive boundaries barely activate by t=0.1; total mass
+        # is conserved to solver accuracy
+        expected = 0.5 * (SOD_CLASSIC.rho_l + SOD_CLASSIC.rho_r)
+        assert np.mean(out["rho"]) == pytest.approx(expected, rel=1e-6)
+
+    def test_converges_to_exact(self, fp64_ctx):
+        errs = [density_error(fp64_ctx, n_cells=n, t_final=0.2)
+                for n in (40, 80, 160)]
+        assert errs[2] < errs[1] < errs[0]
+        assert errs[2] < 0.05
+
+    def test_positivity(self, fp64_ctx):
+        out = simulate_sod(fp64_ctx, n_cells=120)
+        assert (out["rho"] > 0).all()
+        assert (out["p"] > 0).all()
+
+    def test_deterministic_step_count_across_formats(self):
+        a = simulate_sod(FPContext("fp64"), n_cells=60)
+        b = simulate_sod(FPContext("fp16"), n_cells=60)
+        assert a["steps"] == b["steps"]
+        assert a["dt"] == b["dt"]
+
+    @pytest.mark.parametrize("fmt", ["fp32", "posit32es2", "posit16es1",
+                                     "posit16es2", "fp16"])
+    def test_all_formats_run_unit_problem(self, fmt):
+        err = density_error(FPContext(fmt), n_cells=48, t_final=0.15)
+        assert np.isfinite(err)
+        assert err < 0.15
+
+    def test_fp16_overflows_on_si_pressure(self):
+        si = SOD_CLASSIC.scaled(pressure_scale=1e5)
+        e16 = density_error(FPContext("fp16"), si, n_cells=48,
+                            t_final=0.15 / np.sqrt(1e5))
+        ep = density_error(FPContext("posit16es2"), si, n_cells=48,
+                           t_final=0.15 / np.sqrt(1e5))
+        assert not np.isfinite(e16)
+        assert np.isfinite(ep)
+
+    def test_posit16_at_least_as_good_as_fp16(self):
+        """The paper's §VII hypothesis on the unit-scale problem."""
+        ref = simulate_sod(FPContext("fp64"), n_cells=64)
+        dev = {}
+        for fmt in ("fp16", "posit16es1"):
+            out = simulate_sod(FPContext(fmt), n_cells=64)
+            dev[fmt] = np.linalg.norm(out["rho"] - ref["rho"])
+        assert dev["posit16es1"] <= dev["fp16"]
+
+    def test_rho_values_representable(self):
+        ctx = FPContext("posit16es2")
+        out = simulate_sod(ctx, n_cells=40, t_final=0.1)
+        assert np.array_equal(np.asarray(ctx.round(out["rho"])),
+                              out["rho"])

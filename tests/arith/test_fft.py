@@ -1,0 +1,76 @@
+"""Rounded-FFT tests: correctness vs numpy.fft, rounding semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arith import FPContext
+from repro.arith.fft import fft_rounded, fft_roundtrip_error, ifft_rounded
+
+
+class TestAgainstNumpy:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 64, 256])
+    def test_fp64_matches_numpy(self, n, rng):
+        ctx = FPContext("fp64")
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        got = fft_rounded(ctx, x)
+        want = np.fft.fft(x)
+        assert np.allclose(got, want, rtol=1e-10, atol=1e-10)
+
+    @pytest.mark.parametrize("n", [2, 16, 128])
+    def test_fp64_inverse_matches_numpy(self, n, rng):
+        ctx = FPContext("fp64")
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        assert np.allclose(ifft_rounded(ctx, x), np.fft.ifft(x),
+                           rtol=1e-10, atol=1e-10)
+
+    def test_real_input(self, rng):
+        ctx = FPContext("fp64")
+        x = rng.standard_normal(32)
+        assert np.allclose(fft_rounded(ctx, x), np.fft.fft(x), atol=1e-12)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            fft_rounded(FPContext("fp64"), np.zeros(12))
+        with pytest.raises(ValueError):
+            fft_rounded(FPContext("fp64"), np.zeros(0))
+
+
+class TestLowPrecision:
+    @pytest.mark.parametrize("fmt", ["fp16", "posit16es1", "posit16es2"])
+    def test_roundtrip_error_small_for_unit_signal(self, fmt, rng):
+        ctx = FPContext(fmt)
+        x = np.sin(2 * np.pi * 3 * np.arange(64) / 64)
+        err = fft_roundtrip_error(ctx, x)
+        assert 0 < err < 0.05
+
+    def test_error_ordering_matches_precision(self, rng):
+        x = rng.standard_normal(128)
+        e16 = fft_roundtrip_error(FPContext("fp16"), x)
+        e32 = fft_roundtrip_error(FPContext("fp32"), x)
+        e64 = fft_roundtrip_error(FPContext("fp64"), x)
+        assert e64 < e32 < e16
+
+    def test_fp16_overflows_on_big_signal(self, rng):
+        # the range failure mode the paper predicts posit avoids
+        x = 1.0e4 * rng.standard_normal(256)
+        e_fp16 = fft_roundtrip_error(FPContext("fp16"), x)
+        e_posit = fft_roundtrip_error(FPContext("posit16es2"), x)
+        assert (not np.isfinite(e_fp16)) or e_fp16 > 1.0
+        assert np.isfinite(e_posit) and e_posit < 1.0
+
+    def test_outputs_are_representable(self, rng):
+        ctx = FPContext("posit16es2")
+        x = rng.standard_normal(32)
+        out = fft_rounded(ctx, x)
+        assert np.array_equal(np.asarray(ctx.round(out.real)), out.real)
+        assert np.array_equal(np.asarray(ctx.round(out.imag)), out.imag)
+
+    def test_parseval_approximate(self, rng):
+        ctx = FPContext("posit32es2")
+        x = rng.standard_normal(64)
+        X = fft_rounded(ctx, x)
+        lhs = float(np.sum(np.abs(x) ** 2))
+        rhs = float(np.sum(np.abs(X) ** 2)) / 64
+        assert rhs == pytest.approx(lhs, rel=1e-4)

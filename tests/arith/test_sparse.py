@@ -1,0 +1,132 @@
+"""ELL sparse layout tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arith import ELLMatrix, FPContext
+
+
+def _sparse_spd(rng, n=40, per_row=5):
+    A = np.zeros((n, n))
+    for i in range(n):
+        js = rng.choice(n, size=per_row, replace=False)
+        A[i, js] = rng.standard_normal(per_row)
+    A = A + A.T
+    A += np.diag(np.abs(A).sum(axis=1) + 1.0)
+    return A
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self, rng):
+        A = _sparse_spd(rng)
+        E = ELLMatrix.from_dense(A)
+        assert np.array_equal(E.to_dense(), A)
+
+    def test_from_scipy(self, rng):
+        import scipy.sparse
+        A = _sparse_spd(rng)
+        E = ELLMatrix.from_scipy(scipy.sparse.csr_matrix(A))
+        assert np.array_equal(E.to_dense(), A)
+
+    def test_shape_and_nnz(self, rng):
+        A = _sparse_spd(rng, n=30)
+        E = ELLMatrix.from_dense(A)
+        assert E.shape == (30, 30)
+        assert E.n == 30
+        assert E.nnz == np.count_nonzero(A)
+        assert E.row_width == int(np.count_nonzero(A, axis=1).max())
+
+    def test_rejects_non_square(self, rng):
+        with pytest.raises(ValueError):
+            ELLMatrix.from_dense(rng.standard_normal((3, 5)))
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            ELLMatrix(data=np.zeros((2, 3)), cols=np.zeros((2, 2)))
+
+    def test_diagonal(self, rng):
+        A = _sparse_spd(rng)
+        E = ELLMatrix.from_dense(A)
+        assert np.array_equal(E.diagonal(), np.diag(A))
+
+    def test_zero_matrix(self):
+        E = ELLMatrix.from_dense(np.zeros((4, 4)))
+        assert E.nnz == 0
+        assert np.array_equal(E.to_dense(), np.zeros((4, 4)))
+
+
+class TestMatvec:
+    def test_matvec64_exact(self, rng):
+        A = _sparse_spd(rng)
+        E = ELLMatrix.from_dense(A)
+        x = rng.standard_normal(40)
+        assert np.allclose(E.matvec64(x), A @ x, rtol=1e-14)
+
+    def test_rounded_matvec_matches_semantics(self, rng):
+        """ELL products/reduction are the dense nonzero operations."""
+        A = _sparse_spd(rng, n=20, per_row=3)
+        x = rng.standard_normal(20)
+        for fmt in ("fp16", "posit16es2", "posit32es2"):
+            ctx = FPContext(fmt)
+            E = ctx.asarray(ELLMatrix.from_dense(A))
+            out = ctx.matvec(E, ctx.asarray(x))
+            ref = ctx.matvec(np.asarray(ctx.asarray(A)), ctx.asarray(x))
+            # same rounded ops, different association order → close
+            tol = 4 * 20 * float(ctx.fmt.eps_at_one)
+            assert np.allclose(out, ref, rtol=tol, atol=tol)
+
+    def test_rounded_output_representable(self, rng):
+        ctx = FPContext("posit16es1")
+        A = _sparse_spd(rng, n=25, per_row=4)
+        E = ctx.asarray(ELLMatrix.from_dense(A))
+        out = ctx.matvec(E, ctx.asarray(rng.standard_normal(25)))
+        assert np.array_equal(np.asarray(ctx.round(out)), out)
+
+    def test_fp64_context_exact(self, rng):
+        ctx = FPContext("fp64")
+        A = _sparse_spd(rng)
+        E = ELLMatrix.from_dense(A)
+        x = rng.standard_normal(40)
+        assert np.allclose(ctx.matvec(E, x), A @ x, rtol=1e-14)
+
+    def test_asarray_quantizes_entries(self, rng):
+        ctx = FPContext("fp16")
+        E = ELLMatrix.from_dense(_sparse_spd(rng))
+        Eq = ctx.asarray(E)
+        assert np.array_equal(np.asarray(ctx.round(Eq.data)), Eq.data)
+        # original untouched
+        assert not np.array_equal(Eq.data, E.data)
+
+
+class TestCGIntegration:
+    def test_cg_on_ell(self, rng):
+        from repro.linalg import conjugate_gradient
+        A = _sparse_spd(rng, n=60, per_row=4)
+        b = A @ np.ones(60)
+        E = ELLMatrix.from_dense(A)
+        for fmt in ("fp64", "fp32", "posit32es2"):
+            res = conjugate_gradient(FPContext(fmt), E, b)
+            assert res.converged
+            assert res.true_relative_residual < 1e-4
+
+    def test_cg_ell_matches_dense_iterations(self, rng):
+        from repro.linalg import conjugate_gradient
+        A = _sparse_spd(rng, n=50, per_row=4)
+        b = A @ np.ones(50)
+        ctx = FPContext("fp32")
+        dense = conjugate_gradient(ctx, A, b)
+        sparse = conjugate_gradient(ctx, ELLMatrix.from_dense(A), b)
+        assert dense.converged and sparse.converged
+        assert abs(dense.iterations - sparse.iterations) <= \
+            max(3, 0.2 * dense.iterations)
+
+    def test_jacobi_on_ell(self, rng):
+        from repro.linalg import conjugate_gradient
+        A = _sparse_spd(rng, n=50, per_row=4)
+        b = A @ np.ones(50)
+        res = conjugate_gradient(FPContext("posit32es2"),
+                                 ELLMatrix.from_dense(A), b,
+                                 jacobi=True)
+        assert res.converged

@@ -1,0 +1,107 @@
+"""Rounded-summation tests: correctness, order semantics, error behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arith.summation import (SUM_ORDERS, rounded_sum,
+                                   rounded_sum_last_axis)
+from repro.formats import get_format
+
+
+def _rnd(name):
+    return get_format(name).round
+
+
+class TestBasics:
+    @pytest.mark.parametrize("order", SUM_ORDERS)
+    def test_exact_when_representable(self, order):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        assert rounded_sum(x, _rnd("fp16"), order) == 10.0
+
+    @pytest.mark.parametrize("order", SUM_ORDERS)
+    def test_empty(self, order):
+        assert rounded_sum(np.array([]), _rnd("fp16"), order) == 0.0
+
+    @pytest.mark.parametrize("order", SUM_ORDERS)
+    def test_single(self, order):
+        assert rounded_sum(np.array([3.5]), _rnd("fp16"), order) == 3.5
+
+    @pytest.mark.parametrize("order", SUM_ORDERS)
+    @pytest.mark.parametrize("k", [2, 3, 5, 8, 13, 17, 64, 100])
+    def test_arbitrary_lengths(self, order, k, rng):
+        x = np.asarray(get_format("fp32").round(rng.standard_normal(k)))
+        got = rounded_sum(x, _rnd("fp32"), order)
+        assert got == pytest.approx(float(x.sum()), rel=1e-5)
+
+    def test_unknown_order(self):
+        with pytest.raises(ValueError):
+            rounded_sum(np.ones(3), _rnd("fp16"), "kahan")
+
+
+class TestAxisSemantics:
+    @pytest.mark.parametrize("order", SUM_ORDERS)
+    def test_last_axis_2d(self, order, rng):
+        x = np.asarray(get_format("fp32").round(
+            rng.standard_normal((7, 13))))
+        got = rounded_sum_last_axis(x, _rnd("fp32"), order)
+        assert got.shape == (7,)
+        assert np.allclose(got, x.sum(axis=1), rtol=1e-5)
+
+    def test_does_not_mutate_input(self, rng):
+        x = rng.standard_normal((4, 9))
+        copy = x.copy()
+        rounded_sum_last_axis(x, _rnd("fp16"), "sequential")
+        rounded_sum_last_axis(x, _rnd("fp16"), "pairwise")
+        assert np.array_equal(x, copy)
+
+
+class TestRoundingSemantics:
+    def test_sequential_is_literal_left_to_right(self):
+        # fp16: 1 + 2**-11 absorbed each step, so sequential stays at 1.0
+        x = np.array([1.0] + [2.0 ** -11] * 64)
+        got = rounded_sum(x, _rnd("fp16"), "sequential")
+        assert got == 1.0
+
+    def test_pairwise_preserves_small_terms(self):
+        # the tree adds the small terms together first, so they survive
+        x = np.array([1.0] + [2.0 ** -11] * 63)
+        got = rounded_sum(x, _rnd("fp16"), "pairwise")
+        assert got > 1.0
+
+    def test_orders_agree_in_float64(self, rng):
+        x = rng.standard_normal(1000)
+        a = rounded_sum(x, lambda v: v, "sequential")
+        b = rounded_sum(x, lambda v: v, "pairwise")
+        assert a == pytest.approx(b, rel=1e-12)
+
+    def test_every_partial_sum_rounded_pairwise(self):
+        # all partial sums must be representable values of the format
+        fmt = get_format("posit16es2")
+        seen = []
+
+        def spy(v):
+            out = fmt.round(v)
+            seen.append(np.asarray(out).copy())
+            return out
+
+        x = np.asarray(fmt.round(np.linspace(0.1, 2.0, 16)))
+        rounded_sum(x, spy, "pairwise")
+        assert len(seen) == 4  # log2(16) fold levels
+        for arr in seen:
+            assert np.array_equal(np.asarray(fmt.round(arr)), arr)
+
+    def test_error_grows_slower_pairwise(self, rng):
+        # statistical check: pairwise error ≤ sequential error on average
+        fmt = get_format("fp16")
+        seq_err = pair_err = 0.0
+        for seed in range(20):
+            r = np.random.default_rng(seed)
+            x = np.asarray(fmt.round(r.standard_normal(512)))
+            exact = float(np.sum(x, dtype=np.longdouble))
+            seq = rounded_sum(x, fmt.round, "sequential")
+            pair = rounded_sum(x, fmt.round, "pairwise")
+            seq_err += abs(seq - exact)
+            pair_err += abs(pair - exact)
+        assert pair_err <= seq_err

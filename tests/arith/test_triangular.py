@@ -1,0 +1,100 @@
+"""Rounded triangular-solve tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.arith import FPContext, solve_lower, solve_upper
+
+
+def _well_conditioned_lower(rng, n):
+    L = np.tril(rng.standard_normal((n, n))) * 0.3
+    np.fill_diagonal(L, 2.0 + rng.random(n))
+    return L
+
+
+class TestSolveLower:
+    def test_fp64_matches_scipy(self, rng):
+        L = _well_conditioned_lower(rng, 25)
+        b = rng.standard_normal(25)
+        got = solve_lower(FPContext("fp64"), L, b)
+        want = sla.solve_triangular(L, b, lower=True)
+        assert np.allclose(got, want, rtol=1e-12)
+
+    def test_low_precision_residual(self, any_ctx, rng):
+        L = any_ctx.asarray(_well_conditioned_lower(rng, 20))
+        b = any_ctx.asarray(rng.standard_normal(20))
+        y = solve_lower(any_ctx, L, b)
+        res = np.linalg.norm(L @ y - b) / np.linalg.norm(b)
+        assert res < 50 * float(any_ctx.fmt.eps_at_one)
+
+    def test_transposed_upper_form(self, rng):
+        # solving Rᵀy = b via the transposed_upper path
+        ctx = FPContext("fp64")
+        R = _well_conditioned_lower(rng, 15).T.copy()
+        b = rng.standard_normal(15)
+        got = solve_lower(ctx, None, b, transposed_upper=R)
+        want = sla.solve_triangular(R, b, trans="T", lower=False)
+        assert np.allclose(got, want, rtol=1e-12)
+
+    def test_transposed_equals_materialized(self, rng):
+        ctx = FPContext("posit16es2")
+        R = ctx.asarray(_well_conditioned_lower(rng, 12).T)
+        b = ctx.asarray(rng.standard_normal(12))
+        a = solve_lower(ctx, R.T.copy(), b)
+        c = solve_lower(ctx, None, b, transposed_upper=R)
+        assert np.array_equal(a, c)
+
+    def test_identity(self, any_ctx, rng):
+        b = any_ctx.asarray(rng.standard_normal(10))
+        assert np.array_equal(solve_lower(any_ctx, np.eye(10), b), b)
+
+    def test_does_not_mutate_b(self, rng):
+        ctx = FPContext("fp32")
+        L = _well_conditioned_lower(rng, 8)
+        b = rng.standard_normal(8)
+        saved = b.copy()
+        solve_lower(ctx, L, b)
+        assert np.array_equal(b, saved)
+
+
+class TestSolveUpper:
+    def test_fp64_matches_scipy(self, rng):
+        U = _well_conditioned_lower(rng, 25).T.copy()
+        b = rng.standard_normal(25)
+        got = solve_upper(FPContext("fp64"), U, b)
+        want = sla.solve_triangular(U, b, lower=False)
+        assert np.allclose(got, want, rtol=1e-12)
+
+    def test_low_precision_residual(self, any_ctx, rng):
+        U = any_ctx.asarray(_well_conditioned_lower(rng, 20).T)
+        b = any_ctx.asarray(rng.standard_normal(20))
+        x = solve_upper(any_ctx, U, b)
+        res = np.linalg.norm(U @ x - b) / np.linalg.norm(b)
+        assert res < 50 * float(any_ctx.fmt.eps_at_one)
+
+    def test_solution_values_representable(self, rng):
+        ctx = FPContext("posit16es1")
+        U = ctx.asarray(_well_conditioned_lower(rng, 10).T)
+        b = ctx.asarray(rng.standard_normal(10))
+        x = solve_upper(ctx, U, b)
+        assert np.array_equal(np.asarray(ctx.round(x)), x)
+
+    def test_1x1(self):
+        ctx = FPContext("fp32")
+        assert solve_upper(ctx, np.array([[4.0]]),
+                           np.array([8.0]))[0] == 2.0
+
+
+class TestRoundTripFactorSolve:
+    def test_lower_then_upper(self, rng):
+        # L y = b, Lᵀ x = y reconstructs A = L Lᵀ solve
+        ctx = FPContext("fp64")
+        L = _well_conditioned_lower(rng, 18)
+        A = L @ L.T
+        b = rng.standard_normal(18)
+        y = solve_lower(ctx, L, b)
+        x = solve_upper(ctx, L.T.copy(), y)
+        assert np.allclose(A @ x, b, rtol=1e-9, atol=1e-9)

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arith import FPContext
+from repro.config import SCALES
+from repro.matrices import random_dense_spd
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def small_scale():
+    """The 'small' run scale used for all experiment-level tests."""
+    return SCALES["small"]
+
+
+@pytest.fixture(scope="session")
+def spd_60():
+    """A well-conditioned dense SPD test matrix (n=60, κ=1e3, ‖A‖=1)."""
+    return random_dense_spd(60, kappa=1.0e3, seed=42)
+
+
+@pytest.fixture(scope="session")
+def spd_system(spd_60):
+    """(A, b, x̂) with the paper's right-hand-side recipe."""
+    n = spd_60.shape[0]
+    xhat = np.full(n, 1.0 / np.sqrt(n))
+    return spd_60, spd_60 @ xhat, xhat
+
+
+@pytest.fixture(params=["fp32", "posit32es2", "posit16es2", "fp16"])
+def any_ctx(request) -> FPContext:
+    """An emulated-arithmetic context for each major format."""
+    return FPContext(request.param)
+
+
+@pytest.fixture
+def fp64_ctx() -> FPContext:
+    return FPContext("fp64")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running integration test")

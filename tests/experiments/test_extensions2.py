@@ -1,0 +1,102 @@
+"""Tests for the second wave of extension experiments (X5-X7)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import SCALES
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(autouse=True)
+def _results(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+
+
+class TestSodExtension:
+    @pytest.fixture(scope="class")
+    def res(self, tmp_path_factory):
+        import os
+        os.environ["REPRO_RESULTS_DIR"] = str(
+            tmp_path_factory.mktemp("sod"))
+        from repro.experiments.ext_sod import run
+        return run(scale=SCALES["small"], quiet=True, n_cells=48,
+                   t_final=0.12)
+
+    def test_unit_scale_all_16bit_work(self, res):
+        per = res.data["unit-scale Sod"]["per_format"]
+        for fmt in ("fp16", "posit16es1", "posit16es2"):
+            assert math.isfinite(per[fmt]["dev_vs_fp64"]), fmt
+            assert per[fmt]["l1_vs_exact"] < 0.2
+
+    def test_posit16_wins_golden_zone(self, res):
+        """The §VII hypothesis: unit-scale CFD suits posit."""
+        per = res.data["unit-scale Sod"]["per_format"]
+        assert per["posit16es1"]["dev_vs_fp64"] <= \
+            per["fp16"]["dev_vs_fp64"]
+
+    def test_si_variant_breaks_fp16_only(self, res):
+        per = res.data["SI pressure (1e5 Pa)"]["per_format"]
+        assert not math.isfinite(per["fp16"]["dev_vs_fp64"])
+        assert math.isfinite(per["posit16es2"]["dev_vs_fp64"])
+
+    def test_32bit_formats_track_fp64_closely(self, res):
+        per = res.data["unit-scale Sod"]["per_format"]
+        assert per["fp32"]["dev_vs_fp64"] < 1e-5
+        assert per["posit32es2"]["dev_vs_fp64"] < 1e-5
+
+
+class TestGustafsonExtension:
+    @pytest.fixture(scope="class")
+    def res(self, tmp_path_factory):
+        import os
+        os.environ["REPRO_RESULTS_DIR"] = str(
+            tmp_path_factory.mktemp("gus"))
+        from repro.experiments.ext_gustafson import run
+        return run(scale=SCALES["small"], quiet=True, n=20, trials=3)
+
+    def test_golden_zone_posit_wins(self, res):
+        """Gustafson's setup favours posit — with and without quire."""
+        d = res.data["uniform [0,1)"]
+        assert d["adv_plain"] > 0.3
+        assert d["adv_quire"] > d["adv_plain"]
+
+    def test_critique_shifted_advantage_collapses(self, res):
+        """The paper's §III point: out of the zone the win evaporates."""
+        shifted = res.data["shifted (x 1e6)"]
+        golden = res.data["uniform [0,1)"]
+        assert shifted["adv_quire"] < golden["adv_quire"] - 0.5
+
+    def test_fp64_is_best(self, res):
+        for d in res.data.values():
+            med = d["medians"]
+            assert med["fp64"] < min(med["fp32"], med["posit32es2"])
+
+
+class TestCgTargetExtension:
+    @pytest.fixture(scope="class")
+    def res(self, tmp_path_factory):
+        import os
+        os.environ["REPRO_RESULTS_DIR"] = str(
+            tmp_path_factory.mktemp("tgt"))
+        from repro.experiments.ext_cg_target import run
+        return run(scale=SCALES["small"], quiet=True,
+                   matrices=("662_bus", "bcsstk06"))
+
+    def test_paper_target_on_plateau(self, res):
+        """2^10 must be within 1.3x of the best target per matrix."""
+        for name, d in res.data.items():
+            iters = {e: r.iterations for e, r in d["per_target"].items()
+                     if r.converged}
+            assert 10 in iters, name
+            assert iters[10] <= 1.3 * min(iters.values()), name
+
+    def test_extreme_targets_degrade(self, res):
+        for name, d in res.data.items():
+            mid = d["per_target"][10]
+            far = d["per_target"][-20]
+            assert (not far.converged) or \
+                far.iterations > 1.5 * mid.iterations, name

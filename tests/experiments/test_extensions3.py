@@ -1,0 +1,110 @@
+"""Tests for extensions X8 (stochastic rounding) and X9 (Jacobi)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.config import SCALES
+
+
+@pytest.fixture(autouse=True)
+def _results(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+
+
+class TestStochasticExtension:
+    @pytest.fixture(scope="class")
+    def res(self, tmp_path_factory):
+        import os
+        os.environ["REPRO_RESULTS_DIR"] = str(
+            tmp_path_factory.mktemp("sr"))
+        from repro.experiments.ext_stochastic import run
+        return run(scale=SCALES["small"], quiet=True, n_terms=4096)
+
+    def test_rn_stagnates(self, res):
+        assert res.data["drift"]["fp16 (RN)"] > 0.3
+        assert res.data["drift"]["posit16es2"] > 0.3
+
+    def test_sr_tracks(self, res):
+        assert res.data["drift"]["fp16 (SR)"] < 0.05
+
+    def test_ir_runs_all_modes(self, res):
+        for name, per in res.data["ir"].items():
+            for label, r in per.items():
+                assert r.converged, (name, label)
+
+    def test_sr_does_not_beat_posit_on_range(self, res):
+        """SR cannot fix what overflow breaks; posit still differs."""
+        # all four IR matrices here are in-range; counts are comparable
+        for per in res.data["ir"].values():
+            assert per["fp16 (SR)"].iterations <= \
+                3 * per["fp16 (RN)"].iterations
+
+
+class TestJacobiExtension:
+    @pytest.fixture(scope="class")
+    def res(self, tmp_path_factory):
+        import os
+        os.environ["REPRO_RESULTS_DIR"] = str(
+            tmp_path_factory.mktemp("jac"))
+        from repro.experiments.ext_jacobi import run
+        return run(scale=SCALES["small"], quiet=True,
+                   matrices=("lund_a", "bcsstk06", "nos2"))
+
+    def test_jacobi_removes_posit_penalty(self, res):
+        assert res.data["median_jacobi_ratio"] < 1.3
+
+    def test_jacobi_beats_plain_for_posit(self, res):
+        for name, per in res.data["results"].items():
+            plain = per["posit32es2"]["plain"]
+            jac = per["posit32es2"]["jacobi"]
+            assert jac.converged
+            plain_iters = (plain.iterations if plain.converged
+                           else 10 ** 9)
+            assert jac.iterations < plain_iters, name
+
+    def test_jacobi_beats_static_rescaling(self, res):
+        """The X9 headline: dynamic > static for these matrices."""
+        wins = 0
+        for per in res.data["results"].values():
+            if per["posit32es2"]["jacobi"].iterations < \
+                    per["posit32es2"]["rescaled"].iterations:
+                wins += 1
+        assert wins == len(res.data["results"])
+
+
+class TestJacobiUnit:
+    def test_matches_plain_on_unit_diagonal(self, spd_system):
+        """With diag(A) ≈ const, Jacobi is just a scalar rescaling."""
+        import numpy as np
+        from repro.arith import FPContext
+        from repro.linalg import conjugate_gradient
+        A, b, _ = spd_system
+        D = np.diag(1.0 / np.sqrt(np.diag(A)))
+        An = D @ A @ D  # unit diagonal
+        bn = D @ b
+        ctx = FPContext("fp64")
+        plain = conjugate_gradient(ctx, An, bn)
+        jac = conjugate_gradient(ctx, An, bn, jacobi=True)
+        assert abs(plain.iterations - jac.iterations) <= 2
+
+    def test_rejects_bad_diagonal(self):
+        import numpy as np
+        from repro.arith import FPContext
+        from repro.linalg import conjugate_gradient
+        A = np.diag([1.0, -1.0])
+        with pytest.raises(ValueError):
+            conjugate_gradient(FPContext("fp64"), A, np.ones(2),
+                               jacobi=True)
+
+    def test_solution_correct(self, spd_system):
+        import numpy as np
+        from repro.arith import FPContext
+        from repro.linalg import conjugate_gradient
+        A, b, xhat = spd_system
+        res = conjugate_gradient(FPContext("fp64"), A, b, rtol=1e-10,
+                                 jacobi=True)
+        assert res.converged
+        assert np.allclose(res.x, xhat, atol=1e-7)

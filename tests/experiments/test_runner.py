@@ -1,0 +1,86 @@
+"""Runner CLI and extension-experiment smoke tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SCALES
+from repro.experiments import (EXPERIMENTS, PAPER_ARTIFACTS,
+                               run_experiment)
+from repro.experiments.runner import main
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        for eid in PAPER_ARTIFACTS:
+            assert eid in EXPERIMENTS
+
+    def test_ten_paper_artifacts(self):
+        # Table I-III and Figs 3, 5-10
+        assert len(PAPER_ARTIFACTS) == 10
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "table3" in out
+
+    def test_single_experiment(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(["table1", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_unknown_argument_errors(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_bad_scale_errors(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--scale", "galactic"])
+
+
+class TestExtensions:
+    @pytest.fixture(autouse=True)
+    def _results(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+
+    def test_quire_ablation(self):
+        res = run_experiment("ext-quire", scale=SCALES["small"],
+                             quiet=True)
+        # fused accumulation must reduce error for BOTH formats —
+        # the paper's §II-C argument
+        for n, row in res.data.items():
+            assert row["gain_posit"] >= 1.0
+            assert row["gain_float"] >= 1.0
+
+    def test_fft_extension(self):
+        res = run_experiment("ext-fft", scale=SCALES["small"], quiet=True)
+        unit = res.data["unit tones"]
+        # fp16 handles unit signals; the badly-scaled signal breaks it
+        assert unit["raw"]["fp16"] < 0.01
+        big = res.data["scaled 1e4"]
+        import math
+        assert (not math.isfinite(big["raw"]["fp16"])) or \
+            big["raw"]["fp16"] > big["raw"]["posit16es2"]
+
+    def test_scaling_ablation(self):
+        res = run_experiment("ext-scaling", scale=SCALES["small"],
+                             quiet=True)
+        med = res.data["medians"]
+        # Algorithm 3 must beat no scaling
+        assert med["diag-mean-pow2"] > med["none"] + 0.5
+
+    def test_bicg_extension(self):
+        res = run_experiment("ext-bicg", scale=SCALES["small"],
+                             quiet=True)
+        assert len(res.data) >= 3
+        # every matrix ran all three methods in both formats
+        for per in res.data.values():
+            assert set(per) == {"fp32", "posit32es2"}
+            assert set(per["fp32"]) == {"cg", "bicg", "bicgstab"}

@@ -1,0 +1,81 @@
+"""Property-based invariants that every registered format must satisfy."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import get_format
+
+ALL_FORMATS = st.sampled_from([
+    "fp16", "fp32", "fp64", "bf16", "fp8e4m3", "fp8e5m2",
+    "posit8es0", "posit16es1", "posit16es2", "posit32es2", "posit32es3",
+])
+
+finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+
+@given(ALL_FORMATS, finite)
+@settings(max_examples=150)
+def test_idempotent(name, x):
+    fmt = get_format(name)
+    once = fmt.round(x)
+    assert fmt.round(once) == once or (
+        np.isnan(once) and np.isnan(fmt.round(once)))
+
+
+@given(ALL_FORMATS, finite)
+@settings(max_examples=150)
+def test_sign_symmetric(name, x):
+    fmt = get_format(name)
+    a, b = fmt.round(x), fmt.round(-x)
+    if np.isnan(a):
+        assert np.isnan(b)
+    else:
+        assert a == -b
+
+
+@given(ALL_FORMATS, finite, finite)
+@settings(max_examples=150)
+def test_monotone(name, x, y):
+    fmt = get_format(name)
+    lo, hi = min(x, y), max(x, y)
+    rlo, rhi = fmt.round(lo), fmt.round(hi)
+    assert rlo <= rhi
+
+
+@given(ALL_FORMATS, finite)
+@settings(max_examples=100)
+def test_rounding_error_bounded_by_gap(name, x):
+    """|round(x) − x| is at most the larger adjacent gap (or saturation)."""
+    fmt = get_format(name)
+    r = fmt.round(x)
+    if not np.isfinite(r) or r == 0.0 or x == 0.0:
+        return
+    if abs(x) >= fmt.max_value or abs(x) <= fmt.min_positive:
+        return  # saturation / flush regions
+    rel = abs(r - x) / max(abs(x), abs(r))
+    # In the posit tapered extremes consecutive values differ by a factor
+    # of useed (16 for es=2, 256 for es=3), so the relative error of a
+    # correctly rounded result can approach 1 — but never reach it.
+    assert rel < 1.0
+
+
+@given(ALL_FORMATS)
+def test_metadata_consistency(name):
+    fmt = get_format(name)
+    assert fmt.max_value > 1.0 > fmt.min_positive > 0.0
+    assert 0.0 < fmt.eps_at_one < 1.0
+    assert fmt.round(0.0) == 0.0
+    assert fmt.round(1.0) == 1.0
+    assert fmt.round(fmt.max_value) == fmt.max_value
+
+
+@given(ALL_FORMATS, st.integers(min_value=-8, max_value=8))
+@settings(max_examples=80)
+def test_small_powers_of_two_exact(name, s):
+    fmt = get_format(name)
+    v = float(2.0 ** s)
+    if fmt.min_positive <= v <= fmt.max_value:
+        assert fmt.round(v) == v

@@ -1,0 +1,128 @@
+"""Generic IEEE emulation tests: agreement with native formats,
+subnormals, the overflow rule, and the bfloat16/FP8 variants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import BFLOAT16, FP8_E4M3, FP8_E5M2, FLOAT16, FLOAT32
+from repro.formats.ieee import IEEEFormat
+
+
+def _adversarial_values(rng, fmt):
+    """Values around every boundary that matters for IEEE rounding."""
+    base = rng.standard_normal(2000) * 10.0 ** rng.integers(-40, 40, 2000)
+    edges = np.array([
+        0.0, -0.0, fmt.max_value, fmt.max_value * (1 + 2 ** -30),
+        fmt.max_value * 1.001, fmt.min_positive, fmt.min_positive / 2,
+        fmt.min_positive / 2 * (1 + 1e-9), fmt.min_positive * 1.5,
+        np.inf, -np.inf, np.nan, 1.0, -1.0,
+    ])
+    return np.concatenate([base, edges])
+
+
+class TestAgainstNative:
+    @pytest.mark.parametrize("emul,native", [
+        (IEEEFormat(11, 5), FLOAT16), (IEEEFormat(24, 8), FLOAT32)])
+    def test_bitwise_agreement(self, emul, native, rng):
+        x = _adversarial_values(rng, native)
+        a = emul.round(x)
+        b = native.round(x)
+        eq = (a == b) | (np.isnan(a) & np.isnan(b))
+        assert eq.all(), x[~eq][:10]
+
+    def test_metadata_agreement(self):
+        emul = IEEEFormat(11, 5)
+        assert emul.max_value == FLOAT16.max_value
+        assert emul.min_positive == FLOAT16.min_positive
+        assert emul.eps_at_one == FLOAT16.eps_at_one
+        assert emul.nbits == 16
+
+
+class TestOverflowRule:
+    def test_halfway_to_next_ulp_overflows(self):
+        fmt = IEEEFormat(11, 5)
+        ulp = 2.0 ** (fmt.emax - (fmt.precision - 1))
+        at_boundary = fmt.max_value + ulp / 2
+        assert np.isinf(fmt.round(at_boundary))
+        assert fmt.round(at_boundary - ulp / 8) == fmt.max_value
+
+    def test_sign_of_infinity(self):
+        fmt = IEEEFormat(11, 5)
+        assert fmt.round(-1e10) == -np.inf
+
+
+class TestSubnormals:
+    def test_gradual_underflow(self):
+        fmt = IEEEFormat(11, 5)
+        tiny = fmt.min_positive
+        for k in [1, 2, 3, 5, 100, 1000]:
+            assert fmt.round(k * tiny) == k * tiny
+
+    def test_below_half_tiny_flushes(self):
+        fmt = IEEEFormat(11, 5)
+        assert fmt.round(fmt.min_positive * 0.49) == 0.0
+
+    def test_tie_at_half_tiny_to_even(self):
+        fmt = IEEEFormat(11, 5)
+        assert fmt.round(fmt.min_positive * 0.5) == 0.0  # even = 0
+
+    def test_subnormal_precision_loss(self):
+        fmt = IEEEFormat(11, 5)
+        # a subnormal with max bits: rounding granularity is min_positive
+        v = fmt.min_positive * 7.3
+        r = fmt.round(v)
+        assert abs(r - v) <= fmt.min_positive / 2
+
+
+class TestVariants:
+    def test_bfloat16_range_is_fp32_like(self):
+        assert BFLOAT16.emax == 127
+        assert BFLOAT16.max_value > 3e38
+        assert BFLOAT16.eps_at_one == 2.0 ** -7
+
+    def test_fp8_widths(self):
+        assert FP8_E4M3.nbits == 8
+        assert FP8_E5M2.nbits == 8
+        assert FP8_E5M2.emax == 15
+
+    def test_bfloat16_is_truncated_fp32_prefix(self, rng):
+        # every bfloat16 value must be exactly representable in fp32
+        x = rng.standard_normal(500)
+        r = BFLOAT16.round(x)
+        assert np.array_equal(FLOAT32.round(r), r)
+
+    def test_fp8_coarse(self):
+        assert FP8_E4M3.round(1.06) == 1.0
+        assert FP8_E4M3.round(1.07) == 1.125
+
+
+class TestValidation:
+    def test_precision_bounds(self):
+        with pytest.raises(FormatError):
+            IEEEFormat(1, 5)
+        with pytest.raises(FormatError):
+            IEEEFormat(53, 5)
+
+    def test_exp_bounds(self):
+        with pytest.raises(FormatError):
+            IEEEFormat(11, 1)
+        with pytest.raises(FormatError):
+            IEEEFormat(11, 12)
+
+    def test_naming(self):
+        fmt = IEEEFormat(8, 6)
+        assert "p8" in fmt.name and "e6" in fmt.name
+
+    def test_idempotent(self, rng):
+        fmt = IEEEFormat(9, 6)
+        x = fmt.round(rng.standard_normal(500) * 1e3)
+        assert np.array_equal(fmt.round(x), x)
+
+    def test_monotone(self, rng):
+        fmt = IEEEFormat(7, 5)
+        x = np.sort(rng.standard_normal(1000) * 1e4)
+        r = np.asarray(fmt.round(x))
+        assert (np.diff(r) >= 0).all()

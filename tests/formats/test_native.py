@@ -1,0 +1,83 @@
+"""Native IEEE format wrapper tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import FLOAT16, FLOAT32, FLOAT64
+
+
+class TestMetadata:
+    def test_names(self):
+        assert FLOAT16.name == "fp16"
+        assert FLOAT32.display_name == "Float32"
+        assert FLOAT64.nbits == 64
+
+    def test_eps(self):
+        assert FLOAT16.eps_at_one == 2.0 ** -10
+        assert FLOAT32.eps_at_one == 2.0 ** -23
+        assert FLOAT64.eps_at_one == 2.0 ** -52
+
+    def test_max_values(self):
+        assert FLOAT16.max_value == 65504.0
+        assert FLOAT32.max_value == pytest.approx(3.4028235e38)
+
+    def test_min_positive_is_subnormal(self):
+        assert FLOAT16.min_positive == 2.0 ** -24
+        assert FLOAT32.min_positive == 2.0 ** -149
+
+    def test_no_saturation(self):
+        assert not FLOAT16.saturates
+
+    def test_digits_at_one(self):
+        assert FLOAT32.decimal_digits_at_one == pytest.approx(6.92, abs=0.01)
+
+
+class TestRounding:
+    def test_fp64_passthrough(self, rng):
+        x = rng.standard_normal(100)
+        assert np.array_equal(FLOAT64.round(x), x)
+
+    def test_fp32_matches_cast(self, rng):
+        x = rng.standard_normal(1000) * 10.0 ** rng.integers(-30, 30, 1000)
+        assert np.array_equal(FLOAT32.round(x),
+                              x.astype(np.float32).astype(np.float64))
+
+    def test_overflow_to_inf(self):
+        assert np.isinf(FLOAT16.round(70000.0))
+        assert FLOAT16.round(-70000.0) == -np.inf
+
+    def test_underflow_to_zero(self):
+        assert FLOAT16.round(1e-10) == 0.0
+
+    def test_subnormals_preserved(self):
+        v = 2.0 ** -24  # smallest fp16 subnormal
+        assert FLOAT16.round(v) == v
+        assert FLOAT16.round(v * 3) == v * 3
+
+    def test_scalar_in_scalar_out(self):
+        out = FLOAT32.round(1.5)
+        assert isinstance(out, float)
+        assert out == 1.5
+
+    def test_nan_propagates(self):
+        assert np.isnan(FLOAT16.round(np.nan))
+
+    def test_idempotent(self, rng):
+        x = FLOAT16.round(rng.standard_normal(200) * 100)
+        assert np.array_equal(FLOAT16.round(x), x)
+
+    def test_round_half_even(self):
+        # 1 + 2**-11 is exactly between 1.0 and 1 + 2**-10 in fp16
+        assert FLOAT16.round(1.0 + 2.0 ** -11) == 1.0
+        assert FLOAT16.round(1.0 + 3 * 2.0 ** -11) == 1.0 + 2.0 ** -9
+
+
+class TestEquality:
+    def test_format_identity(self):
+        from repro.formats.native import NativeIEEEFormat
+        other = NativeIEEEFormat(np.float16, "fp16", "Float16")
+        assert other == FLOAT16
+        assert hash(other) == hash(FLOAT16)
+        assert FLOAT16 != FLOAT32

@@ -1,0 +1,60 @@
+"""PositFormat adapter tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import POSIT16_1, POSIT16_2, POSIT32_2, PositFormat
+from repro.posit.codec import posit_config
+
+
+class TestMetadata:
+    def test_names(self):
+        assert POSIT32_2.name == "posit32es2"
+        assert POSIT16_1.display_name == "Posit(16, 1)"
+
+    def test_range_matches_codec(self):
+        cfg = posit_config(16, 2)
+        assert POSIT16_2.max_value == float(cfg.maxpos)
+        assert POSIT16_2.min_positive == float(cfg.minpos)
+
+    def test_eps(self):
+        assert POSIT16_1.eps_at_one == 2.0 ** -12
+        assert POSIT32_2.eps_at_one == 2.0 ** -27
+
+    def test_useed(self):
+        assert POSIT16_1.useed == 4
+        assert POSIT16_2.useed == 16
+        assert PositFormat(16, 3).useed == 256
+
+    def test_saturates(self):
+        assert POSIT16_2.saturates
+
+    def test_dynamic_range_beats_fp16(self):
+        from repro.formats import FLOAT16
+        # the Table II argument: posit16's reach far exceeds fp16's
+        assert POSIT16_2.dynamic_range_decades > \
+            FLOAT16.dynamic_range_decades
+
+    def test_equality(self):
+        assert PositFormat(16, 2) == POSIT16_2
+        assert PositFormat(16, 1) != POSIT16_2
+
+
+class TestRounding:
+    def test_delegates_to_kernel(self, rng):
+        from repro.posit.rounding import posit_round
+        x = rng.standard_normal(500)
+        assert np.array_equal(POSIT32_2.round(x), posit_round(x, 32, 2))
+
+    def test_scalar(self):
+        out = POSIT16_2.round(1.5)
+        assert isinstance(out, float) and out == 1.5
+
+    def test_saturation_not_inf(self):
+        assert POSIT16_2.round(1e30) == POSIT16_2.max_value
+        assert POSIT16_2.round(-1e30) == -POSIT16_2.max_value
+
+    def test_never_rounds_to_zero(self):
+        assert POSIT16_2.round(1e-30) == POSIT16_2.min_positive

@@ -1,0 +1,96 @@
+"""Precision-analytics tests (the Fig. 3 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import (digits_of_precision_at, format_summary,
+                           get_format, golden_zone, precision_curve,
+                           spacing_at)
+
+
+class TestSpacing:
+    def test_fp32_closed_form(self):
+        # spacing at x in [2^s, 2^(s+1)) is 2^(s-23)
+        x = np.array([1.0, 1.5, 2.0, 3.0, 1024.0])
+        got = spacing_at("fp32", x)
+        want = np.array([2.0 ** -23, 2.0 ** -23, 2.0 ** -22,
+                         2.0 ** -22, 2.0 ** -13])
+        assert np.array_equal(got, want)
+
+    def test_posit_golden_zone_spacing(self):
+        # posit(32,2) at 1.0: 27 fraction bits → gap 2**-27
+        assert spacing_at("posit32es2", np.array([1.0]))[0] == 2.0 ** -27
+
+    def test_posit_tapered_spacing(self):
+        # at 2**20 (k=5, regime len 7): fraction bits 31-7-2=22 → gap 2^-2
+        got = spacing_at("posit32es2", np.array([float(2 ** 20)]))[0]
+        assert got == 2.0 ** (20 - 22)
+
+    def test_out_of_range_nan(self):
+        out = spacing_at("fp16", np.array([1e10, 0.0]))
+        assert np.isnan(out).all()
+
+    def test_spacing_between_consecutive_representables(self, rng):
+        fmt = get_format("posit16es1")
+        x = np.abs(rng.standard_normal(100)) + 0.1
+        gap = spacing_at(fmt, x)
+        base = np.asarray(fmt.round(x))
+        nxt = np.asarray(fmt.round(base + gap * 0.51))
+        assert np.array_equal(nxt, base + gap)
+
+
+class TestDigits:
+    def test_fp32_flat(self):
+        xs = np.array([1e-6, 1.0, 1e6])
+        d = digits_of_precision_at("fp32", xs)
+        assert np.all(np.abs(d - 7.0) < 0.35)
+
+    def test_posit_peaks_at_one(self):
+        d = digits_of_precision_at(
+            "posit32es2", np.array([1e-8, 1.0, 1e8]))
+        assert d[1] > d[0] and d[1] > d[2]
+
+    def test_posit32es2_peak_value(self):
+        d = digits_of_precision_at("posit32es2", np.array([1.0]))[0]
+        assert d == pytest.approx(27 * np.log10(2), abs=0.01)
+
+
+class TestGoldenZone:
+    def test_paper_crossover(self):
+        # paper: posit(32,2) has better relative precision "until
+        # roughly 10^-5" — our analytic zone is [2^-20, 2^20]
+        lo, hi = golden_zone("posit32es2", "fp32")
+        assert lo == 2.0 ** -20 and hi == 2.0 ** 20
+
+    def test_es3_zone_wider(self):
+        lo2, hi2 = golden_zone("posit32es2", "fp32")
+        lo3, hi3 = golden_zone("posit32es3", "fp32")
+        assert lo3 < lo2 and hi3 > hi2
+
+    def test_16bit_zone(self):
+        lo, hi = golden_zone("posit16es2", "fp16")
+        assert lo < 1.0 < hi
+
+    def test_non_posit_raises(self):
+        with pytest.raises(TypeError):
+            golden_zone("fp32", "fp16")
+
+
+class TestCurveAndSummary:
+    def test_curve_shape(self):
+        c = precision_curve("fp16", 1e-3, 1e3, points=21)
+        assert c["x"].shape == (21,)
+        assert c["digits"].shape == (21,)
+        assert c["format"] == "fp16"
+
+    def test_summary_keys(self):
+        s = format_summary("posit16es1")
+        assert s["bits"] == 16
+        assert s["saturates"] is True
+        assert s["eps_at_one"] == 2.0 ** -12
+
+    def test_summary_fp64(self):
+        s = format_summary("fp64")
+        assert s["digits_at_one"] == pytest.approx(15.65, abs=0.01)

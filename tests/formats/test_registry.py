@@ -1,0 +1,70 @@
+"""Registry resolution tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownFormatError
+from repro.formats import (FLOAT16, FLOAT32, POSIT32_2, available_formats,
+                           get_format, register_format)
+from repro.formats.ieee import IEEEFormat
+from repro.formats.posit_format import PositFormat
+
+
+class TestLookup:
+    def test_canonical_names(self):
+        assert get_format("fp32") is FLOAT32
+        assert get_format("posit32es2") is POSIT32_2
+
+    def test_aliases(self):
+        assert get_format("float16") is FLOAT16
+        assert get_format("posit32") is POSIT32_2
+
+    def test_case_insensitive(self):
+        assert get_format("FP32") is FLOAT32
+        assert get_format("Posit32ES2") is POSIT32_2
+
+    def test_passthrough(self):
+        assert get_format(FLOAT32) is FLOAT32
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownFormatError):
+            get_format("posix32")
+
+    def test_unknown_is_keyerror(self):
+        with pytest.raises(KeyError):
+            get_format("nope")
+
+
+class TestDynamicResolution:
+    def test_arbitrary_posit(self):
+        fmt = get_format("posit12es1")
+        assert isinstance(fmt, PositFormat)
+        assert (fmt.nbits, fmt.es) == (12, 1)
+
+    def test_arbitrary_ieee(self):
+        fmt = get_format("ieee16p9e6")
+        assert isinstance(fmt, IEEEFormat)
+        assert fmt.precision == 9 and fmt.exp_bits == 6
+
+    def test_dynamic_is_cached(self):
+        a = get_format("posit20es1")
+        b = get_format("posit20es1")
+        assert a is b
+
+
+class TestRegistration:
+    def test_register_custom(self):
+        fmt = register_format(PositFormat(24, 1), "my24")
+        assert get_format("my24") is fmt
+
+    def test_available_formats_is_copy(self):
+        snapshot = available_formats()
+        snapshot["bogus"] = FLOAT32
+        with pytest.raises(UnknownFormatError):
+            get_format("bogus")
+
+    def test_paper_formats_all_present(self):
+        for name in ["fp16", "fp32", "fp64", "posit16es1", "posit16es2",
+                     "posit32es2", "posit32es3"]:
+            assert get_format(name) is not None

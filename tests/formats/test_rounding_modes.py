@@ -1,0 +1,152 @@
+"""Directed and stochastic rounding mode tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import (FLOAT16, DirectedIEEEFormat,
+                           StochasticRounding, get_format)
+
+
+class TestDirectedModes:
+    @pytest.fixture(scope="class")
+    def modes(self):
+        return {m: DirectedIEEEFormat(11, 5, m)
+                for m in ("toward_zero", "down", "up")}
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            DirectedIEEEFormat(11, 5, "nearest_odd")
+
+    def test_exact_values_unchanged(self, modes, rng):
+        x = np.asarray(FLOAT16.round(rng.standard_normal(200)))
+        for fmt in modes.values():
+            assert np.array_equal(np.asarray(fmt.round(x)), x)
+
+    def test_toward_zero_shrinks_magnitude(self, modes, rng):
+        x = rng.standard_normal(500) * 10
+        r = np.asarray(modes["toward_zero"].round(x))
+        assert (np.abs(r) <= np.abs(x)).all()
+
+    def test_down_below_up_above(self, modes, rng):
+        x = rng.standard_normal(500) * 10
+        lo = np.asarray(modes["down"].round(x))
+        hi = np.asarray(modes["up"].round(x))
+        assert (lo <= x).all()
+        assert (hi >= x).all()
+
+    def test_down_up_bracket_is_one_ulp(self, modes, rng):
+        x = rng.standard_normal(300)
+        lo = np.asarray(modes["down"].round(x))
+        hi = np.asarray(modes["up"].round(x))
+        inexact = lo != hi
+        # bracket width equals the local fp16 spacing
+        from repro.formats import spacing_at
+        gaps = spacing_at(FLOAT16, np.abs(x[inexact]))
+        assert np.allclose(hi[inexact] - lo[inexact], gaps)
+
+    def test_directed_saturates_no_inf(self, modes):
+        for fmt in modes.values():
+            assert np.isfinite(fmt.round(1e30))
+            assert abs(fmt.round(1e30)) == FLOAT16.max_value
+
+    def test_negative_symmetry_rz(self, modes, rng):
+        x = rng.standard_normal(200)
+        rz = modes["toward_zero"]
+        assert np.array_equal(np.asarray(rz.round(-x)),
+                              -np.asarray(rz.round(x)))
+
+    def test_distinct_identity(self, modes):
+        assert modes["up"] != modes["down"]
+        assert modes["up"] != DirectedIEEEFormat(11, 5, "toward_zero")
+
+
+class TestStochasticRounding:
+    def test_two_candidates_only(self, rng):
+        sr = StochasticRounding(FLOAT16, seed=1)
+        x = 1.0 + 0.4 * 2.0 ** -10
+        vals = {sr.round(x) for _ in range(300)}
+        assert vals == {1.0, 1.0 + 2.0 ** -10}
+
+    def test_probability_proportional(self):
+        sr = StochasticRounding(FLOAT16, seed=7)
+        x = 1.0 + 0.25 * 2.0 ** -10
+        ups = np.mean([sr.round(x) > 1.0 for _ in range(6000)])
+        assert ups == pytest.approx(0.25, abs=0.03)
+
+    def test_unbiased(self):
+        sr = StochasticRounding(FLOAT16, seed=11)
+        x = 2.7182818
+        mean = np.mean([sr.round(x) for _ in range(6000)])
+        assert mean == pytest.approx(x, abs=2e-5)
+
+    def test_exact_values_unchanged(self, rng):
+        sr = StochasticRounding(FLOAT16, seed=3)
+        x = np.asarray(FLOAT16.round(rng.standard_normal(100)))
+        assert np.array_equal(np.asarray(sr.round(x)), x)
+
+    def test_wraps_posit(self):
+        sr = StochasticRounding(get_format("posit16es2"), seed=5)
+        x = 1.0 + 0.5 * 2.0 ** -11
+        vals = {sr.round(x) for _ in range(200)}
+        assert vals == {1.0, 1.0 + 2.0 ** -11}
+
+    def test_reseed_reproducible(self):
+        sr = StochasticRounding(FLOAT16, seed=9)
+        x = np.full(50, 1.0 + 0.3 * 2.0 ** -10)
+        a = np.asarray(sr.round(x))
+        sr.reseed(9)
+        b = np.asarray(sr.round(x))
+        assert np.array_equal(a, b)
+
+    def test_error_bounded_by_gap(self, rng):
+        sr = StochasticRounding(FLOAT16, seed=13)
+        x = rng.standard_normal(500)
+        r = np.asarray(sr.round(x))
+        from repro.formats import spacing_at
+        gaps = spacing_at(FLOAT16, np.abs(x))
+        assert (np.abs(r - x) <= gaps + 1e-15).all()
+
+    def test_metadata_passthrough(self):
+        sr = StochasticRounding(FLOAT16, seed=0)
+        assert sr.max_value == FLOAT16.max_value
+        assert sr.eps_at_one == FLOAT16.eps_at_one
+        assert sr.nbits == 16
+        assert "SR" in sr.display_name
+
+    def test_nonfinite_passthrough(self):
+        sr = StochasticRounding(FLOAT16, seed=0)
+        assert np.isnan(sr.round(np.nan))
+        assert np.isinf(sr.round(1e30))  # base fp16 overflow semantics
+
+    def test_stagnation_cured(self):
+        """The classic SR result: RN stagnates, SR drifts correctly."""
+        rn_acc, sr_acc = 1.0, 1.0
+        sr = StochasticRounding(FLOAT16, seed=21)
+        inc = 2.0 ** -13  # half a fp16 ulp at 1.0
+        for _ in range(4096):
+            rn_acc = float(FLOAT16.round(rn_acc + inc))
+            sr_acc = float(sr.round(sr_acc + inc))
+        true = 1.0 + 4096 * inc
+        assert rn_acc == 1.0  # total stagnation
+        assert abs(sr_acc - true) / true < 0.05
+
+
+class TestStochasticInContext:
+    def test_usable_in_fpcontext(self, rng):
+        from repro.arith import FPContext
+        sr = StochasticRounding(FLOAT16, seed=2)
+        ctx = FPContext(sr)
+        x = rng.standard_normal(50)
+        d = ctx.dot(ctx.asarray(x), ctx.asarray(x))
+        assert d == pytest.approx(float(x @ x), rel=0.05)
+
+    def test_ir_with_sr_factorization(self):
+        from repro.linalg import iterative_refinement
+        from repro.matrices import random_dense_spd
+        A = random_dense_spd(30, kappa=50.0, seed=4, norm2=10.0)
+        b = A @ np.ones(30)
+        sr = StochasticRounding(FLOAT16, seed=6)
+        res = iterative_refinement(A, b, sr)
+        assert res.converged

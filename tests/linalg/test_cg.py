@@ -1,0 +1,131 @@
+"""Conjugate Gradient tests: Algorithm-1 fidelity and format behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arith import FPContext
+from repro.linalg import conjugate_gradient, relative_backward_error
+from repro.matrices import laplacian_1d, random_dense_spd
+
+
+class TestExactArithmetic:
+    def test_converges_on_identity(self, fp64_ctx):
+        b = np.arange(1.0, 6.0)
+        res = conjugate_gradient(fp64_ctx, np.eye(5), b)
+        assert res.converged and res.iterations == 1
+        assert np.allclose(res.x, b)
+
+    def test_finite_termination(self, fp64_ctx, rng):
+        # exact CG converges in ≤ #distinct eigenvalues iterations
+        Q, _ = np.linalg.qr(rng.standard_normal((40, 40)))
+        lam = np.repeat([1.0, 2.0, 5.0, 10.0], 10)
+        A = (Q * lam) @ Q.T
+        A = (A + A.T) / 2
+        b = A @ np.ones(40)
+        res = conjugate_gradient(fp64_ctx, A, b, rtol=1e-8)
+        assert res.converged and res.iterations <= 8
+
+    def test_laplacian(self, fp64_ctx):
+        A = laplacian_1d(50)
+        b = A @ np.linspace(0, 1, 50)
+        res = conjugate_gradient(fp64_ctx, A, b)
+        assert res.converged
+        assert res.true_relative_residual < 1e-5
+
+    def test_zero_rhs(self, fp64_ctx):
+        res = conjugate_gradient(fp64_ctx, np.eye(4), np.zeros(4))
+        assert res.converged and res.iterations == 0
+
+
+class TestConvergenceCriterion:
+    def test_paper_tolerance(self, fp64_ctx, spd_system):
+        A, b, _ = spd_system
+        res = conjugate_gradient(fp64_ctx, A, b, rtol=1e-5)
+        assert res.converged
+        assert res.relative_residual <= 1e-5
+
+    def test_uses_computed_residual(self, spd_system):
+        """The recurrence residual is the test quantity (paper §IV-C)."""
+        A, b, _ = spd_system
+        res = conjugate_gradient(FPContext("fp32"), A, b, rtol=1e-5)
+        assert res.converged
+        # computed and true residuals may legitimately differ
+        assert res.relative_residual <= 1e-5
+        assert np.isfinite(res.true_relative_residual)
+
+    def test_budget_exhaustion(self, fp64_ctx, spd_system):
+        A, b, _ = spd_system
+        res = conjugate_gradient(fp64_ctx, A, b, rtol=1e-12,
+                                 max_iterations=3)
+        assert not res.converged and not res.diverged
+        assert res.iterations == 3
+        assert res.failed
+
+    def test_history_recording(self, fp64_ctx, spd_system):
+        A, b, _ = spd_system
+        res = conjugate_gradient(fp64_ctx, A, b, record_history=True)
+        assert len(res.residual_history) == res.iterations
+        assert res.residual_history[-1] <= 1e-5
+
+    def test_no_history_by_default(self, fp64_ctx, spd_system):
+        A, b, _ = spd_system
+        res = conjugate_gradient(fp64_ctx, A, b)
+        assert res.residual_history == []
+
+
+class TestFormatBehaviour:
+    @pytest.mark.parametrize("fmt", ["fp32", "posit32es2", "posit32es3"])
+    def test_32bit_formats_converge_on_easy_problem(self, fmt, spd_system):
+        A, b, _ = spd_system
+        res = conjugate_gradient(FPContext(fmt), A, b)
+        assert res.converged
+        assert res.true_relative_residual < 1e-4
+
+    def test_fp64_fastest(self, spd_system):
+        A, b, _ = spd_system
+        i64 = conjugate_gradient(FPContext("fp64"), A, b).iterations
+        i32 = conjugate_gradient(FPContext("fp32"), A, b).iterations
+        assert i64 <= i32
+
+    def test_posit32es2_struggles_on_large_norm(self):
+        """The Fig. 6 phenomenon, distilled."""
+        A = random_dense_spd(48, kappa=1e6, seed=3, norm2=1e11)
+        b = A @ np.full(48, 1 / np.sqrt(48))
+        f32 = conjugate_gradient(FPContext("fp32"), A, b,
+                                 max_iterations=2000)
+        p32 = conjugate_gradient(FPContext("posit32es2"), A, b,
+                                 max_iterations=2000)
+        assert f32.converged
+        assert (not p32.converged) or p32.iterations > 1.2 * f32.iterations
+
+    def test_divergence_detection(self):
+        # an indefinite matrix drives CG to breakdown
+        A = np.diag([1.0, -1.0, 2.0, -2.0])
+        b = np.ones(4)
+        res = conjugate_gradient(FPContext("fp32"), A, b,
+                                 max_iterations=50)
+        assert not res.converged
+
+    def test_solution_vector_shape(self, spd_system):
+        A, b, _ = spd_system
+        ctx = FPContext("fp32")
+        res = conjugate_gradient(ctx, A, b)
+        assert res.x.shape == b.shape
+        # the reported true residual is measured against the quantized
+        # system (the one CG actually solved)
+        Aq, bq = ctx.asarray(A), ctx.asarray(b)
+        assert relative_backward_error(Aq, res.x, bq) == pytest.approx(
+            res.true_relative_residual)
+
+    def test_sum_order_qualitative_agreement(self, spd_system):
+        """Pairwise and sequential give the same qualitative outcome."""
+        A, b, _ = spd_system
+        rp = conjugate_gradient(
+            FPContext("posit32es2", sum_order="pairwise"), A, b)
+        rs = conjugate_gradient(
+            FPContext("posit32es2", sum_order="sequential"), A, b)
+        assert rp.converged == rs.converged
+        assert abs(rp.iterations - rs.iterations) <= \
+            0.5 * max(rp.iterations, rs.iterations)

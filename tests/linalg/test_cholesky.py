@@ -1,0 +1,130 @@
+"""Cholesky factorization and direct-solve tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arith import FPContext
+from repro.errors import FactorizationError
+from repro.linalg import (cholesky_factor, cholesky_solve,
+                          factorization_backward_error,
+                          relative_backward_error)
+from repro.matrices import random_dense_spd
+from repro.scaling import scale_by_diagonal_mean
+
+
+class TestFactorization:
+    def test_fp64_matches_numpy(self, spd_60):
+        R = cholesky_factor(FPContext("fp64"), spd_60)
+        want = np.linalg.cholesky(spd_60).T
+        assert np.allclose(R, want, rtol=1e-10)
+
+    def test_upper_triangular(self, any_ctx, spd_60):
+        R = cholesky_factor(any_ctx, spd_60)
+        assert np.array_equal(R, np.triu(R))
+
+    def test_positive_diagonal(self, any_ctx, spd_60):
+        R = cholesky_factor(any_ctx, spd_60)
+        assert (np.diag(R) > 0).all()
+
+    def test_reconstruction_error_scales_with_eps(self, spd_60):
+        errs = {}
+        for fmt in ("fp16", "fp32", "fp64"):
+            ctx = FPContext(fmt)
+            try:
+                R = cholesky_factor(ctx, spd_60)
+                errs[fmt] = factorization_backward_error(
+                    np.asarray(ctx.round(spd_60)), R)
+            except FactorizationError:
+                errs[fmt] = np.inf
+        assert errs["fp64"] < errs["fp32"] < errs["fp16"]
+
+    def test_entries_representable(self, spd_60):
+        ctx = FPContext("posit16es2")
+        R = cholesky_factor(ctx, spd_60)
+        assert np.array_equal(np.asarray(ctx.round(R)), R)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            cholesky_factor(FPContext("fp64"), np.ones((2, 3)))
+
+    def test_indefinite_raises(self):
+        A = np.diag([1.0, -1.0])
+        with pytest.raises(FactorizationError) as exc:
+            cholesky_factor(FPContext("fp64"), A)
+        assert exc.value.pivot_index == 1
+
+    def test_near_singular_low_precision_breaks(self):
+        # fp16 cannot resolve the tiny pivot after update rounding
+        A = random_dense_spd(30, kappa=1e8, seed=9)
+        with pytest.raises(FactorizationError):
+            cholesky_factor(FPContext("fp16"), A)
+
+    def test_does_not_mutate_input(self, spd_60):
+        saved = spd_60.copy()
+        cholesky_factor(FPContext("fp32"), spd_60)
+        assert np.array_equal(spd_60, saved)
+
+    def test_1x1(self):
+        R = cholesky_factor(FPContext("fp64"), np.array([[9.0]]))
+        assert R[0, 0] == 3.0
+
+
+class TestSolve:
+    def test_fp64_solves_exactly(self, spd_system):
+        A, b, xhat = spd_system
+        out = cholesky_solve(FPContext("fp64"), A, b)
+        assert np.allclose(out.x, xhat, atol=1e-10)
+        assert out.relative_backward_error < 1e-13
+
+    @pytest.mark.parametrize("fmt,bound", [
+        ("fp32", 1e-4), ("posit32es2", 1e-4), ("fp16", 0.3)])
+    def test_backward_error_bounds(self, fmt, bound, spd_system):
+        A, b, _ = spd_system
+        out = cholesky_solve(FPContext(fmt), A, b)
+        assert out.relative_backward_error < bound
+
+    def test_reuses_supplied_factor(self, spd_system):
+        A, b, _ = spd_system
+        ctx = FPContext("fp32")
+        R = cholesky_factor(ctx, A)
+        out = cholesky_solve(ctx, A, b, R=R)
+        assert out.R is R
+        assert out.relative_backward_error < 1e-4
+
+    def test_error_metric_is_papers(self, spd_system):
+        A, b, _ = spd_system
+        out = cholesky_solve(FPContext("fp32"), A, b)
+        assert out.relative_backward_error == pytest.approx(
+            relative_backward_error(A, out.x, b))
+
+
+class TestPaperPhenomena:
+    def test_rescaling_helps_posit(self):
+        """Fig. 8 → Fig. 9: Algorithm 3 turns the posit deficit into a win."""
+        A = random_dense_spd(40, kappa=1e4, seed=21, norm2=3e9)
+        b = A @ np.full(40, 1 / np.sqrt(40))
+
+        def advantage(As, bs):
+            ef = cholesky_solve(FPContext("fp32"), As,
+                                bs).relative_backward_error
+            ep = cholesky_solve(FPContext("posit32es2"), As,
+                                bs).relative_backward_error
+            return np.log10(ef / ep)
+
+        raw = advantage(A, b)
+        ss = scale_by_diagonal_mean(A, b)
+        scaled = advantage(ss.A, ss.b)
+        assert scaled > raw
+        assert scaled > 0.5  # paper: "at least one extra digit" (≈1)
+
+    def test_scaling_invariance_of_fp32(self):
+        """Power-of-two scaling leaves Float32 results essentially alone."""
+        A = random_dense_spd(40, kappa=1e4, seed=22, norm2=3e9)
+        b = A @ np.full(40, 1 / np.sqrt(40))
+        ss = scale_by_diagonal_mean(A, b)
+        e1 = cholesky_solve(FPContext("fp32"), A, b).relative_backward_error
+        e2 = cholesky_solve(FPContext("fp32"), ss.A,
+                            ss.b).relative_backward_error
+        assert e2 == pytest.approx(e1, rel=1e-6)

@@ -1,0 +1,89 @@
+"""GMRES tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arith import FPContext
+from repro.linalg import gmres, relative_backward_error
+
+
+class TestBasicSolves:
+    def test_identity(self, fp64_ctx):
+        b = np.arange(1.0, 7.0)
+        res = gmres(fp64_ctx, np.eye(6), b)
+        assert res.converged
+        assert np.allclose(res.x, b, atol=1e-10)
+
+    def test_nonsymmetric(self, fp64_ctx, rng):
+        A = rng.standard_normal((30, 30)) + 8 * np.eye(30)
+        xhat = rng.standard_normal(30)
+        res = gmres(fp64_ctx, A, A @ xhat, rtol=1e-10)
+        assert res.converged
+        assert np.allclose(res.x, xhat, atol=1e-7)
+
+    def test_spd(self, fp64_ctx, spd_system):
+        A, b, xhat = spd_system
+        res = gmres(fp64_ctx, A, b, rtol=1e-10, max_iterations=400)
+        assert res.converged
+        assert np.allclose(res.x, xhat, atol=1e-6)
+
+    def test_zero_rhs(self, fp64_ctx):
+        res = gmres(fp64_ctx, np.eye(4), np.zeros(4))
+        assert res.converged and res.iterations == 0
+
+    def test_restart_smaller_than_needed(self, fp64_ctx, rng):
+        A = rng.standard_normal((40, 40)) + 10 * np.eye(40)
+        b = rng.standard_normal(40)
+        res = gmres(fp64_ctx, A, b, rtol=1e-8, restart=5,
+                    max_iterations=800)
+        assert res.converged
+
+    def test_budget_exhaustion(self, fp64_ctx, spd_system):
+        A, b, _ = spd_system
+        res = gmres(fp64_ctx, A, b, rtol=1e-14, max_iterations=3)
+        assert not res.converged
+        assert res.iterations <= 3
+
+    def test_initial_guess(self, fp64_ctx, rng):
+        A = rng.standard_normal((20, 20)) + 6 * np.eye(20)
+        xhat = rng.standard_normal(20)
+        b = A @ xhat
+        res = gmres(fp64_ctx, A, b, x0=xhat.copy(), rtol=1e-10)
+        assert res.converged and res.iterations <= 1
+
+
+class TestLowPrecision:
+    @pytest.mark.parametrize("fmt", ["fp32", "posit32es2"])
+    def test_converges_to_format_level(self, fmt, rng):
+        A = rng.standard_normal((25, 25)) + 8 * np.eye(25)
+        b = rng.standard_normal(25)
+        res = gmres(FPContext(fmt), A, b, rtol=1e-4, max_iterations=300)
+        assert res.converged
+        assert relative_backward_error(A, res.x, b) < 1e-3
+
+
+class TestPreconditioned:
+    def test_gmres_ir_style(self, rng):
+        """GMRES preconditioned by a low-precision Cholesky factor —
+        the Carson-Higham GMRES-IR correction solver the paper mentions."""
+        import scipy.linalg as sla
+
+        from repro.linalg import cholesky_factor
+        from repro.matrices import random_dense_spd
+        A = random_dense_spd(30, kappa=1e4, seed=5, norm2=10.0)
+        b = A @ np.ones(30)
+        R = cholesky_factor(FPContext("fp16"), A)
+
+        def m_inv(v):
+            y = sla.solve_triangular(R, v, trans="T", lower=False)
+            return sla.solve_triangular(R, y, lower=False)
+
+        res = gmres(FPContext("fp64"), A, b, rtol=1e-12,
+                    preconditioner_solve=m_inv, max_iterations=200)
+        assert res.converged
+        # preconditioning must beat unpreconditioned GMRES
+        plain = gmres(FPContext("fp64"), A, b, rtol=1e-12,
+                      max_iterations=200)
+        assert res.iterations < plain.iterations

@@ -1,0 +1,116 @@
+"""Property-based solver tests: random well-posed SPD systems must be
+solved correctly by every method in exact (float64) arithmetic, and the
+low-precision paths must degrade gracefully, never silently."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith import FPContext
+from repro.linalg import (cholesky_factor, cholesky_solve,
+                          conjugate_gradient, gmres, lu_factor, lu_solve,
+                          qr_factor, qr_solve, relative_backward_error)
+
+
+@st.composite
+def spd_systems(draw):
+    n = draw(st.integers(min_value=2, max_value=16))
+    seed = draw(st.integers(min_value=0, max_value=10 ** 6))
+    log_kappa = draw(st.floats(min_value=0.0, max_value=4.0))
+    log_norm = draw(st.floats(min_value=-3.0, max_value=6.0))
+    rng = np.random.default_rng(seed)
+    Q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    lam = np.geomspace(10.0 ** -log_kappa, 1.0, n) * 10.0 ** log_norm
+    A = (Q * lam) @ Q.T
+    A = (A + A.T) / 2
+    x = rng.standard_normal(n)
+    return A, A @ x, x
+
+
+SOLVE_TOL = 1e-6
+
+
+@given(spd_systems())
+@settings(max_examples=40, deadline=None)
+def test_cholesky_solves_fp64(system):
+    A, b, xhat = system
+    out = cholesky_solve(FPContext("fp64"), A, b)
+    assert out.relative_backward_error < SOLVE_TOL
+
+
+@given(spd_systems())
+@settings(max_examples=40, deadline=None)
+def test_cg_solves_fp64(system):
+    A, b, _ = system
+    res = conjugate_gradient(FPContext("fp64"), A, b, rtol=1e-8,
+                             max_iterations=2000)
+    assert res.converged
+    assert res.true_relative_residual < 1e-6
+
+
+@given(spd_systems())
+@settings(max_examples=25, deadline=None)
+def test_lu_solves_fp64(system):
+    A, b, _ = system
+    ctx = FPContext("fp64")
+    x = lu_solve(ctx, lu_factor(ctx, A), b)
+    assert relative_backward_error(A, x, b) < SOLVE_TOL
+
+
+@given(spd_systems())
+@settings(max_examples=25, deadline=None)
+def test_qr_solves_fp64(system):
+    A, b, _ = system
+    ctx = FPContext("fp64")
+    x = qr_solve(ctx, qr_factor(ctx, A), b)
+    assert relative_backward_error(A, x, b) < SOLVE_TOL
+
+
+@given(spd_systems())
+@settings(max_examples=20, deadline=None)
+def test_gmres_solves_fp64(system):
+    A, b, _ = system
+    res = gmres(FPContext("fp64"), A, b, rtol=1e-8, max_iterations=600)
+    assert res.converged
+
+
+@given(spd_systems())
+@settings(max_examples=25, deadline=None)
+def test_cholesky_factor_entries_representable_posit(system):
+    A, _b, _x = system
+    ctx = FPContext("posit32es2")
+    from repro.errors import FactorizationError
+    try:
+        R = cholesky_factor(ctx, A)
+    except FactorizationError:
+        return  # honest breakdown is acceptable; silence is not
+    assert np.array_equal(np.asarray(ctx.round(R)), R)
+
+
+@given(spd_systems())
+@settings(max_examples=25, deadline=None)
+def test_low_precision_never_silently_wrong(system):
+    """fp16 either solves to its accuracy class or visibly fails."""
+    A, b, _ = system
+    from repro.errors import FactorizationError
+    ctx = FPContext("fp16")
+    try:
+        out = cholesky_solve(ctx, A, b)
+    except FactorizationError:
+        return
+    # either a sane backward error or an explicit inf — never NaN-free
+    # garbage presented as success
+    err = out.relative_backward_error
+    assert err == np.inf or err < 1.0
+
+
+@given(spd_systems(), st.sampled_from(["pairwise", "sequential"]))
+@settings(max_examples=20, deadline=None)
+def test_cg_sum_orders_agree_qualitatively(system, order):
+    A, b, _ = system
+    ctx = FPContext("posit32es2", sum_order=order)
+    res = conjugate_gradient(ctx, A, b, max_iterations=2000)
+    if res.converged:
+        assert res.true_relative_residual < 1e-3

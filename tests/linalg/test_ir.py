@@ -1,0 +1,170 @@
+"""Mixed-precision iterative-refinement tests (Tables II/III machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.linalg import (iterative_refinement, lower_precision_storage,
+                          normwise_backward_error)
+from repro.matrices import random_dense_spd
+from repro.scaling import higham_rescale
+
+
+@pytest.fixture(scope="module")
+def easy_system():
+    A = random_dense_spd(50, kappa=50.0, seed=7, norm2=10.0)
+    b = A @ np.full(50, 1 / np.sqrt(50))
+    return A, b
+
+
+class TestStorage:
+    def test_posit_saturates(self):
+        A = np.array([[1e30, 0.0], [0.0, 1.0]])
+        low = lower_precision_storage(A, "posit16es2")
+        from repro.formats import POSIT16_2
+        assert low[0, 0] == POSIT16_2.max_value
+
+    def test_ieee_overflow_clamped(self):
+        """Paper: entries beyond max 'round down to this value'."""
+        A = np.array([[1e30, 0.0], [0.0, -1e30]])
+        low = lower_precision_storage(A, "fp16")
+        assert low[0, 0] == 65504.0
+        assert low[1, 1] == -65504.0
+
+    def test_clamping_optional(self):
+        A = np.array([[1e30]])
+        low = lower_precision_storage(A, "fp16", clamp_overflow=False)
+        assert np.isinf(low[0, 0])
+
+    def test_underflow_kept(self):
+        A = np.array([[1e-30]])
+        assert lower_precision_storage(A, "fp16")[0, 0] == 0.0
+        assert lower_precision_storage(A, "posit16es2")[0, 0] > 0.0
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("fmt", ["fp16", "posit16es1", "posit16es2"])
+    def test_easy_system_converges(self, fmt, easy_system):
+        A, b = easy_system
+        res = iterative_refinement(A, b, fmt)
+        assert res.converged and not res.failed
+        assert res.iterations < 30
+        assert res.final_backward_error <= 4 * np.finfo(np.float64).eps
+
+    def test_fp64_factor_converges_immediately(self, easy_system):
+        A, b = easy_system
+        res = iterative_refinement(A, b, "fp64")
+        assert res.converged and res.iterations <= 2
+
+    def test_reaches_float64_accuracy(self, easy_system):
+        """The paper's criterion: solution accurate to Float64 precision."""
+        A, b = easy_system
+        res = iterative_refinement(A, b, "fp16")
+        x64 = np.linalg.solve(A, b)
+        # the refined solution must be as good as a direct fp64 solve
+        assert res.final_backward_error <= \
+            10 * normwise_backward_error(A, x64, b) + 1e-15
+
+    def test_history(self, easy_system):
+        A, b = easy_system
+        res = iterative_refinement(A, b, "fp16", record_history=True)
+        assert len(res.history) == res.iterations
+        assert res.history[-1] == res.final_backward_error
+
+    def test_iteration_count_ordering(self, easy_system):
+        """Better factor precision → fewer refinement steps."""
+        A, b = easy_system
+        i16 = iterative_refinement(A, b, "fp16").iterations
+        i32 = iterative_refinement(A, b, "fp32").iterations
+        assert i32 <= i16
+
+
+class TestFailures:
+    def test_hard_kappa_fails(self):
+        A = random_dense_spd(40, kappa=1e7, seed=11, norm2=10.0)
+        b = A @ np.ones(40)
+        res = iterative_refinement(A, b, "fp16")
+        assert res.failed or not res.converged
+
+    def test_overflow_matrix_fails_fp16_not_posit(self):
+        """The Table II phenomenon: posit's reach rescues storage."""
+        A = random_dense_spd(40, kappa=100.0, seed=12, norm2=5e5)
+        b = A @ np.ones(40)
+        r_fp16 = iterative_refinement(A, b, "fp16")
+        r_posit = iterative_refinement(A, b, "posit16es2")
+        assert r_fp16.failed or not r_fp16.converged
+        assert r_posit.converged
+
+    def test_failure_reason_recorded(self):
+        A = random_dense_spd(30, kappa=1e9, seed=13)
+        b = A @ np.ones(30)
+        res = iterative_refinement(A, b, "fp16")
+        if res.failed:
+            assert res.failure_reason != ""
+
+    def test_budget_exhaustion_entry(self, easy_system):
+        A, b = easy_system
+        res = iterative_refinement(A, b, "fp16", max_iterations=1)
+        assert not res.converged
+        assert res.table_entry(1) in ("1+", "-")
+
+
+class TestTableEntry:
+    def test_converged(self, easy_system):
+        A, b = easy_system
+        res = iterative_refinement(A, b, "posit16es2")
+        assert res.table_entry(1000) == str(res.iterations)
+
+    def test_failed_is_dash(self):
+        A = np.diag([1.0, -1.0])
+        res = iterative_refinement(A, np.ones(2), "fp16")
+        assert res.table_entry(1000) == "-"
+
+
+class TestHighamScaledIR:
+    def test_scaling_rescues_big_norm(self):
+        """Table II '-' row → Table III convergence."""
+        A = random_dense_spd(40, kappa=300.0, seed=14, norm2=3e9)
+        b = A @ np.full(40, 1 / np.sqrt(40))
+        naive = iterative_refinement(A, b, "fp16")
+        assert naive.failed or not naive.converged
+        sc = higham_rescale(A, b, "fp16")
+        scaled = iterative_refinement(A, b, "fp16", scaling=sc)
+        assert scaled.converged
+
+    @pytest.mark.parametrize("fmt", ["fp16", "posit16es1", "posit16es2"])
+    def test_scaled_solution_is_correct(self, fmt):
+        A = random_dense_spd(40, kappa=100.0, seed=15, norm2=1e7)
+        xhat = np.full(40, 1 / np.sqrt(40))
+        b = A @ xhat
+        sc = higham_rescale(A, b, fmt)
+        res = iterative_refinement(A, b, fmt, scaling=sc)
+        assert res.converged
+        assert res.final_backward_error <= 4 * np.finfo(np.float64).eps
+
+    def test_posit16es1_beats_fp16_after_scaling(self):
+        """Table III headline: Posit(16,1) outperforms Float16."""
+        wins = 0
+        for seed in range(5):
+            A = random_dense_spd(40, kappa=200.0, seed=seed, norm2=1e6)
+            b = A @ np.ones(40)
+            out = {}
+            for fmt in ("fp16", "posit16es1"):
+                sc = higham_rescale(A, b, fmt)
+                out[fmt] = iterative_refinement(A, b, fmt, scaling=sc)
+            if out["posit16es1"].converged and (
+                    not out["fp16"].converged
+                    or out["posit16es1"].iterations
+                    <= out["fp16"].iterations):
+                wins += 1
+        assert wins >= 4
+
+    def test_factorization_error_reduced_by_scaling(self):
+        A = random_dense_spd(40, kappa=100.0, seed=16, norm2=1e6)
+        b = A @ np.ones(40)
+        sc = higham_rescale(A, b, "posit16es1")
+        scaled = iterative_refinement(A, b, "posit16es1", scaling=sc)
+        naive = iterative_refinement(A, b, "posit16es1")
+        if np.isfinite(naive.factorization_error):
+            assert scaled.factorization_error < naive.factorization_error

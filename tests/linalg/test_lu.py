@@ -1,0 +1,84 @@
+"""LU baseline tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.arith import FPContext
+from repro.errors import FactorizationError
+from repro.linalg import lu_factor, lu_solve, relative_backward_error
+
+
+class TestFactorization:
+    def test_fp64_reconstructs(self, rng):
+        A = rng.standard_normal((20, 20)) + 5 * np.eye(20)
+        fac = lu_factor(FPContext("fp64"), A)
+        assert np.allclose(A[fac.perm], fac.L @ fac.U, rtol=1e-10,
+                           atol=1e-12)
+
+    def test_unit_lower(self, rng):
+        A = rng.standard_normal((12, 12)) + 4 * np.eye(12)
+        fac = lu_factor(FPContext("fp32"), A)
+        assert np.allclose(np.diag(fac.L), 1.0)
+        assert np.array_equal(fac.L, np.tril(fac.L))
+        assert np.array_equal(fac.U, np.triu(fac.U))
+
+    def test_pivoting_handles_zero_leading_entry(self):
+        A = np.array([[0.0, 1.0], [1.0, 0.0]])
+        fac = lu_factor(FPContext("fp64"), A)
+        assert np.allclose(A[fac.perm], fac.L @ fac.U)
+
+    def test_no_pivot_fails_on_zero_leading_entry(self):
+        A = np.array([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(FactorizationError):
+            lu_factor(FPContext("fp64"), A, pivot=False)
+
+    def test_pivoting_matches_scipy_growth(self, rng):
+        A = rng.standard_normal((30, 30))
+        fac = lu_factor(FPContext("fp64"), A)
+        _, _, U = sla.lu(A)
+        # same magnitude of the final pivot element up to sign/ordering
+        assert np.max(np.abs(fac.U)) == pytest.approx(
+            np.max(np.abs(U)), rel=1e-8)
+
+    def test_singular_raises(self):
+        with pytest.raises(FactorizationError):
+            lu_factor(FPContext("fp64"), np.ones((4, 4)))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            lu_factor(FPContext("fp64"), np.ones((2, 3)))
+
+
+class TestSolve:
+    def test_fp64_solve(self, rng):
+        A = rng.standard_normal((25, 25)) + 6 * np.eye(25)
+        xhat = rng.standard_normal(25)
+        b = A @ xhat
+        fac = lu_factor(FPContext("fp64"), A)
+        x = lu_solve(FPContext("fp64"), fac, b)
+        assert np.allclose(x, xhat, atol=1e-9)
+
+    @pytest.mark.parametrize("fmt,bound", [("fp32", 1e-4),
+                                           ("posit32es2", 1e-4)])
+    def test_low_precision_backward_error(self, fmt, bound, rng):
+        A = rng.standard_normal((20, 20)) + 6 * np.eye(20)
+        b = A @ np.ones(20)
+        ctx = FPContext(fmt)
+        fac = lu_factor(ctx, A)
+        x = lu_solve(ctx, fac, b)
+        assert relative_backward_error(A, x, b) < bound
+
+    def test_lu_vs_cholesky_on_spd(self, spd_system):
+        """Paper §V-C: 'Using Cholesky Factorization instead of LU has
+        little effect on the results.'"""
+        from repro.linalg import cholesky_solve
+        A, b, _ = spd_system
+        ctx = FPContext("fp32")
+        fac = lu_factor(ctx, A)
+        x_lu = lu_solve(ctx, fac, b)
+        e_lu = relative_backward_error(A, x_lu, b)
+        e_ch = cholesky_solve(ctx, A, b).relative_backward_error
+        assert e_lu == pytest.approx(e_ch, rel=20.0)  # same order

@@ -1,0 +1,108 @@
+"""Norm and backward-error metric tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.linalg import (condition_number_2, factorization_backward_error,
+                          fro_norm, inf_norm, normwise_backward_error,
+                          relative_backward_error, two_norm)
+
+
+class TestTwoNorm:
+    def test_diagonal(self):
+        assert two_norm(np.diag([1.0, -5.0, 3.0])) == 5.0
+
+    def test_matches_numpy_general(self, rng):
+        A = rng.standard_normal((20, 30))
+        assert two_norm(A) == pytest.approx(np.linalg.norm(A, 2), rel=1e-10)
+
+    def test_symmetric_path(self, rng):
+        B = rng.standard_normal((25, 25))
+        A = B + B.T
+        assert two_norm(A) == pytest.approx(np.linalg.norm(A, 2), rel=1e-10)
+
+    def test_vector(self):
+        assert two_norm(np.array([3.0, 4.0])) == 5.0
+
+
+class TestInfNorm:
+    def test_matrix(self):
+        A = np.array([[1.0, -2.0], [3.0, 4.0]])
+        assert inf_norm(A) == 7.0
+
+    def test_vector(self):
+        assert inf_norm(np.array([1.0, -9.0, 2.0])) == 9.0
+
+    def test_empty_vector(self):
+        assert inf_norm(np.array([])) == 0.0
+
+
+class TestConditionNumber:
+    def test_identity(self):
+        assert condition_number_2(np.eye(5)) == pytest.approx(1.0)
+
+    def test_known_spd(self, rng):
+        Q, _ = np.linalg.qr(rng.standard_normal((30, 30)))
+        lam = np.geomspace(1e-4, 1.0, 30)
+        A = (Q * lam) @ Q.T
+        A = (A + A.T) / 2
+        assert condition_number_2(A) == pytest.approx(1e4, rel=1e-6)
+
+    def test_singular_is_inf(self):
+        assert condition_number_2(np.zeros((3, 3))) == np.inf
+
+
+class TestBackwardErrors:
+    def test_exact_solution_zero_error(self, spd_system):
+        A, b, xhat = spd_system
+        x = np.linalg.solve(A, b)
+        assert relative_backward_error(A, x, b) < 1e-12
+        assert normwise_backward_error(A, x, b) < 1e-14
+
+    def test_wrong_solution_large_error(self, spd_system):
+        A, b, _ = spd_system
+        x = np.zeros_like(b)
+        assert relative_backward_error(A, x, b) == pytest.approx(1.0)
+
+    def test_nonfinite_solution_inf(self, spd_system):
+        A, b, _ = spd_system
+        x = np.full_like(b, np.nan)
+        assert relative_backward_error(A, x, b) == np.inf
+        assert normwise_backward_error(A, x, b) == np.inf
+
+    def test_zero_rhs(self):
+        A = np.eye(3)
+        assert relative_backward_error(A, np.zeros(3), np.zeros(3)) == 0.0
+
+    def test_normwise_scale_invariant(self, spd_system, rng):
+        A, b, _ = spd_system
+        x = np.linalg.solve(A, b) + 1e-8 * rng.standard_normal(b.size)
+        e1 = normwise_backward_error(A, x, b)
+        e2 = normwise_backward_error(1e6 * A, x, 1e6 * b)
+        assert e1 == pytest.approx(e2, rel=1e-6)
+
+
+class TestFactorizationError:
+    def test_exact_factor(self, spd_60):
+        R = np.linalg.cholesky(spd_60).T
+        assert factorization_backward_error(spd_60, R) < 1e-14
+
+    def test_perturbed_factor(self, spd_60, rng):
+        R = np.linalg.cholesky(spd_60).T
+        R2 = R * (1 + 1e-3 * rng.standard_normal(R.shape))
+        err = factorization_backward_error(spd_60, np.triu(R2))
+        assert 1e-5 < err < 1.0
+
+    def test_denominator_choices(self, spd_60):
+        R = np.linalg.cholesky(spd_60).T * 1.001
+        by_a = factorization_backward_error(spd_60, R, "A")
+        by_r = factorization_backward_error(spd_60, R, "R")
+        assert by_a != by_r
+        assert by_a == pytest.approx(
+            by_r * fro_norm(R) / fro_norm(spd_60), rel=1e-12)
+
+    def test_nonfinite_factor(self, spd_60):
+        R = np.full_like(spd_60, np.inf)
+        assert factorization_backward_error(spd_60, R) == np.inf

@@ -1,0 +1,106 @@
+"""Householder QR tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arith import FPContext
+from repro.linalg import (qr_factor, qr_solve, relative_backward_error,
+                          two_norm)
+
+
+class TestFactorization:
+    def test_fp64_reconstructs(self, rng):
+        A = rng.standard_normal((20, 20))
+        f = qr_factor(FPContext("fp64"), A)
+        assert np.allclose(f.Q @ f.R, A, atol=1e-12)
+
+    def test_q_orthonormal(self, rng):
+        A = rng.standard_normal((25, 25))
+        f = qr_factor(FPContext("fp64"), A)
+        assert np.allclose(f.Q.T @ f.Q, np.eye(25), atol=1e-12)
+
+    def test_r_upper_triangular(self, any_ctx, rng):
+        A = any_ctx.asarray(rng.standard_normal((12, 12)))
+        f = qr_factor(any_ctx, A)
+        assert np.array_equal(f.R, np.triu(f.R))
+
+    def test_tall_matrix_thin_factors(self, rng):
+        A = rng.standard_normal((30, 8))
+        f = qr_factor(FPContext("fp64"), A)
+        assert f.Q.shape == (30, 8)
+        assert f.R.shape == (8, 8)
+        assert np.allclose(f.Q @ f.R, A, atol=1e-12)
+
+    def test_wide_rejected(self, rng):
+        with pytest.raises(ValueError):
+            qr_factor(FPContext("fp64"), rng.standard_normal((3, 5)))
+
+    def test_low_precision_reconstruction(self, rng):
+        ctx = FPContext("posit16es2")
+        A = ctx.asarray(rng.standard_normal((15, 15)))
+        f = qr_factor(ctx, A)
+        rel = np.linalg.norm(f.Q @ f.R - A) / np.linalg.norm(A)
+        assert rel < 50 * ctx.fmt.eps_at_one
+
+    def test_zero_column_handled(self):
+        A = np.array([[1.0, 0.0, 2.0],
+                      [0.0, 0.0, 1.0],
+                      [0.0, 0.0, 3.0]])
+        f = qr_factor(FPContext("fp64"), A)
+        assert np.allclose(f.Q @ f.R, A, atol=1e-12)
+
+    def test_norm_identity(self, spd_60):
+        """The §VI identity ‖R‖₂ = ‖A‖₂ (Q orthogonal)."""
+        f = qr_factor(FPContext("fp64"), spd_60)
+        assert two_norm(f.R) == pytest.approx(two_norm(spd_60),
+                                              rel=1e-10)
+
+    def test_precision_ordering(self, rng):
+        A = rng.standard_normal((18, 18))
+        errs = {}
+        for fmt in ("fp16", "fp32", "fp64"):
+            ctx = FPContext(fmt)
+            f = qr_factor(ctx, A)
+            errs[fmt] = np.linalg.norm(f.Q @ f.R - np.asarray(
+                ctx.asarray(A)))
+        assert errs["fp64"] < errs["fp32"] < errs["fp16"]
+
+
+class TestSolve:
+    def test_square_solve(self, rng):
+        A = rng.standard_normal((22, 22)) + 6 * np.eye(22)
+        xhat = rng.standard_normal(22)
+        ctx = FPContext("fp64")
+        f = qr_factor(ctx, A)
+        x = qr_solve(ctx, f, A @ xhat)
+        assert np.allclose(x, xhat, atol=1e-10)
+
+    def test_least_squares(self, rng):
+        A = rng.standard_normal((40, 12))
+        b = rng.standard_normal(40)
+        ctx = FPContext("fp64")
+        x = qr_solve(ctx, qr_factor(ctx, A), b)
+        xref, *_ = np.linalg.lstsq(A, b, rcond=None)
+        assert np.allclose(x, xref, atol=1e-10)
+
+    def test_low_precision_backward_error(self, rng):
+        A = rng.standard_normal((16, 16)) + 5 * np.eye(16)
+        b = A @ np.ones(16)
+        ctx = FPContext("posit32es2")
+        x = qr_solve(ctx, qr_factor(ctx, A), b)
+        assert relative_backward_error(A, x, b) < 1e-5
+
+
+class TestFactorNormsExperiment:
+    def test_x10_identities(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        from repro.config import SCALES
+        from repro.experiments.ext_factor_norms import run
+        res = run(scale=SCALES["small"], quiet=True,
+                  matrices=("662_bus", "nos5"))
+        for name, d in res.data.items():
+            assert d["chol_norm_ratio"] == pytest.approx(1.0, abs=1e-6)
+            assert d["qr_norm_ratio"] == pytest.approx(1.0, abs=1e-6)
+            assert d["zone_fraction_chol"] > 0.5

@@ -1,0 +1,131 @@
+"""Matrix generator tests: spectral exactness, nnz control, structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MatrixGenerationError
+from repro.linalg import condition_number_2, two_norm
+from repro.matrices import (apply_givens_mix, graph_laplacian_spd,
+                            laplacian_1d, laplacian_2d, random_dense_spd,
+                            spd_from_spectrum, synthesize_spd)
+
+
+class TestGivensMix:
+    def test_preserves_spectrum(self, rng):
+        lam = np.geomspace(1e-3, 1.0, 30)
+        A = apply_givens_mix(np.diag(lam), target_nnz=600, rng=rng)
+        got = np.sort(np.linalg.eigvalsh(A))
+        assert np.allclose(got, lam, rtol=1e-10)
+
+    def test_reaches_nnz_target(self, rng):
+        A = apply_givens_mix(np.diag(np.ones(40)) * np.arange(1.0, 41),
+                             target_nnz=700, rng=rng)
+        assert np.count_nonzero(A) >= 700
+
+    def test_symmetric(self, rng):
+        A = apply_givens_mix(np.diag(np.arange(1.0, 21)), 150, rng)
+        assert np.allclose(A, A.T)
+
+    def test_all_rows_coupled(self, rng):
+        # the coverage sweep must leave no purely diagonal row
+        A = apply_givens_mix(np.diag(np.arange(1.0, 33)), 64, rng)
+        offdiag = A - np.diag(np.diag(A))
+        rows_with_coupling = np.count_nonzero(
+            np.abs(offdiag).sum(axis=1) > 0)
+        assert rows_with_coupling >= A.shape[0] - 1
+
+    def test_nnz_capped_at_dense(self, rng):
+        A = apply_givens_mix(np.diag(np.arange(1.0, 11)), 10 ** 6, rng)
+        assert np.count_nonzero(A) <= 100
+
+
+class TestSpdFromSpectrum:
+    def test_rejects_nonpositive(self, rng):
+        with pytest.raises(MatrixGenerationError):
+            spd_from_spectrum(np.array([1.0, -1.0]), 4, rng)
+
+    def test_spd(self, rng):
+        lam = np.geomspace(1e-2, 1.0, 25)
+        A = spd_from_spectrum(lam, 300, rng)
+        assert (np.linalg.eigvalsh(A) > 0).all()
+
+
+class TestSynthesize:
+    def test_hits_norm_exactly(self):
+        A = synthesize_spd(n=60, norm2=7.7e6, kappa_total=1e6,
+                           kappa_core=100.0, nnz=500, seed=1)
+        assert two_norm(A) == pytest.approx(7.7e6, rel=1e-9)
+
+    def test_kappa_within_factor(self):
+        A = synthesize_spd(n=80, norm2=1e3, kappa_total=1e7,
+                           kappa_core=500.0, nnz=700, seed=2)
+        kappa = condition_number_2(A)
+        assert 1e7 / 5 < kappa < 1e7 * 5
+
+    def test_kappa_core_clamped(self):
+        # kappa_core > kappa_total is clamped, not an error
+        A = synthesize_spd(n=30, norm2=1.0, kappa_total=100.0,
+                           kappa_core=1e6, nnz=200, seed=3)
+        assert condition_number_2(A) < 1e3
+
+    def test_deterministic(self):
+        kw = dict(n=40, norm2=10.0, kappa_total=1e4, kappa_core=50.0,
+                  nnz=300)
+        A = synthesize_spd(seed=9, **kw)
+        B = synthesize_spd(seed=9, **kw)
+        assert np.array_equal(A, B)
+
+    def test_different_seeds_differ(self):
+        kw = dict(n=40, norm2=10.0, kappa_total=1e4, kappa_core=50.0,
+                  nnz=300)
+        assert not np.array_equal(synthesize_spd(seed=1, **kw),
+                                  synthesize_spd(seed=2, **kw))
+
+    def test_spd_and_symmetric(self):
+        A = synthesize_spd(n=50, norm2=2.2, kappa_total=5.1e9,
+                           kappa_core=40.0, nnz=400, seed=4)
+        assert np.array_equal(A, A.T)
+        assert (np.linalg.eigvalsh(A) > 0).all()
+
+    def test_equilibrated_kappa_near_core(self):
+        """The design invariant: after equilibration the conditioning
+        drops to roughly kappa_core — the property driving the IR
+        experiments."""
+        from repro.scaling import equilibrate_symmetric
+        A = synthesize_spd(n=60, norm2=1e8, kappa_total=1e8,
+                           kappa_core=100.0, nnz=600, seed=5)
+        d = equilibrate_symmetric(A)
+        S = A * d[:, None] * d[None, :]
+        k_eq = condition_number_2((S + S.T) / 2)
+        assert k_eq < 100.0 * 50
+
+
+class TestStructured:
+    def test_laplacian_1d(self):
+        A = laplacian_1d(10)
+        assert A.shape == (10, 10)
+        assert (np.diag(A) == 2.0).all()
+        assert (np.linalg.eigvalsh(A) > 0).all()
+
+    def test_laplacian_2d(self):
+        A = laplacian_2d(4, 5)
+        assert A.shape == (20, 20)
+        assert np.array_equal(A, A.T)
+        assert (np.diag(A) == 4.0).all()
+
+    def test_laplacian_2d_square_default(self):
+        assert laplacian_2d(3).shape == (9, 9)
+
+    def test_graph_laplacian(self):
+        import networkx as nx
+        G = nx.erdos_renyi_graph(30, 0.2, seed=4)
+        A = graph_laplacian_spd(G)
+        assert A.shape == (30, 30)
+        assert (np.linalg.eigvalsh(A) > 0).all()
+
+    def test_random_dense_spd(self):
+        A = random_dense_spd(30, kappa=1e5, seed=6, norm2=3.0)
+        assert two_norm(A) == pytest.approx(3.0, rel=1e-9)
+        assert condition_number_2(A) == pytest.approx(1e5, rel=1e-6)

@@ -1,0 +1,92 @@
+"""MatrixMarket I/O tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.matrices import (MatrixMarketError, read_matrix_market,
+                            validate_spd_structure, write_matrix_market)
+
+
+@pytest.fixture
+def spd_file(tmp_path, spd_60):
+    path = str(tmp_path / "test.mtx")
+    write_matrix_market(path, spd_60, comment="test matrix")
+    return path
+
+
+class TestRoundTrip:
+    def test_write_read(self, spd_file, spd_60):
+        loaded = read_matrix_market(spd_file)
+        assert np.allclose(loaded, spd_60, rtol=1e-12)
+
+    def test_sparse_return(self, spd_file):
+        import scipy.sparse
+        loaded = read_matrix_market(spd_file, dense=False)
+        assert scipy.sparse.issparse(loaded)
+
+    def test_sparsity_preserved(self, tmp_path):
+        A = np.diag([1.0, 2.0, 3.0])
+        A[0, 2] = A[2, 0] = 0.5
+        path = str(tmp_path / "sparse.mtx")
+        write_matrix_market(path, A)
+        loaded = read_matrix_market(path)
+        assert np.array_equal(loaded, A)
+
+
+class TestErrors:
+    def test_missing_file(self):
+        with pytest.raises(MatrixMarketError):
+            read_matrix_market("/nonexistent/file.mtx")
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("this is not a matrix market file")
+        with pytest.raises(MatrixMarketError):
+            read_matrix_market(str(path))
+
+    def test_unsymmetric_rejected(self, tmp_path):
+        import scipy.io
+        import scipy.sparse
+        A = np.array([[1.0, 2.0], [0.0, 1.0]])
+        path = str(tmp_path / "unsym.mtx")
+        scipy.io.mmwrite(path, scipy.sparse.coo_matrix(A))
+        with pytest.raises(MatrixMarketError):
+            read_matrix_market(path)
+
+    def test_validation_can_be_skipped(self, tmp_path):
+        import scipy.io
+        import scipy.sparse
+        A = np.array([[1.0, 2.0], [0.0, 1.0]])
+        path = str(tmp_path / "unsym2.mtx")
+        scipy.io.mmwrite(path, scipy.sparse.coo_matrix(A))
+        loaded = read_matrix_market(path, validate=False)
+        assert loaded.shape == (2, 2)
+
+
+class TestValidation:
+    def test_accepts_spd(self, spd_60):
+        validate_spd_structure(spd_60)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(MatrixMarketError):
+            validate_spd_structure(np.ones((2, 3)))
+
+    def test_rejects_nonfinite(self):
+        A = np.eye(3)
+        A[1, 1] = np.nan
+        with pytest.raises(MatrixMarketError):
+            validate_spd_structure(A)
+
+    def test_rejects_asymmetric(self):
+        A = np.eye(3)
+        A[0, 1] = 0.5
+        with pytest.raises(MatrixMarketError):
+            validate_spd_structure(A)
+
+    def test_rejects_nonpositive_diagonal(self):
+        A = np.eye(3)
+        A[2, 2] = 0.0
+        with pytest.raises(MatrixMarketError):
+            validate_spd_structure(A)

@@ -1,0 +1,59 @@
+"""Spectrum model tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.matrices import SpectrumSpec, sample_spectrum
+
+
+class TestSpectrumSpec:
+    def test_valid(self):
+        s = SpectrumSpec(kappa=1e6, clusters=10, spread=1e-3)
+        assert s.kappa == 1e6
+
+    @pytest.mark.parametrize("bad", [
+        dict(kappa=0.5), dict(kappa=1e3, clusters=0),
+        dict(kappa=1e3, spread=0.7), dict(kappa=1e3, spread=-0.1)])
+    def test_invalid(self, bad):
+        with pytest.raises(ValueError):
+            SpectrumSpec(**{"kappa": 1e3, **bad})
+
+
+class TestSampling:
+    def test_range_realized_exactly(self, rng):
+        spec = SpectrumSpec(kappa=1e5, clusters=8, spread=0.0)
+        lam = sample_spectrum(spec, 100, rng)
+        assert lam.min() == 1e-5
+        assert lam.max() == 1.0
+
+    def test_sorted(self, rng):
+        lam = sample_spectrum(SpectrumSpec(kappa=1e4), 50, rng)
+        assert (np.diff(lam) >= 0).all()
+
+    def test_all_positive(self, rng):
+        lam = sample_spectrum(SpectrumSpec(kappa=1e8, spread=0.4),
+                              200, rng)
+        assert (lam > 0).all()
+
+    def test_cluster_count(self, rng):
+        spec = SpectrumSpec(kappa=1e4, clusters=6, spread=0.0)
+        lam = sample_spectrum(spec, 300, rng)
+        assert len(np.unique(lam)) == 6
+
+    def test_spread_widens_clusters(self, rng):
+        spec = SpectrumSpec(kappa=1e4, clusters=6, spread=0.1)
+        lam = sample_spectrum(spec, 300, rng)
+        assert len(np.unique(lam)) > 6
+
+    def test_fewer_eigs_than_clusters(self, rng):
+        spec = SpectrumSpec(kappa=1e4, clusters=40)
+        lam = sample_spectrum(spec, 5, rng)
+        assert lam.size == 5
+
+    def test_deterministic_given_rng(self):
+        spec = SpectrumSpec(kappa=1e5)
+        a = sample_spectrum(spec, 50, np.random.default_rng(1))
+        b = sample_spectrum(spec, 50, np.random.default_rng(1))
+        assert np.array_equal(a, b)

@@ -1,0 +1,108 @@
+"""Table-I suite tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SCALES
+from repro.linalg import two_norm
+from repro.matrices import (SUITE, SUITE_ORDER, TABLE2_ROWS, TABLE3_ROWS,
+                            load_matrix, load_suite, matrix_spec,
+                            right_hand_side)
+
+
+class TestSuiteDefinition:
+    def test_nineteen_matrices(self):
+        assert len(SUITE) == 19
+        assert len(SUITE_ORDER) == 19
+
+    def test_paper_ordering_by_norm(self):
+        norms = [SUITE[name].norm2 for name in SUITE_ORDER]
+        assert norms == sorted(norms)
+
+    def test_table1_values_spotcheck(self):
+        # a few rows straight from the paper's Table I
+        assert matrix_spec("plat362").kappa == 2.2e11
+        assert matrix_spec("bcsstk02").n == 66
+        assert matrix_spec("nos2").norm2 == 1.57e11
+        assert matrix_spec("bcsstk09").nnz == 18437
+        assert matrix_spec("1138_bus").n == 1138
+
+    def test_unknown_matrix(self):
+        with pytest.raises(KeyError):
+            matrix_spec("nos99")
+
+    def test_table_row_sets_subset_of_suite(self):
+        assert set(TABLE2_ROWS) <= set(SUITE)
+        assert set(TABLE3_ROWS) <= set(SUITE)
+        assert len(TABLE2_ROWS) == 11
+        assert len(TABLE3_ROWS) == 16
+
+
+class TestLoading:
+    def test_small_scale_caps_dimension(self, small_scale):
+        A = load_matrix("1138_bus", small_scale)
+        assert A.shape[0] == small_scale.max_dimension
+
+    def test_native_size_kept_when_below_cap(self, small_scale):
+        assert load_matrix("bcsstk01", small_scale).shape[0] == 48
+        assert load_matrix("bcsstk02", small_scale).shape[0] == 66
+
+    def test_norm_matches_table(self, small_scale):
+        for name in ("plat362", "lund_b", "nos2"):
+            A = load_matrix(name, small_scale)
+            assert two_norm(A) == pytest.approx(
+                matrix_spec(name).norm2, rel=1e-8)
+
+    def test_spd(self, small_scale):
+        for name in ("662_bus", "bcsstk08"):
+            A = load_matrix(name, small_scale)
+            assert np.array_equal(A, A.T)
+            assert (np.linalg.eigvalsh(A) > 0).all()
+
+    def test_load_returns_copy(self, small_scale):
+        A = load_matrix("lund_b", small_scale)
+        A[0, 0] = -1.0
+        B = load_matrix("lund_b", small_scale)
+        assert B[0, 0] != -1.0
+
+    def test_load_suite_order(self, small_scale):
+        names = [spec.name for spec, _A in load_suite(small_scale)]
+        assert names == list(SUITE_ORDER)
+
+    def test_load_suite_subset(self, small_scale):
+        pairs = list(load_suite(small_scale, names=("lund_b", "nos1")))
+        assert [s.name for s, _ in pairs] == ["lund_b", "nos1"]
+
+    def test_medium_scale_larger(self):
+        a = load_matrix("662_bus", SCALES["small"])
+        b = load_matrix("662_bus", SCALES["medium"])
+        assert b.shape[0] > a.shape[0]
+
+
+class TestRightHandSide:
+    def test_paper_recipe(self, small_scale):
+        A = load_matrix("lund_b", small_scale)
+        b = right_hand_side(A)
+        n = A.shape[0]
+        xhat = np.full(n, 1.0 / np.sqrt(n))
+        assert np.array_equal(b, A @ xhat)
+        assert np.linalg.norm(xhat) == pytest.approx(1.0)
+
+
+class TestMatrixDirOverride:
+    def test_env_dir_preferred(self, tmp_path, monkeypatch, small_scale):
+        from repro.matrices import write_matrix_market
+        A = np.array([[4.0, 1.0], [1.0, 3.0]])
+        write_matrix_market(str(tmp_path / "lund_b.mtx"), A)
+        monkeypatch.setenv("REPRO_MATRIX_DIR", str(tmp_path))
+        loaded = load_matrix("lund_b", small_scale)
+        assert loaded.shape == (2, 2)
+        assert np.allclose(loaded, A)
+
+    def test_missing_file_falls_back(self, tmp_path, monkeypatch,
+                                     small_scale):
+        monkeypatch.setenv("REPRO_MATRIX_DIR", str(tmp_path))
+        A = load_matrix("nos1", small_scale)
+        assert A.shape[0] == small_scale.max_dimension

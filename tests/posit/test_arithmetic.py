@@ -1,0 +1,211 @@
+"""Exact scalar arithmetic tests: correct rounding against rational
+ground truth (the GMP-analogue validation of paper §IV-A)."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.posit.arithmetic import (add_patterns, compare_patterns,
+                                    div_patterns, fma_patterns,
+                                    mul_patterns, neg_pattern,
+                                    sqrt_fraction_rounded, sqrt_pattern,
+                                    sub_patterns)
+from repro.posit.codec import (all_patterns, decode_fraction, encode,
+                               posit_config)
+
+EX_FORMATS = [(6, 0), (6, 1), (8, 0), (8, 1)]
+
+
+def _exact_op(op, a, b):
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "mul":
+        return a * b
+    if op == "div":
+        return a / b
+    raise AssertionError(op)
+
+
+_OPS = {"add": add_patterns, "sub": sub_patterns,
+        "mul": mul_patterns, "div": div_patterns}
+
+
+class TestCorrectRounding:
+    @pytest.mark.parametrize("nbits,es", EX_FORMATS)
+    @pytest.mark.parametrize("op", ["add", "sub", "mul", "div"])
+    def test_exhaustive_small(self, nbits, es, op):
+        """Every op on every operand pair rounds the exact result."""
+        cfg = posit_config(nbits, es)
+        patterns = list(all_patterns(cfg))
+        step = max(1, len(patterns) // 48)  # subsample pairs for speed
+        sample = patterns[::step]
+        fn = _OPS[op]
+        for pa in sample:
+            va = decode_fraction(pa, cfg)
+            for pb in sample:
+                vb = decode_fraction(pb, cfg)
+                if op == "div" and vb == 0:
+                    assert fn(pa, pb, cfg) == cfg.nar_pattern
+                    continue
+                want = encode(_exact_op(op, va, vb), cfg)
+                assert fn(pa, pb, cfg) == want, (op, float(va), float(vb))
+
+
+class TestNaRPropagation:
+    @pytest.mark.parametrize("op", ["add", "sub", "mul", "div"])
+    def test_nar_in_nar_out(self, op):
+        cfg = posit_config(16, 1)
+        nar = cfg.nar_pattern
+        one = encode(1, cfg)
+        fn = _OPS[op]
+        assert fn(nar, one, cfg) == nar
+        assert fn(one, nar, cfg) == nar
+        assert fn(nar, nar, cfg) == nar
+
+    def test_division_by_zero(self):
+        cfg = posit_config(16, 1)
+        one = encode(1, cfg)
+        assert div_patterns(one, 0, cfg) == cfg.nar_pattern
+        assert div_patterns(0, 0, cfg) == cfg.nar_pattern
+
+    def test_sqrt_of_negative(self):
+        cfg = posit_config(16, 1)
+        minus_one = encode(-1, cfg)
+        assert sqrt_pattern(minus_one, cfg) == cfg.nar_pattern
+
+    def test_fma_nar(self):
+        cfg = posit_config(8, 1)
+        nar = cfg.nar_pattern
+        one = encode(1, cfg)
+        assert fma_patterns(nar, one, one, cfg) == nar
+        assert fma_patterns(one, one, nar, cfg) == nar
+
+
+class TestAlgebraicIdentities:
+    @pytest.mark.parametrize("nbits,es", EX_FORMATS)
+    def test_addition_commutes(self, nbits, es):
+        cfg = posit_config(nbits, es)
+        patterns = list(all_patterns(cfg))[:: max(1, 2 ** nbits // 24)]
+        for pa in patterns:
+            for pb in patterns:
+                assert add_patterns(pa, pb, cfg) == \
+                    add_patterns(pb, pa, cfg)
+
+    @pytest.mark.parametrize("nbits,es", EX_FORMATS)
+    def test_multiplication_commutes(self, nbits, es):
+        cfg = posit_config(nbits, es)
+        patterns = list(all_patterns(cfg))[:: max(1, 2 ** nbits // 24)]
+        for pa in patterns:
+            for pb in patterns:
+                assert mul_patterns(pa, pb, cfg) == \
+                    mul_patterns(pb, pa, cfg)
+
+    def test_add_negation_is_zero(self):
+        cfg = posit_config(8, 1)
+        for p in all_patterns(cfg):
+            assert add_patterns(p, neg_pattern(p, cfg), cfg) == 0
+
+    def test_multiply_by_one(self):
+        cfg = posit_config(8, 2)
+        one = encode(1, cfg)
+        for p in all_patterns(cfg):
+            assert mul_patterns(p, one, cfg) == p
+
+    def test_divide_by_self(self):
+        cfg = posit_config(8, 1)
+        one = encode(1, cfg)
+        for p in all_patterns(cfg):
+            if p == 0:
+                continue
+            assert div_patterns(p, p, cfg) == one
+
+    def test_sub_is_add_neg(self):
+        cfg = posit_config(6, 1)
+        for pa in all_patterns(cfg):
+            for pb in all_patterns(cfg):
+                assert sub_patterns(pa, pb, cfg) == \
+                    add_patterns(pa, neg_pattern(pb, cfg), cfg)
+
+
+class TestSqrt:
+    def test_exact_squares(self):
+        cfg = posit_config(16, 2)
+        for v in [1, 4, 9, 16, 64, 256, Fraction(1, 4), Fraction(9, 16)]:
+            p = encode(v, cfg)
+            if decode_fraction(p, cfg) != v:
+                continue  # not representable, skip
+            root = decode_fraction(sqrt_pattern(p, cfg), cfg)
+            assert root * root == v
+
+    @pytest.mark.parametrize("nbits,es", [(8, 0), (8, 1), (10, 1)])
+    def test_correctly_rounded_vs_float(self, nbits, es):
+        cfg = posit_config(nbits, es)
+        for p in all_patterns(cfg):
+            v = decode_fraction(p, cfg)
+            if v <= 0:
+                continue
+            got = decode_fraction(sqrt_pattern(p, cfg), cfg)
+            # independent check: round the 200-bit-accurate root
+            ref = encode(sqrt_fraction_rounded(v, extra_bits=200), cfg)
+            assert got == decode_fraction(ref, cfg)
+
+    def test_sqrt_zero(self):
+        cfg = posit_config(16, 1)
+        assert sqrt_pattern(0, cfg) == 0
+
+    def test_sqrt_fraction_rounded_accuracy(self):
+        v = Fraction(2)
+        approx = sqrt_fraction_rounded(v, extra_bits=100)
+        err = abs(approx * approx - 2)
+        assert err < Fraction(1, 2 ** 90)
+
+    def test_sqrt_fraction_exact_case(self):
+        assert sqrt_fraction_rounded(Fraction(9, 4)) == Fraction(3, 2)
+
+    def test_sqrt_negative_raises(self):
+        with pytest.raises(ValueError):
+            sqrt_fraction_rounded(Fraction(-1))
+
+
+class TestFMA:
+    def test_single_rounding(self):
+        # choose operands where fused and unfused differ
+        cfg = posit_config(8, 0)
+        found_difference = False
+        for pa in all_patterns(cfg):
+            va = decode_fraction(pa, cfg)
+            if not (0 < va < 16):
+                continue
+            pb = encode(Fraction(3, 2), cfg)
+            pc = encode(Fraction(-1, 2), cfg)
+            fused = fma_patterns(pa, pb, pc, cfg)
+            want = encode(va * decode_fraction(pb, cfg)
+                          + decode_fraction(pc, cfg), cfg)
+            assert fused == want
+            unfused = add_patterns(mul_patterns(pa, pb, cfg), pc, cfg)
+            if unfused != fused:
+                found_difference = True
+        assert found_difference, "fma should differ from mul+add somewhere"
+
+
+class TestCompare:
+    def test_total_order(self):
+        cfg = posit_config(6, 1)
+        pats = list(all_patterns(cfg))
+        vals = {p: decode_fraction(p, cfg) for p in pats}
+        for pa in pats:
+            for pb in pats:
+                want = ((vals[pa] > vals[pb]) - (vals[pa] < vals[pb]))
+                assert compare_patterns(pa, pb, cfg) == want
+
+    def test_nar_below_everything(self):
+        cfg = posit_config(8, 1)
+        nar = cfg.nar_pattern
+        for p in all_patterns(cfg):
+            assert compare_patterns(nar, p, cfg) == -1
+            assert compare_patterns(p, nar, cfg) == 1

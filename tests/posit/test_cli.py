@@ -1,0 +1,60 @@
+"""Posit inspector CLI tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.posit.__main__ import main
+
+
+class TestEncodeMode:
+    def test_value(self, capsys):
+        assert main(["3.14159", "--nbits", "16", "--es", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "0101100100100010" in out
+        assert "regime=10" in out
+        assert "rounding error" in out
+        assert "neighbour below" in out
+
+    def test_zero(self, capsys):
+        assert main(["0.0", "--nbits", "8", "--es", "0"]) == 0
+        assert "zero" in capsys.readouterr().out
+
+    def test_nar(self, capsys):
+        assert main(["nan", "--nbits", "8", "--es", "0"]) == 0
+        assert "NaR" in capsys.readouterr().out
+
+    def test_negative(self, capsys):
+        assert main(["-1.5", "--nbits", "16", "--es", "2"]) == 0
+        assert "sign=1" in capsys.readouterr().out
+
+
+class TestPatternMode:
+    def test_decode(self, capsys):
+        assert main(["--pattern", "0x5922", "--nbits", "16",
+                     "--es", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "3.1416015625" in out
+
+    def test_pattern_of_one(self, capsys):
+        assert main(["--pattern", "0x40", "--nbits", "8",
+                     "--es", "0"]) == 0
+        assert "1.0" in capsys.readouterr().out
+
+
+class TestTableMode:
+    def test_small_table(self, capsys):
+        assert main(["--table", "--nbits", "5", "--es", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "maxpos=8" in out
+        assert out.count("\n") == 32  # header + 31 values
+
+    def test_large_table_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--table", "--nbits", "16", "--es", "1"])
+
+
+class TestValidation:
+    def test_no_arguments(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,343 @@
+"""Bit-exact codec tests: round-trips, saturation, monotonicity, and a
+differential check against an independent string-based encoder."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import InvalidPositConfig, NaRError
+from repro.posit.codec import (PositConfig, all_patterns, decode_float,
+                               decode_fraction, encode,
+                               fraction_bits_at_scale, floor_log2, negate,
+                               pattern_abs, posit_config, regime_length,
+                               round_to_nearest)
+
+SMALL_FORMATS = [(n, es) for n in range(2, 10) for es in range(0, 3)]
+PAPER_FORMATS = [(16, 1), (16, 2), (32, 2), (32, 3)]
+
+
+# ---------------------------------------------------------------------------
+# configuration
+# ---------------------------------------------------------------------------
+
+class TestPositConfig:
+    def test_useed(self):
+        assert posit_config(32, 0).useed == 2
+        assert posit_config(32, 1).useed == 4
+        assert posit_config(32, 2).useed == 16
+        assert posit_config(32, 3).useed == 256
+
+    def test_maxpos_formula(self):
+        # maxpos = useed**(nbits-2), paper §II-B
+        for n, es in PAPER_FORMATS:
+            cfg = posit_config(n, es)
+            assert cfg.maxpos == Fraction(cfg.useed) ** (n - 2)
+            assert cfg.minpos == 1 / cfg.maxpos
+
+    def test_known_ranges(self):
+        # Posit(16,2): maxpos = 16**14 = 2**56
+        assert posit_config(16, 2).maxpos == Fraction(2) ** 56
+        # Posit(32,2): maxpos = 16**30 = 2**120
+        assert posit_config(32, 2).maxpos == Fraction(2) ** 120
+
+    def test_eps_at_one(self):
+        # widest fraction: nbits - 3 - es bits
+        assert posit_config(32, 2).max_fraction_bits == 27
+        assert posit_config(16, 1).max_fraction_bits == 12
+        assert posit_config(16, 2).eps_at_one == Fraction(1, 2 ** 11)
+
+    def test_invalid_configs(self):
+        with pytest.raises(InvalidPositConfig):
+            PositConfig(1, 0)
+        with pytest.raises(InvalidPositConfig):
+            PositConfig(8, -1)
+        with pytest.raises(InvalidPositConfig):
+            PositConfig(8, 9)
+
+    def test_interning(self):
+        assert posit_config(16, 1) is posit_config(16, 1)
+
+    def test_special_patterns(self):
+        cfg = posit_config(8, 0)
+        assert cfg.nar_pattern == 0x80
+        assert cfg.maxpos_pattern == 0x7F
+        assert cfg.minpos_pattern == 0x01
+
+
+class TestFloorLog2:
+    @pytest.mark.parametrize("value,expected", [
+        (Fraction(1), 0), (Fraction(2), 1), (Fraction(3), 1),
+        (Fraction(4), 2), (Fraction(1, 2), -1), (Fraction(1, 3), -2),
+        (Fraction(7, 8), -1), (Fraction(1023, 512), 0),
+        (Fraction(1, 1024), -10), (Fraction(3, 4096), -11),
+    ])
+    def test_values(self, value, expected):
+        assert floor_log2(value) == expected
+
+    def test_powers_exact(self):
+        for s in range(-80, 81):
+            v = Fraction(2) ** s
+            assert floor_log2(v) == s
+            assert floor_log2(v * Fraction(3, 2)) == s
+            assert floor_log2(v * Fraction(199, 100)) == s
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            floor_log2(Fraction(0))
+        with pytest.raises(ValueError):
+            floor_log2(Fraction(-1))
+
+
+# ---------------------------------------------------------------------------
+# round trips
+# ---------------------------------------------------------------------------
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("nbits,es", SMALL_FORMATS)
+    def test_exhaustive_pattern_value_pattern(self, nbits, es):
+        cfg = posit_config(nbits, es)
+        for p in all_patterns(cfg):
+            v = decode_fraction(p, cfg)
+            assert encode(v, cfg) == p
+
+    @pytest.mark.parametrize("nbits,es", PAPER_FORMATS)
+    def test_sampled_pattern_value_pattern(self, nbits, es):
+        cfg = posit_config(nbits, es)
+        step = max(1, cfg.npat // 4096)
+        for p in range(0, cfg.npat, step):
+            if p == cfg.nar_pattern:
+                continue
+            v = decode_fraction(p, cfg)
+            assert encode(v, cfg) == p
+
+    @pytest.mark.parametrize("nbits,es", SMALL_FORMATS)
+    def test_decode_float_matches_fraction(self, nbits, es):
+        cfg = posit_config(nbits, es)
+        for p in all_patterns(cfg):
+            assert decode_float(p, cfg) == float(decode_fraction(p, cfg))
+
+
+# ---------------------------------------------------------------------------
+# special values and saturation
+# ---------------------------------------------------------------------------
+
+class TestSpecials:
+    def test_zero(self):
+        cfg = posit_config(16, 1)
+        assert encode(0, cfg) == 0
+        assert encode(0.0, cfg) == 0
+        assert decode_fraction(0, cfg) == 0
+        assert decode_float(0, cfg) == 0.0
+
+    def test_nar_from_nonfinite(self):
+        cfg = posit_config(16, 1)
+        assert encode(math.nan, cfg) == cfg.nar_pattern
+        assert encode(math.inf, cfg) == cfg.nar_pattern
+        assert encode(-math.inf, cfg) == cfg.nar_pattern
+
+    def test_nar_decode(self):
+        cfg = posit_config(16, 1)
+        assert math.isnan(decode_float(cfg.nar_pattern, cfg))
+        with pytest.raises(NaRError):
+            decode_fraction(cfg.nar_pattern, cfg)
+
+    @pytest.mark.parametrize("nbits,es", PAPER_FORMATS)
+    def test_saturation_no_overflow_to_nar(self, nbits, es):
+        cfg = posit_config(nbits, es)
+        big = cfg.maxpos * 1000
+        assert encode(big, cfg) == cfg.maxpos_pattern
+        assert encode(-big, cfg) == negate(cfg.maxpos_pattern, cfg)
+
+    @pytest.mark.parametrize("nbits,es", PAPER_FORMATS)
+    def test_no_underflow_to_zero(self, nbits, es):
+        cfg = posit_config(nbits, es)
+        tiny = cfg.minpos / 1000
+        assert encode(tiny, cfg) == cfg.minpos_pattern
+        assert encode(-tiny, cfg) == negate(cfg.minpos_pattern, cfg)
+
+    def test_boundary_values_exact(self):
+        cfg = posit_config(16, 2)
+        assert encode(cfg.maxpos, cfg) == cfg.maxpos_pattern
+        assert encode(cfg.minpos, cfg) == cfg.minpos_pattern
+
+    def test_one_is_exact(self):
+        for nbits, es in SMALL_FORMATS + PAPER_FORMATS:
+            cfg = posit_config(nbits, es)
+            p = encode(1, cfg)
+            assert decode_fraction(p, cfg) == 1
+            # the pattern of 1.0 is 01000...0
+            assert p == 1 << (nbits - 2)
+
+
+# ---------------------------------------------------------------------------
+# negation / ordering
+# ---------------------------------------------------------------------------
+
+class TestNegationAndOrder:
+    @pytest.mark.parametrize("nbits,es", SMALL_FORMATS)
+    def test_negate_involution(self, nbits, es):
+        cfg = posit_config(nbits, es)
+        for p in range(cfg.npat):
+            assert negate(negate(p, cfg), cfg) == p
+
+    @pytest.mark.parametrize("nbits,es", SMALL_FORMATS)
+    def test_negate_value(self, nbits, es):
+        cfg = posit_config(nbits, es)
+        for p in all_patterns(cfg):
+            assert decode_fraction(negate(p, cfg), cfg) == \
+                -decode_fraction(p, cfg)
+
+    @pytest.mark.parametrize("nbits,es", SMALL_FORMATS)
+    def test_signed_pattern_order_is_value_order(self, nbits, es):
+        # the property all fast paths rely on
+        cfg = posit_config(nbits, es)
+
+        def signed(p):
+            return p - cfg.npat if p > cfg.nar_pattern else p
+
+        pairs = sorted((decode_fraction(p, cfg), signed(p))
+                       for p in all_patterns(cfg))
+        signed_patterns = [sp for _v, sp in pairs]
+        assert signed_patterns == sorted(signed_patterns)
+
+    def test_pattern_abs(self):
+        cfg = posit_config(8, 1)
+        for p in all_patterns(cfg):
+            v = decode_fraction(p, cfg)
+            assert decode_fraction(pattern_abs(p, cfg), cfg) == abs(v)
+
+
+# ---------------------------------------------------------------------------
+# field geometry
+# ---------------------------------------------------------------------------
+
+class TestFieldGeometry:
+    def test_regime_length(self):
+        cfg = posit_config(16, 1)
+        assert regime_length(0, cfg) == 2    # "10"
+        assert regime_length(1, cfg) == 3    # "110"
+        assert regime_length(-1, cfg) == 2   # "01"
+        assert regime_length(-2, cfg) == 3   # "001"
+        assert regime_length(14, cfg) == 15  # capped at nbits-1
+
+    def test_fraction_bits_at_scale_golden_zone(self):
+        cfg = posit_config(32, 2)
+        # scale 0 → k=0 → regime "10" → 31 - 2 - 2 = 27 fraction bits
+        assert fraction_bits_at_scale(0, cfg) == 27
+        assert fraction_bits_at_scale(3, cfg) == 27
+        assert fraction_bits_at_scale(4, cfg) == 26   # k=1, regime "110"
+        assert fraction_bits_at_scale(-1, cfg) == 27  # k=-1, regime "01"
+        assert fraction_bits_at_scale(-5, cfg) == 26  # k=-2, regime "001"
+        assert fraction_bits_at_scale(cfg.max_scale, cfg) == 0
+        assert fraction_bits_at_scale(cfg.max_scale + 1, cfg) == 0
+
+    def test_fraction_bits_vs_float32(self):
+        # the abstract's claim: posit32 offers up to 4 extra bits over
+        # Float32's 23, and posit16 up to 2 extra over Float16's 10
+        assert fraction_bits_at_scale(0, posit_config(32, 2)) - 23 == 4
+        assert fraction_bits_at_scale(0, posit_config(16, 1)) - 10 == 2
+
+    def test_fraction_bits_symmetry(self):
+        cfg = posit_config(16, 2)
+        for s in range(0, cfg.max_scale):
+            # regime runs for k and -(k+1) have equal length
+            k = s >> cfg.es
+            mirrored = -(k + 1) << cfg.es
+            assert fraction_bits_at_scale(s, cfg) == \
+                fraction_bits_at_scale(mirrored, cfg)
+
+
+# ---------------------------------------------------------------------------
+# independent string-based encoder (differential oracle)
+# ---------------------------------------------------------------------------
+
+def naive_encode(value: Fraction, cfg) -> int:
+    """Textbook posit encoder: build the bit string, round RNE at nbits.
+
+    Completely independent of the production code path: constructs the
+    sign/regime/exponent/fraction fields as a literal bit string with 64
+    guard bits and rounds it as an integer.
+    """
+    if value == 0:
+        return 0
+    neg = value < 0
+    q = -value if neg else value
+    if q >= cfg.maxpos:
+        pattern = cfg.maxpos_pattern
+        return (cfg.npat - pattern) % cfg.npat if neg else pattern
+    if q <= cfg.minpos:
+        pattern = cfg.minpos_pattern
+        return (cfg.npat - pattern) % cfg.npat if neg else pattern
+
+    s = floor_log2(q)
+    k, e = s >> cfg.es, s - ((s >> cfg.es) << cfg.es)
+    bits = "0"  # sign
+    bits += "1" * (k + 1) + "0" if k >= 0 else "0" * (-k) + "1"
+    bits += format(e, f"0{cfg.es}b") if cfg.es else ""
+    frac = q / Fraction(2) ** s - 1
+    for _ in range(80):  # fraction bits, enough guard bits for any test
+        frac *= 2
+        bits += "1" if frac >= 1 else "0"
+        if frac >= 1:
+            frac -= 1
+    sticky_exact = (frac == 0)
+
+    keep = bits[:cfg.nbits]
+    rest = bits[cfg.nbits:]
+    base = int(keep, 2)
+    guard = rest[0] == "1"
+    sticky = ("1" in rest[1:]) or not sticky_exact
+    if guard and (sticky or base & 1):
+        base += 1
+    base = min(base, cfg.maxpos_pattern)
+    return (cfg.npat - base) % cfg.npat if neg else base
+
+
+class TestDifferentialEncoder:
+    @pytest.mark.parametrize("nbits,es", [(6, 0), (6, 1), (8, 0), (8, 1),
+                                          (8, 2), (10, 1)])
+    def test_random_rationals(self, nbits, es):
+        import random
+        cfg = posit_config(nbits, es)
+        rnd = random.Random(nbits * 17 + es)
+        for _ in range(500):
+            x = Fraction(rnd.randint(-10 ** 7, 10 ** 7),
+                         rnd.randint(1, 10 ** 7))
+            assert encode(x, cfg) == naive_encode(x, cfg), float(x)
+
+    @pytest.mark.parametrize("nbits,es", [(8, 1), (16, 1), (16, 2)])
+    def test_exact_midpoints(self, nbits, es):
+        # ties must go to the even pattern in both implementations
+        cfg = posit_config(nbits, es)
+        patterns = list(all_patterns(cfg))[:200]
+        for p in patterns:
+            if p == 0 or p >= cfg.maxpos_pattern:
+                continue
+            v1 = decode_fraction(p, cfg)
+            v2 = decode_fraction(p + 1, cfg)
+            mid = (v1 + v2) / 2
+            got = encode(mid, cfg)
+            want = naive_encode(mid, cfg)
+            assert got == want, (p, float(mid))
+
+
+class TestRoundToNearest:
+    @pytest.mark.parametrize("nbits,es", PAPER_FORMATS)
+    def test_idempotent(self, nbits, es):
+        cfg = posit_config(nbits, es)
+        import random
+        rnd = random.Random(99)
+        for _ in range(200):
+            x = rnd.uniform(-1e6, 1e6)
+            once = round_to_nearest(x, cfg)
+            assert round_to_nearest(once, cfg) == once
+
+    def test_known_values(self):
+        cfg = posit_config(16, 1)
+        # 1 + 2**-12 is the next posit above 1 in posit(16,1)
+        assert round_to_nearest(1.0 + 2.0 ** -12, cfg) == 1.0 + 2.0 ** -12
+        # halfway rounds to even (1.0 has even pattern)
+        assert round_to_nearest(1.0 + 2.0 ** -13, cfg) == 1.0

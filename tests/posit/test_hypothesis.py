@@ -1,0 +1,144 @@
+"""Property-based tests (hypothesis) for the posit core."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.posit import Posit
+from repro.posit.codec import (decode_fraction, encode, negate,
+                               posit_config, round_to_nearest)
+from repro.posit.rounding import posit_round
+
+FORMATS = st.sampled_from([(8, 0), (8, 1), (16, 1), (16, 2), (32, 2)])
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False,
+                          allow_subnormal=True, width=64)
+reasonable_floats = st.floats(min_value=-1e30, max_value=1e30,
+                              allow_nan=False, allow_infinity=False)
+
+
+@given(FORMATS, finite_floats)
+def test_round_idempotent(fmt, x):
+    nbits, es = fmt
+    cfg = posit_config(nbits, es)
+    once = round_to_nearest(x, cfg)
+    assert round_to_nearest(once, cfg) == once
+
+
+@given(FORMATS, finite_floats)
+def test_round_sign_symmetric(fmt, x):
+    nbits, es = fmt
+    cfg = posit_config(nbits, es)
+    assert round_to_nearest(-x, cfg) == -round_to_nearest(x, cfg)
+
+
+@given(FORMATS, finite_floats, finite_floats)
+def test_round_monotone(fmt, x, y):
+    nbits, es = fmt
+    cfg = posit_config(nbits, es)
+    lo, hi = min(x, y), max(x, y)
+    assert round_to_nearest(lo, cfg) <= round_to_nearest(hi, cfg)
+
+
+@given(FORMATS, finite_floats)
+def test_vectorized_equals_scalar(fmt, x):
+    nbits, es = fmt
+    cfg = posit_config(nbits, es)
+    got = float(posit_round(np.array([x]), nbits, es)[0])
+    want = round_to_nearest(x, cfg)
+    assert got == want
+
+
+@given(FORMATS, finite_floats)
+def test_round_within_bracket(fmt, x):
+    """The rounded value is never farther than one local gap from x."""
+    nbits, es = fmt
+    cfg = posit_config(nbits, es)
+    assume(x != 0)
+    r = round_to_nearest(x, cfg)
+    if abs(Fraction(x)) >= cfg.maxpos or abs(Fraction(x)) <= cfg.minpos:
+        return  # saturation: distance unbounded by design
+    # error is bounded by the larger neighbouring gap: check via patterns
+    p = encode(x, cfg)
+    v = decode_fraction(p, cfg)
+    lo = decode_fraction((p - 1) % cfg.npat, cfg) \
+        if (p - 1) % cfg.npat != cfg.nar_pattern else v
+    hi = decode_fraction((p + 1) % cfg.npat, cfg) \
+        if (p + 1) % cfg.npat != cfg.nar_pattern else v
+    gap = max(abs(v - lo), abs(hi - v))
+    assert abs(Fraction(x) - v) <= gap
+
+
+@given(FORMATS, st.integers(min_value=0))
+def test_negate_involution(fmt, p):
+    nbits, es = fmt
+    cfg = posit_config(nbits, es)
+    p %= cfg.npat
+    assert negate(negate(p, cfg), cfg) == p
+
+
+@given(FORMATS, reasonable_floats, reasonable_floats)
+@settings(max_examples=60)
+def test_addition_commutes(fmt, x, y):
+    nbits, es = fmt
+    a, b = Posit(x, nbits, es), Posit(y, nbits, es)
+    assert (a + b).pattern == (b + a).pattern
+
+
+@given(FORMATS, reasonable_floats)
+@settings(max_examples=60)
+def test_multiply_by_one_identity(fmt, x):
+    nbits, es = fmt
+    a = Posit(x, nbits, es)
+    assert (a * Posit(1.0, nbits, es)).pattern == a.pattern
+
+
+@given(FORMATS, reasonable_floats)
+@settings(max_examples=60)
+def test_subtract_self_is_zero(fmt, x):
+    nbits, es = fmt
+    a = Posit(x, nbits, es)
+    assert (a - a).is_zero
+
+
+@given(FORMATS, st.floats(min_value=1e-20, max_value=1e20))
+@settings(max_examples=60)
+def test_sqrt_square_close(fmt, x):
+    nbits, es = fmt
+    a = Posit(x, nbits, es)
+    r = a.sqrt()
+    # sqrt is correctly rounded, so (sqrt x)^2 differs from x by at most
+    # a few local ulps; check via relative error against the format eps
+    cfg = posit_config(nbits, es)
+    rel = abs(float(r * r) - float(a)) / float(a)
+    assert rel <= 8 * float(cfg.eps_at_one) * max(
+        1.0, math.log2(max(x, 1 / x) + 2))
+
+
+@given(FORMATS, reasonable_floats, reasonable_floats)
+@settings(max_examples=60)
+def test_comparison_matches_floats(fmt, x, y):
+    nbits, es = fmt
+    a, b = Posit(x, nbits, es), Posit(y, nbits, es)
+    fa, fb = float(a), float(b)
+    assert (a < b) == (fa < fb)
+    assert (a == b) == (fa == fb)
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=50))
+@settings(max_examples=40)
+def test_quire_sum_exact(values):
+    from repro.posit import Quire
+    q = Quire(16, 2)
+    total = Fraction(0)
+    for v in values:
+        p = Posit(v, 16, 2)
+        q.add(p)
+        total += p.as_fraction()
+    assert q.value() == total

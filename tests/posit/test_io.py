@@ -1,0 +1,100 @@
+"""Posit serialization tests."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import PositError
+from repro.posit.io import (load_posit_array, pack_posit_array,
+                            save_posit_array, unpack_posit_array)
+from repro.posit.rounding import posit_round
+
+
+class TestPackUnpack:
+    @pytest.mark.parametrize("nbits,es", [(8, 0), (16, 1), (16, 2),
+                                          (32, 2)])
+    def test_roundtrip_equals_quantization(self, nbits, es, rng):
+        x = rng.standard_normal(257) * np.exp(rng.uniform(-30, 30, 257))
+        payload = pack_posit_array(x, nbits, es)
+        back = unpack_posit_array(payload, x.size, nbits, es)
+        assert np.array_equal(back, posit_round(x, nbits, es),
+                              equal_nan=True)
+
+    @pytest.mark.parametrize("nbits,es", [(6, 1), (10, 1), (12, 2),
+                                          (20, 2)])
+    def test_odd_width_bitpacking(self, nbits, es, rng):
+        x = rng.standard_normal(100)
+        payload = pack_posit_array(x, nbits, es)
+        assert len(payload) == (100 * nbits + 7) // 8
+        back = unpack_posit_array(payload, 100, nbits, es)
+        assert np.array_equal(back, posit_round(x, nbits, es))
+
+    def test_natural_width_size(self, rng):
+        x = rng.standard_normal(64)
+        assert len(pack_posit_array(x, 16, 1)) == 128
+        assert len(pack_posit_array(x, 32, 2)) == 256
+        assert len(pack_posit_array(x, 8, 0)) == 64
+
+    def test_special_values(self):
+        x = np.array([0.0, np.nan, np.inf, 1.0, -1.0, 1e30, -1e-30])
+        payload = pack_posit_array(x, 16, 2)
+        back = unpack_posit_array(payload, x.size, 16, 2)
+        assert back[0] == 0.0
+        assert np.isnan(back[1]) and np.isnan(back[2])  # NaR
+        assert back[3] == 1.0 and back[4] == -1.0
+
+    def test_short_payload_rejected(self):
+        with pytest.raises(PositError):
+            unpack_posit_array(b"\x00\x00", 100, 16, 1)
+        with pytest.raises(PositError):
+            unpack_posit_array(b"\x00", 10, 10, 1)
+
+
+class TestContainer:
+    def test_file_roundtrip(self, tmp_path, rng):
+        x = rng.standard_normal(500)
+        path = str(tmp_path / "vec.posit")
+        save_posit_array(path, x, 16, 1)
+        back, cfg = load_posit_array(path)
+        assert (cfg.nbits, cfg.es) == (16, 1)
+        assert np.array_equal(back, posit_round(x, 16, 1))
+
+    def test_stream_roundtrip(self, rng):
+        x = rng.standard_normal(33)
+        buf = io.BytesIO()
+        save_posit_array(buf, x, 32, 2)
+        buf.seek(0)
+        back, cfg = load_posit_array(buf)
+        assert cfg.nbits == 32
+        assert np.array_equal(back, posit_round(x, 32, 2))
+
+    def test_file_size(self, tmp_path, rng):
+        # 1000 posit16 values: 16-byte header + 2000 bytes payload
+        path = str(tmp_path / "sz.posit")
+        save_posit_array(path, rng.standard_normal(1000), 16, 2)
+        import os
+        assert os.path.getsize(path) == 16 + 2000
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.posit"
+        path.write_bytes(b"NOPE" + b"\x00" * 20)
+        with pytest.raises(PositError):
+            load_posit_array(str(path))
+
+    def test_truncated(self, tmp_path):
+        path = tmp_path / "trunc.posit"
+        path.write_bytes(b"RP")
+        with pytest.raises(PositError):
+            load_posit_array(str(path))
+
+    def test_matrix_flattened(self, tmp_path, rng):
+        x = rng.standard_normal((10, 10))
+        path = str(tmp_path / "mat.posit")
+        save_posit_array(path, x, 16, 1)
+        back, _cfg = load_posit_array(path)
+        assert back.shape == (100,)
+        assert np.array_equal(back.reshape(10, 10),
+                              posit_round(x, 16, 1))

@@ -1,0 +1,105 @@
+"""Quire tests: exactness, single-rounding semantics, NaR poisoning."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.posit import Posit, Quire, fused_dot, fused_dot_float
+from repro.posit.codec import encode, posit_config
+
+
+class TestQuireExactness:
+    def test_sum_is_exact(self):
+        q = Quire(16, 1)
+        vals = [Posit(v, 16, 1) for v in [1.0, 2.0 ** -12, -1.0]]
+        for v in vals:
+            q.add(v)
+        # per-op posit arithmetic would lose the tiny term entirely
+        assert q.value() == Fraction(1, 4096)
+
+    def test_add_product_exact(self):
+        q = Quire(16, 1)
+        a = Posit(3.0, 16, 1)
+        b = Posit(1.0 / 3.0, 16, 1)
+        q.add_product(a, b)
+        assert q.value() == a.as_fraction() * b.as_fraction()
+
+    def test_iadd_isub(self):
+        q = Quire(16, 1)
+        q += Posit(5.0, 16, 1)
+        q -= Posit(2.0, 16, 1)
+        assert q.value() == 3
+
+    def test_final_rounding_only(self):
+        # sum of many tiny values each below one posit ulp of the running
+        # total still accumulates in the quire
+        q = Quire(16, 1)
+        tiny = Posit(2.0 ** -12, 16, 1)
+        q.add(Posit(1.0, 16, 1))
+        for _ in range(4096):
+            q.add(tiny)
+        assert q.value() == 2  # exact
+        assert float(q.to_posit()) == 2.0
+
+    def test_clear(self):
+        q = Quire(16, 1)
+        q.add(Posit(1.0, 16, 1))
+        q.clear()
+        assert q.value() == 0
+
+    def test_to_posit_rounds(self):
+        q = Quire(8, 0)
+        q.add(Posit(1.0, 8, 0))
+        q.add(Posit(Fraction(1, 64), 8, 0))
+        cfg = posit_config(8, 0)
+        assert q.to_posit().pattern == encode(q.value(), cfg)
+
+
+class TestQuireNaR:
+    def test_nar_poisons(self):
+        q = Quire(16, 1)
+        q.add(Posit.nar(16, 1))
+        assert q.is_nar
+        assert q.to_posit().is_nar
+        with pytest.raises(ArithmeticError):
+            q.value()
+
+    def test_clear_resets_nar(self):
+        q = Quire(16, 1)
+        q.add(Posit.nar(16, 1))
+        q.clear()
+        assert not q.is_nar
+
+    def test_format_mismatch(self):
+        q = Quire(16, 1)
+        with pytest.raises(TypeError):
+            q.add(Posit(1.0, 16, 2))
+
+
+class TestFusedDot:
+    def test_matches_exact(self):
+        xs = [Posit(v, 16, 2) for v in [1.0, 2.0, 3.0]]
+        ys = [Posit(v, 16, 2) for v in [4.0, 5.0, 6.0]]
+        assert float(fused_dot(xs, ys, 16, 2)) == 32.0
+
+    def test_beats_per_op_rounding(self, rng):
+        # quire result equals the correctly-rounded exact dot; the
+        # per-op-rounded dot generally differs
+        from repro.arith import FPContext
+        n = 200
+        x = rng.standard_normal(n)
+        y = rng.standard_normal(n)
+        ctx = FPContext("posit16es1", sum_order="sequential")
+        xq, yq = ctx.asarray(x), ctx.asarray(y)
+        fused = fused_dot_float(xq, yq, 16, 1)
+        exact = sum(Fraction(a) * Fraction(b)
+                    for a, b in zip(xq.tolist(), yq.tolist()))
+        cfg = posit_config(16, 1)
+        from repro.posit.codec import decode_float
+        assert fused == decode_float(encode(exact, cfg), cfg)
+
+    def test_fused_dot_float_empty(self):
+        assert fused_dot_float(np.array([]), np.array([]), 16, 1) == 0.0

@@ -1,0 +1,167 @@
+"""Vectorized quantizer tests: agreement with the exact scalar codec,
+fast-path/pattern-path identity, specials, and performance contracts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidPositConfig
+from repro.posit.codec import (all_patterns, decode_float, encode,
+                               posit_config, round_to_nearest)
+from repro.posit.rounding import (VECTORIZED_MAX_NBITS, posit_decode_array,
+                                  posit_encode_array, posit_round)
+
+PAPER_FORMATS = [(16, 1), (16, 2), (32, 2), (32, 3)]
+SMALL_FORMATS = [(5, 0), (6, 1), (8, 0), (8, 1), (8, 2), (10, 1)]
+
+
+def _random_mixture(rng, size=4000):
+    """Values spanning golden zone, tapered extremes and out-of-range."""
+    return np.concatenate([
+        rng.standard_normal(size // 4),
+        rng.standard_normal(size // 4) * np.exp(
+            rng.uniform(-250, 250, size // 4)),
+        rng.uniform(-2, 2, size // 4),
+        1.0 / (rng.standard_normal(size // 4) + 1e-9),
+    ])
+
+
+class TestEncodeDecodeArrays:
+    @pytest.mark.parametrize("nbits,es", SMALL_FORMATS)
+    def test_decode_matches_scalar_exhaustive(self, nbits, es):
+        cfg = posit_config(nbits, es)
+        patterns = np.array(list(all_patterns(cfg)), dtype=np.int64)
+        got = posit_decode_array(patterns, cfg)
+        want = np.array([decode_float(int(p), cfg) for p in patterns])
+        assert np.array_equal(got, want)
+
+    @pytest.mark.parametrize("nbits,es", SMALL_FORMATS)
+    def test_encode_matches_scalar_exhaustive_values(self, nbits, es):
+        cfg = posit_config(nbits, es)
+        # all exact values plus all midpoints
+        vals = np.sort(np.array(
+            [decode_float(p, cfg) for p in all_patterns(cfg)]))
+        mids = (vals[:-1] + vals[1:]) / 2.0
+        probe = np.concatenate([vals, mids])
+        probe = probe[np.isfinite(probe)]
+        got = posit_encode_array(probe, cfg)
+        want = np.array([encode(float(v), cfg) for v in probe])
+        assert np.array_equal(got, want)
+
+    @pytest.mark.parametrize("nbits,es", PAPER_FORMATS)
+    def test_encode_matches_scalar_random(self, nbits, es, rng):
+        cfg = posit_config(nbits, es)
+        x = _random_mixture(rng, 2000)
+        got = posit_encode_array(x, cfg)
+        for i in range(0, x.size, 37):
+            assert got[i] == encode(float(x[i]), cfg), x[i]
+
+    def test_nar_and_zero_patterns(self):
+        cfg = posit_config(16, 1)
+        x = np.array([0.0, np.nan, np.inf, -np.inf, -0.0])
+        got = posit_encode_array(x, cfg)
+        assert got[0] == 0 and got[4] == 0
+        assert (got[1:4] == cfg.nar_pattern).all()
+
+
+class TestPositRound:
+    @pytest.mark.parametrize("nbits,es", PAPER_FORMATS)
+    def test_matches_exact_reference(self, nbits, es, rng):
+        cfg = posit_config(nbits, es)
+        x = _random_mixture(rng)
+        got = posit_round(x, nbits, es)
+        idx = rng.integers(0, x.size, 150)
+        for i in idx:
+            want = round_to_nearest(float(x[i]), cfg)
+            assert got[i] == want or (np.isnan(got[i]) and np.isnan(want))
+
+    @pytest.mark.parametrize("nbits,es", PAPER_FORMATS + SMALL_FORMATS)
+    def test_fast_path_equals_pattern_path(self, nbits, es, rng):
+        cfg = posit_config(nbits, es)
+        x = _random_mixture(rng)
+        fast = posit_round(x, nbits, es)
+        slow = posit_decode_array(posit_encode_array(x, cfg), cfg)
+        eq = (fast == slow) | (np.isnan(fast) & np.isnan(slow))
+        assert eq.all()
+
+    @pytest.mark.parametrize("nbits,es", PAPER_FORMATS)
+    def test_idempotent(self, nbits, es, rng):
+        x = posit_round(_random_mixture(rng), nbits, es)
+        assert np.array_equal(posit_round(x, nbits, es), x,
+                              equal_nan=True)
+
+    @pytest.mark.parametrize("nbits,es", PAPER_FORMATS)
+    def test_sign_symmetric(self, nbits, es, rng):
+        x = _random_mixture(rng)
+        a = posit_round(x, nbits, es)
+        b = posit_round(-x, nbits, es)
+        assert np.array_equal(a, -b, equal_nan=True)
+
+    def test_scalar_in_scalar_out(self):
+        out = posit_round(1.5, 16, 1)
+        assert np.ndim(out) == 0
+        assert float(out) == 1.5
+
+    def test_preserves_shape(self, rng):
+        x = rng.standard_normal((7, 5, 3))
+        assert posit_round(x, 16, 2).shape == (7, 5, 3)
+
+    def test_monotone(self, rng):
+        x = np.sort(rng.standard_normal(3000) * 100)
+        r = posit_round(x, 16, 2)
+        assert (np.diff(r) >= 0).all()
+
+    def test_saturation(self):
+        cfg = posit_config(16, 2)
+        assert posit_round(1e300, 16, 2) == float(cfg.maxpos)
+        assert posit_round(-1e300, 16, 2) == -float(cfg.maxpos)
+        assert posit_round(1e-300, 16, 2) == float(cfg.minpos)
+        assert posit_round(-1e-300, 16, 2) == -float(cfg.minpos)
+
+    def test_exact_powers_of_two_preserved_where_representable(self):
+        # Powers of two are exact posits wherever the exponent field
+        # still fits; near the extremes the dropped exponent bits make
+        # some powers unrepresentable (they round geometrically), so
+        # restrict to scales whose regime leaves the es bits in place.
+        from repro.posit.codec import fraction_bits_at_scale
+        cfg = posit_config(16, 2)
+        for s in range(cfg.min_scale, cfg.max_scale + 1):
+            if fraction_bits_at_scale(s, cfg) < 0:
+                continue
+            k = s >> cfg.es
+            r_len = k + 2 if k >= 0 else -k + 1
+            if cfg.nbits - 1 - r_len < cfg.es:
+                continue  # exponent truncated at this scale
+            v = float(2.0 ** s)
+            assert posit_round(v, 16, 2) == v
+
+    def test_unrepresentable_power_rounds_geometrically(self):
+        # 2**-55 sits between minpos = 2**-56 and 2**-52 in posit(16,2);
+        # encoding-space rounding sends it to minpos.
+        cfg = posit_config(16, 2)
+        assert posit_round(2.0 ** -55, 16, 2) == float(cfg.minpos)
+
+    def test_nonfinite_to_nan(self):
+        out = posit_round(np.array([np.nan, np.inf, -np.inf]), 16, 1)
+        assert np.isnan(out).all()
+
+    def test_width_guard(self):
+        with pytest.raises(InvalidPositConfig):
+            posit_round(1.0, VECTORIZED_MAX_NBITS + 1, 0)
+
+    def test_empty_array(self):
+        out = posit_round(np.array([]), 16, 1)
+        assert out.size == 0
+
+
+class TestHalfEvenTies:
+    def test_tie_to_even_within_fraction(self):
+        # posit(16,1): 1.0 pattern even; 1 + 2**-13 is exactly halfway
+        assert posit_round(1.0 + 2.0 ** -13, 16, 1) == 1.0
+        # next midpoint up: between 1+2**-12 (odd pattern) and 1+2**-11
+        assert posit_round(1.0 + 3 * 2.0 ** -13, 16, 1) == 1.0 + 2.0 ** -11
+
+    def test_above_tie_rounds_up(self):
+        v = 1.0 + 2.0 ** -13 + 2.0 ** -30
+        assert posit_round(v, 16, 1) == 1.0 + 2.0 ** -12

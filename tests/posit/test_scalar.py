@@ -1,0 +1,215 @@
+"""Posit scalar class tests: operators, comparisons, NaR, immutability."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import NaRError
+from repro.posit import Posit
+from repro.posit.codec import posit_config
+
+
+class TestConstruction:
+    def test_from_float(self):
+        p = Posit(1.5, 16, 1)
+        assert float(p) == 1.5
+
+    def test_from_int(self):
+        assert float(Posit(7, 16, 2)) == 7.0
+
+    def test_from_fraction(self):
+        assert Posit(Fraction(1, 4), 16, 1).as_fraction() == Fraction(1, 4)
+
+    def test_from_posit_same_format(self):
+        a = Posit(2.75, 16, 1)
+        assert Posit(a, 16, 1).pattern == a.pattern
+
+    def test_from_posit_reround(self):
+        a = Posit(math.pi, 32, 2)
+        b = Posit(a, 8, 0)
+        assert b.nbits == 8
+        assert abs(float(b) - math.pi) < 0.1
+
+    def test_default_format(self):
+        p = Posit(1.0)
+        assert (p.nbits, p.es) == (32, 2)
+
+    def test_from_pattern(self):
+        cfg = posit_config(16, 1)
+        p = Posit.from_pattern(1 << 14, 16, 1)  # pattern of 1.0
+        assert float(p) == 1.0
+        assert Posit.from_pattern(cfg.nar_pattern, 16, 1).is_nar
+
+    def test_rounding_on_construction(self):
+        p = Posit(0.1, 16, 1)
+        assert float(p) != 0.1  # 0.1 not representable
+        assert abs(float(p) - 0.1) < 2 ** -12
+
+    def test_nar_constructor(self):
+        assert Posit.nar(16, 1).is_nar
+        assert Posit(float("nan"), 16, 1).is_nar
+        assert Posit(float("inf"), 16, 1).is_nar
+
+
+class TestImmutability:
+    def test_setattr_blocked(self):
+        p = Posit(1.0, 16, 1)
+        with pytest.raises(AttributeError):
+            p.pattern = 5
+
+    def test_hashable(self):
+        s = {Posit(1.0, 16, 1), Posit(1.0, 16, 1), Posit(2.0, 16, 1)}
+        assert len(s) == 2
+
+    def test_different_formats_hash_differently(self):
+        assert hash(Posit(1.0, 16, 1)) != hash(Posit(1.0, 16, 2))
+
+
+class TestArithmeticOperators:
+    def test_add_sub_mul_div(self):
+        a, b = Posit(3.0, 16, 2), Posit(2.0, 16, 2)
+        assert float(a + b) == 5.0
+        assert float(a - b) == 1.0
+        assert float(a * b) == 6.0
+        assert float(a / b) == 1.5
+
+    def test_mixed_with_python_numbers(self):
+        a = Posit(3.0, 16, 2)
+        assert float(a + 1) == 4.0
+        assert float(1 + a) == 4.0
+        assert float(2 - a) == -1.0
+        assert float(a * 2.0) == 6.0
+        assert float(6 / a) == 2.0
+
+    def test_rounding_happens(self):
+        a = Posit(1.0, 8, 0)
+        tiny = Posit(2.0 ** -12, 8, 0)
+        assert tiny.pattern != 0  # no underflow to zero
+        assert float(a + tiny) == 1.0  # absorbed by rounding
+
+    def test_neg_abs(self):
+        a = Posit(-2.5, 16, 1)
+        assert float(-a) == 2.5
+        assert float(abs(a)) == 2.5
+        assert float(abs(-a)) == 2.5
+
+    def test_pos_identity(self):
+        a = Posit(2.5, 16, 1)
+        assert (+a).pattern == a.pattern
+
+    def test_mixed_formats_raise(self):
+        with pytest.raises(TypeError):
+            Posit(1.0, 16, 1) + Posit(1.0, 16, 2)
+
+    def test_unsupported_operand(self):
+        with pytest.raises(TypeError):
+            Posit(1.0, 16, 1) + "hello"
+
+    def test_sqrt(self):
+        assert float(Posit(9.0, 16, 2).sqrt()) == 3.0
+        assert Posit(-1.0, 16, 2).sqrt().is_nar
+
+    def test_fma(self):
+        a = Posit(3.0, 16, 2)
+        assert float(a.fma(2.0, 1.0)) == 7.0
+
+    def test_division_by_zero_is_nar(self):
+        assert (Posit(1.0, 16, 1) / Posit(0.0, 16, 1)).is_nar
+
+    def test_nar_propagates(self):
+        nar = Posit.nar(16, 1)
+        one = Posit(1.0, 16, 1)
+        assert (nar + one).is_nar
+        assert (one * nar).is_nar
+        assert (-nar).is_nar
+        assert nar.sqrt().is_nar
+
+
+class TestComparisons:
+    def test_ordering(self):
+        a, b = Posit(1.0, 16, 1), Posit(2.0, 16, 1)
+        assert a < b and a <= b and b > a and b >= a and a != b
+
+    def test_equality_with_numbers(self):
+        assert Posit(1.5, 16, 1) == 1.5
+        assert Posit(1.5, 16, 1) != 1.0
+
+    def test_negative_ordering(self):
+        assert Posit(-3.0, 16, 1) < Posit(-2.0, 16, 1) < Posit(0.0, 16, 1)
+
+    def test_cross_format_equality_false(self):
+        assert Posit(1.0, 16, 1) != Posit(1.0, 16, 2)
+
+    def test_sorting(self):
+        vals = [Posit(v, 16, 1) for v in [3.0, -1.0, 0.5, -7.0, 2.0]]
+        assert [float(p) for p in sorted(vals)] == \
+            [-7.0, -1.0, 0.5, 2.0, 3.0]
+
+    def test_bool(self):
+        assert Posit(1.0, 16, 1)
+        assert not Posit(0.0, 16, 1)
+
+
+class TestAccessors:
+    def test_bit_string(self):
+        p = Posit(1.0, 8, 0)
+        assert p.bit_string() == "01000000"
+        assert len(Posit(1.0, 16, 1).bit_string()) == 16
+
+    def test_fields_of_one(self):
+        f = Posit(1.0, 16, 1).fields()
+        assert f["sign"] == 0 and f["k"] == 0 and f["scale"] == 0
+
+    def test_fields_of_fraction(self):
+        # 1.5 = 1 + 2**-1 → fraction MSB set
+        f = Posit(1.5, 16, 1).fields()
+        assert f["scale"] == 0
+        assert f["fraction"] == 1 << (f["fraction_bits"] - 1)
+
+    def test_fields_negative(self):
+        assert Posit(-2.0, 16, 1).fields()["sign"] == 1
+
+    def test_fields_nar_raises(self):
+        with pytest.raises(NaRError):
+            Posit.nar(16, 1).fields()
+
+    def test_fields_zero(self):
+        f = Posit(0.0, 16, 1).fields()
+        assert f["scale"] == 0 and f["fraction"] == 0
+
+    def test_as_fraction_nar_raises(self):
+        with pytest.raises(NaRError):
+            Posit.nar(16, 1).as_fraction()
+
+    def test_repr(self):
+        assert "NaR" in repr(Posit.nar(16, 1))
+        assert "1.5" in repr(Posit(1.5, 16, 1))
+
+    def test_cast(self):
+        a = Posit(math.pi, 32, 2)
+        b = a.cast(16, 1)
+        assert (b.nbits, b.es) == (16, 1)
+        assert abs(float(b) - math.pi) < 1e-3
+
+
+class TestPaperExample:
+    """The §II-B worked semantics: value = useed^k * 2^e * (1 + frac)."""
+
+    def test_field_reconstruction(self):
+        import random
+        rnd = random.Random(5)
+        for _ in range(100):
+            x = rnd.uniform(-1e4, 1e4)
+            p = Posit(x, 16, 2)
+            if p.is_zero or p.is_nar:
+                continue
+            f = p.fields()
+            useed = 2 ** (2 ** p.es)
+            value = ((-1) ** f["sign"] * useed ** f["k"]
+                     * 2 ** f["exponent"]
+                     * (1 + Fraction(f["fraction"],
+                                     2 ** f["fraction_bits"] or 1)))
+            assert value == p.as_fraction()

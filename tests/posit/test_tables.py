@@ -1,0 +1,99 @@
+"""Value-table tests: enumeration counts, spacing geometry, Fig. 3 math."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.posit.tables import (decimal_accuracy_at, gap_table,
+                                positive_values, value_array, value_table)
+
+
+class TestValueTable:
+    def test_count(self):
+        # 2**n patterns minus NaR
+        assert len(value_table(8, 0)) == 255
+        assert len(value_table(6, 1)) == 63
+
+    def test_sorted_and_unique(self):
+        vals = [v for _p, v in value_table(8, 1)]
+        assert vals == sorted(vals)
+        assert len(set(vals)) == len(vals)
+
+    def test_symmetry(self):
+        vals = [v for _p, v in value_table(8, 1)]
+        assert all((-v) in set(vals) for v in vals)
+
+    def test_rejects_large_widths(self):
+        with pytest.raises(ValueError):
+            value_table(24, 1)
+
+    def test_value_array_dtype(self):
+        arr = value_array(8, 0)
+        assert arr.dtype == np.float64
+        assert arr.size == 255
+
+
+class TestPositiveValues:
+    def test_half_of_nonzero(self):
+        pos = positive_values(8, 1)
+        assert pos.size == 127  # (256 - 2) / 2
+        assert (pos > 0).all()
+
+    def test_extremes(self):
+        from repro.posit.codec import posit_config
+        cfg = posit_config(8, 1)
+        pos = positive_values(8, 1)
+        assert pos[0] == float(cfg.minpos)
+        assert pos[-1] == float(cfg.maxpos)
+
+
+class TestGapTable:
+    def test_shape(self):
+        g = gap_table(8, 0)
+        assert g.shape == (126, 3)
+
+    def test_gaps_positive(self):
+        g = gap_table(8, 1)
+        assert (g[:, 1] > 0).all()
+
+    def test_relative_gap_smallest_near_one(self):
+        # the global minimum of gap/value sits at a binade left edge in
+        # the widest-fraction regime, i.e. within [1/useed, useed) of 1
+        g = gap_table(10, 1)
+        vals, rel = g[:, 0], g[:, 2]
+        argmin_val = vals[rel.argmin()]
+        assert 0.25 <= argmin_val <= 4.0
+
+    def test_tapered_precision(self):
+        # relative gap grows monotonically with |log2 scale| (paper Fig. 3)
+        g = gap_table(10, 1)
+        vals, rel = g[:, 0], g[:, 2]
+        near_one = rel[np.searchsorted(vals, 1.0)]
+        far = rel[np.searchsorted(vals, float(2.0 ** 12))]
+        assert far > near_one
+
+
+class TestDecimalAccuracy:
+    def test_peak_at_one(self):
+        a1 = decimal_accuracy_at(1.0, 16, 2)
+        a_hi = decimal_accuracy_at(1e4, 16, 2)
+        a_lo = decimal_accuracy_at(1e-4, 16, 2)
+        assert a1 > a_hi and a1 > a_lo
+
+    def test_known_value(self):
+        # posit(32,2) near 1.0: 27 fraction bits → ~ -log10(2**-27) = 8.13
+        assert decimal_accuracy_at(1.0, 32, 2) == pytest.approx(
+            27 * math.log10(2.0), abs=0.01)
+
+    def test_out_of_range_zero(self):
+        assert decimal_accuracy_at(1e300, 16, 2) == 0.0
+        assert decimal_accuracy_at(1e-300, 16, 2) == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            decimal_accuracy_at(0.0, 16, 2)
+        with pytest.raises(ValueError):
+            decimal_accuracy_at(-1.0, 16, 2)

@@ -1,0 +1,70 @@
+"""Algorithm-3 (diagonal-mean) rescaling tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ScalingError
+from repro.scaling import scale_by_diagonal_mean, scale_by_nonzero_mean
+
+
+class TestDiagonalMean:
+    def test_centers_diagonal_on_one(self, spd_60):
+        big = spd_60 * 7.1e8
+        ss = scale_by_diagonal_mean(big, big @ np.ones(60))
+        mean_diag = np.mean(np.abs(np.diag(ss.A)))
+        assert 0.5 <= mean_diag <= 2.0
+
+    def test_scale_is_power_of_two_reciprocal(self, spd_60):
+        ss = scale_by_diagonal_mean(spd_60 * 3e5, spd_60 @ np.ones(60))
+        m, _ = np.frexp(1.0 / ss.scale)
+        assert m == 0.5
+
+    def test_algorithm3_semantics(self, spd_60):
+        """s = nearestPowerOfTwo(mean|A_kk|); A' = A/s; b' = b/s."""
+        from repro.scaling import nearest_power_of_two
+        A = spd_60 * 4.2e6
+        b = A @ np.ones(60)
+        s = nearest_power_of_two(float(np.mean(np.abs(np.diag(A)))))
+        ss = scale_by_diagonal_mean(A, b)
+        assert np.array_equal(ss.A, A / s)
+        assert np.array_equal(ss.b, b / s)
+
+    def test_solution_invariant(self, spd_60):
+        xhat = np.ones(60)
+        b = spd_60 @ xhat
+        ss = scale_by_diagonal_mean(spd_60, b)
+        assert np.allclose(np.linalg.solve(ss.A, ss.b), xhat, atol=1e-8)
+
+    def test_spd_preserved(self, spd_60):
+        ss = scale_by_diagonal_mean(spd_60 * 1e9, spd_60 @ np.ones(60))
+        assert (np.linalg.eigvalsh(ss.A) > 0).all()
+
+    def test_zero_diagonal_rejected(self):
+        with pytest.raises(ScalingError):
+            scale_by_diagonal_mean(np.zeros((3, 3)), np.zeros(3))
+
+
+class TestNonzeroMean:
+    def test_centers_nonzero_mean(self, spd_60):
+        big = spd_60 * 9.4e7
+        ss = scale_by_nonzero_mean(big, big @ np.ones(60))
+        nz = np.abs(ss.A[ss.A != 0])
+        assert 0.4 <= float(np.mean(nz)) <= 2.5
+
+    def test_raw_variant_exact_one(self, spd_60):
+        big = spd_60 * 9.4e7
+        ss = scale_by_nonzero_mean(big, big @ np.ones(60),
+                                   power_of_two=False)
+        nz = np.abs(ss.A[ss.A != 0])
+        assert float(np.mean(nz)) == pytest.approx(1.0)
+
+    def test_zero_matrix_rejected(self):
+        with pytest.raises(ScalingError):
+            scale_by_nonzero_mean(np.zeros((2, 2)), np.zeros(2))
+
+    def test_sparse_matrix_ignores_zeros(self):
+        A = np.diag([4.0, 4.0, 4.0, 4.0])
+        ss = scale_by_nonzero_mean(A, np.ones(4))
+        assert np.allclose(np.diag(ss.A), 1.0)

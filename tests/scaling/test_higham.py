@@ -1,0 +1,133 @@
+"""Higham rescaling tests (Algorithms 4 & 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ScalingError
+from repro.matrices import random_dense_spd
+from repro.scaling import (equilibrate_symmetric, higham_rescale,
+                           mu_for_format, nearest_power_of_four)
+
+
+@pytest.fixture(scope="module")
+def badly_scaled():
+    A = random_dense_spd(40, kappa=500.0, seed=33, norm2=1.0)
+    d = np.geomspace(1e-4, 1e4, 40)
+    rng = np.random.default_rng(34)
+    d = d[rng.permutation(40)]
+    M = A * d[:, None] * d[None, :]
+    return (M + M.T) / 2
+
+
+class TestEquilibration:
+    def test_row_maxima_equal_one(self, badly_scaled):
+        d = equilibrate_symmetric(badly_scaled, tolerance=1e-6)
+        S = badly_scaled * d[:, None] * d[None, :]
+        row_max = np.abs(S).max(axis=1)
+        assert np.allclose(row_max, 1.0, atol=1e-5)
+
+    def test_column_maxima_too(self, badly_scaled):
+        # symmetric matrix: row and column maxima coincide
+        d = equilibrate_symmetric(badly_scaled, tolerance=1e-6)
+        S = badly_scaled * d[:, None] * d[None, :]
+        assert np.allclose(np.abs(S).max(axis=0), 1.0, atol=1e-5)
+
+    def test_spd_preserved(self, badly_scaled):
+        d = equilibrate_symmetric(badly_scaled)
+        S = badly_scaled * d[:, None] * d[None, :]
+        assert (np.linalg.eigvalsh((S + S.T) / 2) > 0).all()
+
+    def test_reduces_condition_number(self, badly_scaled):
+        from repro.linalg import condition_number_2
+        d = equilibrate_symmetric(badly_scaled)
+        S = badly_scaled * d[:, None] * d[None, :]
+        assert condition_number_2((S + S.T) / 2) < \
+            condition_number_2(badly_scaled) / 100
+
+    def test_identity_needs_no_change(self):
+        d = equilibrate_symmetric(np.eye(5))
+        assert np.allclose(d, 1.0)
+
+    def test_zero_row_rejected(self):
+        A = np.zeros((3, 3))
+        A[0, 0] = 1.0
+        with pytest.raises(ScalingError):
+            equilibrate_symmetric(A)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            equilibrate_symmetric(np.ones((2, 3)))
+
+
+class TestNearestPowerOfFour:
+    @pytest.mark.parametrize("value,expected", [
+        (1.0, 1.0), (4.0, 4.0), (3.0, 4.0), (1.9, 1.0),
+        (6550.4, 4096.0), (100.0, 64.0), (0.3, 0.25),
+    ])
+    def test_values(self, value, expected):
+        assert nearest_power_of_four(value) == expected
+
+    def test_rejects_bad(self):
+        with pytest.raises(ScalingError):
+            nearest_power_of_four(0.0)
+
+
+class TestMu:
+    def test_posit_mu_is_useed(self):
+        """§V-D2: 'the best choice for μ for Posit16 is simply USEED'."""
+        assert mu_for_format("posit16es1") == 4.0
+        assert mu_for_format("posit16es2") == 16.0
+        assert mu_for_format("posit32es2") == 16.0
+
+    def test_fp16_mu_is_higham_choice_pow4(self):
+        """μ = 0.1·FP16max rounded to the nearest power of four."""
+        assert mu_for_format("fp16") == 4096.0
+        assert mu_for_format("fp16") == nearest_power_of_four(0.1 * 65504)
+
+    def test_mu_is_power_of_four(self):
+        for fmt in ("fp16", "fp32", "posit16es1", "posit16es2"):
+            mu = mu_for_format(fmt)
+            assert 4.0 ** round(np.log(mu) / np.log(4.0)) == mu
+
+    def test_custom_theta(self):
+        assert mu_for_format("fp16", theta=0.01) == \
+            nearest_power_of_four(0.01 * 65504)
+
+
+class TestHighamRescale:
+    def test_scaled_entries_bounded_by_mu(self, badly_scaled):
+        b = badly_scaled @ np.ones(40)
+        for fmt in ("fp16", "posit16es1", "posit16es2"):
+            sc = higham_rescale(badly_scaled, b, fmt)
+            assert np.max(np.abs(sc.A_scaled)) <= sc.mu * 1.01
+            # each row's max lands at mu (the paper's "maximum entry
+            # equal to USEED" property), up to equilibration tolerance
+            row_max = np.abs(sc.A_scaled).max(axis=1)
+            assert np.allclose(row_max, sc.mu, rtol=0.02)
+
+    def test_fp16_entries_fit(self, badly_scaled):
+        b = badly_scaled @ np.ones(40)
+        sc = higham_rescale(badly_scaled, b, "fp16")
+        assert np.max(np.abs(sc.A_scaled)) < 65504.0
+
+    def test_correction_solve_inverts(self):
+        """μ·D·(R̃ᵀR̃)⁻¹·D must approximate A⁻¹ (moderate κ so float64
+        can verify the identity)."""
+        core = random_dense_spd(40, kappa=50.0, seed=35, norm2=1.0)
+        dd = np.geomspace(1e-2, 1e2, 40)
+        A = core * dd[:, None] * dd[None, :]
+        A = (A + A.T) / 2
+        b = A @ np.ones(40)
+        sc = higham_rescale(A, b, "fp16")
+        R = np.linalg.cholesky(sc.A_scaled).T  # exact factor
+        r = np.ones(40)
+        d = sc.correction_solve(R, r)
+        assert np.allclose(A @ d, r, rtol=1e-7, atol=1e-7)
+
+    def test_scaled_matrix_spd(self, badly_scaled):
+        b = badly_scaled @ np.ones(40)
+        sc = higham_rescale(badly_scaled, b, "posit16es2")
+        assert (np.linalg.eigvalsh(
+            (sc.A_scaled + sc.A_scaled.T) / 2) > 0).all()

@@ -1,0 +1,87 @@
+"""Power-of-two ∞-norm rescaling tests (§V-B)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ScalingError
+from repro.linalg import inf_norm
+from repro.scaling import nearest_power_of_two, scale_to_inf_norm
+
+
+class TestNearestPowerOfTwo:
+    @pytest.mark.parametrize("value,expected", [
+        (1.0, 1.0), (2.0, 2.0), (3.0, 4.0), (1.4, 1.0), (1.5, 2.0),
+        (1000.0, 1024.0), (0.3, 0.25), (2.7, 2.0), (2.9, 4.0),
+        (1e-3, 2.0 ** -10),
+    ])
+    def test_values(self, value, expected):
+        assert nearest_power_of_two(value) == expected
+
+    def test_log_scale_rounding(self):
+        # values in [2^9.5, 2^10.5) round to 2^10
+        assert nearest_power_of_two(2.0 ** 9.51) == 2.0 ** 10
+        assert nearest_power_of_two(2.0 ** 10.49) == 2.0 ** 10
+        assert nearest_power_of_two(2.0 ** 10.51) == 2.0 ** 11
+
+    def test_result_is_exact_power(self):
+        for v in [7.3, 0.02, 9e5, 3.7e-8]:
+            p = nearest_power_of_two(v)
+            m, _ = np.frexp(p)
+            assert m == 0.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, np.inf, np.nan])
+    def test_rejects_bad_input(self, bad):
+        with pytest.raises(ScalingError):
+            nearest_power_of_two(bad)
+
+
+class TestScaleToInfNorm:
+    def test_lands_near_target(self, spd_60):
+        b = spd_60 @ np.ones(60)
+        big = spd_60 * 3.7e8
+        ss = scale_to_inf_norm(big, b * 3.7e8)
+        norm = inf_norm(ss.A)
+        assert 2.0 ** 9 < norm < 2.0 ** 11.5
+
+    def test_scale_is_power_of_two(self, spd_60):
+        b = spd_60 @ np.ones(60)
+        ss = scale_to_inf_norm(spd_60 * 1e7, b)
+        m, _ = np.frexp(abs(ss.scale))
+        assert m == 0.5
+
+    def test_solution_invariant(self, spd_60):
+        xhat = np.ones(60)
+        b = spd_60 @ xhat
+        ss = scale_to_inf_norm(spd_60, b)
+        x = np.linalg.solve(ss.A, ss.b)
+        assert np.allclose(ss.unscale_solution(x), xhat, atol=1e-8)
+
+    def test_scaling_exact_for_entries(self, spd_60):
+        # power-of-two multiplication is exact in float64
+        b = spd_60 @ np.ones(60)
+        ss = scale_to_inf_norm(spd_60, b)
+        assert np.array_equal(ss.A / ss.scale, spd_60)
+
+    def test_fp32_results_unchanged(self, spd_60):
+        """The paper's rationale for powers of two: Float32 results
+        'should remain almost the same if not exactly the same'."""
+        from repro.arith import FPContext
+        from repro.linalg import conjugate_gradient
+        b = spd_60 @ np.full(60, 1 / np.sqrt(60))
+        A = spd_60 * 5.0e7
+        bb = b * 5.0e7
+        ss = scale_to_inf_norm(A, bb)
+        r1 = conjugate_gradient(FPContext("fp32"), A, bb)
+        r2 = conjugate_gradient(FPContext("fp32"), ss.A, ss.b)
+        assert r1.iterations == r2.iterations
+
+    def test_custom_target(self, spd_60):
+        b = spd_60 @ np.ones(60)
+        ss = scale_to_inf_norm(spd_60, b, target=2.0 ** 4)
+        assert 2.0 ** 3 < inf_norm(ss.A) < 2.0 ** 5.5
+
+    def test_zero_matrix_rejected(self):
+        with pytest.raises(ScalingError):
+            scale_to_inf_norm(np.zeros((3, 3)), np.zeros(3))

@@ -1,0 +1,57 @@
+"""Run-scale configuration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SCALES, current_scale, scale_from_env
+
+
+class TestScales:
+    def test_three_scales(self):
+        assert set(SCALES) == {"small", "medium", "full"}
+
+    def test_ordering(self):
+        assert SCALES["small"].max_dimension < \
+            SCALES["medium"].max_dimension < SCALES["full"].max_dimension
+
+    def test_full_scale_fits_paper(self):
+        # the largest Table-I matrix is 1138_bus
+        assert SCALES["full"].cap_dimension(1138) == 1138
+        assert SCALES["full"].ir_max_iterations == 1000  # the paper cap
+
+    def test_cap_dimension(self):
+        assert SCALES["small"].cap_dimension(1138) == 96
+        assert SCALES["small"].cap_dimension(48) == 48
+
+    def test_cap_nnz_preserves_fill(self):
+        s = SCALES["small"]
+        # 1138² matrix with 4054 nnz (0.31% fill) → scaled but floored
+        out = s.cap_nnz(4054, 1138)
+        assert out >= 4 * 96
+        # dense matrix stays dense
+        assert s.cap_nnz(66 * 66, 66) == 66 * 66
+
+    def test_cap_nnz_respects_ceiling(self):
+        s = SCALES["small"]
+        assert s.cap_nnz(10 ** 9, 96) <= s.nnz_cap
+
+
+class TestEnvResolution:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_from_env().name == "small"
+        assert current_scale().name == "small"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "medium")
+        assert scale_from_env().name == "medium"
+
+    def test_case_insensitive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", " FULL ")
+        assert scale_from_env().name == "full"
+
+    def test_invalid_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "enormous")
+        with pytest.raises(ValueError):
+            scale_from_env()

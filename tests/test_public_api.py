@@ -1,0 +1,61 @@
+"""Top-level package API tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class TestImports:
+    def test_version(self):
+        import repro
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        import repro
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_subpackage_all_exports(self):
+        import repro.analysis
+        import repro.arith
+        import repro.experiments
+        import repro.formats
+        import repro.linalg
+        import repro.matrices
+        import repro.posit
+        import repro.scaling
+        for mod in (repro.posit, repro.formats, repro.arith, repro.linalg,
+                    repro.scaling, repro.matrices, repro.analysis,
+                    repro.experiments):
+            for name in mod.__all__:
+                assert getattr(mod, name) is not None, (mod.__name__, name)
+
+
+class TestQuickstartFlow:
+    """The README's five-line quickstart must keep working."""
+
+    def test_scalar_posit(self):
+        from repro import Posit
+        x = Posit(3.14159, nbits=16, es=1)
+        assert abs(float(x * x) - 9.8696) < 1e-2
+
+    def test_solver_flow(self):
+        from repro import FPContext, conjugate_gradient
+        from repro.matrices import load_matrix, right_hand_side
+        from repro.config import SCALES
+        A = load_matrix("lund_b", SCALES["small"])
+        b = right_hand_side(A)
+        res = conjugate_gradient(FPContext("posit32es2"), A, b)
+        assert res.converged
+
+    def test_ir_flow(self):
+        from repro import iterative_refinement
+        from repro.matrices import random_dense_spd
+        A = random_dense_spd(30, kappa=50.0, seed=1, norm2=10.0)
+        b = A @ np.ones(30)
+        res = iterative_refinement(A, b, "posit16es2")
+        assert res.converged
+
+    def test_format_round(self):
+        from repro import get_format
+        assert get_format("posit32es2").round(1.0) == 1.0
