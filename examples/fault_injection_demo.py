@@ -1,0 +1,90 @@
+"""Fault injection and breakdown recovery.
+
+Two studies on top of the paper's solvers:
+
+1. CG under an escalating silent-data-corruption rate — how many extra
+   iterations does a bit flip cost Float32 vs Posit(32,2), and when
+   does the solver stop converging at all?
+2. The recovery ladder on deliberately broken half-precision Cholesky
+   solves — which rung (rescale / widen) rescues a range failure vs a
+   precision failure?
+
+Run:  python examples/fault_injection_demo.py
+"""
+
+import numpy as np
+
+from repro import (FaultInjector, FPContext, RecoveryPolicy,
+                   cholesky_with_recovery, conjugate_gradient)
+from repro.matrices import random_dense_spd
+
+
+def cg_under_bitflips() -> None:
+    print("=== CG under silent data corruption (bitflip model) ===")
+    n = 64
+    A = random_dense_spd(n, kappa=1.0e4, seed=3)
+    b = A @ np.full(n, 1.0 / np.sqrt(n))
+
+    print(f"{'rate':>8} {'format':>12} {'iters':>6} {'faults':>7} "
+          f"{'outcome':>10}")
+    for rate in (0.0, 1e-4, 1e-3, 1e-2):
+        for fmt in ("fp32", "posit32es2"):
+            inj = FaultInjector(seed=7, rate=rate,
+                                sites=("matvec", "dot", "axpy"))
+            with inj:  # ambient: every FPContext inside is corrupted
+                res = conjugate_gradient(FPContext(fmt), A, b,
+                                         rtol=1e-5,
+                                         max_iterations=2000)
+            outcome = ("converged" if res.converged else
+                       "diverged" if res.diverged else "exhausted")
+            print(f"{rate:>8.0e} {fmt:>12} {res.iterations:>6} "
+                  f"{inj.count:>7} {outcome:>10}")
+    print("Bit flips in high bits (sign/regime/exponent) are rare but\n"
+          "catastrophic; CG usually re-converges after paying extra\n"
+          "iterations, until the fault rate overwhelms it.\n")
+
+
+def nar_poisoning() -> None:
+    print("=== One NaR is enough (posit exception semantics) ===")
+    n = 48
+    A = random_dense_spd(n, kappa=1.0e3, seed=11)
+    b = A @ np.ones(n)
+    inj = FaultInjector(seed=1, rate=1.0, sites=("dot",), model="nar",
+                        max_faults=1)
+    with inj:
+        res = conjugate_gradient(FPContext("posit32es2"), A, b)
+    rec = inj.log[0]
+    print(f"corrupted one dot product ({rec.before:.3e} -> NaR): "
+          f"CG {'diverged' if res.diverged else 'survived'} after "
+          f"{res.iterations} iterations\n")
+
+
+def recovery_ladder() -> None:
+    print("=== Breakdown recovery: rescale vs widen ===")
+    n = 48
+    base = random_dense_spd(n, kappa=1.0e3, seed=5)
+    b = base @ np.ones(n)
+
+    # a RANGE failure: well-conditioned, but scaled out of fp16 range
+    # a PRECISION failure: tighter accuracy than 16 bits can deliver
+    cases = [
+        ("range (A*1e6)", base * 1.0e6, b * 1.0e6, np.inf),
+        ("precision (err<=1e-6)", base, b, 1.0e-6),
+    ]
+    policy = RecoveryPolicy()
+    print(f"{'case':>22} {'format':>12} {'rescue':>18} {'final':>12}")
+    for label, A, rhs, max_err in cases:
+        for fmt in ("fp16", "posit16es1"):
+            trace = cholesky_with_recovery(fmt, A, rhs, policy=policy,
+                                           max_backward_error=max_err)
+            print(f"{label:>22} {fmt:>12} {trace.rescue_rung:>18} "
+                  f"{trace.final_format or '-':>12}")
+    print("Range failures are cured in-format by the paper's\n"
+          "Algorithm-3 rescaling; precision failures need wider\n"
+          "formats even after rescaling.")
+
+
+if __name__ == "__main__":
+    cg_under_bitflips()
+    nar_poisoning()
+    recovery_ladder()

@@ -28,6 +28,9 @@ from .linalg.cg import conjugate_gradient
 from .linalg.cholesky import cholesky_factor, cholesky_solve
 from .linalg.ir import iterative_refinement
 from .posit import Posit, PositConfig, Quire, posit_config, posit_round
+from .resilience import (FaultInjector, RecoveryPolicy, RecoveryTrace,
+                         cg_with_recovery, cholesky_with_recovery,
+                         ir_with_recovery)
 
 __version__ = "1.0.0"
 
@@ -36,5 +39,7 @@ __all__ = [
     "FPContext", "get_format",
     "conjugate_gradient", "cholesky_factor", "cholesky_solve",
     "iterative_refinement",
+    "FaultInjector", "RecoveryPolicy", "RecoveryTrace",
+    "cholesky_with_recovery", "cg_with_recovery", "ir_with_recovery",
     "__version__",
 ]

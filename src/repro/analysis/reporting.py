@@ -109,9 +109,16 @@ def format_bar_chart(labels: Sequence[str], values: Sequence[float],
 
 def write_csv(filename: str, headers: Sequence[str],
               rows: Iterable[Sequence]) -> str:
-    """Write rows to ``results/<filename>``; returns the full path."""
+    """Write rows to ``results/<filename>``; returns the full path.
+
+    The write is atomic (temporary sibling + ``os.replace``) so an
+    interrupted or killed sweep can never leave a truncated artifact
+    behind — a CSV that exists is complete.
+    """
+    from ..resilience.atomic import atomic_open
+
     path = os.path.join(results_dir(), filename)
-    with open(path, "w", newline="") as fh:
+    with atomic_open(path, "w", newline="") as fh:
         writer = csv.writer(fh)
         writer.writerow(headers)
         for row in rows:

@@ -25,11 +25,37 @@ from ..formats.registry import get_format
 from .sparse import ELLMatrix
 from .summation import SUM_ORDERS, rounded_sum_last_axis
 
-__all__ = ["FPContext"]
+__all__ = ["FPContext", "get_active_injector", "set_active_injector"]
 
 
 def _identity(x: np.ndarray) -> np.ndarray:
     return x
+
+
+# Ambient fault injector (see repro.resilience.faults).  The context
+# layer knows nothing about injector internals — anything with an
+# ``apply(site, value, fmt)`` method works — which keeps this module
+# import-free of the resilience package.
+_ACTIVE_INJECTOR = None
+
+
+def set_active_injector(injector):
+    """Install *injector* process-wide; returns the previous one.
+
+    Every :class:`FPContext` (including ones solvers construct
+    internally) routes its named sites through the active injector, so
+    arbitrary solver code is testable under silent data corruption
+    without modification.  Pass ``None`` to deactivate.
+    """
+    global _ACTIVE_INJECTOR
+    previous = _ACTIVE_INJECTOR
+    _ACTIVE_INJECTOR = injector
+    return previous
+
+
+def get_active_injector():
+    """The ambient fault injector, or None when injection is off."""
+    return _ACTIVE_INJECTOR
 
 
 class FPContext:
@@ -42,14 +68,19 @@ class FPContext:
     sum_order:
         ``"pairwise"`` (default, vectorizable) or ``"sequential"``
         (the literal scalar-loop order); both round every addition.
+    injector:
+        Optional fault injector bound to this context only (anything
+        with ``apply(site, value, fmt)``); when None, the ambient
+        injector installed via :func:`set_active_injector` applies.
     """
 
     def __init__(self, fmt: NumberFormat | str,
-                 sum_order: str = "pairwise"):
+                 sum_order: str = "pairwise", injector=None):
         self.fmt = get_format(fmt)
         if sum_order not in SUM_ORDERS:
             raise ValueError(f"sum_order must be one of {SUM_ORDERS}")
         self.sum_order = sum_order
+        self.injector = injector
         self._exact = self.fmt == FLOAT64
         self._rnd = _identity if self._exact else self.fmt.round
 
@@ -58,6 +89,20 @@ class FPContext:
     def is_exact(self) -> bool:
         """True for the Float64 context (no quantization applied)."""
         return self._exact
+
+    def inject(self, site: str, value):
+        """Pass *value* through the fault injector for a named site.
+
+        The identity when no injector is active — the ``is None`` check
+        is the entire overhead on clean runs.  Sites instrumented here:
+        ``storage`` (:meth:`asarray`), ``matvec``, ``dot``, ``axpy``;
+        solvers add their own (e.g. the Cholesky ``pivot`` site).
+        """
+        injector = self.injector if self.injector is not None \
+            else _ACTIVE_INJECTOR
+        if injector is None:
+            return value
+        return injector.apply(site, value, self.fmt)
 
     def round(self, x):
         """Quantize values into the context's format."""
@@ -71,9 +116,12 @@ class FPContext:
         way).
         """
         if isinstance(x, ELLMatrix):
+            # sparse storage is not fault-instrumented (padding zeros
+            # would absorb a rate-proportional share of the hits)
             return x if self._exact else x.quantized(self.fmt.round)
         arr = np.array(x, dtype=np.float64)
-        return arr if self._exact else np.asarray(self.fmt.round(arr))
+        arr = arr if self._exact else np.asarray(self.fmt.round(arr))
+        return self.inject("storage", arr)
 
     # -- elementwise ops (one rounding each) ------------------------------
     # NaN operands are legitimate mid-computation (posit NaR carriers,
@@ -115,11 +163,12 @@ class FPContext:
         x = np.asarray(x, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64)
         if self._exact:
-            return float(x @ y)
+            return float(self.inject("dot", float(x @ y)))
         with np.errstate(invalid="ignore", over="ignore"):
             products = self._rnd(x * y)
-        return float(rounded_sum_last_axis(products, self._rnd,
-                                           self.sum_order))
+        out = float(rounded_sum_last_axis(products, self._rnd,
+                                          self.sum_order))
+        return float(self.inject("dot", out))
 
     def matvec(self, A, x) -> np.ndarray:
         """Rounded matrix-vector product (row-wise rounded dots).
@@ -131,17 +180,20 @@ class FPContext:
         x = np.asarray(x, dtype=np.float64)
         if isinstance(A, ELLMatrix):
             if self._exact:
-                return A.matvec64(x)
+                return self.inject("matvec", A.matvec64(x))
             with np.errstate(invalid="ignore", over="ignore"):
                 products = self._rnd(A.data * x[A.cols])
-            return rounded_sum_last_axis(products, self._rnd,
-                                         self.sum_order)
+            return self.inject("matvec",
+                               rounded_sum_last_axis(products, self._rnd,
+                                                     self.sum_order))
         A = np.asarray(A, dtype=np.float64)
         if self._exact:
-            return A @ x
+            return self.inject("matvec", A @ x)
         with np.errstate(invalid="ignore", over="ignore"):
             products = self._rnd(A * x[np.newaxis, :])
-        return rounded_sum_last_axis(products, self._rnd, self.sum_order)
+        return self.inject("matvec",
+                           rounded_sum_last_axis(products, self._rnd,
+                                                 self.sum_order))
 
     def outer(self, x, y) -> np.ndarray:
         """Rounded outer product."""
@@ -165,7 +217,7 @@ class FPContext:
     # -- compound helpers (each primitive rounded) -------------------------
     def axpy(self, alpha: float, x, y) -> np.ndarray:
         """``y + alpha*x`` with the product and the sum each rounded."""
-        return self.add(y, self.mul(alpha, x))
+        return self.inject("axpy", self.add(y, self.mul(alpha, x)))
 
     def norm2(self, x) -> float:
         """Rounded 2-norm: rounded dot then rounded sqrt."""

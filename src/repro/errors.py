@@ -73,5 +73,43 @@ class ScalingError(ReproError):
     """A matrix rescaling strategy could not be applied."""
 
 
+class FaultInjected(ReproError):
+    """A fault injector corrupted a value while running in strict mode.
+
+    Raised only when the injector is configured with ``on_fault="raise"``
+    — the default mode corrupts silently, which is the point of silent
+    data corruption studies.  Carries enough metadata to locate the hit.
+    """
+
+    def __init__(self, message: str, *, site: str = "",
+                 index: tuple | None = None,
+                 before: float | None = None, after: float | None = None):
+        super().__init__(message)
+        self.site = site
+        self.index = index
+        self.before = before
+        self.after = after
+
+
+class RecoveryExhausted(LinAlgError):
+    """Every rung of a recovery ladder failed.
+
+    Raised by the strict variants of the :mod:`repro.resilience.recovery`
+    entry points; the attached ``trace`` records every attempt.
+    """
+
+    def __init__(self, message: str, *, trace=None):
+        super().__init__(message)
+        self.trace = trace
+
+
+class ExperimentTimeout(ReproError):
+    """An experiment exceeded its wall-clock budget.
+
+    Raised from inside :func:`repro.resilience.isolation.time_limit`;
+    the crash-safe runner records it in the run manifest and moves on.
+    """
+
+
 class MatrixGenerationError(ReproError):
     """A synthetic matrix could not be generated to specification."""

@@ -69,16 +69,27 @@ def _cached(key: tuple, builder: Callable[[], Any]) -> Any:
     return _CACHE[key]
 
 
-def suite_systems(scale: RunScale):
-    """Yield ``(spec, A, b)`` for the whole suite at *scale* (cached)."""
+def suite_systems(scale: RunScale, names: tuple[str, ...] | None = None):
+    """Yield ``(spec, A, b)`` for the suite at *scale* (cached).
+
+    *names* restricts the sweep to a subset of the suite (in the given
+    order) — used by focused experiments and fast tests; the default is
+    the full Table I ordering.
+    """
+    selected = tuple(names) if names is not None else tuple(SUITE_ORDER)
+    unknown = [n for n in selected if n not in SUITE_ORDER]
+    if unknown:
+        raise KeyError(f"unknown suite matrices {unknown}; "
+                       f"known: {list(SUITE_ORDER)}")
+
     def build():
         out = []
-        for name in SUITE_ORDER:
+        for name in selected:
             spec = matrix_spec(name)
             A = load_matrix(name, scale)
             out.append((spec, A, right_hand_side(A)))
         return out
-    return _cached(("systems", scale.name), build)
+    return _cached(("systems", scale.name, selected), build)
 
 
 # ---------------------------------------------------------------------------

@@ -1,20 +1,33 @@
 """Command-line entry point: ``python -m repro.experiments <exp> [...]``.
 
-Regenerates any (or every) paper artifact::
+Regenerates any (or every) paper artifact, crash-safely::
 
     python -m repro.experiments table1 fig6 --scale small
-    python -m repro.experiments all --scale medium
+    python -m repro.experiments all --scale medium --timeout 600
+    python -m repro.experiments all --resume
     repro-experiments list
+
+Crash safety: every experiment runs inside a wall-clock limit
+(``--timeout``), a crash or timeout in one experiment never kills the
+sweep, transient failures are retried with exponential backoff
+(``--retries``), artifacts are written atomically, and a JSON manifest
+(``results/run_manifest.json``) records each outcome so ``--resume``
+skips work that already completed at the same scale.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable
 
+from ..analysis.reporting import results_dir
 from ..config import SCALES, RunScale, scale_from_env
+from ..errors import ExperimentTimeout
+from ..resilience.isolation import backoff_delays, time_limit
+from ..resilience.manifest import MANIFEST_NAME, RunManifest
 from .common import ExperimentResult
 
 __all__ = ["EXPERIMENTS", "main", "run_experiment"]
@@ -64,6 +77,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
                          _lazy("ext_factor_norms")),
     "ext-bounds": ("X11: error bounds with posit-aware epsilon",
                    _lazy("ext_bounds")),
+    "ext-recovery": ("X12: Cholesky breakdown-recovery ladder",
+                     _lazy("ext_recovery")),
 }
 
 #: the paper's own artifacts, in paper order (extensions excluded)
@@ -82,6 +97,39 @@ def run_experiment(exp_id: str, scale: RunScale | None = None,
     return fn(scale=scale, quiet=quiet)
 
 
+def _run_protected(exp_id: str, scale: RunScale, timeout: float | None,
+                   retries: int, backoff: float,
+                   sleep: Callable[[float], None] = time.sleep
+                   ) -> tuple[str, ExperimentResult | None, str | None, int]:
+    """Run one experiment with timeout, crash isolation and retries.
+
+    Returns ``(status, result, error, attempts)`` where status is
+    ``completed`` / ``timeout`` / ``failed``.  A timeout is final (the
+    budget would just expire again); any other exception is treated as
+    potentially transient and retried with exponential backoff.
+    """
+    delays = backoff_delays(retries, base=backoff)
+    attempts = 0
+    last_error = None
+    while True:
+        attempts += 1
+        try:
+            with time_limit(timeout, label=exp_id):
+                result = run_experiment(exp_id, scale=scale)
+            return "completed", result, None, attempts
+        except ExperimentTimeout as exc:
+            return "timeout", None, str(exc), attempts
+        except Exception as exc:  # crash isolation: record, move on
+            last_error = f"{type(exc).__name__}: {exc}"
+            delay = next(delays, None)
+            if delay is None:
+                return "failed", None, last_error, attempts
+            print(f"!! {exp_id} attempt {attempts} failed "
+                  f"({last_error}); retrying in {delay:g}s",
+                  file=sys.stderr)
+            sleep(delay)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -93,6 +141,19 @@ def main(argv: list[str] | None = None) -> int:
                         default=None,
                         help="workload scale (default: $REPRO_SCALE or "
                              "'small')")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget per experiment "
+                             "(default: unlimited)")
+    parser.add_argument("--retries", type=int, default=1, metavar="N",
+                        help="retries per crashed experiment (default: 1)")
+    parser.add_argument("--backoff", type=float, default=1.0,
+                        metavar="SECONDS",
+                        help="initial retry backoff, doubled per retry "
+                             "(default: 1.0)")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip experiments the run manifest records "
+                             "as completed at this scale")
     args = parser.parse_args(argv)
 
     if args.experiments == ["list"]:
@@ -109,17 +170,51 @@ def main(argv: list[str] | None = None) -> int:
         elif e in EXPERIMENTS:
             ids.append(e)
         else:
-            parser.error(f"unknown experiment {e!r} "
-                         f"(known: {', '.join(EXPERIMENTS)}, all, list)")
+            print(f"error: unknown experiment {e!r} "
+                  f"(choose from: {', '.join(EXPERIMENTS)}, all, "
+                  f"everything, list)", file=sys.stderr)
+            return 2
 
-    scale = SCALES[args.scale] if args.scale else scale_from_env()
+    try:
+        scale = SCALES[args.scale] if args.scale else scale_from_env()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    manifest = RunManifest(os.path.join(results_dir(),
+                                        MANIFEST_NAME)).load()
+    failures: list[tuple[str, str]] = []
     for eid in ids:
+        if args.resume and manifest.is_complete(eid, scale.name):
+            print(f"===== {eid} already completed at scale "
+                  f"{scale.name!r}; skipping (--resume)")
+            continue
         t0 = time.time()
         print(f"\n===== {eid} ({EXPERIMENTS[eid][0]}) =====")
-        result = run_experiment(eid, scale=scale)
+        status, result, error, attempts = _run_protected(
+            eid, scale, args.timeout, args.retries, args.backoff)
         dt = time.time() - t0
-        where = f" [csv: {result.csv_path}]" if result.csv_path else ""
-        print(f"----- {eid} done in {dt:.1f}s{where}")
+        csv_path = result.csv_path if result is not None else None
+        manifest.record(eid, status=status, scale=scale.name,
+                        duration=dt, csv_path=csv_path, error=error,
+                        attempts=attempts)
+        if status == "completed":
+            where = f" [csv: {csv_path}]" if csv_path else ""
+            print(f"----- {eid} done in {dt:.1f}s{where}")
+        else:
+            failures.append((eid, f"{status}: {error}"))
+            print(f"----- {eid} {status} after {dt:.1f}s "
+                  f"({attempts} attempt{'s' if attempts != 1 else ''}): "
+                  f"{error}", file=sys.stderr)
+
+    if failures:
+        print(f"\n{len(failures)}/{len(ids)} experiments did not "
+              f"complete:", file=sys.stderr)
+        for eid, why in failures:
+            print(f"  {eid}: {why}", file=sys.stderr)
+        print("re-run with --resume to retry only these.",
+              file=sys.stderr)
+        return 1
     return 0
 
 

@@ -75,6 +75,29 @@ class NumberFormat(abc.ABC):
         """log10(max_value / min_positive) — the format's total reach."""
         return float(np.log10(self.max_value) - np.log10(self.min_positive))
 
+    # -- bit-level codec -----------------------------------------------------
+    # Patterns are unsigned integers in [0, 2**nbits).  Every format the
+    # experiments use implements the pair; the fault-injection layer
+    # relies on it to flip single storage bits, and the property tests
+    # assert that *every* pattern decodes without raising.
+    def to_bits(self, value: float) -> int:
+        """Encode *value* (rounded into the format first) as a bit pattern.
+
+        Non-finite values map to the format's exceptional encoding (NaR
+        for posit, inf/NaN for IEEE).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement a bit-level codec")
+
+    def from_bits(self, pattern: int) -> float:
+        """Decode an ``nbits``-wide bit *pattern* to its float64 value.
+
+        Must accept **any** integer in ``[0, 2**nbits)`` without raising
+        — arbitrary patterns are exactly what bit-flip faults produce.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement a bit-level codec")
+
     # -- behaviour flags ----------------------------------------------------
     @property
     def saturates(self) -> bool:

@@ -16,6 +16,8 @@ in float64 for every p ≤ 52 we support.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from ..errors import FormatError
@@ -104,6 +106,44 @@ class IEEEFormat(NumberFormat):
     @property
     def eps_at_one(self) -> float:
         return self._eps
+
+    # -- bit-level codec (standard sign/exponent/fraction layout) ----------
+    def to_bits(self, value: float) -> int:
+        v = float(self.round(float(value)))
+        p, w = self.precision, self.exp_bits
+        f_bits = p - 1
+        sign = 1 if math.copysign(1.0, v) < 0 else 0
+        if math.isnan(v):
+            # canonical quiet NaN: exponent all ones, top fraction bit set
+            return (sign << (w + f_bits)) | (((1 << w) - 1) << f_bits) \
+                | (1 << max(f_bits - 1, 0))
+        if math.isinf(v):
+            return (sign << (w + f_bits)) | (((1 << w) - 1) << f_bits)
+        if v == 0.0:
+            return sign << (w + f_bits)
+        m, e = math.frexp(abs(v))  # |v| = m * 2**e, m in [0.5, 1)
+        ue = e - 1
+        if ue < self.emin:  # subnormal: exponent field 0
+            field_e = 0
+            frac = round(math.ldexp(abs(v), (p - 1) - self.emin))
+        else:
+            field_e = ue + self.emax
+            frac = round(math.ldexp(m * 2.0 - 1.0, f_bits))
+        return (sign << (w + f_bits)) | (field_e << f_bits) | frac
+
+    def from_bits(self, pattern: int) -> float:
+        p, w = self.precision, self.exp_bits
+        f_bits = p - 1
+        pattern &= (1 << self.nbits) - 1
+        sign = -1.0 if pattern >> (w + f_bits) else 1.0
+        field_e = (pattern >> f_bits) & ((1 << w) - 1)
+        frac = pattern & ((1 << f_bits) - 1)
+        if field_e == (1 << w) - 1:
+            return math.nan if frac else sign * math.inf
+        if field_e == 0:
+            return sign * math.ldexp(frac, self.emin - f_bits)
+        return sign * math.ldexp(1.0 + math.ldexp(frac, -f_bits),
+                                 field_e - self.emax)
 
 
 #: bfloat16: 8 significand bits, fp32's exponent range

@@ -55,6 +55,19 @@ class NativeIEEEFormat(NumberFormat):
     def eps_at_one(self) -> float:
         return self._eps
 
+    # -- bit-level codec (hardware layout via NumPy views) ----------------
+    _UINT = {2: np.uint16, 4: np.uint32, 8: np.uint64}
+
+    def to_bits(self, value: float) -> int:
+        with np.errstate(over="ignore", invalid="ignore"):
+            v = self._dtype.type(value)
+        return int(v.view(self._UINT[self._dtype.itemsize]))
+
+    def from_bits(self, pattern: int) -> float:
+        pattern &= (1 << self.nbits) - 1
+        u = self._UINT[self._dtype.itemsize](pattern)
+        return float(u.view(self._dtype))
+
 
 FLOAT16 = NativeIEEEFormat(np.float16, "fp16", "Float16")
 FLOAT32 = NativeIEEEFormat(np.float32, "fp32", "Float32")

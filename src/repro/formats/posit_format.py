@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
-from ..posit.codec import PositConfig, posit_config
+from ..posit.codec import PositConfig, decode_float, encode, posit_config
 from ..posit.rounding import posit_round
 from .base import NumberFormat
 
@@ -50,6 +52,16 @@ class PositFormat(NumberFormat):
     @property
     def eps_at_one(self) -> float:
         return float(self._cfg.eps_at_one)
+
+    # -- bit-level codec (delegates to the exact reference codec) ----------
+    def to_bits(self, value: float) -> int:
+        v = float(value)
+        if math.isnan(v) or math.isinf(v):
+            return self._cfg.nar_pattern
+        return encode(v, self._cfg)
+
+    def from_bits(self, pattern: int) -> float:
+        return decode_float(pattern, self._cfg)
 
     @property
     def useed(self) -> int:

@@ -132,8 +132,8 @@ def conjugate_gradient(ctx: FPContext, A: np.ndarray, b: np.ndarray,
             return _finish(A, b, x, iterations, rr, norm_b, history,
                            diverged=True)
         alpha = ctx.div(rz, pAp)                     # line 3
-        x = ctx.add(x, ctx.mul(alpha, p))            # line 4
-        r = ctx.sub(r, ctx.mul(alpha, Ap))           # line 5 (recurrence)
+        x = ctx.axpy(alpha, p, x)                    # line 4
+        r = ctx.axpy(-alpha, Ap, r)                  # line 5 (recurrence)
         z = ctx.mul(minv, r) if jacobi else r
         rz_new = ctx.dot(r, z)
         rr_new = rz_new if not jacobi else ctx.dot(r, r)
@@ -155,7 +155,7 @@ def conjugate_gradient(ctx: FPContext, A: np.ndarray, b: np.ndarray,
             return _finish(A, b, x, iterations, rr_new, norm_b, history,
                            diverged=True)
         beta = ctx.div(rz_new, rz)                   # line 6
-        p = ctx.add(z, ctx.mul(beta, p))             # line 7
+        p = ctx.axpy(beta, p, z)                     # line 7
         rz = rz_new
         rr = rr_new
 

@@ -45,7 +45,7 @@ def cholesky_factor(ctx: FPContext, A: np.ndarray) -> np.ndarray:
             raise FactorizationError(
                 f"non-positive or non-finite pivot {d!r} at column {k}",
                 pivot_index=k)
-        rkk = float(ctx.sqrt(d))
+        rkk = float(ctx.inject("pivot", float(ctx.sqrt(d))))
         if not np.isfinite(rkk) or rkk == 0.0:
             raise FactorizationError(
                 f"pivot square root degenerated to {rkk!r} at column {k}",

@@ -90,7 +90,8 @@ def iterative_refinement(A: np.ndarray, b: np.ndarray,
                          sum_order: str = "pairwise",
                          divergence_patience: int = 25,
                          record_history: bool = False,
-                         scaling=None) -> IRResult:
+                         scaling=None,
+                         low_ctx: FPContext | None = None) -> IRResult:
     """Run mixed-precision iterative refinement on SPD ``Ax = b``.
 
     Parameters
@@ -113,11 +114,20 @@ def iterative_refinement(A: np.ndarray, b: np.ndarray,
         When provided, the *scaled* matrix is factorized in low
         precision and corrections are mapped back through the scaling
         — the paper's Table III configuration.
+    low_ctx:
+        Optional pre-built context for the factorization stage — the
+        hook for fault-injection studies (attach an injector to the
+        context and the low-precision factorization runs under it).
+        Must carry the same format as *factor_format*.
     """
     A64 = np.asarray(A, dtype=np.float64)
     b64 = np.asarray(b, dtype=np.float64)
     fmt = get_format(factor_format)
-    low_ctx = FPContext(fmt, sum_order=sum_order)
+    if low_ctx is None:
+        low_ctx = FPContext(fmt, sum_order=sum_order)
+    elif low_ctx.fmt != fmt:
+        raise ValueError(f"low_ctx format {low_ctx.fmt.name!r} does not "
+                         f"match factor_format {fmt.name!r}")
 
     factor_target = (np.asarray(scaling.A_scaled, dtype=np.float64)
                      if scaling is not None else A64)

@@ -1,0 +1,39 @@
+"""Resilience layer: fault injection, breakdown recovery, crash safety.
+
+Three coupled sub-systems turn the paper's subject — numerical failure
+— into a first-class, testable dimension of the reproduction:
+
+* :mod:`~repro.resilience.faults` — seeded silent-data-corruption
+  injection at named :class:`~repro.arith.context.FPContext` sites;
+* :mod:`~repro.resilience.recovery` — rescale-then-widen escalation
+  ladders for Cholesky, CG and iterative refinement, with structured
+  traces;
+* :mod:`~repro.resilience.atomic` / :mod:`~repro.resilience.manifest` /
+  :mod:`~repro.resilience.isolation` — the crash-safe experiment
+  runner's building blocks (atomic artifact writes, the ``--resume``
+  manifest, wall-clock limits).
+
+See ``docs/robustness.md`` for the full model.
+"""
+
+from .atomic import atomic_open, atomic_write_text
+from .faults import (SITES, BitFlip, FaultInjector, FaultModel,
+                     FaultRecord, Perturb, SpecialValue, get_model)
+from .isolation import backoff_delays, time_limit
+from .manifest import MANIFEST_NAME, RunManifest
+from .recovery import (DEFAULT_WIDENINGS, RecoveryAttempt, RecoveryPolicy,
+                       RecoveryTrace, cg_with_recovery,
+                       cholesky_with_recovery, ir_with_recovery)
+
+__all__ = [
+    # faults
+    "SITES", "FaultInjector", "FaultModel", "FaultRecord",
+    "BitFlip", "SpecialValue", "Perturb", "get_model",
+    # recovery
+    "DEFAULT_WIDENINGS", "RecoveryPolicy", "RecoveryAttempt",
+    "RecoveryTrace", "cholesky_with_recovery", "cg_with_recovery",
+    "ir_with_recovery",
+    # crash safety
+    "atomic_open", "atomic_write_text", "RunManifest", "MANIFEST_NAME",
+    "time_limit", "backoff_delays",
+]

@@ -1,0 +1,53 @@
+"""Atomic file writes — crash-safe artifact persistence.
+
+A sweep that is killed mid-write (OOM, timeout, Ctrl-C, power loss)
+must never leave a truncated CSV or manifest behind: downstream plotting
+and ``--resume`` both trust that an artifact which *exists* is
+*complete*.  The standard POSIX recipe delivers that guarantee: write
+to a temporary file **in the same directory** (so the final rename
+never crosses a filesystem boundary), flush + fsync, then
+``os.replace`` — which is atomic on POSIX and on modern Windows.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+from typing import IO, Iterator
+
+__all__ = ["atomic_open", "atomic_write_text"]
+
+
+@contextlib.contextmanager
+def atomic_open(path: str, mode: str = "w", encoding: str | None = None,
+                newline: str | None = None) -> Iterator[IO]:
+    """Open a temporary sibling of *path* for writing; publish on success.
+
+    Yields a file handle backed by ``<path>.<random>.tmp`` in the same
+    directory.  If the block completes, the temporary is fsynced and
+    atomically renamed over *path*; if it raises (or the process dies),
+    *path* is untouched and the temporary is removed (or left as
+    ``*.tmp`` debris that never shadows a real artifact).
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, mode, encoding=encoding, newline=newline) as fh:
+            yield fh
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_path)
+        raise
+
+
+def atomic_write_text(path: str, text: str, encoding: str = "utf-8") -> str:
+    """Atomically replace *path* with *text*; returns *path*."""
+    with atomic_open(path, "w", encoding=encoding) as fh:
+        fh.write(text)
+    return path

@@ -1,0 +1,284 @@
+"""Seeded fault injection at named arithmetic sites.
+
+The paper's subject is numerical *failure*; this module makes failure a
+controllable input.  A :class:`FaultInjector` corrupts values flowing
+through :class:`~repro.arith.context.FPContext` at five named sites —
+
+``storage``
+    the initial quantization of operands (``ctx.asarray``), i.e. bad
+    memory under the matrix/vector data;
+``matvec`` / ``dot`` / ``axpy``
+    the outputs of the three kernels every iterative solver is built
+    from;
+``pivot``
+    the Cholesky pivot square root (:func:`repro.linalg.cholesky
+    .cholesky_factor` line 4) — the value whose sign decides breakdown.
+
+Three fault models are provided: single **bit flips** in the format's
+own bit encoding (via the bit codec every
+:class:`~repro.formats.base.NumberFormat` carries — a flipped posit
+regime bit can move a value by orders of magnitude, the realistic SDC
+model), **NaR/NaN/±Inf** substitution (a poisoned exceptional value),
+and relative **magnitude perturbation** (a mis-rounded op).
+
+Determinism: the injector owns a single ``numpy`` Generator seeded at
+construction and draws one uniform per element visited, in visit order.
+The same seed, sites, rate and op sequence therefore reproduce the
+identical corruption sequence — the regression tests assert this.
+
+Usage — ambient (covers contexts built inside solvers)::
+
+    inj = FaultInjector(seed=7, rate=1e-3, sites=("dot", "axpy"))
+    with inj:
+        result = conjugate_gradient(FPContext("posit32es2"), A, b)
+    print(inj.count, inj.log[:3])
+
+or scoped to one explicit context::
+
+    ctx = FPContext("fp16", injector=inj)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..arith.context import set_active_injector
+from ..errors import FaultInjected
+from ..formats.base import NumberFormat
+
+__all__ = [
+    "SITES", "FaultModel", "BitFlip", "SpecialValue", "Perturb",
+    "FaultRecord", "FaultInjector", "get_model",
+]
+
+#: every site instrumented in the library
+SITES = ("matvec", "dot", "axpy", "pivot", "storage")
+
+
+# ---------------------------------------------------------------------------
+# Fault models
+# ---------------------------------------------------------------------------
+
+class FaultModel:
+    """How a single value is corrupted once the rate test selects it."""
+
+    name = "abstract"
+
+    def corrupt(self, value: float, fmt: NumberFormat,
+                rng: np.random.Generator) -> float:
+        raise NotImplementedError
+
+
+class BitFlip(FaultModel):
+    """Flip one uniformly-chosen bit in the value's format encoding.
+
+    The corrupted value is always another valid pattern of the format
+    (possibly NaR/inf/NaN) — exactly what a storage upset produces.
+    """
+
+    name = "bitflip"
+
+    def corrupt(self, value: float, fmt: NumberFormat,
+                rng: np.random.Generator) -> float:
+        bit = int(rng.integers(fmt.nbits))
+        return fmt.from_bits(fmt.to_bits(float(value)) ^ (1 << bit))
+
+
+class SpecialValue(FaultModel):
+    """Replace the value with the format's exceptional encoding.
+
+    Posit has a single exception value (NaR, carried as NaN); IEEE gets
+    NaN, +inf or -inf with equal probability.  One rng draw is consumed
+    either way so the corruption *sequence* stays format-independent.
+    """
+
+    name = "nar"
+
+    def corrupt(self, value: float, fmt: NumberFormat,
+                rng: np.random.Generator) -> float:
+        choice = int(rng.integers(3))
+        if fmt.saturates:  # posit: NaR is the only exceptional value
+            return math.nan
+        return (math.nan, math.inf, -math.inf)[choice]
+
+
+class Perturb(FaultModel):
+    """Scale the value by 10**u, u ~ Uniform(-decades, +decades).
+
+    The result is re-rounded into the format, so the corruption is
+    always silently representable (never an exceptional value unless
+    the format overflows).
+    """
+
+    name = "perturb"
+
+    def __init__(self, decades: float = 2.0):
+        if not (decades > 0.0):
+            raise ValueError(f"decades must be positive, got {decades!r}")
+        self.decades = float(decades)
+
+    def corrupt(self, value: float, fmt: NumberFormat,
+                rng: np.random.Generator) -> float:
+        factor = 10.0 ** rng.uniform(-self.decades, self.decades)
+        return float(np.asarray(fmt.round(float(value) * factor)).item()) \
+            if not math.isnan(value) else value
+
+
+_MODELS = {m.name: m for m in (BitFlip, SpecialValue, Perturb)}
+
+
+def get_model(model: str | FaultModel) -> FaultModel:
+    """Resolve a model by name (``bitflip`` / ``nar`` / ``perturb``)."""
+    if isinstance(model, FaultModel):
+        return model
+    try:
+        return _MODELS[model]()
+    except KeyError:
+        raise ValueError(f"unknown fault model {model!r}; "
+                         f"known: {sorted(_MODELS)}") from None
+
+
+# ---------------------------------------------------------------------------
+# The injector
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One corruption event, in injection order."""
+
+    serial: int      # 0-based corruption counter
+    visit: int       # which instrumented-op visit produced it
+    site: str
+    index: int       # flat element index within the visited value
+    before: float
+    after: float
+
+
+class FaultInjector:
+    """Deterministic, context-manager-driven silent-data-corruption source.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the private Generator; the whole corruption sequence is a
+        pure function of (seed, sites, rate, model, op sequence).
+    rate:
+        Per-element corruption probability at instrumented sites.
+    sites:
+        Which named sites to corrupt (subset of :data:`SITES`).
+    model:
+        ``"bitflip"`` (default), ``"nar"``, ``"perturb"``, or a
+        :class:`FaultModel` instance.
+    max_faults:
+        Optional cap on total corruptions (None = unlimited).
+    on_fault:
+        ``"corrupt"`` (default) silently corrupts; ``"raise"`` raises
+        :class:`~repro.errors.FaultInjected` at the first hit — useful
+        for asserting that a site is actually reached.
+    """
+
+    def __init__(self, seed: int, rate: float = 1e-3,
+                 sites: Sequence[str] = ("matvec", "dot", "axpy"),
+                 model: str | FaultModel = "bitflip",
+                 max_faults: int | None = None,
+                 on_fault: str = "corrupt"):
+        unknown = set(sites) - set(SITES)
+        if unknown:
+            raise ValueError(f"unknown fault sites {sorted(unknown)}; "
+                             f"known: {SITES}")
+        if not (0.0 <= rate <= 1.0):
+            raise ValueError(f"rate must be in [0, 1], got {rate!r}")
+        if on_fault not in ("corrupt", "raise"):
+            raise ValueError(f"on_fault must be 'corrupt' or 'raise', "
+                             f"got {on_fault!r}")
+        self.seed = int(seed)
+        self.rate = float(rate)
+        self.sites = frozenset(sites)
+        self.model = get_model(model)
+        self.max_faults = max_faults
+        self.on_fault = on_fault
+        self.log: list[FaultRecord] = []
+        self._previous = None
+        self.reset()
+
+    # -- lifecycle -------------------------------------------------------
+    def reset(self) -> "FaultInjector":
+        """Rewind to the initial state (fresh rng, empty log)."""
+        self._rng = np.random.default_rng(self.seed)
+        self.log.clear()
+        self.visits = 0
+        return self
+
+    @property
+    def count(self) -> int:
+        """Number of corruptions injected so far."""
+        return len(self.log)
+
+    def __enter__(self) -> "FaultInjector":
+        self.reset()
+        self._previous = set_active_injector(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        set_active_injector(self._previous)
+        self._previous = None
+
+    # -- the hook called from FPContext.inject ---------------------------
+    def apply(self, site: str, value, fmt: NumberFormat):
+        """Possibly corrupt *value* (scalar or ndarray) at *site*.
+
+        Consumes one uniform draw per element whenever the site is
+        enabled, so the random stream advances identically whether or
+        not any individual element is hit.
+        """
+        if site not in self.sites:
+            return value
+        visit = self.visits
+        self.visits += 1
+        if self.max_faults is not None and self.count >= self.max_faults:
+            return value
+
+        scalar = np.isscalar(value) or np.ndim(value) == 0
+        arr = np.atleast_1d(np.asarray(value, dtype=np.float64))
+        hits = np.flatnonzero(self._rng.random(arr.size) < self.rate)
+        if hits.size == 0:
+            return value
+        if self.max_faults is not None:
+            hits = hits[:self.max_faults - self.count]
+
+        out = arr.copy()
+        flat = out.reshape(-1)
+        for idx in hits:
+            before = float(flat[idx])
+            after = float(self.model.corrupt(before, fmt, self._rng))
+            flat[idx] = after
+            self.log.append(FaultRecord(
+                serial=self.count, visit=visit, site=site, index=int(idx),
+                before=before, after=after))
+            if self.on_fault == "raise":
+                raise FaultInjected(
+                    f"injected {self.model.name} fault at site {site!r} "
+                    f"(element {idx}): {before!r} -> {after!r}",
+                    site=site, index=(int(idx),), before=before, after=after)
+        if scalar:
+            return float(flat[0])
+        return out.reshape(np.shape(value))
+
+    # -- reporting -------------------------------------------------------
+    def summary(self) -> dict:
+        """Counts per site plus totals (for experiment CSVs / logs)."""
+        per_site: dict[str, int] = {}
+        for rec in self.log:
+            per_site[rec.site] = per_site.get(rec.site, 0) + 1
+        return {"seed": self.seed, "rate": self.rate,
+                "model": self.model.name, "visits": self.visits,
+                "faults": self.count, "per_site": per_site}
+
+    def __repr__(self) -> str:
+        return (f"<FaultInjector seed={self.seed} rate={self.rate} "
+                f"model={self.model.name} sites={sorted(self.sites)} "
+                f"faults={self.count}>")

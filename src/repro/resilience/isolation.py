@@ -1,0 +1,63 @@
+"""Wall-clock timeouts and retry pacing for the crash-safe runner.
+
+Pure-Python per-operation rounding makes experiment runtime hard to
+predict (a widened retry at full scale can take minutes), so the sweep
+runner bounds each experiment with a wall-clock budget.  SIGALRM is the
+only mechanism that can interrupt CPU-bound Python from within the same
+process, so :func:`time_limit` degrades to a no-op off the main thread
+or on platforms without it — the runner still gets crash isolation,
+just not preemption.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import threading
+from typing import Iterator
+
+from ..errors import ExperimentTimeout
+
+__all__ = ["time_limit", "backoff_delays"]
+
+
+def _can_use_sigalrm() -> bool:
+    return (hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread())
+
+
+@contextlib.contextmanager
+def time_limit(seconds: float | None, label: str = "") -> Iterator[None]:
+    """Raise :class:`~repro.errors.ExperimentTimeout` after *seconds*.
+
+    ``None`` or a non-positive budget disables the limit.  Uses an
+    interval timer (sub-second resolution) and restores the previous
+    SIGALRM disposition on exit, so nesting an inner, tighter limit
+    inside an outer one behaves sensibly for the inner block.
+    """
+    if not seconds or seconds <= 0 or not _can_use_sigalrm():
+        yield
+        return
+
+    what = f" ({label})" if label else ""
+
+    def _on_alarm(signum, frame):
+        raise ExperimentTimeout(
+            f"wall-clock budget of {seconds:g}s exceeded{what}")
+
+    previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous_handler)
+
+
+def backoff_delays(retries: int, base: float = 1.0,
+                   factor: float = 2.0) -> Iterator[float]:
+    """Exponential backoff schedule: base, base*factor, ... (*retries* long)."""
+    delay = float(base)
+    for _ in range(max(0, retries)):
+        yield delay
+        delay *= factor

@@ -1,0 +1,95 @@
+"""The JSON run manifest behind ``repro-experiments --resume``.
+
+After every experiment the runner records its outcome here with an
+atomic write, so a sweep killed at any instant leaves a manifest that
+is both syntactically valid and consistent with the artifacts on disk
+(artifact CSVs are themselves written atomically *before* the manifest
+entry that points at them).  ``--resume`` then skips any experiment
+whose entry says ``completed`` at the same scale and whose artifact
+still exists.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any
+
+from .atomic import atomic_write_text
+
+__all__ = ["RunManifest", "MANIFEST_NAME"]
+
+#: default manifest filename inside the results directory
+MANIFEST_NAME = "run_manifest.json"
+
+_VERSION = 1
+
+
+class RunManifest:
+    """Per-experiment completion records, persisted atomically."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.data: dict[str, Any] = {"version": _VERSION, "runs": {}}
+
+    # -- persistence -----------------------------------------------------
+    def load(self) -> "RunManifest":
+        """Read the manifest from disk; tolerates absence and corruption.
+
+        A manifest that cannot be parsed is treated as empty rather
+        than fatal — resuming conservatively (re-running experiments)
+        is always safe, failing the whole sweep is not.
+        """
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return self
+        if isinstance(data, dict) and isinstance(data.get("runs"), dict):
+            self.data = {"version": _VERSION, "runs": dict(data["runs"])}
+        return self
+
+    def save(self) -> str:
+        return atomic_write_text(
+            self.path, json.dumps(self.data, indent=2, sort_keys=True) + "\n")
+
+    # -- records ---------------------------------------------------------
+    def get(self, experiment_id: str) -> dict | None:
+        entry = self.data["runs"].get(experiment_id)
+        return dict(entry) if isinstance(entry, dict) else None
+
+    def record(self, experiment_id: str, *, status: str, scale: str,
+               duration: float, csv_path: str | None = None,
+               error: str | None = None, attempts: int = 1) -> None:
+        """Record one experiment outcome and persist immediately."""
+        self.data["runs"][experiment_id] = {
+            "status": status,            # completed | failed | timeout
+            "scale": scale,
+            "duration_s": round(float(duration), 3),
+            "csv_path": csv_path,
+            "error": error,
+            "attempts": int(attempts),
+            "finished_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        }
+        self.save()
+
+    def is_complete(self, experiment_id: str, scale: str) -> bool:
+        """True when the experiment finished at *scale* and its artifact
+        (if it produced one) still exists on disk."""
+        entry = self.get(experiment_id)
+        if not entry or entry.get("status") != "completed":
+            return False
+        if entry.get("scale") != scale:
+            return False
+        csv_path = entry.get("csv_path")
+        if csv_path and not os.path.exists(csv_path):
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        runs = self.data["runs"]
+        done = sum(1 for e in runs.values()
+                   if e.get("status") == "completed")
+        return (f"<RunManifest {self.path!r}: {done}/{len(runs)} "
+                f"completed>")

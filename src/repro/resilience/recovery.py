@@ -1,0 +1,290 @@
+"""Breakdown recovery — rescale-then-widen escalation ladders.
+
+The paper's Table II '-' entries (Cholesky breakdowns) and Fig. 6
+missing curves (CG divergence) are terminal in the reproduction's base
+solvers.  Follow-up work (Hunhold & Quinlan on sparse solvers, Quinlan
+& Omtzigt on low-precision-posit IR) shows the *recovery policy* — when
+to rescale, when to widen the format — decides whether a low-precision
+solver is usable at all.  This module makes that policy explicit:
+
+1. **native** — run the solver in the requested format as-is;
+2. **rescale** — on breakdown/divergence/stagnation, retry after the
+   solver-appropriate rescaling: the paper's Algorithm 3 (diagonal-mean
+   power-of-two) for Cholesky, the §V-B ∞-norm scaling for CG, and the
+   Higham–Pranesh–Zounon squeeze for iterative refinement;
+3. **widen** — retry (still rescaled) in progressively wider formats:
+   Posit(16,1) → Posit(24,1) → Posit(32,2) and Float16 → Float32 by
+   default.
+
+Every attempt is recorded in a structured :class:`RecoveryTrace`; the
+``ext-recovery`` experiment reports which rung rescues which Table II
+cell.  Strict callers set ``RecoveryPolicy(strict=True)`` to get
+:class:`~repro.errors.RecoveryExhausted` instead of a failed trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+import numpy as np
+
+from ..arith.context import FPContext
+from ..errors import FactorizationError, RecoveryExhausted, ScalingError
+from ..formats.registry import get_format
+from ..linalg.cg import conjugate_gradient
+from ..linalg.cholesky import cholesky_solve
+from ..linalg.ir import iterative_refinement
+from ..scaling.diagonal_mean import scale_by_diagonal_mean
+from ..scaling.higham import higham_rescale
+from ..scaling.power_of_two import scale_to_inf_norm
+
+__all__ = [
+    "DEFAULT_WIDENINGS", "RecoveryAttempt", "RecoveryTrace",
+    "RecoveryPolicy", "cholesky_with_recovery", "cg_with_recovery",
+    "ir_with_recovery",
+]
+
+#: default widening ladders, by starting-format name.  16-bit formats
+#: step through a 24-bit rung before committing to 32 bits; 32-bit
+#: formats escalate to the float64 working precision as a last resort.
+DEFAULT_WIDENINGS: dict[str, tuple[str, ...]] = {
+    "fp16": ("fp32",),
+    "bf16": ("fp32",),
+    "posit16es1": ("posit24es1", "posit32es2"),
+    "posit16es2": ("posit24es2", "posit32es2"),
+    "posit24es1": ("posit32es2",),
+    "posit24es2": ("posit32es2",),
+    "fp32": ("fp64",),
+    "posit32es2": ("posit32es3", "fp64"),
+    "posit32es3": ("fp64",),
+}
+
+
+@dataclass(frozen=True)
+class RecoveryAttempt:
+    """One rung of the ladder, as actually executed."""
+
+    rung: str        # "native" | "rescale" | "widen:<fmt>"
+    fmt: str         # format the attempt ran in
+    rescaled: bool
+    succeeded: bool
+    metric: float    # solver quality metric (backward error / residual)
+    detail: str = ""  # failure reason, or "" on success
+
+
+@dataclass
+class RecoveryTrace:
+    """Structured record of a recovery ladder run."""
+
+    solver: str
+    start_format: str
+    attempts: list[RecoveryAttempt] = field(default_factory=list)
+    result: Any = None  # the successful solver result, or None
+
+    @property
+    def succeeded(self) -> bool:
+        return any(a.succeeded for a in self.attempts)
+
+    @property
+    def rescue_rung(self) -> str:
+        """Rung of the first success: ``none`` when the native run
+        already succeeded, ``rescale`` / ``widen:<fmt>`` for genuine
+        rescues, ``-`` when the whole ladder failed (Table II style)."""
+        for a in self.attempts:
+            if a.succeeded:
+                return "none" if a.rung == "native" else a.rung
+        return "-"
+
+    @property
+    def final_format(self) -> str | None:
+        """Format of the successful attempt (None when exhausted)."""
+        for a in self.attempts:
+            if a.succeeded:
+                return a.fmt
+        return None
+
+    def record(self, attempt: RecoveryAttempt) -> None:
+        self.attempts.append(attempt)
+
+    def __repr__(self) -> str:
+        steps = " -> ".join(
+            f"{a.rung}[{'ok' if a.succeeded else 'fail'}]"
+            for a in self.attempts) or "(no attempts)"
+        return f"<RecoveryTrace {self.solver}/{self.start_format}: {steps}>"
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """What the escalation ladder is allowed to do.
+
+    Attributes
+    ----------
+    rescale:
+        Try the solver-appropriate rescaling rung before widening.
+    widen:
+        Try wider formats after (rescaling is kept on while widening —
+        widening fixes precision, rescaling fixes range, and the
+        failures the paper tabulates usually involve both).
+    widenings:
+        Starting-format → widening sequence; defaults to
+        :data:`DEFAULT_WIDENINGS` (unlisted formats simply don't widen).
+    max_attempts:
+        Hard cap on ladder length.
+    strict:
+        Raise :class:`~repro.errors.RecoveryExhausted` when every rung
+        fails, instead of returning a failed trace.
+    """
+
+    rescale: bool = True
+    widen: bool = True
+    widenings: Mapping[str, tuple[str, ...]] | None = None
+    max_attempts: int = 8
+    strict: bool = False
+
+    def ladder(self, fmt_name: str) -> Iterator[tuple[str, str, bool]]:
+        """Yield ``(rung, format_name, rescaled)`` in escalation order."""
+        count = 0
+        for step in self._steps(fmt_name):
+            if count >= self.max_attempts:
+                return
+            count += 1
+            yield step
+
+    def _steps(self, fmt_name: str) -> Iterator[tuple[str, str, bool]]:
+        yield "native", fmt_name, False
+        if self.rescale:
+            yield "rescale", fmt_name, True
+        if self.widen:
+            table = (DEFAULT_WIDENINGS if self.widenings is None
+                     else self.widenings)
+            for wide in table.get(fmt_name, ()):
+                yield f"widen:{wide}", wide, self.rescale
+
+
+def _run_ladder(trace: RecoveryTrace, policy: RecoveryPolicy,
+                fmt_name: str, attempt_fn) -> RecoveryTrace:
+    """Drive *attempt_fn(rung, fmt, rescaled)* down the ladder.
+
+    ``attempt_fn`` returns ``(succeeded, metric, detail, result)`` and
+    may raise :class:`ReproError` subclasses (recorded as failures).
+    """
+    for rung, fmt, rescaled in policy.ladder(fmt_name):
+        try:
+            ok, metric, detail, result = attempt_fn(rung, fmt, rescaled)
+        except (FactorizationError, ScalingError) as exc:
+            trace.record(RecoveryAttempt(rung, fmt, rescaled, False,
+                                         np.inf, f"{type(exc).__name__}: "
+                                                 f"{exc}"))
+            continue
+        trace.record(RecoveryAttempt(rung, fmt, rescaled, ok, metric,
+                                     detail))
+        if ok:
+            trace.result = result
+            return trace
+    if policy.strict:
+        raise RecoveryExhausted(
+            f"{trace.solver} recovery ladder exhausted for "
+            f"{trace.start_format} ({len(trace.attempts)} attempts)",
+            trace=trace)
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# Solver-specific ladders
+# ---------------------------------------------------------------------------
+
+def cholesky_with_recovery(fmt, A: np.ndarray, b: np.ndarray,
+                           policy: RecoveryPolicy | None = None,
+                           sum_order: str = "pairwise",
+                           max_backward_error: float = np.inf
+                           ) -> RecoveryTrace:
+    """Direct Cholesky solve under the recovery ladder.
+
+    Failure means :class:`~repro.errors.FactorizationError` or a
+    non-finite (or above-threshold) backward error; the rescale rung is
+    the paper's Algorithm 3 (diagonal-mean power-of-two scaling).
+    Returns a :class:`RecoveryTrace` whose ``result`` is the successful
+    :class:`~repro.linalg.cholesky.CholeskyResult` (or None).
+    """
+    policy = policy or RecoveryPolicy()
+    fmt_name = get_format(fmt).name
+    A64 = np.asarray(A, dtype=np.float64)
+    b64 = np.asarray(b, dtype=np.float64)
+    trace = RecoveryTrace("cholesky", fmt_name)
+
+    def attempt(rung: str, f: str, rescaled: bool):
+        if rescaled:
+            ss = scale_by_diagonal_mean(A64, b64)
+            A_run, b_run = ss.A, ss.b
+        else:
+            A_run, b_run = A64, b64
+        out = cholesky_solve(FPContext(f, sum_order), A_run, b_run)
+        err = out.relative_backward_error
+        ok = bool(np.isfinite(err) and err <= max_backward_error)
+        return ok, float(err), "" if ok else f"backward error {err:.2e}", out
+
+    return _run_ladder(trace, policy, fmt_name, attempt)
+
+
+def cg_with_recovery(fmt, A: np.ndarray, b: np.ndarray,
+                     policy: RecoveryPolicy | None = None,
+                     rtol: float = 1e-5, max_iterations: int = 5000,
+                     rescale_target: float = 2.0 ** 10,
+                     **cg_kwargs) -> RecoveryTrace:
+    """Conjugate gradient under the recovery ladder.
+
+    Failure means divergence *or* budget exhaustion; the rescale rung
+    is the paper's §V-B power-of-two ∞-norm scaling (target 2¹⁰).
+    ``trace.result`` is the successful CGResult (solutions of rescaled
+    runs solve the original system — both sides are scaled equally).
+    """
+    policy = policy or RecoveryPolicy()
+    fmt_name = get_format(fmt).name
+    A64 = np.asarray(A, dtype=np.float64)
+    b64 = np.asarray(b, dtype=np.float64)
+    trace = RecoveryTrace("cg", fmt_name)
+
+    def attempt(rung: str, f: str, rescaled: bool):
+        if rescaled:
+            ss = scale_to_inf_norm(A64, b64, target=rescale_target)
+            A_run, b_run = ss.A, ss.b
+        else:
+            A_run, b_run = A64, b64
+        res = conjugate_gradient(FPContext(f), A_run, b_run, rtol=rtol,
+                                 max_iterations=max_iterations,
+                                 **cg_kwargs)
+        detail = ("" if res.converged else
+                  "diverged" if res.diverged else
+                  f"budget exhausted after {res.iterations} iterations")
+        return res.converged, float(res.relative_residual), detail, res
+
+    return _run_ladder(trace, policy, fmt_name, attempt)
+
+
+def ir_with_recovery(A: np.ndarray, b: np.ndarray, fmt,
+                     policy: RecoveryPolicy | None = None,
+                     max_iterations: int = 1000,
+                     **ir_kwargs) -> RecoveryTrace:
+    """Mixed-precision iterative refinement under the recovery ladder.
+
+    Failure means a broken-down factorization, diverged/stagnated
+    refinement, or an exhausted budget; the rescale rung is the Higham
+    squeeze of Table III.  ``trace.result`` is the successful IRResult.
+    """
+    policy = policy or RecoveryPolicy()
+    fmt_name = get_format(fmt).name
+    A64 = np.asarray(A, dtype=np.float64)
+    b64 = np.asarray(b, dtype=np.float64)
+    trace = RecoveryTrace("ir", fmt_name)
+
+    def attempt(rung: str, f: str, rescaled: bool):
+        scaling = higham_rescale(A64, b64, f) if rescaled else None
+        res = iterative_refinement(A64, b64, f, scaling=scaling,
+                                   max_iterations=max_iterations,
+                                   **ir_kwargs)
+        ok = bool(res.converged)
+        detail = "" if ok else (res.failure_reason or "did not converge")
+        return ok, float(res.final_backward_error), detail, res
+
+    return _run_ladder(trace, policy, fmt_name, attempt)

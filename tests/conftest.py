@@ -2,12 +2,26 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.arith import FPContext
 from repro.config import SCALES
 from repro.matrices import random_dense_spd
+
+try:  # property tests are skipped gracefully where hypothesis is absent
+    from hypothesis import settings as _hyp_settings
+
+    # "ci" pins the example sequence (derandomized ⇒ reproducible runs)
+    _hyp_settings.register_profile("ci", derandomize=True,
+                                   max_examples=100, print_blob=True)
+    _hyp_settings.register_profile("dev", max_examples=100)
+    _hyp_settings.load_profile(
+        os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover
+    pass
 
 
 @pytest.fixture

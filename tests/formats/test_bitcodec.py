@@ -1,0 +1,111 @@
+"""Format bit codecs (to_bits/from_bits) — the fault-injection substrate.
+
+BitFlip corruption works by round-tripping a value through the format's
+bit encoding, so every format must expose a total, involutive codec:
+``from_bits`` accepts all 2**nbits patterns, ``to_bits∘from_bits`` is
+the identity on patterns (up to NaN canonicalization), and
+``from_bits∘to_bits`` is the identity on representable values.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.formats.registry import available_formats, get_format
+
+ALL_FORMATS = sorted({f.name for f in available_formats().values()}
+                     | {"posit24es1", "posit24es2"})
+SMALL_FORMATS = ["fp8e4m3", "fp8e5m2", "posit8es0"]
+
+PROBE_VALUES = [0.0, 1.0, -1.0, 0.5, -3.5, 0.0625, 240.0, -1234.5,
+                1e-4, -1e-4]
+
+
+@pytest.mark.parametrize("name", ALL_FORMATS)
+def test_roundtrip_on_representable_values(name):
+    fmt = get_format(name)
+    for v in PROBE_VALUES:
+        rv = fmt.round(v)
+        if not math.isfinite(rv):
+            continue  # overflowed an 8-bit format; covered below
+        pattern = fmt.to_bits(rv)
+        assert 0 <= pattern < (1 << fmt.nbits)
+        assert fmt.from_bits(pattern) == rv
+
+
+@pytest.mark.parametrize("name", ALL_FORMATS)
+def test_every_single_bit_corruption_is_decodable(name):
+    fmt = get_format(name)
+    clean = fmt.to_bits(fmt.round(1.5))
+    for bit in range(fmt.nbits):
+        corrupted = clean ^ (1 << bit)
+        v = fmt.from_bits(corrupted)  # must never raise
+        # and the corrupted value is itself representable (fixed point
+        # of rounding), so injected faults stay inside the format
+        rv = fmt.round(v)
+        assert v == rv or (math.isnan(v) and math.isnan(rv))
+
+
+@pytest.mark.parametrize("name", SMALL_FORMATS)
+def test_exhaustive_pattern_stability_8bit(name):
+    """from_bits is total and to_bits∘from_bits stabilizes after one
+    round trip for every 8-bit pattern (NaNs canonicalize once)."""
+    fmt = get_format(name)
+    for pattern in range(256):
+        v = fmt.from_bits(pattern)
+        p2 = fmt.to_bits(v)
+        v2 = fmt.from_bits(p2)
+        assert v == v2 or (math.isnan(v) and math.isnan(v2))
+        assert fmt.to_bits(v2) == p2
+
+
+@pytest.mark.parametrize("name", ALL_FORMATS)
+def test_pattern_out_of_range_is_masked(name):
+    fmt = get_format(name)
+    pattern = fmt.to_bits(fmt.round(1.0))
+    assert fmt.from_bits(pattern + (1 << fmt.nbits)) == \
+        fmt.from_bits(pattern)
+
+
+@pytest.mark.parametrize("name", ALL_FORMATS)
+def test_specials(name):
+    fmt = get_format(name)
+    assert fmt.from_bits(fmt.to_bits(0.0)) == 0.0
+    nan_back = fmt.from_bits(fmt.to_bits(float("nan")))
+    assert math.isnan(nan_back)
+    inf_back = fmt.from_bits(fmt.to_bits(float("inf")))
+    if name.startswith("posit"):
+        assert math.isnan(inf_back)  # posit: all non-reals are NaR
+    else:
+        assert math.isinf(inf_back) and inf_back > 0
+        neg = fmt.from_bits(fmt.to_bits(float("-inf")))
+        assert math.isinf(neg) and neg < 0
+
+
+@pytest.mark.parametrize("name", ["fp16", "fp32", "fp64"])
+def test_native_formats_match_numpy_bit_layout(name):
+    fmt = get_format(name)
+    dtype = {"fp16": np.float16, "fp32": np.float32,
+             "fp64": np.float64}[name]
+    for v in (1.0, -2.5, 0.1, 65504.0 if name == "fp16" else 1e30):
+        rv = float(dtype(v))
+        expected = int(np.asarray(rv, dtype=dtype).view(
+            {2: np.uint16, 4: np.uint32, 8: np.uint64}[dtype().nbytes]))
+        assert fmt.to_bits(rv) == expected
+
+
+def test_emulated_ieee_subnormals_roundtrip():
+    fmt = get_format("fp8e4m3")
+    # smallest subnormal of e4m3 is 2^-9
+    tiny = math.ldexp(1.0, -9)
+    assert fmt.from_bits(fmt.to_bits(tiny)) == tiny
+    assert fmt.to_bits(tiny) == 1  # the bottom-most positive pattern
+
+
+def test_base_class_declares_codec_optional():
+    from repro.formats.base import NumberFormat
+    with pytest.raises(NotImplementedError):
+        NumberFormat.to_bits(get_format("fp32"), 1.0)  # default impl

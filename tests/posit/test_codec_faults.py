@@ -1,0 +1,93 @@
+"""Property tests: the posit codec is total over corrupted bit patterns.
+
+A bit flip in memory can turn a valid posit encoding into *any*
+nbits-wide pattern, so the fault-injection layer is only sound if
+decoding is total: every pattern — NaR, and every single-bit corruption
+of every valid encoding — must decode without raising and round-trip
+deterministically.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.posit.codec import decode_float, encode, posit_config
+
+#: the (nbits, es) grid under test — the paper's formats plus the
+#: widened-recovery rungs and a tiny format for exhaustive coverage
+GRID = [(6, 0), (8, 0), (8, 1), (16, 1), (16, 2), (24, 1), (32, 2),
+        (32, 3)]
+
+FORMATS = st.sampled_from(GRID)
+finite_floats = st.floats(allow_nan=False, allow_infinity=False,
+                          width=64)
+
+
+def _encode_back(value: float, cfg) -> int:
+    """Encode *value* the way the fault layer does (NaN/inf → NaR)."""
+    if math.isnan(value) or math.isinf(value):
+        return cfg.nar_pattern
+    return encode(value, cfg)
+
+
+@given(FORMATS, st.integers(min_value=0))
+def test_any_pattern_decodes_without_raising(fmt, raw):
+    nbits, es = fmt
+    cfg = posit_config(nbits, es)
+    pattern = raw % (1 << nbits)
+    value = decode_float(pattern, cfg)  # must not raise, ever
+    if pattern == cfg.nar_pattern:
+        assert math.isnan(value)
+    else:
+        assert math.isfinite(value)
+
+
+@given(FORMATS, st.integers(min_value=0))
+def test_any_pattern_roundtrips_deterministically(fmt, raw):
+    nbits, es = fmt
+    cfg = posit_config(nbits, es)
+    pattern = raw % (1 << nbits)
+    first = decode_float(pattern, cfg)
+    second = decode_float(pattern, cfg)
+    # decoding is a pure function of the pattern
+    assert first == second or (math.isnan(first) and math.isnan(second))
+    # a decoded value re-encodes to the exact same pattern: decoding is
+    # a bijection onto the representable values
+    assert _encode_back(first, cfg) == pattern
+
+
+@given(FORMATS, finite_floats, st.data())
+def test_single_bit_corruption_of_valid_encoding_is_safe(fmt, x, data):
+    nbits, es = fmt
+    cfg = posit_config(nbits, es)
+    clean = encode(x, cfg)
+    bit = data.draw(st.integers(min_value=0, max_value=nbits - 1),
+                    label="bit")
+    corrupted = clean ^ (1 << bit)
+    value = decode_float(corrupted, cfg)  # must not raise
+    assert _encode_back(value, cfg) == corrupted
+    if corrupted != cfg.nar_pattern:
+        assert math.isfinite(value)
+
+
+@given(FORMATS)
+def test_nar_pattern_decodes_to_nan_and_reencodes(fmt):
+    nbits, es = fmt
+    cfg = posit_config(nbits, es)
+    assert math.isnan(decode_float(cfg.nar_pattern, cfg))
+    assert _encode_back(float("nan"), cfg) == cfg.nar_pattern
+    assert _encode_back(float("inf"), cfg) == cfg.nar_pattern
+
+
+@settings(max_examples=20)
+@given(st.sampled_from([(6, 0), (8, 0), (8, 1)]))
+def test_exhaustive_totality_for_small_formats(fmt):
+    """For ≤8-bit formats, check literally every pattern."""
+    nbits, es = fmt
+    cfg = posit_config(nbits, es)
+    for pattern in range(1 << nbits):
+        value = decode_float(pattern, cfg)
+        assert _encode_back(value, cfg) == pattern

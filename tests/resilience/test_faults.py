@@ -1,0 +1,253 @@
+"""Fault-injection layer: determinism, sites, models, attachment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arith.context import FPContext, get_active_injector
+from repro.errors import FactorizationError, FaultInjected
+from repro.formats.registry import get_format
+from repro.linalg.cg import conjugate_gradient
+from repro.linalg.cholesky import cholesky_factor
+from repro.resilience.faults import (SITES, BitFlip, FaultInjector,
+                                     Perturb, SpecialValue, get_model)
+
+
+@pytest.fixture
+def system(rng):
+    from repro.matrices import random_dense_spd
+    A = random_dense_spd(32, kappa=1.0e3, seed=5)
+    return A, A @ np.ones(32)
+
+
+class TestConstruction:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault sites"):
+            FaultInjector(seed=0, sites=("dot", "gemm"))
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultInjector(seed=0, rate=1.5)
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="on_fault"):
+            FaultInjector(seed=0, on_fault="explode")
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault model"):
+            get_model("rowhammer")
+
+    def test_model_resolution(self):
+        assert isinstance(get_model("bitflip"), BitFlip)
+        assert isinstance(get_model("nar"), SpecialValue)
+        assert isinstance(get_model("perturb"), Perturb)
+        m = Perturb(decades=1.0)
+        assert get_model(m) is m
+
+
+class TestDeterminism:
+    """Acceptance criterion: same seed + site + rate → identical
+    corruption sequence."""
+
+    def test_identical_runs_identical_logs(self, system):
+        A, b = system
+        inj = FaultInjector(seed=99, rate=5e-3, sites=("dot", "axpy"))
+        with inj:
+            first = conjugate_gradient(FPContext("posit32es2"), A, b)
+        log_first = list(inj.log)
+        assert log_first, "rate high enough that some faults must fire"
+        with inj:  # __enter__ resets to the initial state
+            second = conjugate_gradient(FPContext("posit32es2"), A, b)
+        assert list(inj.log) == log_first
+        assert first.iterations == second.iterations
+        assert first.relative_residual == second.relative_residual
+
+    def test_different_seed_different_faults(self, system):
+        A, b = system
+        logs = []
+        for seed in (1, 2):
+            inj = FaultInjector(seed=seed, rate=0.05, sites=("dot",))
+            with inj:
+                conjugate_gradient(FPContext("posit32es2"), A, b)
+            logs.append(list(inj.log))
+        assert logs[0] and logs[1]
+        assert logs[0] != logs[1]
+
+    def test_rate_zero_never_fires(self, system):
+        A, b = system
+        inj = FaultInjector(seed=3, rate=0.0, sites=SITES)
+        with inj:
+            conjugate_gradient(FPContext("posit32es2"), A, b)
+        assert inj.count == 0
+        assert inj.visits > 0
+
+
+class TestSites:
+    def test_only_selected_sites_hit(self, system):
+        A, b = system
+        inj = FaultInjector(seed=11, rate=1.0, sites=("matvec",),
+                            max_faults=50)
+        with inj:
+            conjugate_gradient(FPContext("fp32"), A, b, max_iterations=3)
+        assert inj.count > 0
+        assert {rec.site for rec in inj.log} == {"matvec"}
+
+    def test_raise_mode_proves_site_reached(self, system):
+        A, b = system
+        ctx = FPContext("fp32", injector=FaultInjector(
+            seed=0, rate=1.0, sites=("dot",), on_fault="raise"))
+        with pytest.raises(FaultInjected) as excinfo:
+            ctx.dot(b, b)
+        assert excinfo.value.site == "dot"
+
+    def test_pivot_site_reached_in_cholesky(self, system):
+        A, _ = system
+        ctx = FPContext("fp32", injector=FaultInjector(
+            seed=0, rate=1.0, sites=("pivot",), on_fault="raise"))
+        with pytest.raises(FaultInjected) as excinfo:
+            cholesky_factor(ctx, A)
+        assert excinfo.value.site == "pivot"
+
+    def test_storage_site_reached_by_asarray(self):
+        ctx = FPContext("fp16", injector=FaultInjector(
+            seed=0, rate=1.0, sites=("storage",), on_fault="raise"))
+        with pytest.raises(FaultInjected):
+            ctx.asarray([1.0, 2.0, 3.0])
+
+    def test_nar_pivot_surfaces_as_breakdown(self, system):
+        """A poisoned pivot must break down, not crash or hang."""
+        A, _ = system
+        inj = FaultInjector(seed=0, rate=1.0, sites=("pivot",),
+                            model="nar", max_faults=1)
+        with pytest.raises(FactorizationError):
+            cholesky_factor(FPContext("posit16es2", injector=inj), A)
+
+
+class TestModels:
+    def test_bitflip_stays_representable(self):
+        rng = np.random.default_rng(0)
+        model = BitFlip()
+        for name in ("fp16", "fp32", "bf16", "posit16es1", "posit32es2"):
+            fmt = get_format(name)
+            for v in (1.0, -3.5, 0.125, 1234.0):
+                out = model.corrupt(v, fmt, rng)
+                rounded = fmt.round(out)
+                assert out == rounded or (np.isnan(out)
+                                          and np.isnan(rounded))
+
+    def test_bitflip_changes_value(self):
+        rng = np.random.default_rng(1)
+        fmt = get_format("fp32")
+        outs = {BitFlip().corrupt(1.0, fmt, rng) for _ in range(20)}
+        assert outs != {1.0}
+
+    def test_special_value_posit_is_nar(self):
+        rng = np.random.default_rng(0)
+        fmt = get_format("posit16es1")
+        for _ in range(10):
+            assert np.isnan(SpecialValue().corrupt(2.0, fmt, rng))
+
+    def test_special_value_ieee_is_exceptional(self):
+        rng = np.random.default_rng(0)
+        fmt = get_format("fp32")
+        outs = [SpecialValue().corrupt(2.0, fmt, rng) for _ in range(30)]
+        assert all(not np.isfinite(v) for v in outs)
+        assert any(np.isnan(v) for v in outs)
+        assert any(np.isinf(v) for v in outs)
+
+    def test_perturb_rounds_into_format(self):
+        rng = np.random.default_rng(0)
+        fmt = get_format("posit16es1")
+        out = Perturb(decades=2.0).corrupt(1.0, fmt, rng)
+        assert out == fmt.round(out)
+        assert out != 1.0
+
+
+class TestMechanics:
+    def test_max_faults_cap(self, system):
+        A, b = system
+        inj = FaultInjector(seed=0, rate=1.0, sites=SITES, max_faults=7)
+        with inj:
+            conjugate_gradient(FPContext("fp32"), A, b, max_iterations=5)
+        assert inj.count == 7
+
+    def test_scalar_and_array_shapes_preserved(self):
+        inj = FaultInjector(seed=0, rate=1.0, sites=("dot", "matvec"),
+                            max_faults=100)
+        fmt = get_format("fp32")
+        s = inj.apply("dot", 2.5, fmt)
+        assert isinstance(s, float)
+        a = inj.apply("matvec", np.ones((3, 4)), fmt)
+        assert a.shape == (3, 4)
+
+    def test_disabled_site_passes_through_unchanged(self):
+        inj = FaultInjector(seed=0, rate=1.0, sites=("dot",))
+        x = np.ones(5)
+        out = inj.apply("matvec", x, get_format("fp32"))
+        assert out is x
+        assert inj.visits == 0
+
+    def test_input_array_never_mutated(self):
+        inj = FaultInjector(seed=0, rate=1.0, sites=("matvec",))
+        x = np.ones(64)
+        out = inj.apply("matvec", x, get_format("fp32"))
+        assert np.all(x == 1.0)
+        assert not np.all(out == 1.0)
+
+    def test_ambient_installation_restored(self, system):
+        A, b = system
+        assert get_active_injector() is None
+        inj = FaultInjector(seed=0, rate=1e-3)
+        with inj:
+            assert get_active_injector() is inj
+        assert get_active_injector() is None
+
+    def test_ambient_restored_on_error(self):
+        inj = FaultInjector(seed=0, rate=1.0, sites=("dot",),
+                            on_fault="raise")
+        with pytest.raises(FaultInjected):
+            with inj:
+                FPContext("fp32").dot(np.ones(4), np.ones(4))
+        assert get_active_injector() is None
+
+    def test_summary_counts(self, system):
+        A, b = system
+        inj = FaultInjector(seed=0, rate=1.0, sites=("dot",),
+                            max_faults=5)
+        with inj:
+            conjugate_gradient(FPContext("fp32"), A, b, max_iterations=3)
+        s = inj.summary()
+        assert s["faults"] == 5 == s["per_site"]["dot"]
+        assert s["model"] == "bitflip"
+
+
+class TestSolverBehaviourUnderFaults:
+    def test_cg_survives_nar_injection(self, system):
+        """NaR injection must surface as divergence, never a crash."""
+        A, b = system
+        inj = FaultInjector(seed=5, rate=0.05, sites=("dot",),
+                            model="nar")
+        with inj:
+            res = conjugate_gradient(FPContext("posit32es2"), A, b,
+                                     max_iterations=200)
+        assert res.diverged and not res.converged
+
+    def test_ir_testable_via_low_ctx(self, system):
+        """The low_ctx hook lets IR run its factorization under faults."""
+        from repro.linalg.ir import iterative_refinement
+        A, b = system
+        inj = FaultInjector(seed=1, rate=1.0, sites=("pivot",),
+                            model="nar", max_faults=1)
+        res = iterative_refinement(
+            A, b, "posit16es2",
+            low_ctx=FPContext("posit16es2", injector=inj))
+        assert res.failed
+        assert inj.count == 1
+
+    def test_ir_low_ctx_format_mismatch_rejected(self, system):
+        from repro.linalg.ir import iterative_refinement
+        A, b = system
+        with pytest.raises(ValueError, match="does not match"):
+            iterative_refinement(A, b, "fp16",
+                                 low_ctx=FPContext("posit16es2"))

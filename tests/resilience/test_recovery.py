@@ -1,0 +1,174 @@
+"""Recovery ladder: policy ordering, rescues, strict mode, traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import RecoveryExhausted
+from repro.matrices import random_dense_spd
+from repro.resilience.recovery import (DEFAULT_WIDENINGS, RecoveryPolicy,
+                                       RecoveryTrace, cg_with_recovery,
+                                       cholesky_with_recovery,
+                                       ir_with_recovery)
+
+
+@pytest.fixture(scope="module")
+def easy_system():
+    A = random_dense_spd(40, kappa=1.0e3, seed=7)
+    return A, A @ np.ones(40)
+
+
+@pytest.fixture(scope="module")
+def range_limited_system(easy_system):
+    """Well-conditioned but scaled far outside fp16/posit16 range, so
+    the native rung breaks down and the rescale rung (a pure range fix)
+    rescues it — the paper's Algorithm-3 scenario."""
+    A, b = easy_system
+    return A * 1.0e6, b * 1.0e6
+
+
+class TestPolicyLadder:
+    def test_default_order(self):
+        rungs = list(RecoveryPolicy().ladder("posit16es1"))
+        assert rungs == [
+            ("native", "posit16es1", False),
+            ("rescale", "posit16es1", True),
+            ("widen:posit24es1", "posit24es1", True),
+            ("widen:posit32es2", "posit32es2", True),
+        ]
+
+    def test_no_rescale_widens_unscaled(self):
+        rungs = list(RecoveryPolicy(rescale=False).ladder("fp16"))
+        assert rungs == [("native", "fp16", False),
+                        ("widen:fp32", "fp32", False)]
+
+    def test_no_widen(self):
+        rungs = list(RecoveryPolicy(widen=False).ladder("fp16"))
+        assert rungs == [("native", "fp16", False),
+                        ("rescale", "fp16", True)]
+
+    def test_max_attempts_truncates(self):
+        rungs = list(RecoveryPolicy(max_attempts=2).ladder("posit16es1"))
+        assert len(rungs) == 2
+
+    def test_custom_widenings(self):
+        policy = RecoveryPolicy(widenings={"fp16": ("fp64",)})
+        assert list(policy.ladder("fp16"))[-1] == ("widen:fp64", "fp64",
+                                                   True)
+
+    def test_unlisted_format_has_no_widening(self):
+        rungs = list(RecoveryPolicy().ladder("fp64"))
+        assert [r[0] for r in rungs] == ["native", "rescale"]
+
+    def test_default_widenings_are_registered_formats(self):
+        from repro.formats.registry import get_format
+        for start, ladder in DEFAULT_WIDENINGS.items():
+            get_format(start)
+            for wide in ladder:
+                get_format(wide)
+
+
+class TestCholeskyRecovery:
+    def test_healthy_system_needs_no_rescue(self, easy_system):
+        A, b = easy_system
+        trace = cholesky_with_recovery("fp32", A, b)
+        assert trace.succeeded
+        assert trace.rescue_rung == "none"
+        assert trace.final_format == "fp32"
+        assert len(trace.attempts) == 1
+        assert trace.result.relative_backward_error < 1e-3
+
+    def test_rescale_rescues_range_failure(self, range_limited_system):
+        A, b = range_limited_system
+        trace = cholesky_with_recovery("fp16", A, b)
+        assert trace.succeeded
+        assert trace.rescue_rung == "rescale"
+        assert not trace.attempts[0].succeeded
+        assert trace.attempts[1].rescaled
+
+    def test_widen_rung_reached_when_rescale_disabled(
+            self, range_limited_system):
+        A, b = range_limited_system
+        trace = cholesky_with_recovery(
+            "fp16", A, b, policy=RecoveryPolicy(rescale=False))
+        assert trace.succeeded
+        assert trace.rescue_rung == "widen:fp32"
+        assert trace.final_format == "fp32"
+
+    def test_exhausted_ladder_returns_failed_trace(
+            self, range_limited_system):
+        A, b = range_limited_system
+        trace = cholesky_with_recovery(
+            "fp16", A, b,
+            policy=RecoveryPolicy(rescale=False, widen=False))
+        assert not trace.succeeded
+        assert trace.rescue_rung == "-"
+        assert trace.final_format is None
+        assert trace.result is None
+        assert trace.attempts[0].detail
+
+    def test_strict_mode_raises_with_trace(self, range_limited_system):
+        A, b = range_limited_system
+        with pytest.raises(RecoveryExhausted) as excinfo:
+            cholesky_with_recovery(
+                "fp16", A, b,
+                policy=RecoveryPolicy(rescale=False, widen=False,
+                                      strict=True))
+        assert isinstance(excinfo.value.trace, RecoveryTrace)
+        assert excinfo.value.trace.rescue_rung == "-"
+
+    def test_backward_error_threshold_forces_escalation(
+            self, easy_system):
+        """A tight accuracy demand turns a 'success' into a failure and
+        drives the ladder to a wider format."""
+        A, b = easy_system
+        trace = cholesky_with_recovery("fp16", A, b,
+                                       max_backward_error=1e-10)
+        assert trace.rescue_rung.startswith(("widen", "-"))
+
+    def test_stops_at_first_success(self, range_limited_system):
+        A, b = range_limited_system
+        trace = cholesky_with_recovery("fp16", A, b)
+        succeeded = [a.succeeded for a in trace.attempts]
+        assert succeeded.count(True) == 1
+        assert succeeded[-1] is True
+
+
+class TestCGRecovery:
+    def test_healthy(self, easy_system):
+        A, b = easy_system
+        trace = cg_with_recovery("posit32es2", A, b)
+        assert trace.rescue_rung == "none"
+        assert trace.result.converged
+
+    def test_rescale_rescues_overflowing_cg(self, range_limited_system):
+        A, b = range_limited_system
+        trace = cg_with_recovery("posit16es1", A, b, rtol=1e-3,
+                                 max_iterations=2000)
+        assert trace.succeeded
+        assert trace.rescue_rung in ("rescale", "widen:posit24es1",
+                                     "widen:posit32es2")
+        assert not trace.attempts[0].succeeded
+
+    def test_budget_exhaustion_recorded_as_detail(self, easy_system):
+        A, b = easy_system
+        trace = cg_with_recovery("fp64", A, b, max_iterations=2,
+                                 policy=RecoveryPolicy(widen=False))
+        assert not trace.succeeded
+        assert "budget exhausted" in trace.attempts[0].detail
+
+
+class TestIRRecovery:
+    def test_healthy(self, easy_system):
+        A, b = easy_system
+        trace = ir_with_recovery(A, b, "fp32")
+        assert trace.rescue_rung == "none"
+        assert trace.result.converged
+
+    def test_higham_rescue(self, range_limited_system):
+        A, b = range_limited_system
+        trace = ir_with_recovery(A, b, "fp16")
+        assert trace.succeeded
+        assert trace.rescue_rung != "none"
+        assert trace.attempts[0].detail
