@@ -40,7 +40,7 @@ def test_ext_scaling(benchmark, scale):
 
 
 def test_ext_sod(benchmark, scale):
-    from repro.experiments.ext_sod import run as run_sod
+    from repro.experiments.ext_sod import _run as run_sod
     res = run_once(benchmark, run_sod, scale=scale, quiet=True,
                    n_cells=48, t_final=0.12)
     print("\n" + res.text)
@@ -56,7 +56,7 @@ def test_ext_gustafson(benchmark, scale):
 
 
 def test_ext_cg_target(benchmark, scale):
-    from repro.experiments.ext_cg_target import run as run_tgt
+    from repro.experiments.ext_cg_target import _run as run_tgt
     res = run_once(benchmark, run_tgt, scale=scale, quiet=True,
                    matrices=("662_bus", "bcsstk06"))
     print("\n" + res.text)
@@ -73,7 +73,7 @@ def test_ext_stochastic(benchmark, scale):
 
 
 def test_ext_jacobi(benchmark, scale):
-    from repro.experiments.ext_jacobi import run as run_jac
+    from repro.experiments.ext_jacobi import _run as run_jac
     res = run_once(benchmark, run_jac, scale=scale, quiet=True,
                    matrices=("lund_a", "bcsstk06", "nos2"))
     print("\n" + res.text)

@@ -17,8 +17,14 @@ Quick start
 >>> float(x * x)
 9.8701171875
 
-Regenerate a paper artifact::
+>>> import repro
+>>> ctx = repro.context("p32e2")          # alias for posit32es2
+>>> float(ctx.add(0.1, 0.2))
+0.30000000074505806
 
+Regenerate a paper artifact programmatically or from the shell::
+
+    repro.run_experiment("table3")
     python -m repro.experiments table3
 """
 
@@ -34,9 +40,31 @@ from .resilience import (FaultInjector, RecoveryPolicy, RecoveryTrace,
 
 __version__ = "1.0.0"
 
+
+def context(fmt="fp64", **kwargs) -> FPContext:
+    """An :class:`FPContext` for *fmt* (any name :func:`get_format`
+    accepts, aliases included) — the recommended entry point for
+    per-operation-rounded arithmetic::
+
+        ctx = repro.context("posit32es2")
+        ctx = repro.context("half", sum_order="sequential")
+    """
+    return FPContext(fmt, **kwargs)
+
+
+def run_experiment(exp_id, scale=None, quiet=False):
+    """Run one registered experiment by id (e.g. ``"fig6"``).
+
+    Imports the experiment harness lazily; see
+    ``python -m repro.experiments list`` for the available ids.
+    """
+    from .experiments import run_experiment as _run
+    return _run(exp_id, scale=scale, quiet=quiet)
+
+
 __all__ = [
     "Posit", "PositConfig", "posit_config", "posit_round", "Quire",
-    "FPContext", "get_format",
+    "FPContext", "get_format", "context", "run_experiment",
     "conjugate_gradient", "cholesky_factor", "cholesky_solve",
     "iterative_refinement",
     "FaultInjector", "RecoveryPolicy", "RecoveryTrace",

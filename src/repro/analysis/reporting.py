@@ -17,7 +17,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 __all__ = ["format_table", "format_bar_chart", "write_csv",
-           "results_dir", "fmt_value"]
+           "write_json", "results_dir", "fmt_value"]
 
 
 def results_dir() -> str:
@@ -105,6 +105,21 @@ def format_bar_chart(labels: Sequence[str], values: Sequence[float],
         lines.append(f"{str(label):<{label_w}}{bar} "
                      + value_format.format(v))
     return "\n".join(lines)
+
+
+def write_json(filename: str, payload) -> str:
+    """Atomically write *payload* as JSON under ``results/``.
+
+    Used for machine-readable sidecars (``BENCH_experiments.json``)
+    that downstream tooling diffs across runs.
+    """
+    import json
+
+    from ..resilience.atomic import atomic_write_text
+
+    path = os.path.join(results_dir(), filename)
+    return atomic_write_text(
+        path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 def write_csv(filename: str, headers: Sequence[str],

@@ -27,7 +27,8 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
-__all__ = ["RunScale", "SCALES", "current_scale", "scale_from_env"]
+__all__ = ["RunScale", "SCALES", "current_scale", "scale_from_env",
+           "jobs_from_env"]
 
 
 @dataclass(frozen=True)
@@ -98,3 +99,29 @@ def scale_from_env(default: str = "small") -> RunScale:
 def current_scale() -> RunScale:
     """The scale in effect for this process (reads the environment)."""
     return scale_from_env()
+
+
+def jobs_from_env(default: int = 1) -> int:
+    """Worker-process count for the cell engine, from ``REPRO_JOBS``.
+
+    ``auto`` (or ``0``) resolves to the CPUs actually available to this
+    process (respecting cgroup/affinity limits); absent or empty falls
+    back to *default* — serial, the bit-for-bit reference path.
+    """
+    raw = os.environ.get("REPRO_JOBS", "").strip().lower()
+    if not raw:
+        return max(1, int(default))
+    if raw in ("auto", "0"):
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except AttributeError:  # pragma: no cover - non-Linux
+            return max(1, os.cpu_count() or 1)
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_JOBS={raw!r} is not a job count (use an integer or "
+            f"'auto')") from None
+    if jobs < 1:
+        raise ValueError(f"REPRO_JOBS={jobs} must be >= 1 (or 'auto')")
+    return jobs

@@ -1,9 +1,22 @@
 """The experiment harness: one module per paper table/figure plus
-extension/ablation studies.  See ``python -m repro.experiments list``."""
+extension/ablation studies.  See ``python -m repro.experiments list``.
 
-from .common import (CG_FORMATS, CHOLESKY_FORMATS, IR_FORMATS,
-                     ExperimentResult, clear_cache, run_cg_suite,
-                     run_cholesky_suite, run_ir_suite, suite_systems)
+Experiments register themselves with the :mod:`~repro.experiments.registry`
+via the :func:`~repro.experiments.registry.experiment` decorator; the
+suites decompose into *cells* — one ``(solver, matrix, format)`` run —
+executed by the :mod:`~repro.experiments.engine` (serially or across
+``--jobs N`` processes) and memoised in the persistent result cache.
+"""
+
+from .cache import clear_result_cache, result_cache
+from .common import (CG_FORMATS, CHOLESKY_FORMATS, IR_FORMATS, Cell,
+                     ExperimentResult, cell_value, cg_cells,
+                     cholesky_cells, clear_cache, compute_cell, ir_cells,
+                     run_cg_suite, run_cholesky_suite, run_ir_suite,
+                     suite_systems)
+from .engine import CellOutcome, execute_cells
+from .registry import (REGISTRY, ExperimentSpec, all_experiments,
+                       experiment, get_experiment)
 from .runner import EXPERIMENTS, PAPER_ARTIFACTS, main, run_experiment
 
 __all__ = [
@@ -12,4 +25,9 @@ __all__ = [
     "CG_FORMATS", "CHOLESKY_FORMATS", "IR_FORMATS",
     "run_cg_suite", "run_cholesky_suite", "run_ir_suite",
     "suite_systems",
+    # PR 2: cell grid, registry and persistent cache
+    "Cell", "cg_cells", "cholesky_cells", "ir_cells", "compute_cell",
+    "cell_value", "CellOutcome", "execute_cells",
+    "REGISTRY", "ExperimentSpec", "experiment", "get_experiment",
+    "all_experiments", "result_cache", "clear_result_cache",
 ]

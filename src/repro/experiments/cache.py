@@ -1,0 +1,135 @@
+"""Persistent, content-addressed cache for experiment cells.
+
+One cell — a single ``(experiment kind, format, matrix)`` solver run —
+is the unit of work in the experiment engine.  Cells are pure functions
+of their key, the run scale, and the code that computes them, so their
+results are cached on disk under ``results/.cache/`` keyed by
+
+    sha256(cell id, scale name, code fingerprint)
+
+where the *code fingerprint* hashes every ``*.py`` file in the
+installed ``repro`` package.  Editing any source file therefore
+invalidates the whole cache — conservative, but it can never serve a
+stale result after a code change.  Entries are pickled payloads written
+atomically (see :mod:`repro.resilience.atomic`), so a sweep killed
+mid-write never leaves a corrupt entry that shadows a real one; a
+corrupt or unreadable entry is discarded and recomputed, never fatal.
+
+Disable with ``REPRO_CACHE=off`` (benchmarking cold paths, debugging).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import os
+import pickle
+from typing import Any
+
+from ..analysis.reporting import results_dir
+from ..resilience.atomic import atomic_open
+
+__all__ = ["ResultCache", "result_cache", "cache_enabled",
+           "code_fingerprint", "clear_result_cache", "CACHE_DIR_NAME"]
+
+#: subdirectory of the results dir that holds cache entries
+CACHE_DIR_NAME = ".cache"
+
+_FALSEY = frozenset({"off", "0", "no", "false", "disabled"})
+
+_fingerprint: str | None = None
+
+
+def cache_enabled() -> bool:
+    """False when ``REPRO_CACHE`` opts out of on-disk caching."""
+    return os.environ.get("REPRO_CACHE", "on").strip().lower() not in _FALSEY
+
+
+def code_fingerprint() -> str:
+    """Hash of every ``*.py`` source in the ``repro`` package.
+
+    Computed once per process (the interpreter cannot change its own
+    loaded code mid-run, so caching the digest is sound).
+    """
+    global _fingerprint
+    if _fingerprint is None:
+        import repro
+
+        digest = hashlib.sha256()
+        pkg_root = os.path.dirname(os.path.abspath(repro.__file__))
+        for dirpath, dirnames, filenames in sorted(os.walk(pkg_root)):
+            dirnames.sort()
+            for fname in sorted(filenames):
+                if not fname.endswith(".py"):
+                    continue
+                full = os.path.join(dirpath, fname)
+                digest.update(os.path.relpath(full, pkg_root).encode())
+                with open(full, "rb") as fh:
+                    digest.update(fh.read())
+        _fingerprint = digest.hexdigest()
+    return _fingerprint
+
+
+class ResultCache:
+    """Content-addressed pickle store, one file per cell result."""
+
+    def __init__(self, root: str, fingerprint: str | None = None):
+        self.root = root
+        self.fingerprint = fingerprint or code_fingerprint()
+
+    def entry_path(self, cell_id: str, scale_name: str) -> str:
+        key = hashlib.sha256(
+            f"{cell_id}\n{scale_name}\n{self.fingerprint}".encode()
+        ).hexdigest()
+        return os.path.join(self.root, key[:2], key + ".pkl")
+
+    def contains(self, cell_id: str, scale_name: str) -> bool:
+        return os.path.exists(self.entry_path(cell_id, scale_name))
+
+    def get(self, cell_id: str, scale_name: str) -> tuple[bool, Any]:
+        """Return ``(hit, value)``; a damaged entry is dropped as a miss."""
+        path = self.entry_path(cell_id, scale_name)
+        try:
+            with open(path, "rb") as fh:
+                entry = pickle.load(fh)
+            if entry.get("cell") != cell_id:  # hash collision / tamper
+                raise ValueError("cache entry does not match its key")
+            return True, entry["value"]
+        except FileNotFoundError:
+            return False, None
+        except Exception:
+            # corrupt pickle, truncated file, renamed class, ... —
+            # recomputing is always safe, failing the sweep is not
+            with contextlib.suppress(OSError):
+                os.unlink(path)
+            return False, None
+
+    def put(self, cell_id: str, scale_name: str, value: Any) -> str:
+        path = self.entry_path(cell_id, scale_name)
+        with atomic_open(path, "wb") as fh:
+            pickle.dump({"cell": cell_id, "scale": scale_name,
+                         "value": value}, fh,
+                        protocol=pickle.HIGHEST_PROTOCOL)
+        return path
+
+
+def result_cache() -> ResultCache:
+    """The cache rooted in the *current* results directory.
+
+    Resolved per call because tests and the CLI redirect
+    ``REPRO_RESULTS_DIR`` at runtime.
+    """
+    return ResultCache(os.path.join(results_dir(), CACHE_DIR_NAME))
+
+
+def clear_result_cache() -> int:
+    """Delete every on-disk cache entry; returns the number removed."""
+    root = os.path.join(results_dir(), CACHE_DIR_NAME)
+    removed = 0
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for fname in filenames:
+            if fname.endswith(".pkl"):
+                with contextlib.suppress(OSError):
+                    os.unlink(os.path.join(dirpath, fname))
+                    removed += 1
+    return removed

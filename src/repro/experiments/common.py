@@ -1,10 +1,26 @@
-"""Shared plumbing for the experiment harness.
+"""Shared plumbing for the experiment harness: cells and sweeps.
 
 Each experiment module reproduces one paper artifact (table or figure)
-and exposes ``run(scale=None, quiet=False) -> ExperimentResult``.  The
-heavyweight workloads (a full CG sweep over the suite, the IR tables)
-are cached per process so that composite figures (e.g. Fig. 8 reuses
-the Cholesky solves of Fig. 9's baseline) do not recompute them.
+and exposes ``run(scale=None, quiet=False) -> ExperimentResult``
+registered through :func:`repro.experiments.registry.experiment`.
+
+The heavyweight workloads — the CG / Cholesky / iterative-refinement
+sweeps over the 19-matrix suite — decompose into **cells**: one
+:class:`Cell` is a single ``(solver kind, matrix, format)`` run, the
+smallest independently executable (and cacheable) unit of the paper's
+evidence grid.  Cell results flow through two cache layers:
+
+* an in-process memo (``_MEMO``), so composite figures (Fig. 8 reusing
+  Fig. 9's Cholesky solves, Fig. 10 reusing Table III's IR runs) never
+  recompute within one process, and repeated suite calls return the
+  *same* objects; and
+* the persistent content-addressed store of
+  :mod:`repro.experiments.cache`, so results survive across processes
+  and invocations and a warm re-run of the whole sweep is near-instant.
+
+The cell engine (:mod:`repro.experiments.engine`) executes cells
+serially or across a process pool; either way the suite assemblers
+below see identical values.
 """
 
 from __future__ import annotations
@@ -25,10 +41,14 @@ from ..matrices.suite import (SUITE_ORDER, load_matrix, matrix_spec,
 from ..scaling.diagonal_mean import scale_by_diagonal_mean
 from ..scaling.higham import higham_rescale
 from ..scaling.power_of_two import scale_to_inf_norm
+from .cache import cache_enabled, result_cache
 
 __all__ = [
     "CG_FORMATS", "IR_FORMATS", "CHOLESKY_FORMATS",
-    "ExperimentResult", "suite_systems",
+    "ExperimentResult", "Cell",
+    "cg_cells", "cholesky_cells", "ir_cells",
+    "compute_cell", "cell_value", "store_cell", "has_cell",
+    "suite_systems",
     "run_cg_suite", "run_cholesky_suite", "run_ir_suite",
     "clear_cache",
 ]
@@ -55,32 +75,179 @@ class ExperimentResult:
         print(self.text)
 
 
-_CACHE: dict[tuple, Any] = {}
+# ---------------------------------------------------------------------------
+# Cells — the unit of work, caching, scheduling, and resumption
+# ---------------------------------------------------------------------------
 
+@dataclass(frozen=True)
+class Cell:
+    """One ``(solver kind, matrix, format)`` run of the evidence grid.
 
-def clear_cache() -> None:
-    """Drop all cached workload results (used by tests)."""
-    _CACHE.clear()
-
-
-def _cached(key: tuple, builder: Callable[[], Any]) -> Any:
-    if key not in _CACHE:
-        _CACHE[key] = builder()
-    return _CACHE[key]
-
-
-def suite_systems(scale: RunScale, names: tuple[str, ...] | None = None):
-    """Yield ``(spec, A, b)`` for the suite at *scale* (cached).
-
-    *names* restricts the sweep to a subset of the suite (in the given
-    order) — used by focused experiments and fast tests; the default is
-    the full Table I ordering.
+    ``options`` is a canonical (sorted) tuple of ``(name, value)``
+    pairs — e.g. ``(("rescaled", True),)`` — so that equal work has
+    equal identity regardless of call-site spelling.
     """
+
+    kind: str                                   # "cg" | "chol" | "ir"
+    matrix: str
+    fmt: str
+    options: tuple[tuple[str, Any], ...] = ()
+
+    @property
+    def cell_id(self) -> str:
+        """Stable, human-readable identity used by cache and manifest."""
+        opts = ",".join(f"{k}={v!r}" for k, v in self.options)
+        base = f"{self.kind}:{self.matrix}:{self.fmt}"
+        return f"{base}:{opts}" if opts else base
+
+    def option(self, name: str, default: Any = None) -> Any:
+        return dict(self.options).get(name, default)
+
+
+def _options(**kwargs: Any) -> tuple[tuple[str, Any], ...]:
+    return tuple(sorted(kwargs.items()))
+
+
+def _resolve_names(names: tuple[str, ...] | None) -> tuple[str, ...]:
     selected = tuple(names) if names is not None else tuple(SUITE_ORDER)
     unknown = [n for n in selected if n not in SUITE_ORDER]
     if unknown:
         raise KeyError(f"unknown suite matrices {unknown}; "
                        f"known: {list(SUITE_ORDER)}")
+    return selected
+
+
+def cg_cells(scale: RunScale, rescaled: bool = False,
+             formats: tuple[str, ...] = CG_FORMATS, rtol: float = 1e-5,
+             sparse: bool | None = None,
+             names: tuple[str, ...] | None = None) -> tuple[Cell, ...]:
+    """Cells of the CG sweep (Figs. 6/7): one per (matrix, format)."""
+    if sparse is None:
+        sparse = scale.name == "full"
+    opts = _options(rescaled=bool(rescaled), rtol=float(rtol),
+                    sparse=bool(sparse))
+    return tuple(Cell("cg", m, f, opts)
+                 for m in _resolve_names(names) for f in formats)
+
+
+def cholesky_cells(scale: RunScale, rescaled: bool = False,
+                   formats: tuple[str, ...] = CHOLESKY_FORMATS,
+                   names: tuple[str, ...] | None = None
+                   ) -> tuple[Cell, ...]:
+    """Cells of the one-shot Cholesky sweep (Figs. 8/9)."""
+    opts = _options(rescaled=bool(rescaled))
+    return tuple(Cell("chol", m, f, opts)
+                 for m in _resolve_names(names) for f in formats)
+
+
+def ir_cells(scale: RunScale, higham: bool = False,
+             formats: tuple[str, ...] = IR_FORMATS,
+             names: tuple[str, ...] | None = None) -> tuple[Cell, ...]:
+    """Cells of the mixed-precision IR sweep (Tables II/III, Fig. 10)."""
+    opts = _options(higham=bool(higham))
+    return tuple(Cell("ir", m, f, opts)
+                 for m in _resolve_names(names) for f in formats)
+
+
+def compute_cell(cell: Cell, scale: RunScale) -> Any:
+    """Execute one cell from scratch (no cache consultation).
+
+    Pure: the payload depends only on ``(cell, scale)`` and the code,
+    which is exactly what lets cells run in worker processes and cache
+    on disk.  The per-kind bodies mirror the pre-cell suite loops
+    bit for bit — rescaling, sparse layout, then the solver.
+    """
+    spec, A, b = suite_systems(scale, names=(cell.matrix,))[0]
+    if cell.kind == "cg":
+        if cell.option("rescaled"):
+            ss = scale_to_inf_norm(A, b)
+            A, b = ss.A, ss.b
+        if cell.option("sparse"):
+            from ..arith.sparse import ELLMatrix
+            A = ELLMatrix.from_dense(A)
+        return conjugate_gradient(
+            FPContext(cell.fmt), A, b, rtol=cell.option("rtol", 1e-5),
+            max_iterations=scale.cg_max_iterations)
+    if cell.kind == "chol":
+        if cell.option("rescaled"):
+            ss = scale_by_diagonal_mean(A, b)
+            A, b = ss.A, ss.b
+        try:
+            return cholesky_solve(FPContext(cell.fmt), A,
+                                  b).relative_backward_error
+        except FactorizationError:
+            return np.inf
+    if cell.kind == "ir":
+        if cell.option("higham"):
+            try:
+                sc = higham_rescale(A, b, cell.fmt)
+            except Exception as exc:
+                return IRResult(False, True, 0, np.inf, np.inf,
+                                failure_reason=f"rescaling failed: {exc}")
+            return iterative_refinement(
+                A, b, cell.fmt, scaling=sc,
+                max_iterations=scale.ir_max_iterations)
+        return iterative_refinement(
+            A, b, cell.fmt, max_iterations=scale.ir_max_iterations)
+    raise ValueError(f"unknown cell kind {cell.kind!r}")
+
+
+# -- the two cache layers ---------------------------------------------------
+
+_MEMO: dict[tuple, Any] = {}
+
+
+def clear_cache() -> None:
+    """Drop the in-process memo (tests; the disk cache is untouched)."""
+    _MEMO.clear()
+
+
+def _memo(key: tuple, builder: Callable[[], Any]) -> Any:
+    if key not in _MEMO:
+        _MEMO[key] = builder()
+    return _MEMO[key]
+
+
+def store_cell(cell: Cell, scale: RunScale, value: Any,
+               persist: bool = True) -> None:
+    """Install a computed payload into the memo (and disk, if enabled)."""
+    _MEMO[("cell", scale.name, cell)] = value
+    if persist and cache_enabled():
+        result_cache().put(cell.cell_id, scale.name, value)
+
+
+def has_cell(cell: Cell, scale: RunScale) -> bool:
+    """True when the cell is already available in memo or on disk."""
+    if ("cell", scale.name, cell) in _MEMO:
+        return True
+    return cache_enabled() and result_cache().contains(cell.cell_id,
+                                                       scale.name)
+
+
+def cell_value(cell: Cell, scale: RunScale) -> Any:
+    """The cell's payload: memo, else disk cache, else computed fresh."""
+    mkey = ("cell", scale.name, cell)
+    if mkey in _MEMO:
+        return _MEMO[mkey]
+    if cache_enabled():
+        hit, value = result_cache().get(cell.cell_id, scale.name)
+        if hit:
+            _MEMO[mkey] = value
+            return value
+    value = compute_cell(cell, scale)
+    store_cell(cell, scale, value)
+    return value
+
+
+def suite_systems(scale: RunScale, names: tuple[str, ...] | None = None):
+    """Yield ``(spec, A, b)`` for the suite at *scale* (memoized).
+
+    *names* restricts the sweep to a subset of the suite (in the given
+    order) — used by cells, focused experiments and fast tests; the
+    default is the full Table I ordering.  Matrix synthesis is cheap
+    and deterministic, so systems live only in the in-process memo.
+    """
+    selected = _resolve_names(names)
 
     def build():
         out = []
@@ -89,18 +256,27 @@ def suite_systems(scale: RunScale, names: tuple[str, ...] | None = None):
             A = load_matrix(name, scale)
             out.append((spec, A, right_hand_side(A)))
         return out
-    return _cached(("systems", scale.name, selected), build)
+    return _memo(("systems", scale.name, selected), build)
 
 
 # ---------------------------------------------------------------------------
-# CG sweeps (Figs. 6 & 7)
+# Suite sweeps, assembled from cells (Figs. 6-9, Tables II/III, Fig. 10)
 # ---------------------------------------------------------------------------
+
+def _assemble(cells: tuple[Cell, ...], scale: RunScale) -> dict:
+    results: dict[str, dict[str, Any]] = {}
+    for cell in cells:
+        results.setdefault(cell.matrix, {})[cell.fmt] = cell_value(cell,
+                                                                   scale)
+    return results
+
 
 def run_cg_suite(scale: RunScale, rescaled: bool = False,
                  formats: tuple[str, ...] = CG_FORMATS,
-                 rtol: float = 1e-5,
-                 sparse: bool | None = None) -> dict[str, dict[str, Any]]:
-    """CG over the full suite in every format.
+                 rtol: float = 1e-5, sparse: bool | None = None,
+                 names: tuple[str, ...] | None = None
+                 ) -> dict[str, dict[str, Any]]:
+    """CG over the suite in every format.
 
     Returns ``{matrix: {format: CGResult}}``.  With ``rescaled=True``
     the power-of-two ∞-norm scaling of §V-B is applied first.  With
@@ -110,35 +286,16 @@ def run_cg_suite(scale: RunScale, rescaled: bool = False,
     """
     if sparse is None:
         sparse = scale.name == "full"
+    cells = cg_cells(scale, rescaled=rescaled, formats=formats,
+                     rtol=rtol, sparse=sparse, names=names)
+    return _memo(("cg", scale.name, rescaled, formats, rtol, sparse,
+                  names if names is None else tuple(names)),
+                 lambda: _assemble(cells, scale))
 
-    def build():
-        from ..arith.sparse import ELLMatrix
-        results: dict[str, dict[str, Any]] = {}
-        for spec, A, b in suite_systems(scale):
-            if rescaled:
-                ss = scale_to_inf_norm(A, b)
-                A_run, b_run = ss.A, ss.b
-            else:
-                A_run, b_run = A, b
-            if sparse:
-                A_run = ELLMatrix.from_dense(A_run)
-            per_fmt = {}
-            for fmt in formats:
-                per_fmt[fmt] = conjugate_gradient(
-                    FPContext(fmt), A_run, b_run, rtol=rtol,
-                    max_iterations=scale.cg_max_iterations)
-            results[spec.name] = per_fmt
-        return results
-    return _cached(("cg", scale.name, rescaled, formats, rtol, sparse),
-                   build)
-
-
-# ---------------------------------------------------------------------------
-# Cholesky sweeps (Figs. 8 & 9)
-# ---------------------------------------------------------------------------
 
 def run_cholesky_suite(scale: RunScale, rescaled: bool = False,
-                       formats: tuple[str, ...] = CHOLESKY_FORMATS
+                       formats: tuple[str, ...] = CHOLESKY_FORMATS,
+                       names: tuple[str, ...] | None = None
                        ) -> dict[str, dict[str, float]]:
     """Single-pass Cholesky solve over the suite in every format.
 
@@ -146,56 +303,22 @@ def run_cholesky_suite(scale: RunScale, rescaled: bool = False,
     the factorization broke down).  With ``rescaled=True`` the paper's
     Algorithm 3 (diagonal-mean power-of-two scaling) is applied.
     """
-    def build():
-        results: dict[str, dict[str, float]] = {}
-        for spec, A, b in suite_systems(scale):
-            if rescaled:
-                ss = scale_by_diagonal_mean(A, b)
-                A_run, b_run = ss.A, ss.b
-            else:
-                A_run, b_run = A, b
-            per_fmt = {}
-            for fmt in formats:
-                try:
-                    out = cholesky_solve(FPContext(fmt), A_run, b_run)
-                    per_fmt[fmt] = out.relative_backward_error
-                except FactorizationError:
-                    per_fmt[fmt] = np.inf
-            results[spec.name] = per_fmt
-        return results
-    return _cached(("chol", scale.name, rescaled, formats), build)
+    cells = cholesky_cells(scale, rescaled=rescaled, formats=formats,
+                           names=names)
+    return _memo(("chol", scale.name, rescaled, formats,
+                  names if names is None else tuple(names)),
+                 lambda: _assemble(cells, scale))
 
-
-# ---------------------------------------------------------------------------
-# Iterative-refinement sweeps (Tables II & III, Fig. 10)
-# ---------------------------------------------------------------------------
 
 def run_ir_suite(scale: RunScale, higham: bool = False,
-                 formats: tuple[str, ...] = IR_FORMATS
+                 formats: tuple[str, ...] = IR_FORMATS,
+                 names: tuple[str, ...] | None = None
                  ) -> dict[str, dict[str, IRResult]]:
     """Mixed-precision IR over the suite, naive or Higham-rescaled.
 
     Returns ``{matrix: {format: IRResult}}``.
     """
-    def build():
-        results: dict[str, dict[str, IRResult]] = {}
-        for spec, A, b in suite_systems(scale):
-            per_fmt: dict[str, IRResult] = {}
-            for fmt in formats:
-                if higham:
-                    try:
-                        sc = higham_rescale(A, b, fmt)
-                    except Exception as exc:
-                        per_fmt[fmt] = IRResult(
-                            False, True, 0, np.inf, np.inf,
-                            failure_reason=f"rescaling failed: {exc}")
-                        continue
-                    per_fmt[fmt] = iterative_refinement(
-                        A, b, fmt, scaling=sc,
-                        max_iterations=scale.ir_max_iterations)
-                else:
-                    per_fmt[fmt] = iterative_refinement(
-                        A, b, fmt, max_iterations=scale.ir_max_iterations)
-            results[spec.name] = per_fmt
-        return results
-    return _cached(("ir", scale.name, higham, formats), build)
+    cells = ir_cells(scale, higham=higham, formats=formats, names=names)
+    return _memo(("ir", scale.name, higham, formats,
+                  names if names is None else tuple(names)),
+                 lambda: _assemble(cells, scale))

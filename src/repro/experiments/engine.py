@@ -1,0 +1,185 @@
+"""The cell execution engine: serial or process-parallel, crash-safe.
+
+:func:`execute_cells` drives a batch of experiment cells (see
+:class:`~repro.experiments.common.Cell`) to completion with the same
+guarantees the PR-1 runner gave whole experiments — wall-clock budget,
+retries with backoff, crash isolation — but at cell granularity, plus
+two new powers:
+
+* ``jobs > 1`` fans cells out over a ``ProcessPoolExecutor``.  Each
+  worker computes its cell and writes it to the persistent cache
+  itself, so even a sweep whose *parent* is killed keeps every cell
+  that finished — ``--resume`` then re-executes only unfinished cells.
+* cells already present (in-process memo or disk cache) are reported
+  as ``cached`` and never recomputed.
+
+Cell payloads are deterministic functions of ``(cell, scale)``; the
+serial and parallel paths therefore produce bit-identical results, and
+the CSV artifacts assembled from them are byte-identical.
+
+A broken pool (a worker OOM-killed or segfaulted) degrades to in-process
+serial execution of the remaining cells rather than failing the sweep.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..config import SCALES, RunScale
+from ..errors import ExperimentTimeout
+from ..resilience.isolation import backoff_delays, time_limit
+from .common import Cell, compute_cell, has_cell, store_cell
+
+__all__ = ["CellOutcome", "execute_cells"]
+
+
+@dataclass
+class CellOutcome:
+    """What happened to one cell during a sweep."""
+
+    cell: Cell
+    status: str            # completed | cached | timeout | failed
+    duration: float        # seconds spent computing (0 for cached)
+    error: str | None = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("completed", "cached")
+
+
+def _run_cell_guarded(cell: Cell, scale: RunScale,
+                      timeout: float | None) -> tuple[str, object,
+                                                      float, str | None]:
+    """One attempt: compute under a wall-clock budget, classify failure.
+
+    Returns ``(status, value, duration, error)`` — exceptions never
+    escape, which keeps this directly usable as the pool worker (no
+    exception pickling, no half-dead futures).
+    """
+    t0 = time.perf_counter()
+    try:
+        with time_limit(timeout, label=cell.cell_id):
+            value = compute_cell(cell, scale)
+        return "completed", value, time.perf_counter() - t0, None
+    except ExperimentTimeout as exc:
+        return "timeout", None, time.perf_counter() - t0, str(exc)
+    except Exception as exc:
+        return ("failed", None, time.perf_counter() - t0,
+                f"{type(exc).__name__}: {exc}")
+
+
+def _cell_worker(cell: Cell, scale_name: str,
+                 timeout: float | None) -> tuple[str, object, float,
+                                                 str | None]:
+    """Pool entry point: compute one cell and persist it immediately."""
+    scale = SCALES[scale_name]
+    status, value, duration, error = _run_cell_guarded(cell, scale,
+                                                       timeout)
+    if status == "completed":
+        # worker-side persistence: survives even if the parent dies
+        store_cell(cell, scale, value)
+    return status, value, duration, error
+
+
+def execute_cells(cells: Sequence[Cell], scale: RunScale, *,
+                  jobs: int = 1, timeout: float | None = None,
+                  retries: int = 0, backoff: float = 1.0,
+                  on_outcome: Callable[[CellOutcome], None] | None = None,
+                  sleep: Callable[[float], None] = time.sleep
+                  ) -> list[CellOutcome]:
+    """Bring every cell to a terminal state; return one outcome each.
+
+    ``on_outcome`` fires as each cell settles (manifest recording).
+    A timeout is final — the budget would just expire again — while
+    any other failure is retried up to *retries* times (serially with
+    exponential backoff; immediately when pooled).
+    """
+    outcomes: dict[Cell, CellOutcome] = {}
+
+    def settle(outcome: CellOutcome) -> None:
+        outcomes[outcome.cell] = outcome
+        if on_outcome is not None:
+            on_outcome(outcome)
+
+    todo: list[Cell] = []
+    for cell in dict.fromkeys(cells):           # dedup, order-preserving
+        if has_cell(cell, scale):
+            settle(CellOutcome(cell, "cached", 0.0, attempts=0))
+        else:
+            todo.append(cell)
+
+    if todo and jobs > 1:
+        try:
+            _execute_pooled(todo, scale, jobs, timeout, retries, settle)
+            todo = [c for c in todo if c not in outcomes]
+        except Exception as exc:
+            # a broken pool must not sink the sweep — finish serially
+            print(f"!! cell pool failed ({type(exc).__name__}: {exc}); "
+                  f"finishing remaining cells serially", file=sys.stderr)
+            todo = [c for c in todo if c not in outcomes]
+
+    for cell in todo:
+        settle(_execute_serial(cell, scale, timeout, retries, backoff,
+                               sleep))
+
+    return [outcomes[cell] for cell in dict.fromkeys(cells)]
+
+
+def _execute_serial(cell: Cell, scale: RunScale, timeout: float | None,
+                    retries: int, backoff: float,
+                    sleep: Callable[[float], None]) -> CellOutcome:
+    delays = backoff_delays(retries, base=backoff)
+    attempts = 0
+    while True:
+        attempts += 1
+        status, value, duration, error = _run_cell_guarded(cell, scale,
+                                                           timeout)
+        if status == "completed":
+            store_cell(cell, scale, value)
+            return CellOutcome(cell, status, duration, attempts=attempts)
+        if status == "timeout":
+            return CellOutcome(cell, status, duration, error, attempts)
+        delay = next(delays, None)
+        if delay is None:
+            return CellOutcome(cell, status, duration, error, attempts)
+        print(f"!! cell {cell.cell_id} attempt {attempts} failed "
+              f"({error}); retrying in {delay:g}s", file=sys.stderr)
+        sleep(delay)
+
+
+def _execute_pooled(todo: list[Cell], scale: RunScale, jobs: int,
+                    timeout: float | None, retries: int,
+                    settle: Callable[[CellOutcome], None]) -> None:
+    attempts: dict[Cell, int] = {}
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        pending = {}
+        for cell in todo:
+            attempts[cell] = 1
+            pending[pool.submit(_cell_worker, cell, scale.name,
+                                timeout)] = cell
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in done:
+                cell = pending.pop(fut)
+                status, value, duration, error = fut.result()
+                if status == "completed":
+                    # memo only: the worker already persisted to disk
+                    store_cell(cell, scale, value, persist=False)
+                    settle(CellOutcome(cell, status, duration,
+                                       attempts=attempts[cell]))
+                elif (status == "failed"
+                        and attempts[cell] <= retries):
+                    attempts[cell] += 1
+                    print(f"!! cell {cell.cell_id} attempt "
+                          f"{attempts[cell] - 1} failed ({error}); "
+                          f"resubmitting", file=sys.stderr)
+                    pending[pool.submit(_cell_worker, cell, scale.name,
+                                        timeout)] = cell
+                else:
+                    settle(CellOutcome(cell, status, duration, error,
+                                       attempts[cell]))

@@ -22,6 +22,7 @@ from ..linalg.bicg import bicg, bicgstab
 from ..linalg.cg import conjugate_gradient
 from ..scaling.power_of_two import scale_to_inf_norm
 from .common import ExperimentResult, suite_systems
+from .registry import experiment
 
 __all__ = ["run", "DEFAULT_MATRICES"]
 
@@ -35,9 +36,18 @@ def _cg_with_peaks(ctx, A, b, max_iterations):
     return res
 
 
-def run(scale: RunScale | None = None, quiet: bool = False,
-        matrices: tuple[str, ...] = DEFAULT_MATRICES) -> ExperimentResult:
+@experiment("ext-bicg", "X3: BiCG iterate growth",
+            artifact="ext_bicg.csv")
+def run(scale: RunScale | None = None, quiet: bool = False
+        ) -> ExperimentResult:
     """Compare iterate dynamic range and convergence: CG vs BiCG(STAB)."""
+    return _run(scale=scale, quiet=quiet)
+
+
+def _run(scale: RunScale | None = None, quiet: bool = False,
+         matrices: tuple[str, ...] = DEFAULT_MATRICES
+         ) -> ExperimentResult:
+    """X3 implementation; *matrices* selects the suite subset."""
     scale = scale or current_scale()
     systems = {spec.name: (A, b) for spec, A, b in suite_systems(scale)}
     cap = scale.cg_max_iterations

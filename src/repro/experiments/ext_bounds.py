@@ -30,15 +30,24 @@ from ..linalg.cholesky import cholesky_factor
 from ..linalg.norms import factorization_backward_error
 from ..scaling.diagonal_mean import scale_by_diagonal_mean
 from .common import ExperimentResult, suite_systems
+from .registry import experiment
 
 __all__ = ["run", "BOUND_FORMATS"]
 
 BOUND_FORMATS = ("fp16", "posit16es1", "posit16es2")
 
 
-def run(scale: RunScale | None = None, quiet: bool = False,
-        matrices: tuple[str, ...] | None = None) -> ExperimentResult:
+@experiment("ext-bounds", "X11: error bounds with posit-aware epsilon",
+            artifact="ext_bounds.csv")
+def run(scale: RunScale | None = None, quiet: bool = False
+        ) -> ExperimentResult:
     """Check bound soundness/quality over the rescaled suite."""
+    return _run(scale=scale, quiet=quiet)
+
+
+def _run(scale: RunScale | None = None, quiet: bool = False,
+         matrices: tuple[str, ...] | None = None) -> ExperimentResult:
+    """X11 implementation; *matrices* restricts the suite subset."""
     scale = scale or current_scale()
     systems = [(spec, A, b) for spec, A, b in suite_systems(scale)
                if matrices is None or spec.name in matrices]

@@ -17,6 +17,7 @@ from ..config import RunScale, current_scale
 from ..linalg.cg import conjugate_gradient
 from ..scaling.power_of_two import scale_to_inf_norm
 from .common import ExperimentResult, suite_systems
+from .registry import experiment
 
 __all__ = ["run", "TARGET_EXPONENTS", "DEFAULT_MATRICES"]
 
@@ -24,9 +25,18 @@ TARGET_EXPONENTS = (-20, -10, 0, 5, 10, 15, 20, 30, 45)
 DEFAULT_MATRICES = ("662_bus", "nos5", "bcsstk06", "nos2")
 
 
-def run(scale: RunScale | None = None, quiet: bool = False,
-        matrices: tuple[str, ...] = DEFAULT_MATRICES) -> ExperimentResult:
+@experiment("ext-cg-target", "X7: CG rescaling-target sweep",
+            artifact="ext_cg_target.csv")
+def run(scale: RunScale | None = None, quiet: bool = False
+        ) -> ExperimentResult:
     """Sweep the ∞-norm target for Posit(32,2) CG."""
+    return _run(scale=scale, quiet=quiet)
+
+
+def _run(scale: RunScale | None = None, quiet: bool = False,
+         matrices: tuple[str, ...] = DEFAULT_MATRICES
+         ) -> ExperimentResult:
+    """X7 implementation; *matrices* selects the suite subset."""
     scale = scale or current_scale()
     systems = {spec.name: (A, b) for spec, A, b in suite_systems(scale)}
     cap = scale.cg_max_iterations

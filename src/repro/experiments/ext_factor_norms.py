@@ -27,6 +27,7 @@ from ..linalg.norms import two_norm
 from ..linalg.qr import qr_factor
 from ..scaling.diagonal_mean import scale_by_diagonal_mean
 from .common import ExperimentResult, suite_systems
+from .registry import experiment
 
 __all__ = ["run", "DEFAULT_MATRICES"]
 
@@ -50,9 +51,18 @@ def _zone_fraction(M: np.ndarray) -> float:
     return float(np.mean((nz >= lo) & (nz <= hi)))
 
 
-def run(scale: RunScale | None = None, quiet: bool = False,
-        matrices: tuple[str, ...] = DEFAULT_MATRICES) -> ExperimentResult:
+@experiment("ext-factor-norms", "X10: factor-norm identities",
+            artifact="ext_factor_norms.csv")
+def run(scale: RunScale | None = None, quiet: bool = False
+        ) -> ExperimentResult:
     """Measure ‖R‖/‖A‖ for QR, ‖R‖/√‖A‖ for Cholesky, and scale drift."""
+    return _run(scale=scale, quiet=quiet)
+
+
+def _run(scale: RunScale | None = None, quiet: bool = False,
+         matrices: tuple[str, ...] = DEFAULT_MATRICES
+         ) -> ExperimentResult:
+    """X10 implementation; *matrices* selects the suite subset."""
     scale = scale or current_scale()
     systems = {spec.name: (A, b) for spec, A, b in suite_systems(scale)}
     ctx = FPContext("fp64")  # the identities are exact-arithmetic claims

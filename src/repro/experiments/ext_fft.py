@@ -21,6 +21,7 @@ from ..arith.fft import fft_roundtrip_error
 from ..config import RunScale, current_scale
 from ..scaling.power_of_two import nearest_power_of_two
 from .common import ExperimentResult
+from .registry import experiment
 
 __all__ = ["run", "FFT_FORMATS"]
 
@@ -38,9 +39,16 @@ def _signals(n: int, rng: np.random.Generator) -> dict[str, np.ndarray]:
     }
 
 
-def run(scale: RunScale | None = None, quiet: bool = False,
-        n: int = 256, seed: int = 7) -> ExperimentResult:
+@experiment("ext-fft", "X2: FFT accuracy", artifact="ext_fft.csv")
+def run(scale: RunScale | None = None, quiet: bool = False
+        ) -> ExperimentResult:
     """Round-trip FFT error per format, raw and rescaled signals."""
+    return _run(scale=scale, quiet=quiet)
+
+
+def _run(scale: RunScale | None = None, quiet: bool = False,
+         n: int = 256, seed: int = 7) -> ExperimentResult:
+    """X2 implementation; knobs for signal length and seed."""
     scale = scale or current_scale()
     rng = np.random.default_rng(seed)
     signals = _signals(n, rng)

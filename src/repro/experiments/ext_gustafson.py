@@ -28,6 +28,7 @@ from ..errors import FactorizationError
 from ..linalg.lu import lu_factor, lu_solve
 from ..posit.codec import encode, decode_float, posit_config
 from .common import ExperimentResult
+from .registry import experiment
 
 __all__ = ["run"]
 
@@ -66,10 +67,18 @@ def _solve_with_refinement(fmt_name: str, A: np.ndarray, b: np.ndarray,
     return x
 
 
-def run(scale: RunScale | None = None, quiet: bool = False,
-        n: int = 24, trials: int = 3, seed: int = 1717
+@experiment("ext-gustafson", "X6: Gustafson's original experiment",
+            artifact="ext_gustafson.csv")
+def run(scale: RunScale | None = None, quiet: bool = False
         ) -> ExperimentResult:
     """Gustafson's protocol on [0,1) matrices, then shifted out of zone."""
+    return _run(scale=scale, quiet=quiet)
+
+
+def _run(scale: RunScale | None = None, quiet: bool = False,
+         n: int = 24, trials: int = 3, seed: int = 1717
+         ) -> ExperimentResult:
+    """X6 implementation; knobs for system size, trials and seed."""
     scale = scale or current_scale()
     rng = np.random.default_rng(seed)
 

@@ -26,6 +26,7 @@ from ..config import RunScale, current_scale
 from ..linalg.cg import conjugate_gradient
 from ..scaling.power_of_two import scale_to_inf_norm
 from .common import ExperimentResult, suite_systems
+from .registry import experiment
 
 __all__ = ["run", "DEFAULT_MATRICES"]
 
@@ -33,9 +34,18 @@ DEFAULT_MATRICES = ("662_bus", "lund_a", "nos1", "bcsstk06",
                     "bcsstk08", "nos2")
 
 
-def run(scale: RunScale | None = None, quiet: bool = False,
-        matrices: tuple[str, ...] = DEFAULT_MATRICES) -> ExperimentResult:
+@experiment("ext-jacobi", "X9: Jacobi vs static rescaling",
+            artifact="ext_jacobi.csv")
+def run(scale: RunScale | None = None, quiet: bool = False
+        ) -> ExperimentResult:
     """Compare static rescaling against Jacobi preconditioning."""
+    return _run(scale=scale, quiet=quiet)
+
+
+def _run(scale: RunScale | None = None, quiet: bool = False,
+         matrices: tuple[str, ...] = DEFAULT_MATRICES
+         ) -> ExperimentResult:
+    """X9 implementation; *matrices* selects the suite subset."""
     scale = scale or current_scale()
     systems = {spec.name: (A, b) for spec, A, b in suite_systems(scale)}
     cap = scale.cg_max_iterations

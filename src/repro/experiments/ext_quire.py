@@ -27,6 +27,7 @@ from ..config import RunScale, current_scale
 from ..formats.registry import get_format
 from ..posit.quire import fused_dot_float
 from .common import ExperimentResult
+from .registry import experiment
 
 __all__ = ["run"]
 
@@ -44,10 +45,17 @@ def _rel_err(approx: float, exact: Fraction) -> float:
     return float(abs(Fraction(approx) - exact) / abs(exact))
 
 
-def run(scale: RunScale | None = None, quiet: bool = False,
-        lengths: tuple[int, ...] = (16, 64, 256, 1024),
-        trials: int = 5, seed: int = 2020) -> ExperimentResult:
+@experiment("ext-quire", "X1: quire ablation", artifact="ext_quire.csv")
+def run(scale: RunScale | None = None, quiet: bool = False
+        ) -> ExperimentResult:
     """Compare fused vs per-op-rounded dot products, posit vs float."""
+    return _run(scale=scale, quiet=quiet)
+
+
+def _run(scale: RunScale | None = None, quiet: bool = False,
+         lengths: tuple[int, ...] = (16, 64, 256, 1024),
+         trials: int = 5, seed: int = 2020) -> ExperimentResult:
+    """X1 implementation; knobs for vector lengths, trials and seed."""
     scale = scale or current_scale()
     rng = np.random.default_rng(seed)
     posit_fmt = get_format("posit32es2")

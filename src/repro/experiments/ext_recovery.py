@@ -27,6 +27,7 @@ from ..analysis.reporting import format_table, write_csv
 from ..config import RunScale, current_scale
 from ..resilience.recovery import RecoveryPolicy, cholesky_with_recovery
 from .common import ExperimentResult, suite_systems
+from .registry import experiment
 
 __all__ = ["run", "RECOVERY_FORMATS"]
 
@@ -34,10 +35,18 @@ __all__ = ["run", "RECOVERY_FORMATS"]
 RECOVERY_FORMATS = ("fp16", "posit16es1")
 
 
-def run(scale: RunScale | None = None, quiet: bool = False,
-        formats: tuple[str, ...] = RECOVERY_FORMATS,
-        matrices: tuple[str, ...] | None = None) -> ExperimentResult:
+@experiment("ext-recovery", "X12: Cholesky breakdown-recovery ladder",
+            artifact="ext_recovery.csv")
+def run(scale: RunScale | None = None, quiet: bool = False
+        ) -> ExperimentResult:
     """Run the Cholesky recovery-ladder sweep over the suite."""
+    return _run(scale=scale, quiet=quiet)
+
+
+def _run(scale: RunScale | None = None, quiet: bool = False,
+         formats: tuple[str, ...] = RECOVERY_FORMATS,
+         matrices: tuple[str, ...] | None = None) -> ExperimentResult:
+    """X12 implementation; knobs for start formats and suite subset."""
     scale = scale or current_scale()
     policy = RecoveryPolicy()
 

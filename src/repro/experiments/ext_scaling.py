@@ -26,6 +26,7 @@ from ..linalg.cholesky import cholesky_solve
 from ..scaling.diagonal_mean import (scale_by_diagonal_mean,
                                      scale_by_nonzero_mean)
 from .common import ExperimentResult, suite_systems
+from .registry import experiment
 
 __all__ = ["run", "STRATEGIES"]
 
@@ -56,6 +57,8 @@ def _solve_err(fmt: str, A, b) -> float:
         return np.inf
 
 
+@experiment("ext-scaling", "X4: Cholesky rescaling-strategy ablation",
+            artifact="ext_scaling.csv")
 def run(scale: RunScale | None = None, quiet: bool = False
         ) -> ExperimentResult:
     """Compare Cholesky rescaling strategies across the suite."""

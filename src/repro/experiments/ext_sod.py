@@ -28,6 +28,7 @@ from ..apps.shock_tube import (SOD_CLASSIC, density_error,
 from ..arith.context import FPContext
 from ..config import RunScale, current_scale
 from .common import ExperimentResult
+from .registry import experiment
 
 __all__ = ["run", "SOD_FORMATS"]
 
@@ -42,9 +43,16 @@ def _deviation_from_fp64(rho_fmt: np.ndarray,
                  / np.linalg.norm(rho_ref))
 
 
-def run(scale: RunScale | None = None, quiet: bool = False,
-        n_cells: int = 128, t_final: float = 0.2) -> ExperimentResult:
+@experiment("ext-sod", "X5: Sod shock tube", artifact="ext_sod.csv")
+def run(scale: RunScale | None = None, quiet: bool = False
+        ) -> ExperimentResult:
     """Run the shock-tube format comparison."""
+    return _run(scale=scale, quiet=quiet)
+
+
+def _run(scale: RunScale | None = None, quiet: bool = False,
+         n_cells: int = 128, t_final: float = 0.2) -> ExperimentResult:
+    """X5 implementation; knobs for grid resolution and final time."""
     scale = scale or current_scale()
     problems = {
         "unit-scale Sod": SOD_CLASSIC,

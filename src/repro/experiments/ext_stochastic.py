@@ -26,6 +26,7 @@ from ..formats.registry import get_format
 from ..formats.rounding_modes import StochasticRounding
 from ..linalg.ir import iterative_refinement
 from .common import ExperimentResult, suite_systems
+from .registry import experiment
 
 __all__ = ["run"]
 
@@ -42,9 +43,17 @@ def _drift(fmt, n: int, increment: float) -> float:
     return abs(acc - true) / true
 
 
-def run(scale: RunScale | None = None, quiet: bool = False,
-        n_terms: int = 8192, seed: int = 99) -> ExperimentResult:
+@experiment("ext-stochastic", "X8: stochastic-rounding ablation",
+            artifact="ext_stochastic.csv")
+def run(scale: RunScale | None = None, quiet: bool = False
+        ) -> ExperimentResult:
     """RN vs SR vs posit on accumulation drift and IR."""
+    return _run(scale=scale, quiet=quiet)
+
+
+def _run(scale: RunScale | None = None, quiet: bool = False,
+         n_terms: int = 8192, seed: int = 99) -> ExperimentResult:
+    """X8 implementation; knobs for accumulation length and seed."""
     scale = scale or current_scale()
     sr16 = StochasticRounding(FLOAT16, seed=seed)
     formats = {

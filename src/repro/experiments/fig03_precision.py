@@ -18,6 +18,7 @@ from ..config import RunScale, current_scale
 from ..formats.properties import (digits_of_precision_at, golden_zone,
                                   precision_curve)
 from .common import ExperimentResult
+from .registry import experiment
 
 __all__ = ["run", "FORMATS"]
 
@@ -25,9 +26,17 @@ FORMATS = ("fp16", "fp32", "fp64", "posit16es1", "posit16es2",
            "posit32es1", "posit32es2", "posit32es3")
 
 
-def run(scale: RunScale | None = None, quiet: bool = False,
-        points: int = 97) -> ExperimentResult:
+@experiment("fig3", "Fig. 3: format precision curves",
+            artifact="fig03_precision.csv")
+def run(scale: RunScale | None = None, quiet: bool = False
+        ) -> ExperimentResult:
     """Regenerate the Fig. 3 precision curves."""
+    return _run(scale=scale, quiet=quiet)
+
+
+def _run(scale: RunScale | None = None, quiet: bool = False,
+         points: int = 97) -> ExperimentResult:
+    """Fig. 3 implementation; *points* sets the curve resolution."""
     scale = scale or current_scale()
     decades = np.arange(-12, 13, 2, dtype=np.float64)
     xs = 10.0 ** decades

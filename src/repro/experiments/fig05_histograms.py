@@ -12,10 +12,13 @@ from ..analysis.precision import suite_average_histogram
 from ..analysis.reporting import format_bar_chart, write_csv
 from ..config import RunScale, current_scale
 from .common import ExperimentResult, suite_systems
+from .registry import experiment
 
 __all__ = ["run"]
 
 
+@experiment("fig5", "Fig. 5: entry precision histograms",
+            artifact="fig05_histograms.csv")
 def run(scale: RunScale | None = None, quiet: bool = False
         ) -> ExperimentResult:
     """Regenerate the Fig. 5 histograms for Posit(32,2) and Posit(32,3)."""

@@ -19,7 +19,8 @@ from ..analysis.backward_error import percent_improvement
 from ..analysis.reporting import format_bar_chart, format_table, write_csv
 from ..config import RunScale, current_scale
 from ..matrices.suite import SUITE_ORDER
-from .common import CG_FORMATS, ExperimentResult, run_cg_suite
+from .common import CG_FORMATS, ExperimentResult, cg_cells, run_cg_suite
+from .registry import experiment
 
 __all__ = ["run", "iteration_cell"]
 
@@ -33,11 +34,19 @@ def iteration_cell(result, cap: int) -> str:
     return str(result.iterations)
 
 
-def run(scale: RunScale | None = None, quiet: bool = False,
-        rescaled: bool = False, experiment_id: str = "fig6",
-        title: str = "Fig. 6: CG convergence (native range)"
+@experiment("fig6", "Fig. 6: CG convergence (native range)",
+            artifact="fig6_cg.csv", cells=cg_cells)
+def run(scale: RunScale | None = None, quiet: bool = False
         ) -> ExperimentResult:
-    """Regenerate Fig. 6 (or Fig. 7 when ``rescaled=True``)."""
+    """Regenerate Fig. 6 (native-range CG sweep)."""
+    return _run(scale=scale, quiet=quiet)
+
+
+def _run(scale: RunScale | None = None, quiet: bool = False,
+         rescaled: bool = False, experiment_id: str = "fig6",
+         title: str = "Fig. 6: CG convergence (native range)"
+         ) -> ExperimentResult:
+    """Fig. 6 implementation (Fig. 7 delegates with ``rescaled=True``)."""
     scale = scale or current_scale()
     results = run_cg_suite(scale, rescaled=rescaled)
     cap = scale.cg_max_iterations

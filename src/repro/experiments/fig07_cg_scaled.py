@@ -13,12 +13,17 @@ golden zone.  Paper findings reproduced here:
 from __future__ import annotations
 
 from ..config import RunScale
-from .common import ExperimentResult
-from .fig06_cg import run as _run_cg
+from .common import ExperimentResult, cg_cells
+from .fig06_cg import _run as _run_cg
+from .registry import experiment
 
 __all__ = ["run"]
 
 
+@experiment("fig7",
+            "Fig. 7: CG convergence (rescaled to ||A||_inf ~ 2^10)",
+            artifact="fig7_cg.csv",
+            cells=lambda scale: cg_cells(scale, rescaled=True))
 def run(scale: RunScale | None = None, quiet: bool = False
         ) -> ExperimentResult:
     """Regenerate Fig. 7 (the rescaled CG sweep)."""

@@ -22,7 +22,9 @@ from ..analysis.reporting import (format_bar_chart, format_table,
                                   write_csv)
 from ..config import RunScale, current_scale
 from ..matrices.suite import SUITE_ORDER, matrix_spec
-from .common import CHOLESKY_FORMATS, ExperimentResult, run_cholesky_suite
+from .common import (CHOLESKY_FORMATS, ExperimentResult, cholesky_cells,
+                     run_cholesky_suite)
+from .registry import experiment
 
 __all__ = ["run", "advantage_rows"]
 
@@ -45,11 +47,19 @@ def advantage_rows(results: dict) -> list[dict]:
     return rows
 
 
-def run(scale: RunScale | None = None, quiet: bool = False,
-        rescaled: bool = False, experiment_id: str = "fig8",
-        title: str = "Fig. 8: Cholesky backward error (native range)"
+@experiment("fig8", "Fig. 8: Cholesky backward error (native range)",
+            artifact="fig8_cholesky.csv", cells=cholesky_cells)
+def run(scale: RunScale | None = None, quiet: bool = False
         ) -> ExperimentResult:
-    """Regenerate Fig. 8 (or Fig. 9 when ``rescaled=True``)."""
+    """Regenerate Fig. 8 (native-range Cholesky sweep)."""
+    return _run(scale=scale, quiet=quiet)
+
+
+def _run(scale: RunScale | None = None, quiet: bool = False,
+         rescaled: bool = False, experiment_id: str = "fig8",
+         title: str = "Fig. 8: Cholesky backward error (native range)"
+         ) -> ExperimentResult:
+    """Fig. 8 implementation (Fig. 9 delegates with ``rescaled=True``)."""
     scale = scale or current_scale()
     results = run_cholesky_suite(scale, rescaled=rescaled)
     rows = advantage_rows(results)

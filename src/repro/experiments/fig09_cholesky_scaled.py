@@ -14,12 +14,17 @@ reproduced:
 from __future__ import annotations
 
 from ..config import RunScale
-from .common import ExperimentResult
-from .fig08_cholesky import run as _run_cholesky
+from .common import ExperimentResult, cholesky_cells
+from .fig08_cholesky import _run as _run_cholesky
+from .registry import experiment
 
 __all__ = ["run"]
 
 
+@experiment("fig9",
+            "Fig. 9: Cholesky backward error (Algorithm-3 rescaling)",
+            artifact="fig9_cholesky.csv",
+            cells=lambda scale: cholesky_cells(scale, rescaled=True))
 def run(scale: RunScale | None = None, quiet: bool = False
         ) -> ExperimentResult:
     """Regenerate Fig. 9 (diagonal-mean rescaled Cholesky)."""

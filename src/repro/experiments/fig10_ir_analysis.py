@@ -22,12 +22,16 @@ from ..analysis.backward_error import digits_of_advantage
 from ..analysis.reporting import format_bar_chart, write_csv
 from ..config import RunScale, current_scale
 from ..matrices.suite import SUITE_ORDER
-from .common import ExperimentResult, run_ir_suite
+from .common import ExperimentResult, ir_cells, run_ir_suite
+from .registry import experiment
 from .table03_ir_higham import _pct_diff
 
 __all__ = ["run"]
 
 
+@experiment("fig10", "Fig. 10: IR step reduction and factor accuracy",
+            artifact="fig10_ir_analysis.csv",
+            cells=lambda scale: ir_cells(scale, higham=True))
 def run(scale: RunScale | None = None, quiet: bool = False
         ) -> ExperimentResult:
     """Regenerate Fig. 10 from the Table III runs."""

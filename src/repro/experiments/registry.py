@@ -1,0 +1,210 @@
+"""Experiment registration: the ``@experiment`` decorator and registry.
+
+Experiment modules declare themselves instead of being listed in a
+hand-maintained table::
+
+    from .common import ExperimentResult, cholesky_cells
+    from .registry import experiment
+
+    @experiment("fig8", "Fig. 8: Cholesky backward error (native range)",
+                artifact="fig8_cholesky.csv",
+                cells=lambda scale: cholesky_cells(scale))
+    def run(scale=None, quiet=False) -> ExperimentResult:
+        ...
+
+The decorator enforces the harness protocol — every experiment exposes
+exactly ``run(scale=None, quiet=False)`` (module-specific tuning knobs
+live on private ``_run`` implementations) — and records an
+:class:`ExperimentSpec` carrying the artifact filename and, for the
+suite sweeps, a *cell enumerator*: ``cells(scale)`` returns the
+:class:`~repro.experiments.common.Cell` grid the experiment consumes,
+which is what lets the runner execute, parallelize, cache, time out,
+retry and resume at cell granularity.
+
+The registry itself is a lazily self-populating mapping: first access
+imports every ``fig* / table* / ext_*`` module in this package, whose
+decorators register them.  Nothing else needs to know the module list.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+from dataclasses import dataclass
+from difflib import get_close_matches
+from typing import Callable
+
+from ..config import RunScale
+from .common import Cell, ExperimentResult
+
+__all__ = ["ExperimentSpec", "experiment", "register", "get_experiment",
+           "all_experiments", "load_all", "REGISTRY", "PAPER_ARTIFACTS"]
+
+#: the paper's own artifacts, in paper order (extensions excluded)
+PAPER_ARTIFACTS = ("table1", "fig3", "fig5", "fig6", "fig7", "fig8",
+                   "fig9", "table2", "table3", "fig10")
+
+#: import order for ``list`` display: paper artifacts, then X1..X12
+_MODULE_ORDER = (
+    "table01_suite", "fig03_precision", "fig05_histograms", "fig06_cg",
+    "fig07_cg_scaled", "fig08_cholesky", "fig09_cholesky_scaled",
+    "table02_ir_naive", "table03_ir_higham", "fig10_ir_analysis",
+    "ext_quire", "ext_fft", "ext_bicg", "ext_scaling", "ext_sod",
+    "ext_gustafson", "ext_cg_target", "ext_stochastic", "ext_jacobi",
+    "ext_factor_norms", "ext_bounds", "ext_recovery",
+)
+
+_EXPERIMENT_PREFIXES = ("fig", "table", "ext_")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Everything the runner knows about one registered experiment."""
+
+    id: str
+    title: str
+    runner: Callable[..., ExperimentResult]
+    module: str
+    artifact: str | None = None     # CSV filename under the results dir
+    cells: Callable[[RunScale], tuple[Cell, ...]] | None = None
+    extension: bool = False
+
+    @property
+    def description(self) -> str:
+        return self.title
+
+    def run(self, scale: RunScale | None = None,
+            quiet: bool = False) -> ExperimentResult:
+        return self.runner(scale=scale, quiet=quiet)
+
+    def enumerate_cells(self, scale: RunScale) -> tuple[Cell, ...]:
+        """The experiment's cell grid at *scale* (empty if monolithic)."""
+        return tuple(self.cells(scale)) if self.cells is not None else ()
+
+
+class _Registry(dict):
+    """id → :class:`ExperimentSpec`, self-populating on first access."""
+
+    _loaded = False
+
+    def _ensure(self) -> None:
+        if not self._loaded:
+            load_all()
+
+    def __getitem__(self, key):
+        self._ensure()
+        return super().__getitem__(key)
+
+    def __contains__(self, key):
+        self._ensure()
+        return super().__contains__(key)
+
+    def __iter__(self):
+        self._ensure()
+        return super().__iter__()
+
+    def __len__(self):
+        self._ensure()
+        return super().__len__()
+
+    def get(self, key, default=None):
+        self._ensure()
+        return super().get(key, default)
+
+    def keys(self):
+        self._ensure()
+        return super().keys()
+
+    def values(self):
+        self._ensure()
+        return super().values()
+
+    def items(self):
+        self._ensure()
+        return super().items()
+
+
+REGISTRY: dict[str, ExperimentSpec] = _Registry()
+
+
+def load_all() -> None:
+    """Import every experiment module so decorators register them."""
+    if _Registry._loaded:
+        return
+    _Registry._loaded = True          # set first: registration re-enters
+    package = __name__.rsplit(".", 1)[0]
+    seen = set(_MODULE_ORDER)
+    for mod in _MODULE_ORDER:
+        importlib.import_module(f"{package}.{mod}")
+    # pick up experiment modules added later without touching this list
+    pkg = importlib.import_module(package)
+    for info in pkgutil.iter_modules(pkg.__path__):
+        if (info.name not in seen
+                and info.name.startswith(_EXPERIMENT_PREFIXES)):
+            importlib.import_module(f"{package}.{info.name}")
+    # normalize display order: a test or user importing an experiment
+    # module directly registers it early, which would otherwise leak
+    # into the iteration (and ``list``) order
+    rank = {f"{package}.{m}": i for i, m in enumerate(_MODULE_ORDER)}
+    specs = sorted(REGISTRY.items(),
+                   key=lambda kv: rank.get(kv[1].module, len(rank)))
+    dict.clear(REGISTRY)
+    for key, spec in specs:
+        dict.__setitem__(REGISTRY, key, spec)
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    existing = dict.get(REGISTRY, spec.id)
+    if existing is not None and existing.module != spec.module:
+        raise ValueError(
+            f"experiment id {spec.id!r} already registered by "
+            f"{existing.module} (attempted again by {spec.module})")
+    dict.__setitem__(REGISTRY, spec.id, spec)
+    return spec
+
+
+def _check_protocol(fn: Callable) -> None:
+    """Reject runners that deviate from ``run(scale=None, quiet=False)``."""
+    params = list(inspect.signature(fn).parameters.values())
+    expected = [("scale", None), ("quiet", False)]
+    if (len(params) != len(expected)
+            or any(p.name != name or p.default != default
+                   or p.kind not in (p.POSITIONAL_OR_KEYWORD, p.KEYWORD_ONLY)
+                   for p, (name, default) in zip(params, expected))):
+        raise TypeError(
+            f"{fn.__module__}.{fn.__qualname__} does not follow the "
+            f"experiment protocol: expected exactly "
+            f"run(scale=None, quiet=False), got {inspect.signature(fn)}. "
+            f"Move extra tuning knobs onto a private _run(...) helper.")
+
+
+def experiment(exp_id: str, title: str, *, artifact: str | None = None,
+               cells: Callable[[RunScale], tuple[Cell, ...]] | None = None
+               ) -> Callable:
+    """Register the decorated ``run`` function as experiment *exp_id*."""
+
+    def decorate(fn: Callable[..., ExperimentResult]):
+        _check_protocol(fn)
+        register(ExperimentSpec(
+            id=exp_id, title=title, runner=fn, module=fn.__module__,
+            artifact=artifact, cells=cells,
+            extension=exp_id.startswith("ext-")))
+        return fn
+    return decorate
+
+
+def get_experiment(exp_id: str) -> ExperimentSpec:
+    """Resolve an experiment id, with near-miss help on typos."""
+    try:
+        return REGISTRY[exp_id]
+    except KeyError:
+        near = get_close_matches(exp_id, list(REGISTRY), n=3, cutoff=0.6)
+        hint = f" (did you mean: {', '.join(near)}?)" if near else ""
+        raise KeyError(f"unknown experiment {exp_id!r}{hint}; known: "
+                       f"{sorted(REGISTRY)}") from None
+
+
+def all_experiments() -> tuple[ExperimentSpec, ...]:
+    """Every registered spec, in display order."""
+    return tuple(REGISTRY.values())

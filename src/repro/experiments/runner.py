@@ -1,18 +1,28 @@
 """Command-line entry point: ``python -m repro.experiments <exp> [...]``.
 
-Regenerates any (or every) paper artifact, crash-safely::
+Regenerates any (or every) paper artifact, crash-safely and — since
+PR 2 — cell-parallel and persistently cached::
 
     python -m repro.experiments table1 fig6 --scale small
-    python -m repro.experiments all --scale medium --timeout 600
+    python -m repro.experiments all --scale medium --jobs 4
     python -m repro.experiments all --resume
     repro-experiments list
 
-Crash safety: every experiment runs inside a wall-clock limit
-(``--timeout``), a crash or timeout in one experiment never kills the
-sweep, transient failures are retried with exponential backoff
-(``--retries``), artifacts are written atomically, and a JSON manifest
-(``results/run_manifest.json``) records each outcome so ``--resume``
-skips work that already completed at the same scale.
+A sweep runs in two phases.  **Phase 1** gathers every *cell* — one
+``(solver, matrix, format)`` run — needed by the requested experiments
+(shared cells, e.g. Table III and Fig. 10 consuming the same IR runs,
+are executed once), and drives them through the cell engine: across
+``--jobs N`` worker processes, each cell under the ``--timeout``
+budget with ``--retries``, each outcome recorded in the JSON manifest
+and each payload persisted in the content-addressed result cache under
+``results/.cache/``.  **Phase 2** assembles each experiment's
+table/figure from the (now warm) cache and writes its CSV atomically.
+
+Because cells persist as they finish, a sweep killed at any instant
+loses at most the cells in flight; ``--resume`` (or simply re-running)
+re-executes only unfinished cells, and a fully warm re-run of the
+whole suite is near-instant.  Per-experiment wall-clock is written to
+``results/BENCH_experiments.json`` to track the perf trajectory.
 """
 
 from __future__ import annotations
@@ -23,78 +33,29 @@ import sys
 import time
 from typing import Callable
 
-from ..analysis.reporting import results_dir
-from ..config import SCALES, RunScale, scale_from_env
+from ..analysis.reporting import results_dir, write_json
+from ..config import SCALES, RunScale, jobs_from_env, scale_from_env
 from ..errors import ExperimentTimeout
 from ..resilience.isolation import backoff_delays, time_limit
 from ..resilience.manifest import MANIFEST_NAME, RunManifest
-from .common import ExperimentResult
+from .common import Cell, ExperimentResult
+from .engine import CellOutcome, execute_cells
+from .registry import PAPER_ARTIFACTS, REGISTRY, get_experiment
 
-__all__ = ["EXPERIMENTS", "main", "run_experiment"]
+__all__ = ["EXPERIMENTS", "PAPER_ARTIFACTS", "BENCH_NAME", "main",
+           "run_experiment"]
 
+#: experiment id → :class:`ExperimentSpec` (self-populating registry)
+EXPERIMENTS = REGISTRY
 
-def _lazy(module: str) -> Callable[..., ExperimentResult]:
-    def call(**kwargs) -> ExperimentResult:
-        import importlib
-        mod = importlib.import_module(f"repro.experiments.{module}")
-        return mod.run(**kwargs)
-    return call
-
-
-#: experiment id → (description, runner)
-EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
-    "table1": ("Table I: matrix suite properties", _lazy("table01_suite")),
-    "fig3": ("Fig. 3: format precision curves", _lazy("fig03_precision")),
-    "fig5": ("Fig. 5: entry precision histograms",
-             _lazy("fig05_histograms")),
-    "fig6": ("Fig. 6: CG, native range", _lazy("fig06_cg")),
-    "fig7": ("Fig. 7: CG, rescaled", _lazy("fig07_cg_scaled")),
-    "fig8": ("Fig. 8: Cholesky, native range", _lazy("fig08_cholesky")),
-    "fig9": ("Fig. 9: Cholesky, Algorithm-3 rescaling",
-             _lazy("fig09_cholesky_scaled")),
-    "table2": ("Table II: naive mixed-precision IR",
-               _lazy("table02_ir_naive")),
-    "table3": ("Table III: IR after Higham rescaling",
-               _lazy("table03_ir_higham")),
-    "fig10": ("Fig. 10: IR step reduction / factor accuracy",
-              _lazy("fig10_ir_analysis")),
-    "ext-quire": ("X1: quire / fused-op ablation", _lazy("ext_quire")),
-    "ext-fft": ("X2: FFT accuracy (future work)", _lazy("ext_fft")),
-    "ext-bicg": ("X3: BiCG iterate growth (future work)",
-                 _lazy("ext_bicg")),
-    "ext-scaling": ("X4: Cholesky rescaling ablation",
-                    _lazy("ext_scaling")),
-    "ext-sod": ("X5: Sod shock tube (future work)", _lazy("ext_sod")),
-    "ext-gustafson": ("X6: Gustafson's original experiment",
-                      _lazy("ext_gustafson")),
-    "ext-cg-target": ("X7: CG rescaling-target sweep",
-                      _lazy("ext_cg_target")),
-    "ext-stochastic": ("X8: stochastic-rounding ablation",
-                       _lazy("ext_stochastic")),
-    "ext-jacobi": ("X9: Jacobi preconditioning vs static rescaling",
-                   _lazy("ext_jacobi")),
-    "ext-factor-norms": ("X10: factor-norm identities (SS VI)",
-                         _lazy("ext_factor_norms")),
-    "ext-bounds": ("X11: error bounds with posit-aware epsilon",
-                   _lazy("ext_bounds")),
-    "ext-recovery": ("X12: Cholesky breakdown-recovery ladder",
-                     _lazy("ext_recovery")),
-}
-
-#: the paper's own artifacts, in paper order (extensions excluded)
-PAPER_ARTIFACTS = ("table1", "fig3", "fig5", "fig6", "fig7", "fig8",
-                   "fig9", "table2", "table3", "fig10")
+#: per-experiment wall-clock sidecar written after every sweep
+BENCH_NAME = "BENCH_experiments.json"
 
 
 def run_experiment(exp_id: str, scale: RunScale | None = None,
                    quiet: bool = False) -> ExperimentResult:
     """Run one experiment by id (programmatic entry point)."""
-    try:
-        _desc, fn = EXPERIMENTS[exp_id]
-    except KeyError:
-        raise KeyError(f"unknown experiment {exp_id!r}; known: "
-                       f"{sorted(EXPERIMENTS)}") from None
-    return fn(scale=scale, quiet=quiet)
+    return get_experiment(exp_id).run(scale=scale, quiet=quiet)
 
 
 def _run_protected(exp_id: str, scale: RunScale, timeout: float | None,
@@ -130,6 +91,46 @@ def _run_protected(exp_id: str, scale: RunScale, timeout: float | None,
             sleep(delay)
 
 
+def _gather_cells(ids: list[str], scale: RunScale
+                  ) -> dict[Cell, list[str]]:
+    """Cell → owning experiment ids, shared cells merged (run once)."""
+    owners: dict[Cell, list[str]] = {}
+    for eid in ids:
+        for cell in get_experiment(eid).enumerate_cells(scale):
+            owners.setdefault(cell, []).append(eid)
+    return owners
+
+
+def _run_cell_phase(owners: dict[Cell, list[str]], scale: RunScale,
+                    manifest: RunManifest, jobs: int,
+                    timeout: float | None, retries: int, backoff: float
+                    ) -> tuple[dict[str, list[str]], dict[str, float],
+                               list[CellOutcome]]:
+    """Execute the gathered cells; returns (failures by experiment,
+    compute-seconds by experiment, all outcomes)."""
+    failures: dict[str, list[str]] = {}
+    compute_s: dict[str, float] = {}
+
+    def record(outcome: CellOutcome) -> None:
+        cell = outcome.cell
+        manifest.record_cell(
+            cell.cell_id, status=outcome.status, scale=scale.name,
+            duration=outcome.duration,
+            experiments=tuple(owners[cell]), error=outcome.error,
+            attempts=outcome.attempts)
+        for eid in owners[cell]:
+            compute_s[eid] = compute_s.get(eid, 0.0) + outcome.duration
+            if not outcome.ok:
+                failures.setdefault(eid, []).append(
+                    f"{cell.cell_id}: {outcome.status}"
+                    + (f" ({outcome.error})" if outcome.error else ""))
+
+    outcomes = execute_cells(
+        list(owners), scale, jobs=jobs, timeout=timeout,
+        retries=retries, backoff=backoff, on_outcome=record)
+    return failures, compute_s, outcomes
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -141,24 +142,30 @@ def main(argv: list[str] | None = None) -> int:
                         default=None,
                         help="workload scale (default: $REPRO_SCALE or "
                              "'small')")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the cell grid "
+                             "(default: $REPRO_JOBS or 1; serial is the "
+                             "bit-for-bit reference path)")
     parser.add_argument("--timeout", type=float, default=None,
                         metavar="SECONDS",
-                        help="wall-clock budget per experiment "
-                             "(default: unlimited)")
+                        help="wall-clock budget per cell and per "
+                             "experiment assembly (default: unlimited)")
     parser.add_argument("--retries", type=int, default=1, metavar="N",
-                        help="retries per crashed experiment (default: 1)")
+                        help="retries per crashed cell/experiment "
+                             "(default: 1)")
     parser.add_argument("--backoff", type=float, default=1.0,
                         metavar="SECONDS",
                         help="initial retry backoff, doubled per retry "
                              "(default: 1.0)")
     parser.add_argument("--resume", action="store_true",
                         help="skip experiments the run manifest records "
-                             "as completed at this scale")
+                             "as completed at this scale (cells are "
+                             "always reused from the result cache)")
     args = parser.parse_args(argv)
 
     if args.experiments == ["list"]:
-        for eid, (desc, _fn) in EXPERIMENTS.items():
-            print(f"{eid:12s} {desc}")
+        for eid, spec in EXPERIMENTS.items():
+            print(f"{eid:12s} {spec.title}")
         return 0
 
     ids: list[str] = []
@@ -174,30 +181,87 @@ def main(argv: list[str] | None = None) -> int:
                   f"(choose from: {', '.join(EXPERIMENTS)}, all, "
                   f"everything, list)", file=sys.stderr)
             return 2
+    ids = list(dict.fromkeys(ids))      # dedup, keep request order
 
     try:
         scale = SCALES[args.scale] if args.scale else scale_from_env()
+        jobs = args.jobs if args.jobs is not None else jobs_from_env()
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if jobs < 1:
+        print(f"error: --jobs {jobs} must be >= 1", file=sys.stderr)
+        return 2
 
+    sweep_t0 = time.time()
     manifest = RunManifest(os.path.join(results_dir(),
                                         MANIFEST_NAME)).load()
+
+    skipped = set()
+    if args.resume:
+        for eid in ids:
+            if manifest.is_complete(eid, scale.name):
+                skipped.add(eid)
+
+    # ---- Phase 1: the cell grid (shared, parallel, cached) ------------
+    owners = _gather_cells([e for e in ids if e not in skipped], scale)
+    cell_failures: dict[str, list[str]] = {}
+    compute_s: dict[str, float] = {}
+    outcomes: list[CellOutcome] = []
+    if owners:
+        print(f"===== cell grid: {len(owners)} cells for "
+              f"{len(ids) - len(skipped)} experiment(s) at scale "
+              f"{scale.name!r}, jobs={jobs}")
+        cell_failures, compute_s, outcomes = _run_cell_phase(
+            owners, scale, manifest, jobs, args.timeout, args.retries,
+            args.backoff)
+        cached = sum(1 for o in outcomes if o.status == "cached")
+        computed = sum(1 for o in outcomes if o.status == "completed")
+        bad = len(outcomes) - cached - computed
+        print(f"===== cell grid done: {computed} computed, "
+              f"{cached} cached" + (f", {bad} FAILED" if bad else ""))
+
+    # ---- Phase 2: assemble each artifact from the warm cache ----------
     failures: list[tuple[str, str]] = []
+    bench: dict[str, dict] = {}
     for eid in ids:
-        if args.resume and manifest.is_complete(eid, scale.name):
+        spec = get_experiment(eid)
+        n_cells = len(spec.enumerate_cells(scale))
+        if eid in skipped:
             print(f"===== {eid} already completed at scale "
                   f"{scale.name!r}; skipping (--resume)")
             continue
         t0 = time.time()
-        print(f"\n===== {eid} ({EXPERIMENTS[eid][0]}) =====")
+        print(f"\n===== {eid} ({spec.title}) =====")
+        if eid in cell_failures:
+            why = "; ".join(cell_failures[eid][:3])
+            more = len(cell_failures[eid]) - 3
+            if more > 0:
+                why += f"; +{more} more"
+            error = f"{len(cell_failures[eid])} cell(s) failed: {why}"
+            manifest.record(eid, status="failed", scale=scale.name,
+                            duration=time.time() - t0, error=error,
+                            extra={"cells": n_cells,
+                                   "cell_compute_s":
+                                       round(compute_s.get(eid, 0.0), 3)})
+            failures.append((eid, f"failed: {error}"))
+            print(f"----- {eid} failed: {error}", file=sys.stderr)
+            bench[eid] = {"status": "failed",
+                          "duration_s": round(time.time() - t0, 3)}
+            continue
         status, result, error, attempts = _run_protected(
             eid, scale, args.timeout, args.retries, args.backoff)
         dt = time.time() - t0
         csv_path = result.csv_path if result is not None else None
-        manifest.record(eid, status=status, scale=scale.name,
-                        duration=dt, csv_path=csv_path, error=error,
-                        attempts=attempts)
+        manifest.record(
+            eid, status=status, scale=scale.name, duration=dt,
+            csv_path=csv_path, error=error, attempts=attempts,
+            extra={"cells": n_cells,
+                   "cell_compute_s": round(compute_s.get(eid, 0.0), 3)})
+        bench[eid] = {"status": status, "duration_s": round(dt, 3),
+                      "cells": n_cells,
+                      "cell_compute_s": round(compute_s.get(eid, 0.0),
+                                              3)}
         if status == "completed":
             where = f" [csv: {csv_path}]" if csv_path else ""
             print(f"----- {eid} done in {dt:.1f}s{where}")
@@ -206,6 +270,26 @@ def main(argv: list[str] | None = None) -> int:
             print(f"----- {eid} {status} after {dt:.1f}s "
                   f"({attempts} attempt{'s' if attempts != 1 else ''}): "
                   f"{error}", file=sys.stderr)
+
+    total_s = time.time() - sweep_t0
+    if bench:
+        write_json(BENCH_NAME, {
+            "version": 1,
+            "scale": scale.name,
+            "jobs": jobs,
+            "total_s": round(total_s, 3),
+            "cells": {
+                "total": len(outcomes),
+                "computed": sum(1 for o in outcomes
+                                if o.status == "completed"),
+                "cached": sum(1 for o in outcomes
+                              if o.status == "cached"),
+                "failed": sum(1 for o in outcomes if not o.ok),
+                "compute_s": round(sum(o.duration for o in outcomes),
+                                   3),
+            },
+            "experiments": bench,
+        })
 
     if failures:
         print(f"\n{len(failures)}/{len(ids)} experiments did not "

@@ -15,10 +15,13 @@ from ..analysis.reporting import format_table, write_csv
 from ..config import RunScale, current_scale
 from ..linalg.norms import condition_number_2, two_norm
 from .common import ExperimentResult, suite_systems
+from .registry import experiment
 
 __all__ = ["run"]
 
 
+@experiment("table1", "Table I: matrix suite",
+            artifact="table01_suite.csv")
 def run(scale: RunScale | None = None, quiet: bool = False
         ) -> ExperimentResult:
     """Regenerate Table I (paper targets vs measured twin properties)."""

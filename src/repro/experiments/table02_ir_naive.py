@@ -14,7 +14,8 @@ from __future__ import annotations
 from ..analysis.reporting import format_table, write_csv
 from ..config import RunScale, current_scale
 from ..matrices.suite import SUITE_ORDER, TABLE2_ROWS
-from .common import ExperimentResult, IR_FORMATS, run_ir_suite
+from .common import ExperimentResult, IR_FORMATS, ir_cells, run_ir_suite
+from .registry import experiment
 
 __all__ = ["run", "solved_sets"]
 
@@ -39,15 +40,17 @@ def solved_sets(results: dict) -> dict[str, set[str]]:
     return out
 
 
-def run(scale: RunScale | None = None, quiet: bool = False,
-        higham: bool = False, experiment_id: str = "table2",
-        title: str = "Table II: naive mixed-precision IR",
-        paper_rows: dict | None = None) -> ExperimentResult:
-    """Regenerate Table II (or Table III via ``higham=True``)."""
+@experiment("table2", "Table II: naive mixed-precision IR",
+            artifact="table2_ir.csv", cells=ir_cells)
+def run(scale: RunScale | None = None, quiet: bool = False
+        ) -> ExperimentResult:
+    """Regenerate Table II (out-of-the-box mixed-precision IR)."""
+    experiment_id = "table2"
+    title = "Table II: naive mixed-precision IR"
     scale = scale or current_scale()
-    results = run_ir_suite(scale, higham=higham)
+    results = run_ir_suite(scale, higham=False)
     cap = scale.ir_max_iterations
-    paper = PAPER_TABLE2 if paper_rows is None else paper_rows
+    paper = PAPER_TABLE2
 
     rows = []
     csv_rows = []

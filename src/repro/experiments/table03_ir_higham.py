@@ -18,7 +18,9 @@ from ..analysis.backward_error import percent_improvement
 from ..analysis.reporting import format_table, write_csv
 from ..config import RunScale, current_scale
 from ..matrices.suite import SUITE_ORDER, TABLE3_ROWS
-from .common import ExperimentResult, IR_FORMATS, run_ir_suite
+from .common import (ExperimentResult, IR_FORMATS, ir_cells,
+                     run_ir_suite)
+from .registry import experiment
 from .table02_ir_naive import solved_sets
 
 __all__ = ["run", "PAPER_TABLE3"]
@@ -57,6 +59,9 @@ def _pct_diff(per: dict, cap: int) -> float:
     return percent_improvement(ref, best)
 
 
+@experiment("table3", "Table III: IR after Higham rescaling",
+            artifact="table3_ir_higham.csv",
+            cells=lambda scale: ir_cells(scale, higham=True))
 def run(scale: RunScale | None = None, quiet: bool = False
         ) -> ExperimentResult:
     """Regenerate Table III."""

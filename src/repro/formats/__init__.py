@@ -13,14 +13,15 @@ from .posit_format import (POSIT8_0, POSIT16_1, POSIT16_2, POSIT32_2,
                            POSIT32_3, PositFormat)
 from .properties import (digits_of_precision_at, format_summary, golden_zone,
                          precision_curve, spacing_at)
-from .registry import available_formats, get_format, register_format
+from .registry import (FormatInfo, available_formats, get_format,
+                       register_format)
 from .rounding_modes import DirectedIEEEFormat, StochasticRounding
 
 __all__ = [
     "NumberFormat", "NativeIEEEFormat", "IEEEFormat", "PositFormat",
     "FLOAT16", "FLOAT32", "FLOAT64", "BFLOAT16", "FP8_E4M3", "FP8_E5M2",
     "POSIT8_0", "POSIT16_1", "POSIT16_2", "POSIT32_2", "POSIT32_3",
-    "get_format", "register_format", "available_formats",
+    "get_format", "register_format", "available_formats", "FormatInfo",
     "spacing_at", "digits_of_precision_at", "precision_curve",
     "golden_zone", "format_summary",
     "DirectedIEEEFormat", "StochasticRounding",

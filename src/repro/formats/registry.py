@@ -1,14 +1,24 @@
 """Name → format registry.
 
 Experiments refer to formats by short names (``"fp32"``,
-``"posit16es2"``); :func:`get_format` resolves them, with a dynamic
-fallback that parses ``positNesE`` / ``ieeeNpPeW`` patterns so users can
-ask for arbitrary widths without pre-registration.
+``"posit16es2"``); :func:`get_format` resolves them case-insensitively,
+accepting the common spellings from the IEEE-754 and posit literature
+as aliases (``"binary32"``, ``"single"``, ``"half"``, ``"double"``,
+``"p32e2"``, …).  A dynamic fallback parses ``positNesE`` / ``pNeE`` /
+``ieeeNpPeW`` patterns so users can ask for arbitrary widths without
+pre-registration.  Unresolvable names raise
+:class:`~repro.errors.UnknownFormatError` listing the closest known
+spellings.
+
+:func:`available_formats` reports every canonical format together with
+its registered aliases as :class:`FormatInfo` records.
 """
 
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass
+from difflib import get_close_matches
 
 from ..errors import UnknownFormatError
 from .base import NumberFormat
@@ -17,50 +27,91 @@ from .native import FLOAT16, FLOAT32, FLOAT64
 from .posit_format import (POSIT8_0, POSIT16_1, POSIT16_2, POSIT32_2,
                            POSIT32_3, PositFormat)
 
-__all__ = ["get_format", "register_format", "available_formats"]
+__all__ = ["FormatInfo", "get_format", "register_format",
+           "available_formats"]
 
-_REGISTRY: dict[str, NumberFormat] = {}
+#: canonical (lowercased ``fmt.name``) → format
+_FORMATS: dict[str, NumberFormat] = {}
+#: alias (lowercased) → canonical key in ``_FORMATS``
+_ALIASES: dict[str, str] = {}
+
+
+@dataclass(frozen=True)
+class FormatInfo:
+    """One registry entry: the format plus every name that reaches it."""
+
+    canonical: str
+    format: NumberFormat
+    aliases: tuple[str, ...] = ()
+
+    @property
+    def name(self) -> str:
+        return self.canonical
 
 
 def register_format(fmt: NumberFormat, *aliases: str) -> NumberFormat:
-    """Register *fmt* under its name and any extra *aliases*."""
-    for key in (fmt.name, *aliases):
-        _REGISTRY[key.lower()] = fmt
+    """Register *fmt* under its canonical name and any extra *aliases*."""
+    canonical = fmt.name.lower()
+    _FORMATS[canonical] = fmt
+    for alias in aliases:
+        _ALIASES[alias.lower()] = canonical
     return fmt
 
 
-for _fmt, _alias in [
-    (FLOAT16, "float16"), (FLOAT32, "float32"), (FLOAT64, "float64"),
-    (BFLOAT16, "bfloat16"), (FP8_E4M3, "e4m3"), (FP8_E5M2, "e5m2"),
-    (POSIT8_0, "posit8"), (POSIT16_1, None), (POSIT16_2, "posit16"),
-    (POSIT32_2, "posit32"), (POSIT32_3, None),
+for _fmt, _aliases in [
+    (FLOAT16, ("float16", "half", "binary16", "ieee16")),
+    (FLOAT32, ("float32", "single", "binary32", "ieee32")),
+    (FLOAT64, ("float64", "double", "binary64", "ieee64")),
+    (BFLOAT16, ("bfloat16", "bf16")),
+    (FP8_E4M3, ("e4m3",)),
+    (FP8_E5M2, ("e5m2",)),
+    (POSIT8_0, ("posit8", "p8e0")),
+    (POSIT16_1, ("p16e1",)),
+    (POSIT16_2, ("posit16", "p16e2")),
+    (POSIT32_2, ("posit32", "p32e2")),
+    (POSIT32_3, ("p32e3",)),
 ]:
-    register_format(_fmt, *([_alias] if _alias else []))
+    register_format(_fmt, *_aliases)
 
 _POSIT_RE = re.compile(r"^posit(\d+)es(\d+)$")
+_POSIT_SHORT_RE = re.compile(r"^p(\d+)e(\d+)$")
 _IEEE_RE = re.compile(r"^ieee(\d+)p(\d+)e(\d+)$")
 
 
 def get_format(name: str | NumberFormat) -> NumberFormat:
     """Resolve a format by name (case-insensitive) or pass one through.
 
-    Raises :class:`UnknownFormatError` for unresolvable names.
+    Raises :class:`UnknownFormatError` for unresolvable names, listing
+    near-miss spellings when there are any.
     """
     if isinstance(name, NumberFormat):
         return name
     key = name.strip().lower()
-    if key in _REGISTRY:
-        return _REGISTRY[key]
-    m = _POSIT_RE.match(key)
+    if key in _FORMATS:
+        return _FORMATS[key]
+    if key in _ALIASES:
+        return _FORMATS[_ALIASES[key]]
+    m = _POSIT_RE.match(key) or _POSIT_SHORT_RE.match(key)
     if m:
-        return register_format(PositFormat(int(m.group(1)), int(m.group(2))))
+        return register_format(PositFormat(int(m.group(1)),
+                                           int(m.group(2))))
     m = _IEEE_RE.match(key)
     if m:
-        return register_format(IEEEFormat(int(m.group(2)), int(m.group(3))))
+        return register_format(IEEEFormat(int(m.group(2)),
+                                          int(m.group(3))))
+    known = sorted(set(_FORMATS) | set(_ALIASES))
+    near = get_close_matches(key, known, n=3, cutoff=0.6)
+    hint = f" (did you mean: {', '.join(near)}?)" if near else ""
     raise UnknownFormatError(
-        f"unknown number format {name!r}; known: {sorted(_REGISTRY)}")
+        f"unknown number format {name!r}{hint}; known: {known}")
 
 
-def available_formats() -> dict[str, NumberFormat]:
-    """A copy of the registry (name → format)."""
-    return dict(_REGISTRY)
+def available_formats() -> dict[str, FormatInfo]:
+    """Canonical name → :class:`FormatInfo` (format plus its aliases)."""
+    return {
+        canonical: FormatInfo(
+            canonical=canonical, format=fmt,
+            aliases=tuple(sorted(a for a, c in _ALIASES.items()
+                                 if c == canonical)))
+        for canonical, fmt in _FORMATS.items()
+    }

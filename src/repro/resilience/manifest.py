@@ -7,6 +7,14 @@ is both syntactically valid and consistent with the artifacts on disk
 entry that points at them).  ``--resume`` then skips any experiment
 whose entry says ``completed`` at the same scale and whose artifact
 still exists.
+
+Since the cell engine (PR 2) the manifest also records one entry per
+experiment **cell** — a single ``(solver, matrix, format)`` run —
+under ``cells``, with its wall-clock, owning experiments and outcome.
+That is what makes ``--timeout`` / ``--retries`` / ``--resume``
+operate at cell granularity: a sweep killed mid-experiment keeps every
+finished cell (they are persisted by the result cache as they
+complete) and a resumed run re-executes only the unfinished ones.
 """
 
 from __future__ import annotations
@@ -23,15 +31,16 @@ __all__ = ["RunManifest", "MANIFEST_NAME"]
 #: default manifest filename inside the results directory
 MANIFEST_NAME = "run_manifest.json"
 
-_VERSION = 1
+_VERSION = 2
 
 
 class RunManifest:
-    """Per-experiment completion records, persisted atomically."""
+    """Per-experiment and per-cell completion records, atomic on disk."""
 
     def __init__(self, path: str):
         self.path = path
-        self.data: dict[str, Any] = {"version": _VERSION, "runs": {}}
+        self.data: dict[str, Any] = {"version": _VERSION, "runs": {},
+                                     "cells": {}}
 
     # -- persistence -----------------------------------------------------
     def load(self) -> "RunManifest":
@@ -47,7 +56,10 @@ class RunManifest:
         except (OSError, ValueError):
             return self
         if isinstance(data, dict) and isinstance(data.get("runs"), dict):
-            self.data = {"version": _VERSION, "runs": dict(data["runs"])}
+            cells = data.get("cells")
+            self.data = {"version": _VERSION, "runs": dict(data["runs"]),
+                         "cells": (dict(cells) if isinstance(cells, dict)
+                                   else {})}
         return self
 
     def save(self) -> str:
@@ -61,9 +73,10 @@ class RunManifest:
 
     def record(self, experiment_id: str, *, status: str, scale: str,
                duration: float, csv_path: str | None = None,
-               error: str | None = None, attempts: int = 1) -> None:
+               error: str | None = None, attempts: int = 1,
+               extra: dict | None = None) -> None:
         """Record one experiment outcome and persist immediately."""
-        self.data["runs"][experiment_id] = {
+        entry = {
             "status": status,            # completed | failed | timeout
             "scale": scale,
             "duration_s": round(float(duration), 3),
@@ -72,7 +85,38 @@ class RunManifest:
             "attempts": int(attempts),
             "finished_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         }
+        if extra:
+            entry.update(extra)
+        self.data["runs"][experiment_id] = entry
         self.save()
+
+    # -- cells -----------------------------------------------------------
+    def get_cell(self, cell_id: str) -> dict | None:
+        entry = self.data["cells"].get(cell_id)
+        return dict(entry) if isinstance(entry, dict) else None
+
+    def record_cell(self, cell_id: str, *, status: str, scale: str,
+                    duration: float, experiments: tuple[str, ...] = (),
+                    error: str | None = None, attempts: int = 1,
+                    save: bool = True) -> None:
+        """Record one cell outcome; persists immediately by default."""
+        self.data["cells"][cell_id] = {
+            "status": status,        # completed | cached | failed | timeout
+            "scale": scale,
+            "duration_s": round(float(duration), 3),
+            "experiments": sorted(experiments),
+            "error": error,
+            "attempts": int(attempts),
+            "finished_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        }
+        if save:
+            self.save()
+
+    def is_cell_complete(self, cell_id: str, scale: str) -> bool:
+        entry = self.get_cell(cell_id)
+        return bool(entry and entry.get("status") in ("completed",
+                                                      "cached")
+                    and entry.get("scale") == scale)
 
     def is_complete(self, experiment_id: str, scale: str) -> bool:
         """True when the experiment finished at *scale* and its artifact

@@ -136,7 +136,7 @@ class TestIRPredictor:
     def test_x11_experiment(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
         from repro.config import SCALES
-        from repro.experiments.ext_bounds import run
+        from repro.experiments.ext_bounds import _run as run
         res = run(scale=SCALES["small"], quiet=True,
                   matrices=("662_bus", "lund_b", "bcsstk02"))
         assert res.data["sound"] == res.data["total"]

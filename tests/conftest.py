@@ -24,6 +24,20 @@ except ImportError:  # pragma: no cover
     pass
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _results_dir(tmp_path_factory):
+    """Keep test artifacts (CSVs, result cache) out of the repo tree.
+
+    Individual tests still override with their own tmp_path via
+    monkeypatch; this only changes the default for tests that call
+    suite helpers directly.
+    """
+    if "REPRO_RESULTS_DIR" not in os.environ:
+        os.environ["REPRO_RESULTS_DIR"] = str(
+            tmp_path_factory.mktemp("test-results"))
+    yield
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A fresh deterministic generator per test."""

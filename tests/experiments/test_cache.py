@@ -1,0 +1,151 @@
+"""Persistent cell-result cache: hits, misses, invalidation, damage."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.config import SCALES
+from repro.experiments import common
+from repro.experiments.cache import (CACHE_DIR_NAME, ResultCache,
+                                     cache_enabled, clear_result_cache,
+                                     code_fingerprint, result_cache)
+from repro.experiments.common import Cell, cell_value, clear_cache
+
+
+@pytest.fixture(autouse=True)
+def _isolated(tmp_path, monkeypatch):
+    """Fresh results dir and empty in-process memo for every test."""
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    clear_cache()
+    yield tmp_path
+    clear_cache()
+
+
+class TestResultCache:
+    def test_miss_then_put_then_hit(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"), fingerprint="f1")
+        assert cache.get("cg:a:fp32", "small") == (False, None)
+        cache.put("cg:a:fp32", "small", {"x": 1.5})
+        hit, value = cache.get("cg:a:fp32", "small")
+        assert hit and value == {"x": 1.5}
+        assert cache.contains("cg:a:fp32", "small")
+
+    def test_keys_are_distinct(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"), fingerprint="f1")
+        cache.put("cg:a:fp32", "small", 1)
+        assert not cache.contains("cg:a:fp32", "medium")
+        assert not cache.contains("cg:a:fp64", "small")
+
+    def test_fingerprint_invalidates(self, tmp_path):
+        root = str(tmp_path / "c")
+        ResultCache(root, fingerprint="before").put("cg:a:fp32",
+                                                    "small", 7)
+        after = ResultCache(root, fingerprint="after")
+        assert not after.contains("cg:a:fp32", "small")
+        assert after.get("cg:a:fp32", "small") == (False, None)
+        # the old entry is still there for the old fingerprint
+        assert ResultCache(root, fingerprint="before").get(
+            "cg:a:fp32", "small") == (True, 7)
+
+    def test_corrupt_entry_is_discarded_not_fatal(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"), fingerprint="f1")
+        cache.put("cg:a:fp32", "small", 7)
+        path = cache.entry_path("cg:a:fp32", "small")
+        with open(path, "wb") as fh:
+            fh.write(b"\x00not a pickle at all")
+        assert cache.get("cg:a:fp32", "small") == (False, None)
+        assert not os.path.exists(path)  # damaged entry unlinked
+
+    def test_truncated_entry_is_discarded(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"), fingerprint="f1")
+        cache.put("cg:a:fp32", "small", list(range(100)))
+        path = cache.entry_path("cg:a:fp32", "small")
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        with open(path, "wb") as fh:
+            fh.write(blob[: len(blob) // 2])
+        assert cache.get("cg:a:fp32", "small") == (False, None)
+
+    def test_mismatched_payload_is_discarded(self, tmp_path):
+        # a valid pickle whose recorded cell id doesn't match its key
+        cache = ResultCache(str(tmp_path / "c"), fingerprint="f1")
+        path = cache.entry_path("cg:a:fp32", "small")
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as fh:
+            pickle.dump({"cell": "cg:OTHER:fp32", "scale": "small",
+                         "value": 7}, fh)
+        assert cache.get("cg:a:fp32", "small") == (False, None)
+        assert not os.path.exists(path)
+
+    def test_clear_result_cache(self, _isolated):
+        cache = result_cache()
+        cache.put("cg:a:fp32", "small", 1)
+        cache.put("cg:b:fp32", "small", 2)
+        assert clear_result_cache() == 2
+        assert not cache.contains("cg:a:fp32", "small")
+
+    def test_code_fingerprint_stable(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 64
+
+
+class TestCacheEnv:
+    def test_enabled_by_default(self):
+        assert cache_enabled()
+
+    @pytest.mark.parametrize("value", ["off", "0", "no", "FALSE",
+                                       " disabled "])
+    def test_opt_out_spellings(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_CACHE", value)
+        assert not cache_enabled()
+
+    def test_off_disables_disk_layer(self, _isolated, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        cell = Cell("chol", "bcsstk02", "fp64", (("rescaled", False),))
+        scale = SCALES["small"]
+        common.store_cell(cell, scale, 0.5)
+        assert common.has_cell(cell, scale)       # memo still works
+        clear_cache()
+        assert not common.has_cell(cell, scale)   # nothing on disk
+        assert not os.path.isdir(str(_isolated / CACHE_DIR_NAME))
+
+
+class TestCellValueLayers:
+    """cell_value resolves memo → disk → compute, refilling upward."""
+
+    @pytest.fixture
+    def counted(self, monkeypatch):
+        calls = []
+
+        def fake_compute(cell, scale):
+            calls.append(cell.cell_id)
+            return {"computed": cell.cell_id}
+        monkeypatch.setattr(common, "compute_cell", fake_compute)
+        return calls
+
+    def test_memo_then_disk_then_compute(self, counted):
+        cell = Cell("cg", "bcsstk02", "fp64")
+        scale = SCALES["small"]
+        a = cell_value(cell, scale)
+        assert counted == [cell.cell_id]
+        # memo hit: same object, no recompute
+        assert cell_value(cell, scale) is a
+        assert counted == [cell.cell_id]
+        # disk hit after the memo is dropped: equal value, no recompute
+        clear_cache()
+        b = cell_value(cell, scale)
+        assert b == a and b is not a
+        assert counted == [cell.cell_id]
+
+    def test_cache_off_recomputes(self, counted, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        cell = Cell("cg", "bcsstk02", "fp64")
+        scale = SCALES["small"]
+        cell_value(cell, scale)
+        clear_cache()
+        cell_value(cell, scale)
+        assert counted == [cell.cell_id] * 2

@@ -1,0 +1,279 @@
+"""Cell engine: serial/pooled execution, retries, cell-level resume."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import SCALES
+from repro.experiments import common, engine
+from repro.experiments.cache import result_cache
+from repro.experiments.common import (Cell, ExperimentResult,
+                                      cell_value, cholesky_cells,
+                                      clear_cache)
+from repro.experiments.engine import execute_cells
+from repro.experiments.registry import ExperimentSpec
+from repro.experiments.runner import main
+
+SMALL = SCALES["small"]
+
+
+@pytest.fixture(autouse=True)
+def _isolated(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    clear_cache()
+    yield tmp_path
+    clear_cache()
+
+
+def _fake_compute(monkeypatch, fn):
+    """Replace the cell payload computation seen by the serial engine."""
+    monkeypatch.setattr(engine, "compute_cell", fn)
+    monkeypatch.setattr(common, "compute_cell", fn)
+
+
+class TestExecuteCellsSerial:
+    def test_completed_then_cached(self, monkeypatch):
+        _fake_compute(monkeypatch, lambda cell, scale: 42)
+        cells = [Cell("cg", "a", "fp32"), Cell("cg", "b", "fp32")]
+        first = execute_cells(cells, SMALL)
+        assert [o.status for o in first] == ["completed", "completed"]
+        assert all(o.ok and o.attempts == 1 for o in first)
+        second = execute_cells(cells, SMALL)
+        assert [o.status for o in second] == ["cached", "cached"]
+        assert all(o.attempts == 0 and o.duration == 0.0
+                   for o in second)
+
+    def test_duplicates_run_once(self, monkeypatch):
+        calls = []
+
+        def fn(cell, scale):
+            calls.append(cell.cell_id)
+            return 1
+        _fake_compute(monkeypatch, fn)
+        cell = Cell("cg", "a", "fp32")
+        outcomes = execute_cells([cell, cell, cell], SMALL)
+        assert len(outcomes) == 1
+        assert calls == [cell.cell_id]
+
+    def test_failure_retried_with_backoff(self, monkeypatch):
+        calls, naps = [], []
+
+        def flaky(cell, scale):
+            calls.append(1)
+            if len(calls) == 1:
+                raise RuntimeError("transient")
+            return 7
+        _fake_compute(monkeypatch, flaky)
+        [outcome] = execute_cells([Cell("cg", "a", "fp32")], SMALL,
+                                  retries=2, backoff=0.5,
+                                  sleep=naps.append)
+        assert outcome.status == "completed"
+        assert outcome.attempts == 2
+        assert naps == [0.5]
+        assert cell_value(Cell("cg", "a", "fp32"), SMALL) == 7
+
+    def test_retries_exhausted_is_failed(self, monkeypatch):
+        def broken(cell, scale):
+            raise ValueError("permanently broken")
+        _fake_compute(monkeypatch, broken)
+        [outcome] = execute_cells([Cell("cg", "a", "fp32")], SMALL,
+                                  retries=1, sleep=lambda _s: None)
+        assert outcome.status == "failed"
+        assert not outcome.ok
+        assert outcome.attempts == 2
+        assert "permanently broken" in outcome.error
+
+    def test_timeout_is_final(self, monkeypatch):
+        import time as _time
+
+        def sleepy(cell, scale):
+            _time.sleep(10.0)
+        _fake_compute(monkeypatch, sleepy)
+        t0 = _time.monotonic()
+        [outcome] = execute_cells([Cell("cg", "a", "fp32")], SMALL,
+                                  timeout=0.2, retries=3,
+                                  sleep=lambda _s: None)
+        assert _time.monotonic() - t0 < 5.0
+        assert outcome.status == "timeout"
+        assert outcome.attempts == 1    # the budget would expire again
+
+    def test_on_outcome_fires_per_cell(self, monkeypatch):
+        _fake_compute(monkeypatch, lambda cell, scale: 0)
+        seen = []
+        cells = [Cell("cg", "a", "fp32"), Cell("cg", "b", "fp32")]
+        execute_cells(cells, SMALL, on_outcome=seen.append)
+        assert [o.cell for o in seen] == cells
+
+
+MINI_NAMES = ("bcsstk02", "nos5")
+MINI_FORMATS = ("fp32", "posit32es2")
+
+
+def _mini_cells(scale):
+    return cholesky_cells(scale, formats=MINI_FORMATS,
+                          names=MINI_NAMES)
+
+
+def _mini_run(scale=None, quiet=False):
+    from repro.analysis.reporting import write_csv
+    scale = scale or SMALL
+    rows = [(c.matrix, c.fmt, repr(cell_value(c, scale)))
+            for c in _mini_cells(scale)]
+    path = write_csv("zz_mini.csv", ("matrix", "format", "rbe"), rows)
+    return ExperimentResult("zz-mini", "mini", "mini sweep", path)
+
+
+def _register_mini(monkeypatch):
+    from repro.experiments import runner
+    monkeypatch.setitem(
+        runner.EXPERIMENTS, "zz-mini",
+        ExperimentSpec(id="zz-mini", title="mini cell sweep",
+                       runner=_mini_run, module="tests.fake.mini",
+                       artifact="zz_mini.csv", cells=_mini_cells))
+
+
+class TestPooledExecution:
+    """jobs > 1 must produce the same payloads as the serial path."""
+
+    def test_pooled_matches_serial(self, tmp_path, monkeypatch):
+        cells = _mini_cells(SMALL)
+        outcomes = execute_cells(cells, SMALL, jobs=2)
+        assert [o.status for o in outcomes] == ["completed"] * len(cells)
+        pooled = {c: cell_value(c, SMALL) for c in cells}
+
+        # recompute serially with a cold memo and cold disk cache
+        clear_cache()
+        monkeypatch.setenv("REPRO_RESULTS_DIR",
+                           str(tmp_path / "serial"))
+        execute_cells(cells, SMALL, jobs=1)
+        serial = {c: cell_value(c, SMALL) for c in cells}
+        assert pooled == serial     # bit-identical backward errors
+
+    def test_pooled_results_persist_on_disk(self):
+        cells = _mini_cells(SMALL)
+        execute_cells(cells, SMALL, jobs=2)
+        cache = result_cache()
+        for cell in cells:
+            assert cache.contains(cell.cell_id, SMALL.name)
+
+
+class TestByteIdenticalArtifacts:
+    def test_jobs4_csv_equals_jobs1_csv(self, tmp_path, monkeypatch):
+        _register_mini(monkeypatch)
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "serial"))
+        assert main(["zz-mini", "--jobs", "1"]) == 0
+        with open(tmp_path / "serial" / "zz_mini.csv", "rb") as fh:
+            serial = fh.read()
+
+        clear_cache()   # cold memo: the parallel run must recompute
+        monkeypatch.setenv("REPRO_RESULTS_DIR",
+                           str(tmp_path / "parallel"))
+        assert main(["zz-mini", "--jobs", "4"]) == 0
+        with open(tmp_path / "parallel" / "zz_mini.csv", "rb") as fh:
+            parallel = fh.read()
+        assert serial == parallel and serial.count(b"\n") > 1
+
+
+class TestCellGranularResume:
+    """A killed sweep re-executes only the cells that never finished."""
+
+    def test_resume_recomputes_only_missing_cells(self, _isolated,
+                                                  monkeypatch):
+        from repro.resilience.manifest import MANIFEST_NAME, RunManifest
+        _register_mini(monkeypatch)
+        assert main(["zz-mini"]) == 0
+        cells = _mini_cells(SMALL)
+        cache = result_cache()
+        assert all(cache.contains(c.cell_id, SMALL.name)
+                   for c in cells)
+
+        # simulate a mid-sweep kill: two cells never made it to disk
+        # and the experiment itself was never recorded as complete
+        lost, kept = list(cells[:2]), list(cells[2:])
+        for cell in lost:
+            os.unlink(cache.entry_path(cell.cell_id, SMALL.name))
+        manifest_path = os.path.join(str(_isolated), MANIFEST_NAME)
+        manifest = RunManifest(manifest_path).load()
+        del manifest.data["runs"]["zz-mini"]
+        manifest.save()
+        os.unlink(_isolated / "zz_mini.csv")
+        clear_cache()
+
+        real_compute = common.compute_cell
+        recomputed = []
+
+        def counting(cell, scale):
+            recomputed.append(cell)
+            return real_compute(cell, scale)
+        _fake_compute(monkeypatch, counting)
+
+        assert main(["zz-mini", "--resume"]) == 0
+        assert sorted(c.cell_id for c in recomputed) == \
+            sorted(c.cell_id for c in lost)
+
+        manifest = RunManifest(manifest_path).load()
+        for cell in lost:
+            assert manifest.get_cell(cell.cell_id)["status"] == \
+                "completed"
+        for cell in kept:
+            assert manifest.get_cell(cell.cell_id)["status"] == "cached"
+        assert manifest.is_complete("zz-mini", SMALL.name)
+
+    def test_resume_skips_fully_completed_experiment(self, monkeypatch,
+                                                     capsys):
+        _register_mini(monkeypatch)
+        assert main(["zz-mini"]) == 0
+
+        def exploding(cell, scale):  # pragma: no cover - must not run
+            raise AssertionError("resume recomputed a finished cell")
+        _fake_compute(monkeypatch, exploding)
+        assert main(["zz-mini", "--resume"]) == 0
+        assert "skipping" in capsys.readouterr().out
+
+
+class TestRunnerCellIntegration:
+    def test_bench_sidecar_records_cells(self, _isolated, monkeypatch):
+        import json
+
+        from repro.experiments.runner import BENCH_NAME
+        _register_mini(monkeypatch)
+        assert main(["zz-mini"]) == 0
+        with open(_isolated / BENCH_NAME) as fh:
+            bench = json.load(fh)
+        assert bench["jobs"] == 1
+        assert bench["cells"]["computed"] == len(_mini_cells(SMALL))
+        assert bench["cells"]["failed"] == 0
+        entry = bench["experiments"]["zz-mini"]
+        assert entry["status"] == "completed"
+        assert entry["cells"] == len(_mini_cells(SMALL))
+        assert entry["duration_s"] >= 0
+        # a warm re-run reports every cell as cached
+        assert main(["zz-mini"]) == 0
+        with open(_isolated / BENCH_NAME) as fh:
+            bench = json.load(fh)
+        assert bench["cells"]["computed"] == 0
+        assert bench["cells"]["cached"] == len(_mini_cells(SMALL))
+
+    def test_cell_failure_fails_owning_experiment(self, _isolated,
+                                                  monkeypatch, capsys):
+        from repro.resilience.manifest import MANIFEST_NAME, RunManifest
+        _register_mini(monkeypatch)
+
+        def broken(cell, scale):
+            raise RuntimeError(f"boom in {cell.cell_id}")
+        _fake_compute(monkeypatch, broken)
+        assert main(["zz-mini", "--retries", "0"]) == 1
+        err = capsys.readouterr().err
+        assert "cell(s) failed" in err
+        manifest = RunManifest(
+            os.path.join(str(_isolated), MANIFEST_NAME)).load()
+        entry = manifest.get("zz-mini")
+        assert entry["status"] == "failed"
+        assert "boom in" in entry["error"]
+
+    def test_jobs_zero_rejected(self, capsys):
+        assert main(["table1", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err

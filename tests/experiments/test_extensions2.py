@@ -22,7 +22,7 @@ class TestSodExtension:
         import os
         os.environ["REPRO_RESULTS_DIR"] = str(
             tmp_path_factory.mktemp("sod"))
-        from repro.experiments.ext_sod import run
+        from repro.experiments.ext_sod import _run as run
         return run(scale=SCALES["small"], quiet=True, n_cells=48,
                    t_final=0.12)
 
@@ -55,7 +55,7 @@ class TestGustafsonExtension:
         import os
         os.environ["REPRO_RESULTS_DIR"] = str(
             tmp_path_factory.mktemp("gus"))
-        from repro.experiments.ext_gustafson import run
+        from repro.experiments.ext_gustafson import _run as run
         return run(scale=SCALES["small"], quiet=True, n=20, trials=3)
 
     def test_golden_zone_posit_wins(self, res):
@@ -82,7 +82,7 @@ class TestCgTargetExtension:
         import os
         os.environ["REPRO_RESULTS_DIR"] = str(
             tmp_path_factory.mktemp("tgt"))
-        from repro.experiments.ext_cg_target import run
+        from repro.experiments.ext_cg_target import _run as run
         return run(scale=SCALES["small"], quiet=True,
                    matrices=("662_bus", "bcsstk06"))
 

@@ -20,7 +20,7 @@ class TestStochasticExtension:
         import os
         os.environ["REPRO_RESULTS_DIR"] = str(
             tmp_path_factory.mktemp("sr"))
-        from repro.experiments.ext_stochastic import run
+        from repro.experiments.ext_stochastic import _run as run
         return run(scale=SCALES["small"], quiet=True, n_terms=4096)
 
     def test_rn_stagnates(self, res):
@@ -49,7 +49,7 @@ class TestJacobiExtension:
         import os
         os.environ["REPRO_RESULTS_DIR"] = str(
             tmp_path_factory.mktemp("jac"))
-        from repro.experiments.ext_jacobi import run
+        from repro.experiments.ext_jacobi import _run as run
         return run(scale=SCALES["small"], quiet=True,
                    matrices=("lund_a", "bcsstk06", "nos2"))
 

@@ -1,0 +1,114 @@
+"""Experiment registry: decorator protocol, discovery, diagnostics."""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+from repro.config import SCALES
+from repro.experiments.registry import (PAPER_ARTIFACTS, REGISTRY,
+                                        ExperimentSpec, _check_protocol,
+                                        all_experiments, experiment,
+                                        get_experiment, register)
+
+EXTENSION_IDS = ("ext-quire", "ext-fft", "ext-bicg", "ext-scaling",
+                 "ext-sod", "ext-gustafson", "ext-cg-target",
+                 "ext-stochastic", "ext-jacobi", "ext-factor-norms",
+                 "ext-bounds", "ext-recovery")
+
+
+class TestDiscovery:
+    def test_every_experiment_registered(self):
+        ids = set(REGISTRY)
+        assert set(PAPER_ARTIFACTS) <= ids
+        assert set(EXTENSION_IDS) <= ids
+        assert len(ids) == len(PAPER_ARTIFACTS) + len(EXTENSION_IDS)
+
+    def test_extension_flag(self):
+        for spec in all_experiments():
+            assert spec.extension == spec.id.startswith("ext-"), spec.id
+
+    def test_every_spec_has_artifact_and_title(self):
+        for spec in all_experiments():
+            assert spec.artifact and spec.artifact.endswith(".csv"), \
+                spec.id
+            assert spec.title
+
+    def test_display_order_paper_first(self):
+        ids = list(REGISTRY)
+        assert ids[:len(PAPER_ARTIFACTS)] == list(PAPER_ARTIFACTS)
+
+
+class TestProtocol:
+    def test_every_runner_follows_protocol(self):
+        for spec in all_experiments():
+            params = inspect.signature(spec.runner).parameters
+            assert list(params) == ["scale", "quiet"], spec.id
+            assert params["scale"].default is None, spec.id
+            assert params["quiet"].default is False, spec.id
+
+    def test_decorator_rejects_extra_knobs(self):
+        with pytest.raises(TypeError, match="_run"):
+            @experiment("zz-bad", "bad")
+            def run(scale=None, quiet=False, knob=3):
+                pass
+        assert "zz-bad" not in REGISTRY
+
+    def test_decorator_rejects_missing_defaults(self):
+        with pytest.raises(TypeError):
+            _check_protocol(lambda scale, quiet: None)
+        with pytest.raises(TypeError):
+            _check_protocol(lambda scale=None: None)
+        with pytest.raises(TypeError):
+            _check_protocol(lambda *args, **kwargs: None)
+
+    def test_duplicate_id_from_other_module_rejected(self):
+        spec = get_experiment("fig6")
+        clone = ExperimentSpec(id="fig6", title="impostor",
+                               runner=spec.runner, module="elsewhere")
+        with pytest.raises(ValueError, match="already registered"):
+            register(clone)
+        # re-registration from the same module (module reload) is fine
+        assert register(spec) is spec
+
+
+class TestLookup:
+    def test_near_miss_hint(self):
+        with pytest.raises(KeyError, match="did you mean"):
+            get_experiment("fig66")
+        try:
+            get_experiment("tabel3")
+        except KeyError as exc:
+            assert "table3" in str(exc)
+
+    def test_unknown_without_near_miss_lists_known(self):
+        with pytest.raises(KeyError, match="known:"):
+            get_experiment("q")
+
+
+class TestCellEnumeration:
+    def test_suite_experiments_enumerate_cells(self):
+        scale = SCALES["small"]
+        for eid in ("fig6", "fig7", "fig8", "fig9", "table2", "table3",
+                    "fig10"):
+            cells = get_experiment(eid).enumerate_cells(scale)
+            assert len(cells) >= 19, eid     # one per suite matrix min
+
+    def test_monolithic_experiments_have_no_cells(self):
+        scale = SCALES["small"]
+        for eid in ("table1", "fig3", "fig5"):
+            assert get_experiment(eid).enumerate_cells(scale) == ()
+
+    def test_shared_cells_are_identical(self):
+        # Fig. 10 analyses exactly the Higham-rescaled IR runs of
+        # Table III: the grids must be equal so the runner merges them
+        scale = SCALES["small"]
+        assert get_experiment("fig10").enumerate_cells(scale) == \
+            get_experiment("table3").enumerate_cells(scale)
+        # Figs. 8/9 differ only in the rescaled option
+        fig8 = get_experiment("fig8").enumerate_cells(scale)
+        fig9 = get_experiment("fig9").enumerate_cells(scale)
+        assert fig8 != fig9
+        assert [(c.kind, c.matrix, c.fmt) for c in fig8] == \
+            [(c.kind, c.matrix, c.fmt) for c in fig9]

@@ -62,7 +62,11 @@ class TestCrashSafety:
 
     def _register(self, monkeypatch, eid, fn):
         from repro.experiments import runner
-        monkeypatch.setitem(runner.EXPERIMENTS, eid, (f"fake {eid}", fn))
+        from repro.experiments.registry import ExperimentSpec
+        monkeypatch.setitem(
+            runner.EXPERIMENTS, eid,
+            ExperimentSpec(id=eid, title=f"fake {eid}", runner=fn,
+                           module=f"tests.fake.{eid}"))
 
     def _fake_ok(self, eid):
         from repro.experiments.common import ExperimentResult

@@ -36,6 +36,51 @@ class TestLookup:
             get_format("nope")
 
 
+class TestAliases:
+    """The common literature spellings resolve to the same objects."""
+
+    @pytest.mark.parametrize("alias,canonical", [
+        ("half", "fp16"), ("binary16", "fp16"),
+        ("single", "fp32"), ("binary32", "fp32"),
+        ("double", "fp64"), ("binary64", "fp64"),
+        ("p32e2", "posit32es2"), ("p16e1", "posit16es1"),
+        ("p16e2", "posit16es2"), ("p32e3", "posit32es3"),
+        ("bf16", "bfloat16"),
+    ])
+    def test_alias_is_canonical(self, alias, canonical):
+        assert get_format(alias) is get_format(canonical)
+
+    def test_alias_case_and_whitespace(self):
+        assert get_format("P32E2") is POSIT32_2
+        assert get_format(" Double ") is get_format("fp64")
+
+    def test_available_formats_report_aliases(self):
+        info = available_formats()["fp32"]
+        assert info.name == "fp32"
+        assert info.format is FLOAT32
+        for alias in ("binary32", "single", "float32"):
+            assert alias in info.aliases
+
+    def test_short_posit_spelling_is_dynamic_too(self):
+        fmt = get_format("p12e1")
+        assert isinstance(fmt, PositFormat)
+        assert (fmt.nbits, fmt.es) == (12, 1)
+        assert get_format("posit12es1") is fmt
+
+    def test_near_miss_hint_in_error(self):
+        with pytest.raises(UnknownFormatError,
+                           match="did you mean"):
+            get_format("possit32es2")
+        try:
+            get_format("binary33")
+        except UnknownFormatError as exc:
+            assert "binary32" in str(exc)
+
+    def test_unknown_error_lists_known_names(self):
+        with pytest.raises(UnknownFormatError, match="known:"):
+            get_format("zzz-not-a-format")
+
+
 class TestDynamicResolution:
     def test_arbitrary_posit(self):
         fmt = get_format("posit12es1")

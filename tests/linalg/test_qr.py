@@ -97,7 +97,7 @@ class TestFactorNormsExperiment:
     def test_x10_identities(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
         from repro.config import SCALES
-        from repro.experiments.ext_factor_norms import run
+        from repro.experiments.ext_factor_norms import _run as run
         res = run(scale=SCALES["small"], quiet=True,
                   matrices=("662_bus", "nos5"))
         for name, d in res.data.items():

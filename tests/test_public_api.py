@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 
 class TestImports:
@@ -59,3 +60,41 @@ class TestQuickstartFlow:
     def test_format_round(self):
         from repro import get_format
         assert get_format("posit32es2").round(1.0) == 1.0
+
+
+class TestPublicEntryPoints:
+    """repro.context / repro.run_experiment — the PR-2 front doors."""
+
+    def test_context_default_is_fp64(self):
+        import repro
+        from repro.arith import FPContext
+        ctx = repro.context()
+        assert isinstance(ctx, FPContext)
+        assert ctx.add(0.1, 0.2) == 0.1 + 0.2
+
+    def test_context_accepts_aliases(self):
+        import repro
+        from repro import get_format
+        ctx = repro.context("p32e2")
+        assert ctx.fmt is get_format("posit32es2")
+        assert float(ctx.add(0.1, 0.2)) == pytest.approx(0.3, abs=1e-8)
+
+    def test_context_forwards_kwargs(self):
+        import repro
+        with pytest.raises(TypeError):
+            repro.context("fp32", not_a_real_knob=True)
+
+    def test_run_experiment(self, tmp_path, monkeypatch):
+        import repro
+        from repro.config import SCALES
+        from repro.experiments import ExperimentResult
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        res = repro.run_experiment("table1", scale=SCALES["small"],
+                                   quiet=True)
+        assert isinstance(res, ExperimentResult)
+        assert res.experiment_id == "table1"
+
+    def test_run_experiment_unknown_id(self):
+        import repro
+        with pytest.raises(KeyError, match="unknown experiment"):
+            repro.run_experiment("fig99")
