@@ -3,9 +3,13 @@
 The paper's experiments run 19 matrices through CG / Cholesky / iterative
 refinement in four arithmetic formats.  Emulating per-operation rounding in
 pure Python is orders of magnitude slower than the authors' C++ library, so
-the harness supports three scales selected by the ``REPRO_SCALE``
+the harness supports several scales selected by the ``REPRO_SCALE``
 environment variable (or explicitly through :class:`RunScale`):
 
+``smoke``
+    Matrix dimension capped at 24 with tiny iteration budgets.  Golden-file
+    regression tests use this scale: it is fast enough to re-run inside the
+    tier-1 suite while still exercising every solver/format cell.
 ``small``
     Matrix dimension capped at 96, iteration budgets tightened.  The whole
     experiment suite regenerates in a couple of minutes.  This is the
@@ -75,6 +79,8 @@ class RunScale:
 
 
 SCALES: dict[str, RunScale] = {
+    "smoke": RunScale("smoke", max_dimension=24, cg_max_iterations=150,
+                      ir_max_iterations=60, nnz_cap=4_000),
     "small": RunScale("small", max_dimension=96, cg_max_iterations=1200,
                       ir_max_iterations=400, nnz_cap=40_000),
     "medium": RunScale("medium", max_dimension=256, cg_max_iterations=3000,

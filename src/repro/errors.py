@@ -37,6 +37,15 @@ class UnknownFormatError(FormatError, KeyError):
     """A format name was not found in the registry."""
 
 
+class OracleUnsupportedFormat(FormatError):
+    """The exact-arithmetic oracle has no reference model for a format.
+
+    Raised for formats whose rounding is not round-to-nearest-even
+    (directed modes, stochastic rounding) and for format classes the
+    oracle does not know how to decode bit-exactly.
+    """
+
+
 class LinAlgError(ReproError):
     """Base class for solver failures."""
 

@@ -30,7 +30,8 @@ from ..analysis.reporting import results_dir
 from ..resilience.atomic import atomic_open
 
 __all__ = ["ResultCache", "result_cache", "cache_enabled",
-           "code_fingerprint", "clear_result_cache", "CACHE_DIR_NAME"]
+           "code_fingerprint", "iter_source_files", "clear_result_cache",
+           "CACHE_DIR_NAME"]
 
 #: subdirectory of the results dir that holds cache entries
 CACHE_DIR_NAME = ".cache"
@@ -45,28 +46,47 @@ def cache_enabled() -> bool:
     return os.environ.get("REPRO_CACHE", "on").strip().lower() not in _FALSEY
 
 
-def code_fingerprint() -> str:
-    """Hash of every ``*.py`` source in the ``repro`` package.
+def iter_source_files(pkg_root: str):
+    """Every ``*.py`` under *pkg_root*, in a deterministic order.
 
-    Computed once per process (the interpreter cannot change its own
-    loaded code mid-run, so caching the digest is sound).
+    This is the fingerprint's notion of "the code": all subpackages
+    (arith, formats, oracle, experiments, ...) are walked, so adding a
+    module anywhere — including the oracle package, whose reference
+    semantics cached cells implicitly depend on — changes the digest.
+    """
+    for dirpath, dirnames, filenames in sorted(os.walk(pkg_root)):
+        dirnames.sort()
+        for fname in sorted(filenames):
+            if fname.endswith(".py"):
+                yield os.path.join(dirpath, fname)
+
+
+def _fingerprint_of(pkg_root: str) -> str:
+    digest = hashlib.sha256()
+    for full in iter_source_files(pkg_root):
+        digest.update(os.path.relpath(full, pkg_root).encode())
+        with open(full, "rb") as fh:
+            digest.update(fh.read())
+    return digest.hexdigest()
+
+
+def code_fingerprint(root: str | None = None) -> str:
+    """Hash of every ``*.py`` source under *root*.
+
+    With no argument, hashes the installed ``repro`` package and
+    memoizes the digest (the interpreter cannot change its own loaded
+    code mid-run, so caching it is sound).  An explicit *root* is
+    always recomputed — tests use that to prove source edits invalidate
+    cache entries.
     """
     global _fingerprint
+    if root is not None:
+        return _fingerprint_of(root)
     if _fingerprint is None:
         import repro
 
-        digest = hashlib.sha256()
-        pkg_root = os.path.dirname(os.path.abspath(repro.__file__))
-        for dirpath, dirnames, filenames in sorted(os.walk(pkg_root)):
-            dirnames.sort()
-            for fname in sorted(filenames):
-                if not fname.endswith(".py"):
-                    continue
-                full = os.path.join(dirpath, fname)
-                digest.update(os.path.relpath(full, pkg_root).encode())
-                with open(full, "rb") as fh:
-                    digest.update(fh.read())
-        _fingerprint = digest.hexdigest()
+        _fingerprint = _fingerprint_of(
+            os.path.dirname(os.path.abspath(repro.__file__)))
     return _fingerprint
 
 

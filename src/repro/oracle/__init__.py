@@ -1,0 +1,64 @@
+"""Exact-arithmetic oracle and differential conformance harness.
+
+The production library emulates low-precision formats through a float64
+carrier plus per-operation rounding; this package independently
+recomputes what every operation *must* return — exact rational
+arithmetic followed by one correctly rounded conversion — and sweeps the
+two against each other.  It is the reproduction's stand-in for the GMP
+ground truth the paper used to validate its C++ posit library.
+
+Layers
+------
+:mod:`~repro.oracle.rational`
+    Unnormalized exact rationals over unbounded Python integers.
+:mod:`~repro.oracle.codecs`
+    Reference bit-level codecs: exact decode and correctly rounded
+    encode for posit (extended-pattern-space RNE, geometric ties in the
+    tapered regions, saturation) and IEEE (value-nearest RNE with
+    subnormals and overflow-to-infinity).
+:mod:`~repro.oracle.reference`
+    Correctly rounded scalar ops with each family's special-value
+    algebra, plus dot/axpy/matvec references that mirror the
+    :class:`~repro.arith.FPContext` rounding schedule, and a
+    single-rounding fused multiply-add.
+:mod:`~repro.oracle.conformance`
+    The differential sweep engine and ``python -m
+    repro.oracle.conformance`` CLI (exhaustive for narrow formats,
+    boundary-biased stratified sampling for wide ones; JSON reports
+    with minimized divergence repro cases).
+"""
+
+from .codecs import (IEEEOracleCodec, OracleCodec, PositOracleCodec,
+                     TABLE_MAX_NBITS, oracle_codec)
+from .rational import (Rat, rat, rdot, rfma, rsum, to_fraction)
+from .reference import (SCALAR_OPS, exact_fma, format_contract,
+                        oracle_scalar, ref_axpy, ref_dot, ref_fma,
+                        ref_matvec, ref_round, ref_sum, same_value)
+
+_CONFORMANCE_NAMES = ("ALL_OPS", "OpReport", "conformance_formats",
+                      "sweep_format", "run_conformance",
+                      "boundary_biased_patterns")
+
+
+def __getattr__(name):
+    # lazy so that ``python -m repro.oracle.conformance`` does not trip
+    # runpy's found-in-sys.modules warning via this package import
+    if name in _CONFORMANCE_NAMES:
+        from . import conformance
+        return getattr(conformance, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    # rational layer
+    "Rat", "rat", "to_fraction", "rsum", "rdot", "rfma",
+    # codecs
+    "OracleCodec", "PositOracleCodec", "IEEEOracleCodec",
+    "oracle_codec", "TABLE_MAX_NBITS",
+    # reference semantics
+    "SCALAR_OPS", "oracle_scalar", "ref_round", "ref_sum", "ref_dot",
+    "ref_axpy", "ref_matvec", "exact_fma", "ref_fma", "same_value",
+    "format_contract",
+    # conformance engine
+    "ALL_OPS", "OpReport", "conformance_formats", "sweep_format",
+    "run_conformance", "boundary_biased_patterns",
+]

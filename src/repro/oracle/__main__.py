@@ -1,0 +1,6 @@
+"""``python -m repro.oracle`` runs the conformance CLI."""
+
+from .conformance import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

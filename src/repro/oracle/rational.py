@@ -1,0 +1,167 @@
+"""Exact rational arithmetic kernel for the oracle.
+
+The oracle's job is to compute what an operation *should* produce before
+any finite format gets involved, so every quantity here is an exact
+rational held as a ``(numerator, denominator)`` pair of unbounded Python
+integers with a positive denominator.  Pairs are deliberately **not**
+reduced to lowest terms: the gcd normalization that
+:class:`fractions.Fraction` performs on every operation dominates its
+cost, and the differential sweeps perform tens of millions of oracle
+operations.  All comparisons cross-multiply, so unreduced pairs are
+exact regardless.
+
+:class:`fractions.Fraction` remains the friendly boundary type —
+:func:`to_fraction` / :func:`rat` convert at the edges.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import isqrt
+from typing import Iterable, Tuple, Union
+
+__all__ = [
+    "Rat", "rat", "to_fraction",
+    "radd", "rsub", "rmul", "rdiv", "rneg", "rabs",
+    "rcmp", "rsign", "is_zero",
+    "rsum", "rdot", "rfma",
+    "floor_log2_rat", "floor_sqrt_scaled",
+]
+
+#: an exact rational: ``(num, den)`` with ``den > 0`` (not normalized)
+Rat = Tuple[int, int]
+
+RealLike = Union[int, float, Fraction, Rat]
+
+
+def rat(value: RealLike) -> Rat:
+    """Convert an int/float/Fraction/pair to an exact ``(num, den)`` pair.
+
+    Floats convert exactly (every finite float is a dyadic rational);
+    non-finite floats are rejected — special values never reach the
+    rational layer, the reference ops handle them first.
+    """
+    if isinstance(value, tuple):
+        num, den = value
+        if den <= 0:
+            raise ValueError(f"denominator must be positive, got {den}")
+        return value
+    if isinstance(value, bool):
+        raise TypeError("bool is not a rational operand")
+    if isinstance(value, int):
+        return (value, 1)
+    if isinstance(value, float):
+        # raises OverflowError/ValueError for inf/nan, as intended
+        return value.as_integer_ratio()
+    if isinstance(value, Fraction):
+        return (value.numerator, value.denominator)
+    raise TypeError(f"unsupported rational operand {type(value)!r}")
+
+
+def to_fraction(q: Rat) -> Fraction:
+    """The normalized :class:`~fractions.Fraction` equal to *q*."""
+    return Fraction(q[0], q[1])
+
+
+# -- arithmetic (exact, no normalization) -----------------------------------
+
+def radd(a: Rat, b: Rat) -> Rat:
+    return (a[0] * b[1] + b[0] * a[1], a[1] * b[1])
+
+
+def rsub(a: Rat, b: Rat) -> Rat:
+    return (a[0] * b[1] - b[0] * a[1], a[1] * b[1])
+
+
+def rmul(a: Rat, b: Rat) -> Rat:
+    return (a[0] * b[0], a[1] * b[1])
+
+
+def rdiv(a: Rat, b: Rat) -> Rat:
+    """Exact quotient; raises :class:`ZeroDivisionError` when ``b == 0``."""
+    if b[0] == 0:
+        raise ZeroDivisionError("rational division by zero")
+    num, den = a[0] * b[1], a[1] * b[0]
+    if den < 0:
+        num, den = -num, -den
+    return (num, den)
+
+
+def rneg(a: Rat) -> Rat:
+    return (-a[0], a[1])
+
+
+def rabs(a: Rat) -> Rat:
+    return (abs(a[0]), a[1])
+
+
+# -- predicates -------------------------------------------------------------
+
+def rcmp(a: Rat, b: Rat) -> int:
+    """Sign of ``a - b``: -1, 0 or +1 (exact cross-multiplication)."""
+    lhs = a[0] * b[1]
+    rhs = b[0] * a[1]
+    return (lhs > rhs) - (lhs < rhs)
+
+
+def rsign(a: Rat) -> int:
+    return (a[0] > 0) - (a[0] < 0)
+
+
+def is_zero(a: Rat) -> bool:
+    return a[0] == 0
+
+
+# -- reductions (exact; rounding is the caller's business) ------------------
+
+def rsum(terms: Iterable[Rat]) -> Rat:
+    acc = (0, 1)
+    for t in terms:
+        acc = radd(acc, t)
+    return acc
+
+
+def rdot(xs: Iterable[RealLike], ys: Iterable[RealLike]) -> Rat:
+    """Exact inner product of two equal-length sequences."""
+    xs, ys = list(xs), list(ys)
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    return rsum(rmul(rat(x), rat(y)) for x, y in zip(xs, ys))
+
+
+def rfma(a: RealLike, b: RealLike, c: RealLike) -> Rat:
+    """Exact fused multiply-add ``a*b + c`` (single mathematical value)."""
+    return radd(rmul(rat(a), rat(b)), rat(c))
+
+
+# -- exact logarithm / square-root helpers ----------------------------------
+
+def floor_log2_rat(q: Rat) -> int:
+    """Exact ``floor(log2(q))`` for a positive rational ``(num, den)``."""
+    num, den = q
+    if num <= 0:
+        raise ValueError("floor_log2_rat requires a positive value")
+    s = num.bit_length() - den.bit_length()
+    # candidate from bit lengths is off by at most one: q >= 2**s ?
+    if s >= 0:
+        if num < den << s:
+            s -= 1
+    else:
+        if num << (-s) < den:
+            s -= 1
+    return s
+
+
+def floor_sqrt_scaled(q: Rat, shift: int = 0) -> int:
+    """Exact ``floor(sqrt(q) * 2**shift)`` for a non-negative rational.
+
+    Used to seed square-root bracketing without floating-point error.
+    ``floor(sqrt(a/b) * 2^t) = floor(sqrt(a*b*4^t) / b)``, and dividing
+    the integer square root by ``b`` with floor division is exact
+    because no multiple of ``b`` can lie strictly between
+    ``isqrt(a*b*4^t)`` and the real root.
+    """
+    num, den = q
+    if num < 0:
+        raise ValueError("floor_sqrt_scaled requires a non-negative value")
+    return isqrt(num * den << (2 * shift)) // den

@@ -1,0 +1,279 @@
+"""Correctly-rounded reference semantics for every ``repro.arith`` op.
+
+:func:`oracle_scalar` builds, for one format, a function computing what a
+scalar ``add / sub / mul / div / sqrt`` **must** return under the
+library's emulation contract: evaluate the operation exactly (unbounded
+rational arithmetic), then round once, correctly, into the format.
+Special values follow the family's algebra — posit NaR absorbs
+everything and division by zero is NaR; IEEE propagates ±inf/NaN with
+the usual rules (``inf - inf``, ``0 * inf``, ``0/0`` and ``inf/inf`` are
+NaN, ``x/0`` is signed infinity).
+
+The kernel references (:func:`ref_dot`, :func:`ref_axpy`,
+:func:`ref_matvec`, :func:`ref_sum`) compose those correctly rounded
+scalars in exactly the rounding schedule :class:`repro.arith.FPContext`
+promises — one rounding per multiply, one per partial-sum add, in
+``sequential`` or ``pairwise`` order — so any bitwise difference from
+the production kernels is a genuine conformance violation, not schedule
+ambiguity.
+
+:func:`exact_fma` and :func:`ref_fma` additionally provide the
+single-rounding fused multiply-add the production context does *not*
+offer; quire-style accumulations are validated against them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from ..formats.base import NumberFormat
+from .codecs import (IEEEOracleCodec, OracleCodec, PositOracleCodec,
+                     oracle_codec)
+from .rational import Rat, radd, rat, rdiv, rfma, rmul, rsub, to_fraction
+
+__all__ = [
+    "SCALAR_OPS", "oracle_scalar", "ref_round", "format_contract",
+    "ref_sum", "ref_dot", "ref_axpy", "ref_matvec",
+    "exact_fma", "ref_fma", "same_value",
+]
+
+#: the scalar operations the conformance engine sweeps
+SCALAR_OPS = ("add", "sub", "mul", "div", "sqrt")
+
+#: the float64 carrier the production library computes through
+_FP64_CODEC = IEEEOracleCodec(53, 11)
+
+
+def format_contract(fmt: NumberFormat | str) -> str:
+    """Which rounding contract the float64 emulation can honour for *fmt*.
+
+    ``"exact"``: double rounding through the float64 carrier is provably
+    innocuous (worst-case significand precision ``p`` satisfies
+    ``2p + 2 <= 53``), so the production paths must match the strict
+    correctly rounded oracle bit-for-bit.
+
+    ``"carrier"``: the format carries too many significand bits
+    (posit32es2 holds up to 28 near 1.0) for that guarantee; the
+    production contract is *exact result -> correctly rounded float64 ->
+    format*, and conformance must model the intermediate rounding.
+    """
+    codec = oracle_codec(fmt)
+    if isinstance(codec, IEEEOracleCodec):
+        p = codec.precision
+    else:
+        # posit: sign + >=2 regime bits + es leave nbits - 2 - es
+        # significand bits (hidden bit included) at best
+        p = max(1, codec.nbits - 2 - codec.es)
+    return "exact" if 2 * p + 2 <= 53 else "carrier"
+
+
+def same_value(a: float, b: float) -> bool:
+    """Bitwise-equivalent for conformance purposes.
+
+    NaN matches NaN (posit NaR and IEEE NaN payloads are all carried as
+    float64 NaN); ±0 compare equal (the emulation layer does not define
+    zero signs); infinities must match in sign.
+    """
+    return a == b or (math.isnan(a) and math.isnan(b))
+
+
+def _cached_float(codec: OracleCodec, pattern: int) -> float:
+    # conformance sweeps land on the same result patterns millions of
+    # times; Fraction-based decode is the dominant cost without this
+    cache = codec.__dict__.setdefault("_float_cache", {})
+    v = cache.get(pattern)
+    if v is None:
+        v = cache[pattern] = codec.decode_float(pattern)
+    return v
+
+
+def _nearest(codec: OracleCodec, q: Rat, carrier: bool = False) -> float:
+    if carrier:
+        c = _nearest(_FP64_CODEC, q)
+        if not math.isfinite(c):
+            return c if isinstance(codec, IEEEOracleCodec) else math.nan
+        q = rat(c)
+    return _cached_float(codec, codec.nearest_pattern(q))
+
+
+def _sqrt(codec: OracleCodec, q: Rat, carrier: bool = False) -> float:
+    if q[0] < 0:
+        return math.nan
+    if q[0] == 0:
+        return 0.0
+    if carrier:
+        c = _sqrt(_FP64_CODEC, q)
+        return _nearest(codec, rat(c))
+    return _cached_float(codec, codec._signed_pattern(codec.sqrt_mag(q),
+                                                      False))
+
+
+def _sign(x: float) -> float:
+    return math.copysign(1.0, x)
+
+
+def oracle_scalar(fmt: NumberFormat | str, contract: str = "exact"
+                  ) -> Callable[[str, float, float], float]:
+    """Reference evaluator ``oracle(op, a, b=0.0) -> float`` for *fmt*.
+
+    Operands are float64 carrier values (finite values must be
+    representable in the format — conformance sweeps feed decoded bit
+    patterns, which guarantees that).  The returned float is the exact
+    operation result correctly rounded into the format.
+
+    *contract* is ``"exact"`` (strict correct rounding) or ``"carrier"``
+    (model the intermediate float64 rounding of the emulation layer —
+    required for formats where :func:`format_contract` says double
+    rounding is not innocuous).
+    """
+    codec = oracle_codec(fmt)
+    if contract not in ("exact", "carrier"):
+        raise ValueError(f"unknown contract {contract!r}")
+    carrier = contract == "carrier"
+
+    if isinstance(codec, PositOracleCodec):
+        def oracle(op: str, a: float, b: float = 0.0) -> float:
+            # NaR absorbs; infinities cannot be posit values, but the
+            # codec maps any non-finite carrier to NaR, so mirror that.
+            if not math.isfinite(a) or (op != "sqrt"
+                                        and not math.isfinite(b)):
+                return math.nan
+            if op == "sqrt":
+                if a < 0.0:
+                    return math.nan
+                return _sqrt(codec, rat(a), carrier)
+            if op == "div" and b == 0.0:
+                return math.nan
+            return _nearest(codec, _EXACT[op](rat(a), rat(b)), carrier)
+        return oracle
+
+    def oracle(op: str, a: float, b: float = 0.0) -> float:  # IEEE
+        if math.isnan(a) or (op != "sqrt" and math.isnan(b)):
+            return math.nan
+        if op == "sqrt":
+            if a == 0.0:
+                return a                      # sqrt(±0) = ±0
+            if a < 0.0:
+                return math.nan
+            if math.isinf(a):
+                return math.inf
+            return _sqrt(codec, rat(a), carrier)
+        if op in ("add", "sub"):
+            eb = -b if op == "sub" else b
+            if math.isinf(a) or math.isinf(eb):
+                if math.isinf(a) and math.isinf(eb) and _sign(a) != _sign(eb):
+                    return math.nan           # inf - inf
+                return a if math.isinf(a) else eb
+        elif op == "mul":
+            if math.isinf(a) or math.isinf(b):
+                if a == 0.0 or b == 0.0:
+                    return math.nan           # 0 * inf
+                return _sign(a) * _sign(b) * math.inf
+        elif op == "div":
+            if math.isinf(a):
+                if math.isinf(b):
+                    return math.nan           # inf / inf
+                return _sign(a) * _sign(b) * math.inf
+            if math.isinf(b):
+                return 0.0                    # finite / inf
+            if b == 0.0:
+                if a == 0.0:
+                    return math.nan           # 0 / 0
+                return _sign(a) * _sign(b) * math.inf
+        else:
+            raise ValueError(f"unknown scalar op {op!r}; "
+                             f"choose from {SCALAR_OPS}")
+        return _nearest(codec, _EXACT[op](rat(a), rat(b)), carrier)
+    return oracle
+
+
+_EXACT = {"add": radd, "sub": rsub, "mul": rmul, "div": rdiv}
+
+
+def ref_round(fmt: NumberFormat | str, x: float) -> float:
+    """Reference for ``fmt.round``: correctly rounded quantization of *x*."""
+    codec = oracle_codec(fmt)
+    if not math.isfinite(x):
+        if isinstance(codec, PositOracleCodec) or math.isnan(x):
+            return math.nan
+        return x                              # IEEE keeps ±inf
+    return _nearest(codec, rat(x))
+
+
+# ---------------------------------------------------------------------------
+# Kernel references: the FPContext rounding schedule over oracle scalars
+# ---------------------------------------------------------------------------
+
+def _fold(terms: list[float], oracle, order: str) -> float:
+    """Mirror :func:`repro.arith.summation.rounded_sum_last_axis` exactly."""
+    if not terms:
+        return 0.0
+    if order == "sequential":
+        acc = terms[0]
+        for t in terms[1:]:
+            acc = oracle("add", acc, t)
+        return acc
+    if order != "pairwise":
+        raise ValueError(f"unknown summation order {order!r}")
+    while len(terms) > 1:
+        m = len(terms) // 2
+        folded = [oracle("add", terms[i], terms[m + i]) for i in range(m)]
+        if len(terms) & 1:
+            folded.append(terms[-1])
+        terms = folded
+    return terms[0]
+
+
+def ref_sum(fmt: NumberFormat | str, xs: Sequence[float],
+            order: str = "pairwise", contract: str = "exact") -> float:
+    """Reference for ``FPContext.sum``: every partial sum rounded."""
+    return _fold([float(x) for x in xs], oracle_scalar(fmt, contract),
+                 order)
+
+
+def ref_dot(fmt: NumberFormat | str, xs: Sequence[float],
+            ys: Sequence[float], order: str = "pairwise",
+            contract: str = "exact") -> float:
+    """Reference for ``FPContext.dot``: round each product, fold rounded."""
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    oracle = oracle_scalar(fmt, contract)
+    products = [oracle("mul", float(x), float(y)) for x, y in zip(xs, ys)]
+    return _fold(products, oracle, order)
+
+
+def ref_axpy(fmt: NumberFormat | str, alpha: float, xs: Sequence[float],
+             ys: Sequence[float], contract: str = "exact") -> list[float]:
+    """Reference for ``FPContext.axpy``: product and sum each rounded."""
+    oracle = oracle_scalar(fmt, contract)
+    return [oracle("add", float(y), oracle("mul", float(alpha), float(x)))
+            for x, y in zip(xs, ys)]
+
+
+def ref_matvec(fmt: NumberFormat | str, A: Sequence[Sequence[float]],
+               x: Sequence[float], order: str = "pairwise",
+               contract: str = "exact") -> list[float]:
+    """Reference for ``FPContext.matvec``: one rounded dot per row."""
+    return [ref_dot(fmt, row, x, order=order, contract=contract)
+            for row in A]
+
+
+# ---------------------------------------------------------------------------
+# Fused multiply-add (single rounding; quire / exact-accumulation oracle)
+# ---------------------------------------------------------------------------
+
+def exact_fma(a: float, b: float, c: float):
+    """The exact rational value of ``a*b + c`` as a Fraction."""
+    return to_fraction(rfma(a, b, c))
+
+
+def ref_fma(fmt: NumberFormat | str, a: float, b: float, c: float) -> float:
+    """Correctly rounded fused multiply-add: one rounding of ``a*b + c``."""
+    codec = oracle_codec(fmt)
+    if not (math.isfinite(a) and math.isfinite(b) and math.isfinite(c)):
+        # defer to the scalar special algebra: round(a*b) then add would
+        # differ only in finite cases, never for specials
+        oracle = oracle_scalar(fmt)
+        return oracle("add", oracle("mul", a, b), c)
+    return _nearest(codec, rfma(a, b, c))

@@ -75,6 +75,34 @@ def fp64_ctx() -> FPContext:
     return FPContext("fp64")
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--tier2", action="store_true", default=False,
+        help="run tier-2 exhaustive conformance sweeps (nightly tier); "
+             "REPRO_TIER2=1 in the environment has the same effect")
+
+
+def tier2_enabled(config) -> bool:
+    return bool(config.getoption("--tier2")
+                or os.environ.get("REPRO_TIER2"))
+
+
 def pytest_configure(config):
     config.addinivalue_line(
         "markers", "slow: long-running integration test")
+    config.addinivalue_line(
+        "markers", "tier1: fast conformance checks, run on every PR")
+    config.addinivalue_line(
+        "markers", "tier2: exhaustive conformance sweeps (nightly); "
+                   "skipped unless --tier2 or REPRO_TIER2=1")
+
+
+def pytest_collection_modifyitems(config, items):
+    if tier2_enabled(config):
+        return
+    skip = pytest.mark.skip(
+        reason="tier-2 exhaustive sweep; enable with --tier2 or "
+               "REPRO_TIER2=1")
+    for item in items:
+        if "tier2" in item.keywords:
+            item.add_marker(skip)

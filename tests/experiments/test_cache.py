@@ -149,3 +149,58 @@ class TestCellValueLayers:
         clear_cache()
         cell_value(cell, scale)
         assert counted == [cell.cell_id] * 2
+
+
+class TestCodeFingerprint:
+    """The fingerprint must cover every subpackage — oracle included —
+    and any source edit must move cache entries to fresh paths."""
+
+    def test_oracle_sources_are_fingerprinted(self):
+        import repro
+        from repro.experiments.cache import iter_source_files
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        rels = {os.path.relpath(p, root).replace(os.sep, "/")
+                for p in iter_source_files(root)}
+        for needed in ("oracle/__init__.py", "oracle/codecs.py",
+                       "oracle/rational.py", "oracle/reference.py",
+                       "oracle/conformance.py", "experiments/cache.py"):
+            assert needed in rels, needed
+
+    @pytest.fixture
+    def fake_pkg(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        (pkg / "oracle").mkdir(parents=True)
+        (pkg / "__init__.py").write_text("x = 1\n")
+        (pkg / "oracle" / "__init__.py").write_text("")
+        (pkg / "oracle" / "reference.py").write_text("TIE = 'even'\n")
+        (pkg / "README.txt").write_text("not python, not hashed\n")
+        return pkg
+
+    def test_source_edit_changes_digest_and_entry_path(self, fake_pkg):
+        before = code_fingerprint(str(fake_pkg))
+        assert before == code_fingerprint(str(fake_pkg))  # deterministic
+        path_before = ResultCache("c", fingerprint=before).entry_path(
+            "cg:a:fp32", "small")
+        (fake_pkg / "oracle" / "reference.py").write_text("TIE = 'odd'\n")
+        after = code_fingerprint(str(fake_pkg))
+        assert after != before
+        assert ResultCache("c", fingerprint=after).entry_path(
+            "cg:a:fp32", "small") != path_before
+
+    def test_new_and_renamed_files_change_digest(self, fake_pkg):
+        before = code_fingerprint(str(fake_pkg))
+        (fake_pkg / "oracle" / "extra.py").write_text("")
+        added = code_fingerprint(str(fake_pkg))
+        assert added != before
+        os.rename(fake_pkg / "oracle" / "extra.py",
+                  fake_pkg / "oracle" / "other.py")
+        assert code_fingerprint(str(fake_pkg)) != added  # path is hashed
+
+    def test_non_python_files_are_ignored(self, fake_pkg):
+        before = code_fingerprint(str(fake_pkg))
+        (fake_pkg / "README.txt").write_text("changed\n")
+        assert code_fingerprint(str(fake_pkg)) == before
+
+    def test_default_fingerprint_is_memoized(self):
+        assert code_fingerprint() == code_fingerprint()

@@ -1,0 +1,117 @@
+"""Golden-file regression tests for the paper artifacts (smoke scale).
+
+Three small experiment CSVs — fig6 (CG iterations), fig8 (Cholesky
+backward error) and table2 (naive IR) — are regenerated at
+``SCALES["smoke"]`` and compared column-by-column against checked-in
+digests.  Floats are canonicalized to 10 significant digits before
+hashing, so the comparison tolerates formatting drift but catches any
+numerical change an emulation/summation/solver edit introduces.
+
+To refresh after an *intentional* behaviour change::
+
+    REPRO_UPDATE_GOLDEN=1 python -m pytest tests/experiments/test_golden.py
+
+and commit the updated ``golden/smoke_digests.json`` together with the
+change that explains it.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import json
+import math
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.config import SCALES
+from repro.experiments import (common, fig06_cg, fig08_cholesky,
+                               table02_ir_naive)
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "smoke_digests.json"
+
+_EXPERIMENTS = (fig06_cg, fig08_cholesky, table02_ir_naive)
+ARTIFACTS = ("fig6_cg.csv", "fig8_cholesky.csv", "table2_ir.csv")
+
+
+def _canon(value: str) -> str:
+    """Canonical text for one CSV cell: floats to 10 significant digits."""
+    try:
+        f = float(value)
+    except ValueError:
+        return value                       # matrix names, flags, messages
+    if math.isnan(f):
+        return "nan"
+    return "%.10g" % f
+
+
+def column_digests(csv_path: str) -> dict[str, str]:
+    """Short sha256 digest of each column's canonicalized values."""
+    with open(csv_path, newline="") as fh:
+        rows = list(csv.reader(fh))
+    headers, body = rows[0], rows[1:]
+    out = {}
+    for i, name in enumerate(headers):
+        text = "\n".join(_canon(r[i]) for r in body)
+        out[name] = hashlib.sha256(text.encode()).hexdigest()[:16]
+    return out
+
+
+@pytest.fixture(scope="module")
+def smoke_csvs(tmp_path_factory):
+    """Run the three experiments once at smoke scale, isolated results."""
+    tmp = tmp_path_factory.mktemp("golden-results")
+    saved = os.environ.get("REPRO_RESULTS_DIR")
+    os.environ["REPRO_RESULTS_DIR"] = str(tmp)
+    common.clear_cache()
+    try:
+        paths = {}
+        for mod in _EXPERIMENTS:
+            res = mod.run(scale=SCALES["smoke"], quiet=True)
+            paths[os.path.basename(res.csv_path)] = res.csv_path
+        yield paths
+    finally:
+        common.clear_cache()
+        if saved is None:
+            os.environ.pop("REPRO_RESULTS_DIR", None)
+        else:
+            os.environ["REPRO_RESULTS_DIR"] = saved
+
+
+def test_canonicalization_tolerates_formatting_not_values():
+    assert _canon("0.5") == _canon("5e-1")
+    assert _canon("1.00000000001") == _canon("1.0")      # < 10 sig digits
+    assert _canon("1.000001") != _canon("1.0")
+    assert _canon("inf") == "inf" and _canon("nan") == "nan"
+    assert _canon("True") == "True" and _canon("-") == "-"
+
+
+def test_all_artifacts_produced(smoke_csvs):
+    assert sorted(smoke_csvs) == sorted(ARTIFACTS)
+    for path in smoke_csvs.values():
+        assert os.path.exists(path)
+
+
+def test_smoke_columns_match_golden(smoke_csvs):
+    got = {name: column_digests(path)
+           for name, path in sorted(smoke_csvs.items())}
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(got, indent=2, sort_keys=True) + "\n")
+    assert GOLDEN_PATH.exists(), \
+        "no golden digests checked in; run once with REPRO_UPDATE_GOLDEN=1"
+    want = json.loads(GOLDEN_PATH.read_text())
+    mismatches = []
+    for name in ARTIFACTS:
+        for col, digest in got[name].items():
+            if want.get(name, {}).get(col) != digest:
+                mismatches.append(f"{name}:{col}")
+        for col in set(want.get(name, {})) - set(got[name]):
+            mismatches.append(f"{name}:{col} (column removed)")
+    assert not mismatches, (
+        "golden drift in " + ", ".join(mismatches)
+        + " — if the numerical change is intentional, regenerate with "
+          "REPRO_UPDATE_GOLDEN=1 and commit the new digests")

@@ -7,13 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.formats import get_format
-
-ALL_FORMATS = st.sampled_from([
-    "fp16", "fp32", "fp64", "bf16", "fp8e4m3", "fp8e5m2",
-    "posit8es0", "posit16es1", "posit16es2", "posit32es2", "posit32es3",
-])
-
-finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+from tests.strategies import ALL_FORMATS, finite_floats as finite
 
 
 @given(ALL_FORMATS, finite)

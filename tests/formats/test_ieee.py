@@ -9,18 +9,7 @@ import pytest
 from repro.errors import FormatError
 from repro.formats import BFLOAT16, FP8_E4M3, FP8_E5M2, FLOAT16, FLOAT32
 from repro.formats.ieee import IEEEFormat
-
-
-def _adversarial_values(rng, fmt):
-    """Values around every boundary that matters for IEEE rounding."""
-    base = rng.standard_normal(2000) * 10.0 ** rng.integers(-40, 40, 2000)
-    edges = np.array([
-        0.0, -0.0, fmt.max_value, fmt.max_value * (1 + 2 ** -30),
-        fmt.max_value * 1.001, fmt.min_positive, fmt.min_positive / 2,
-        fmt.min_positive / 2 * (1 + 1e-9), fmt.min_positive * 1.5,
-        np.inf, -np.inf, np.nan, 1.0, -1.0,
-    ])
-    return np.concatenate([base, edges])
+from tests.strategies import adversarial_values as _adversarial_values
 
 
 class TestAgainstNative:

@@ -1,0 +1,232 @@
+"""Reference codec unit tests: exact decode, correctly rounded encode.
+
+The conformance engine sweeps these agreements at scale; the tests here
+pin the *semantics* with hand-derived cases — most importantly the
+geometric (pattern-space) tie handling that distinguishes posit rounding
+from nearest-value rounding in the tapered regions.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import OracleUnsupportedFormat
+from repro.formats import get_format
+from repro.formats.rounding_modes import DirectedIEEEFormat, StochasticRounding
+from repro.oracle.codecs import (IEEEOracleCodec, PositOracleCodec,
+                                 TABLE_MAX_NBITS, oracle_codec)
+from repro.oracle.rational import rat, rcmp, to_fraction
+
+SMALL_POSITS = ("posit4es0", "posit5es2", "posit6es1", "posit8es0",
+                "posit8es2")
+SMALL_IEEES = ("fp8e4m3", "fp8e5m2")
+
+
+def _same(a: float, b: float) -> bool:
+    return a == b or (math.isnan(a) and math.isnan(b))
+
+
+# ---------------------------------------------------------------------------
+# Exact decode vs the production bit codecs
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", SMALL_POSITS + SMALL_IEEES)
+def test_decode_matches_production_exhaustively(name):
+    fmt = get_format(name)
+    codec = oracle_codec(fmt)
+    for p in codec.all_patterns():
+        assert _same(codec.decode_float(p), fmt.from_bits(p)), hex(p)
+
+
+@pytest.mark.parametrize("name", SMALL_POSITS + SMALL_IEEES)
+def test_nearest_is_identity_on_representables(name):
+    """Correct rounding of a representable value returns its pattern."""
+    fmt = get_format(name)
+    codec = oracle_codec(fmt)
+    for p in codec.all_patterns():
+        q = codec.finite_value(p)
+        if q is None or q[0] == 0:
+            continue          # NaR/inf/NaN; and -0 canonicalizes to 0
+        assert codec.nearest_pattern(q) == p, hex(p)
+
+
+@pytest.mark.parametrize("name", SMALL_POSITS + SMALL_IEEES)
+def test_magnitudes_strictly_increasing(name):
+    codec = oracle_codec(name)
+    values = codec.magnitude_values()
+    assert values[0][0] == 0
+    for lo, hi in zip(values, values[1:]):
+        assert rcmp(lo, hi) < 0
+
+
+# ---------------------------------------------------------------------------
+# Posit rounding semantics
+# ---------------------------------------------------------------------------
+
+class TestPositRounding:
+    def test_geometric_tie_posit5es2(self):
+        """The flagship tapered-region case: ties resolve in pattern
+        space, not value space.
+
+        posit(5,2) represents 2**8 (pattern 14) and 2**12 (pattern 15)
+        as neighbours with no fraction bits between them.  The rounding
+        boundary is the *geometric* mean 2**10 — and that exact tie goes
+        to the even pattern 14, i.e. down to 2**8, even though 2**10 is
+        768 times closer to 2**12 in value.
+        """
+        codec = oracle_codec("posit5es2")
+        assert codec.decode_mag(14) == (1 << 8, 1)
+        assert codec.decode_mag(15) == (1 << 12, 1)
+        assert codec.nearest_mag((1 << 10, 1)) == 14          # tie -> even
+        assert codec.nearest_mag(((1 << 10) + 1, 1)) == 15    # just above
+        assert codec.nearest_mag(((1 << 10) - 1, 1)) == 14    # just below
+        # the arithmetic mean (2176) is far above the true boundary
+        assert codec.nearest_mag((2176, 1)) == 15
+
+    def test_geometric_tie_matches_production(self):
+        fmt = get_format("posit5es2")
+        assert fmt.to_bits(float(2 ** 10)) == 14
+        assert fmt.to_bits(float(2 ** 10 + 1)) == 15
+
+    def test_saturation_never_rounds_to_zero_or_nar(self):
+        codec = oracle_codec("posit6es1")
+        minpos = to_fraction(codec.minpos)
+        maxpos = to_fraction(codec.maxpos)
+        assert codec.nearest_pattern(rat(minpos / 1000)) == 1
+        assert codec.nearest_pattern(rat(-minpos / 1000)) == \
+            codec._signed_pattern(1, True)
+        assert codec.nearest_mag(rat(maxpos * 1000)) == codec.max_mag
+
+    def test_nar_and_sign_patterns(self):
+        codec = oracle_codec("posit6es1")
+        assert codec.finite_value(codec.nar_pattern) is None
+        assert math.isnan(codec.decode_float(codec.nar_pattern))
+        # two's-complement negation relates the signed halves
+        for mag in (1, 5, codec.max_mag):
+            neg = codec._signed_pattern(mag, True)
+            assert codec.decode_float(neg) == -codec.decode_float(mag)
+
+    def test_fraction_region_rounds_to_nearest_value(self):
+        # posit(8,0): around 1.0 there are fraction bits, so rounding is
+        # plain nearest-value with ties to even
+        codec = oracle_codec("posit8es0")
+        one = codec.nearest_mag((1, 1))
+        ulp = to_fraction(codec.decode_mag(one + 1)) - 1
+        tie = 1 + ulp / 2
+        chosen = codec.nearest_mag(rat(tie))
+        assert chosen in (one, one + 1)
+        assert chosen % 2 == 0                                # tie -> even
+        assert codec.nearest_mag(rat(1 + ulp / 4)) == one
+
+    def test_sqrt_exact_and_rounded(self):
+        codec = oracle_codec("posit8es1")
+        # exact square: sqrt(4) = 2 must hit the pattern of 2 exactly
+        two = codec.nearest_mag((2, 1))
+        assert codec.sqrt_mag((4, 1)) == two
+        # irrational: sqrt(2) must land on one of the two bracketing
+        # patterns, on the correct side of the true root
+        r = codec.sqrt_mag((2, 1))
+        v = to_fraction(codec.decode_mag(r))
+        lo = to_fraction(codec.decode_mag(r - 1))
+        hi = to_fraction(codec.decode_mag(r + 1))
+        assert lo * lo < 2 < hi * hi
+        assert (v * v - 2).numerator != 0      # no representable root
+        # saturation at the extreme cells
+        assert codec.sqrt_mag(rat(to_fraction(codec.minpos) ** 3)) == 1
+        assert codec.sqrt_mag(rat(to_fraction(codec.maxpos) ** 3)) == \
+            codec.max_mag
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(OracleUnsupportedFormat):
+            PositOracleCodec(1, 0)
+        with pytest.raises(OracleUnsupportedFormat):
+            PositOracleCodec(8, -1)
+
+
+# ---------------------------------------------------------------------------
+# IEEE rounding semantics
+# ---------------------------------------------------------------------------
+
+class TestIEEERounding:
+    def test_subnormal_boundary_fp16(self):
+        codec = oracle_codec("fp16")
+        assert isinstance(codec, IEEEOracleCodec)
+        tiny = Fraction(1, 1 << 24)               # smallest subnormal
+        assert to_fraction(codec.decode_mag(1)) == tiny
+        assert to_fraction(codec.decode_mag(1 << 10)) == \
+            Fraction(1, 1 << 14)                  # smallest normal
+        # largest subnormal is contiguous with the normals
+        assert to_fraction(codec.decode_mag((1 << 10) - 1)) == \
+            Fraction(1023, 1 << 24)
+        # subnormal tie: 1.5 * tiny sits between mags 1 and 2 -> even (2)
+        assert codec.nearest_mag(rat(tiny * 3 / 2)) == 2
+        # below half the smallest subnormal -> flush to zero
+        assert codec.nearest_mag(rat(tiny / 3)) == 0
+        assert codec.nearest_pattern(rat(tiny / 3)) == 0
+
+    def test_overflow_rule_fp16(self):
+        codec = oracle_codec("fp16")
+        assert codec.nearest_mag((65520, 1)) == codec.inf_mag   # boundary
+        assert codec.nearest_mag((65519, 1)) == codec.max_mag
+        assert math.isinf(codec.nearest_float((65520, 1)))
+        assert codec.nearest_float((-65520, 1)) == -math.inf
+
+    def test_value_ties_to_even(self):
+        codec = oracle_codec("fp8e4m3")
+        one = codec.nearest_mag((1, 1))
+        ulp = to_fraction(codec.decode_mag(one + 1)) - 1
+        tie = rat(1 + ulp / 2)
+        assert codec.nearest_mag(tie) % 2 == 0
+
+    def test_signed_patterns(self):
+        codec = oracle_codec("fp8e5m2")
+        sign = 1 << (codec.nbits - 1)
+        assert codec.nearest_pattern((-1, 1)) == \
+            codec.nearest_pattern((1, 1)) | sign
+        assert codec.decode_float(codec.inf_mag) == math.inf
+        assert codec.decode_float(codec.inf_mag | sign) == -math.inf
+        assert math.isnan(codec.decode_float(codec.inf_mag + 1))
+
+    def test_sqrt_correctly_rounded(self):
+        codec = oracle_codec("fp16")
+        two = codec.nearest_mag((2, 1))
+        assert codec.sqrt_mag((4, 1)) == two
+        r = codec.sqrt_mag((2, 1))
+        v = to_fraction(codec.decode_mag(r))
+        # |v - sqrt(2)| <= half ulp: check v is the nearest of the pair
+        lo, hi = (r, r + 1) if v * v < 2 else (r - 1, r)
+        vlo, vhi = (to_fraction(codec.decode_mag(m)) for m in (lo, hi))
+        mid = (vlo + vhi) / 2
+        assert (mid * mid > 2) == (r == lo)
+
+
+# ---------------------------------------------------------------------------
+# Dispatch
+# ---------------------------------------------------------------------------
+
+class TestDispatch:
+    def test_formats_map_to_expected_codecs(self):
+        assert isinstance(oracle_codec("posit16es1"), PositOracleCodec)
+        assert isinstance(oracle_codec("bf16"), IEEEOracleCodec)
+        native = oracle_codec("fp64")
+        assert (native.precision, native.exp_bits) == (53, 11)
+        emul = oracle_codec("fp32")
+        assert (emul.precision, emul.exp_bits) == (24, 8)
+
+    def test_codec_is_cached(self):
+        assert oracle_codec("posit8es0") is oracle_codec("posit8es0")
+
+    def test_non_rne_formats_rejected(self):
+        directed = DirectedIEEEFormat(11, 5, "toward_zero")
+        for fmt in (directed, StochasticRounding(directed, seed=1)):
+            with pytest.raises(OracleUnsupportedFormat):
+                oracle_codec(fmt)
+
+    def test_magnitude_table_refused_for_wide_formats(self):
+        codec = oracle_codec("fp32")
+        assert codec.nbits > TABLE_MAX_NBITS
+        with pytest.raises(OracleUnsupportedFormat):
+            codec.magnitude_values()

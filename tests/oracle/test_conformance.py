@@ -1,0 +1,221 @@
+"""The differential conformance engine: sweeps, reports, CLI, detection.
+
+The key test here is *detection*: a deliberately broken format (seeded
+bug) must produce divergence reports with minimized repro cases.  A
+harness that can only confirm agreement is untrustworthy.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.formats.posit_format import PositFormat
+from repro.oracle import conformance as conf
+from repro.oracle.conformance import (ALL_OPS, BINARY_OPS,
+                                      boundary_biased_patterns,
+                                      conformance_formats, run_conformance,
+                                      sweep_format)
+
+
+# ---------------------------------------------------------------------------
+# Happy path: tiny formats sweep clean in exhaustive mode
+# ---------------------------------------------------------------------------
+
+class TestSweepFormat:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return sweep_format("posit5es1")
+
+    def test_all_ops_covered(self, reports):
+        assert [r.op for r in reports] == list(ALL_OPS)
+
+    def test_everything_conforms(self, reports):
+        assert all(r.ok for r in reports), \
+            [(r.op, r.first) for r in reports if not r.ok]
+        assert all(r.divergences == 0 and not r.first for r in reports)
+
+    def test_exhaustive_modes_for_narrow_format(self, reports):
+        by_op = {r.op: r for r in reports}
+        for op in BINARY_OPS:
+            assert by_op[op].mode == "exhaustive"
+            assert by_op[op].checked == (1 << 5) ** 2    # all 1024 pairs
+        assert by_op["sqrt"].mode == "exhaustive"
+        assert by_op["sqrt"].checked == 1 << 5
+        assert by_op["decode"].checked == 1 << 5
+
+    def test_contract_recorded(self, reports):
+        assert {r.contract for r in reports} <= {"exact"}
+        assert all(r.format == "posit5es1" for r in reports)
+
+    def test_wide_format_falls_back_to_stratified(self):
+        (r,) = sweep_format("posit16es1", ops=("add",), samples=200)
+        assert r.mode == "stratified"
+        assert r.ok and r.checked >= 200
+
+    def test_carrier_contract_selected_for_wide_posits(self):
+        (r,) = sweep_format("posit32es2", ops=("sqrt",), samples=40)
+        assert r.contract == "carrier"
+        assert r.ok
+
+    def test_exact_context_skips_blas_kernels(self):
+        reports = sweep_format("fp64", ops=("dot", "axpy", "matvec"),
+                               samples=30)
+        # fp64 evaluates dot/matvec via BLAS, outside the rounded-fold
+        # contract; only axpy remains checkable
+        assert [r.op for r in reports] == ["axpy"]
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_format("posit4es0", ops=("quire",))
+
+    def test_sweep_is_deterministic(self):
+        a = sweep_format("posit16es1", ops=("add",), samples=120)[0]
+        b = sweep_format("posit16es1", ops=("add",), samples=120)[0]
+        assert (a.checked, a.divergences) == (b.checked, b.divergences)
+
+
+def test_boundary_pool_hits_the_extremes():
+    fmt = "posit8es1"
+    rng = np.random.default_rng(7)
+    pats = boundary_biased_patterns(fmt, 64, rng)
+    assert len(pats) == len(set(pats)) >= 64  # specials may exceed count
+    from repro.formats import get_format
+    from repro.oracle.codecs import oracle_codec
+    codec = oracle_codec(fmt)
+    fobj = get_format(fmt)
+    vals = {codec.decode_float(p) for p in pats}
+    assert fobj.max_value in vals and -fobj.max_value in vals
+    assert fobj.min_positive in vals and 1.0 in vals
+    assert any(np.isnan(v) for v in vals)                 # NaR included
+
+
+# ---------------------------------------------------------------------------
+# Seeded bug: the harness must detect a broken implementation
+# ---------------------------------------------------------------------------
+
+class _FlushingPosit(PositFormat):
+    """posit6es1 with a seeded bug: small magnitudes flush to zero
+    instead of clamping to minpos (an IEEE-underflow habit that posit
+    semantics forbid).  Deliberately NOT registered, so the registry and
+    the edge-semantics parametrization never see it.
+    """
+
+    def __init__(self):
+        super().__init__(6, 1)
+        self.name = "posit6es1-flushbug"
+
+    def round(self, x):
+        out = np.asarray(super().round(x), dtype=np.float64)
+        out = np.where(np.abs(out) < 0.02, 0.0, out)
+        return float(out) if np.ndim(x) == 0 else out
+
+
+class TestSeededBugDetection:
+    @pytest.fixture(scope="class")
+    def broken(self):
+        return _FlushingPosit()
+
+    def test_round_sweep_flags_the_bug(self, broken):
+        reports = sweep_format(broken, ops=("round",))
+        (r,) = reports
+        assert not r.ok and r.divergences > 0
+        assert r.first, "divergences must carry repro cases"
+        rec = r.first[0]
+        assert rec["got"] == 0.0
+        assert rec["want"] != 0.0                 # oracle clamps to minpos
+
+    def test_binary_sweep_flags_the_bug_with_shrunk_repros(self, broken):
+        (r,) = sweep_format(broken, ops=("mul",))
+        assert r.mode == "exhaustive" and r.divergences > 0
+        for rec in r.first:
+            # every reported case is a verified, minimized divergence
+            assert len(rec["operands"]) == 2
+            pats = [int(s, 16) for s in rec["operands"]]
+            vals = [broken.from_bits(p) for p in pats]
+            got = float(broken.round(vals[0] * vals[1]))
+            assert got == rec["got"] == 0.0
+            assert rec["want"] != 0.0
+            assert "unshrunk_operands" in rec
+
+    def test_healthy_sibling_still_passes(self):
+        reports = sweep_format("posit6es1", ops=("round", "mul"))
+        assert all(r.ok for r in reports)
+
+
+# ---------------------------------------------------------------------------
+# Aggregation payload and tier grids
+# ---------------------------------------------------------------------------
+
+def test_tier_grids():
+    t1, t2 = conformance_formats(1), conformance_formats(2)
+    assert "posit32es2" in t1 and "fp16" in t1
+    assert "posit10es2" in t2 and "fp64" in t2
+    assert len(set(t1)) == len(t1) and len(set(t2)) == len(t2)
+
+
+def test_run_conformance_payload():
+    payload = run_conformance(["posit4es0", "fp8e5m2"],
+                              ops=("add", "round"), samples=64)
+    assert payload["schema"] == "repro-conformance/1"
+    assert payload["tier"] == 1
+    assert payload["formats"] == ["posit4es0", "fp8e5m2"]
+    assert len(payload["reports"]) == 4           # 2 formats x 2 ops
+    s = payload["summary"]
+    assert s["status"] == "pass" and s["divergences"] == 0
+    assert s["checked"] == sum(r["checked"] for r in payload["reports"])
+    # the payload must be strict-JSON serializable (no NaN tokens)
+    json.loads(json.dumps(payload, allow_nan=False))
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+class TestCLI:
+    def test_clean_run_writes_report_and_exits_zero(self, tmp_path,
+                                                    monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        rc = conf.main(["--formats", "posit4es0,fp8e5m2",
+                        "--ops", "add,sqrt", "--quiet",
+                        "--out", "cli-conf.json"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[PASS]" in out
+        with open(os.path.join(str(tmp_path), "cli-conf.json")) as fh:
+            payload = json.load(fh)
+        assert payload["summary"]["status"] == "pass"
+        assert payload["ops"] == ["add", "sqrt"]
+        assert payload["elapsed"] > 0
+
+    def test_unknown_op_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as exc:
+            conf.main(["--ops", "quire"])
+        assert exc.value.code == 2
+
+    def test_divergences_exit_one(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+
+        def fake_run(*a, **k):
+            return {"schema": "repro-conformance/1", "tier": 1,
+                    "seed": 0, "samples": 1, "ops": ["add"],
+                    "formats": ["posit8es1"],
+                    "reports": [{"format": "posit8es1", "op": "add",
+                                 "mode": "exhaustive", "checked": 10,
+                                 "divergences": 1, "elapsed": 0.0,
+                                 "contract": "exact",
+                                 "first": [{"op": "add",
+                                            "operands": ["0x01", "0x02"],
+                                            "got": 0.0, "want": 1.0}]}],
+                    "summary": {"formats": 1, "checked": 10,
+                                "divergences": 1, "status": "fail"}}
+
+        monkeypatch.setattr(conf, "run_conformance", fake_run)
+        rc = conf.main(["--quiet", "--out", "fail-conf.json"])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "[FAIL]" in captured.out
+        assert "repro posit8es1" in captured.err

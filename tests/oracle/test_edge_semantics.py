@@ -1,0 +1,185 @@
+"""Edge-value semantics for every registered format (satellite of the
+conformance harness).
+
+Families differ on purpose: posits have one zero, NaR, and clamp at
+minpos/maxpos; IEEE has signed zeros, infinities, subnormal underflow
+and overflow.  Each behaviour is asserted against the production
+FPContext for *every* format in the registry, and cross-checked against
+the exact oracle where one exists.  Formats the oracle refuses
+(non-RNE rounding modes) still get the production-only assertions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.arith import FPContext
+from repro.errors import OracleUnsupportedFormat
+from repro.formats import available_formats, get_format
+from repro.formats.rounding_modes import DirectedIEEEFormat, StochasticRounding
+from repro.oracle.codecs import oracle_codec
+from repro.oracle.reference import oracle_scalar, ref_round, same_value
+
+FORMAT_NAMES = sorted(available_formats())
+SCALAR_BINOPS = ("add", "sub", "mul", "div")
+
+NAN, INF = math.nan, math.inf
+
+
+@pytest.fixture(params=FORMAT_NAMES, scope="module")
+def fmt(request):
+    return get_format(request.param)
+
+
+@pytest.fixture(scope="module")
+def ctx(fmt):
+    return FPContext(fmt)
+
+
+# ---------------------------------------------------------------------------
+# Exceptional-value propagation (all families)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("op", SCALAR_BINOPS)
+def test_nan_propagates_through_binops(ctx, op):
+    f = getattr(ctx, op)
+    assert math.isnan(float(f(NAN, 1.5)))
+    assert math.isnan(float(f(1.5, NAN)))
+    assert math.isnan(float(f(NAN, NAN)))
+
+
+def test_nan_propagates_through_sqrt_and_round(ctx, fmt):
+    assert math.isnan(float(ctx.sqrt(NAN)))
+    assert math.isnan(float(fmt.round(NAN)))
+    assert math.isnan(float(ctx.sqrt(-1.0)))
+
+
+def test_nan_absorbs_in_reductions(ctx):
+    assert math.isnan(ctx.sum(np.array([1.0, NAN, 2.0])))
+    assert math.isnan(ctx.dot(np.array([NAN, 1.0]), np.array([1.0, 1.0])))
+
+
+def test_zero_identities(ctx):
+    assert float(ctx.add(1.5, 0.0)) == 1.5
+    assert float(ctx.sub(1.5, 0.0)) == 1.5
+    assert float(ctx.mul(1.5, 0.0)) == 0.0
+    assert float(ctx.div(0.0, 2.0)) == 0.0
+    assert float(ctx.sqrt(0.0)) == 0.0
+
+
+def test_division_by_zero(ctx, fmt):
+    q = float(ctx.div(1.5, 0.0))
+    if fmt.saturates:
+        assert math.isnan(q)                  # posit: x/0 is NaR
+    else:
+        assert q == INF                       # IEEE: x/0 is ±inf
+        assert float(ctx.div(-1.5, 0.0)) == -INF
+    assert math.isnan(float(ctx.div(0.0, 0.0)))
+
+
+def test_infinite_input_handling(ctx, fmt):
+    got = float(fmt.round(INF))
+    if fmt.saturates:
+        assert math.isnan(got)                # posit: no infinities, NaR
+        assert math.isnan(float(ctx.add(INF, 1.0)))
+    else:
+        assert got == INF
+        assert float(fmt.round(-INF)) == -INF
+
+
+# ---------------------------------------------------------------------------
+# Range edges: minpos / maxpos / subnormal boundary
+# ---------------------------------------------------------------------------
+
+def test_underflow_edge(ctx, fmt):
+    tiny = fmt.min_positive
+    got = float(fmt.round(tiny / 4.0))
+    if fmt.saturates:
+        assert got == tiny                    # posit clamps to minpos
+        assert float(fmt.round(-tiny / 4.0)) == -tiny
+    else:
+        assert got == 0.0                     # IEEE underflows to zero
+        # RNE at the half-minpos tie goes to the even side (zero), and
+        # three quarters of minpos comes back up
+        assert float(fmt.round(tiny / 2.0)) == 0.0
+        assert float(fmt.round(tiny * 0.75)) == tiny
+
+
+def test_overflow_edge(ctx, fmt):
+    big = fmt.max_value
+    doubled = float(fmt.round(big * 2.0))
+    summed = float(ctx.add(big, big))
+    if fmt.saturates:
+        assert doubled == big == summed       # posit saturates at maxpos
+        assert float(fmt.round(-big * 2.0)) == -big
+    else:
+        assert doubled == INF == summed       # IEEE overflows to inf
+        assert float(fmt.round(-big * 2.0)) == -INF
+    # the edges themselves are fixed points of the quantizer
+    assert float(fmt.round(big)) == big
+    assert float(fmt.round(fmt.min_positive)) == fmt.min_positive
+
+
+def test_extreme_values_round_trip_the_codec(fmt):
+    for v in (fmt.max_value, fmt.min_positive, -fmt.max_value, 1.0):
+        assert fmt.from_bits(fmt.to_bits(v)) == v
+
+
+def test_zero_sign_semantics(fmt):
+    if fmt.saturates:
+        # posit has a single zero: -0.0 canonicalizes
+        assert fmt.to_bits(-0.0) == fmt.to_bits(0.0) == 0
+    else:
+        r = float(fmt.round(-0.0))
+        assert r == 0.0 and math.copysign(1.0, r) == -1.0
+
+
+def test_one_is_exact_and_eps_is_the_next_step(fmt):
+    assert float(fmt.round(1.0)) == 1.0
+    nxt = 1.0 + fmt.eps_at_one
+    assert float(fmt.round(nxt)) == nxt
+    # below half an ulp rounds back down to 1.0
+    assert float(fmt.round(1.0 + fmt.eps_at_one / 4.0)) == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Oracle cross-checks (for formats the oracle supports)
+# ---------------------------------------------------------------------------
+
+def test_edges_agree_with_oracle(ctx, fmt):
+    try:
+        oracle_codec(fmt)
+    except OracleUnsupportedFormat:
+        pytest.skip(f"{fmt.name} has no exact oracle (non-RNE)")
+    oracle = oracle_scalar(fmt)
+    tiny, big = fmt.min_positive, fmt.max_value
+    for x in (tiny / 4.0, tiny / 2.0, tiny * 0.75, big, -big, 0.0,
+              1.0 + fmt.eps_at_one / 4.0, NAN, INF, -INF):
+        assert same_value(float(fmt.round(x)), ref_round(fmt, x)), x
+    for a, b in ((1.5, 0.0), (0.0, 0.0), (big, big), (tiny, tiny)):
+        for op in SCALAR_BINOPS:
+            got = float(getattr(ctx, op)(a, b))
+            assert same_value(got, oracle(op, a, b)), (op, a, b)
+
+
+# ---------------------------------------------------------------------------
+# Non-RNE formats: refused by the oracle, production semantics only
+# ---------------------------------------------------------------------------
+
+_directed = DirectedIEEEFormat(11, 5, "toward_zero")
+
+
+@pytest.mark.parametrize("odd", [_directed, StochasticRounding(_directed,
+                                                               seed=3)],
+                         ids=lambda f: f.name)
+def test_non_rne_formats_keep_edge_semantics(odd):
+    with pytest.raises(OracleUnsupportedFormat):
+        oracle_codec(odd)
+    ctx = FPContext(odd)
+    assert math.isnan(float(ctx.mul(NAN, 1.0)))
+    assert math.isnan(float(ctx.sqrt(-1.0)))
+    assert float(odd.round(0.0)) == 0.0
+    assert float(ctx.add(1.0, 0.0)) == 1.0

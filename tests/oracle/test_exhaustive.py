@@ -1,0 +1,55 @@
+"""Tier-2 exhaustive conformance sweeps (nightly; skipped by default).
+
+These are the acceptance sweeps from the conformance issue: every posit
+format with nbits <= 10 and es <= 2 must agree with the exact oracle on
+*every operand pair* for every scalar op, and float16 must agree on its
+entire pattern space for the unary ops plus a deep stratified binary
+sweep.  Enable locally with ``pytest --tier2`` or ``REPRO_TIER2=1``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.oracle.conformance import (ALL_OPS, BINARY_OPS,
+                                      run_conformance, sweep_format)
+
+pytestmark = pytest.mark.tier2
+
+SMALL_POSIT_GRID = [f"posit{n}es{es}"
+                    for n in range(3, 11) for es in range(0, 3)]
+
+
+@pytest.mark.parametrize("name", SMALL_POSIT_GRID)
+def test_small_posits_conform_exhaustively(name):
+    reports = sweep_format(name, exhaustive_nbits=10,
+                           unary_exhaustive_nbits=16)
+    by_op = {r.op: r for r in reports}
+    for op in BINARY_OPS + ("sqrt", "round", "encode", "decode"):
+        assert by_op[op].mode == "exhaustive", op
+    nbits = int(name.split("es")[0][len("posit"):])
+    for op in BINARY_OPS:
+        assert by_op[op].checked == (1 << nbits) ** 2
+    failures = [(r.op, r.divergences, r.first)
+                for r in reports if not r.ok]
+    assert not failures, failures
+
+
+def test_fp16_exhaustive_unary_stratified_binary():
+    reports = sweep_format("fp16", exhaustive_nbits=10,
+                           unary_exhaustive_nbits=16, samples=6000)
+    by_op = {r.op: r for r in reports}
+    for op in ("sqrt", "round", "encode", "decode"):
+        assert by_op[op].mode == "exhaustive", op
+    assert by_op["sqrt"].checked == 1 << 16
+    for op in BINARY_OPS:
+        assert by_op[op].mode == "stratified"
+    failures = [(r.op, r.divergences, r.first)
+                for r in reports if not r.ok]
+    assert not failures, failures
+
+
+def test_tier2_grid_report_is_clean():
+    payload = run_conformance(tier=2, ops=ALL_OPS)
+    assert payload["summary"]["status"] == "pass", payload["summary"]
+    assert payload["summary"]["divergences"] == 0

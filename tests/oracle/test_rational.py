@@ -1,0 +1,131 @@
+"""The unnormalized rational kernel must agree with fractions.Fraction."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import isqrt
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.oracle.rational import (floor_log2_rat, floor_sqrt_scaled,
+                                   is_zero, rabs, radd, rat, rcmp, rdiv,
+                                   rdot, rfma, rmul, rneg, rsign, rsub,
+                                   rsum, to_fraction)
+from tests.strategies import finite_floats
+
+# rationals with spread-out magnitudes, including unreduced pairs
+_ints = st.integers(min_value=-10**12, max_value=10**12)
+_dens = st.integers(min_value=1, max_value=10**12)
+rationals = st.tuples(_ints, _dens)
+
+
+def _f(q):
+    return Fraction(q[0], q[1])
+
+
+@given(finite_floats)
+def test_rat_of_float_is_exact(x):
+    assert _f(rat(x)) == Fraction(x)
+
+
+def test_rat_conversions():
+    assert rat(3) == (3, 1)
+    assert _f(rat(Fraction(-7, 12))) == Fraction(-7, 12)
+    assert rat((6, 4)) == (6, 4)          # unreduced pairs pass through
+    with pytest.raises(ValueError):
+        rat((1, 0))
+    with pytest.raises(ValueError):
+        rat((1, -2))
+    with pytest.raises(TypeError):
+        rat(True)
+    with pytest.raises((OverflowError, ValueError)):
+        rat(float("inf"))
+    with pytest.raises((OverflowError, ValueError)):
+        rat(float("nan"))
+
+
+@given(rationals, rationals)
+def test_field_ops_match_fraction(a, b):
+    assert _f(radd(a, b)) == _f(a) + _f(b)
+    assert _f(rsub(a, b)) == _f(a) - _f(b)
+    assert _f(rmul(a, b)) == _f(a) * _f(b)
+    if b[0] != 0:
+        q = rdiv(a, b)
+        assert q[1] > 0                   # sign normalized into numerator
+        assert _f(q) == _f(a) / _f(b)
+    assert _f(rneg(a)) == -_f(a)
+    assert _f(rabs(a)) == abs(_f(a))
+
+
+def test_rdiv_by_zero_raises():
+    with pytest.raises(ZeroDivisionError):
+        rdiv((1, 2), (0, 5))
+
+
+@given(rationals, rationals)
+def test_predicates(a, b):
+    fa, fb = _f(a), _f(b)
+    assert rcmp(a, b) == (fa > fb) - (fa < fb)
+    assert rsign(a) == (fa > 0) - (fa < 0)
+    assert is_zero(a) == (fa == 0)
+
+
+@given(st.lists(rationals, max_size=12))
+def test_rsum(terms):
+    assert _f(rsum(terms)) == sum((_f(t) for t in terms), Fraction(0))
+
+
+@given(st.lists(st.tuples(finite_floats, finite_floats), max_size=8))
+def test_rdot(pairs):
+    xs = [p[0] for p in pairs]
+    ys = [p[1] for p in pairs]
+    want = sum((Fraction(x) * Fraction(y) for x, y in pairs), Fraction(0))
+    assert _f(rdot(xs, ys)) == want
+
+
+def test_rdot_length_mismatch():
+    with pytest.raises(ValueError):
+        rdot([1.0], [1.0, 2.0])
+
+
+@given(finite_floats, finite_floats, finite_floats)
+def test_rfma_exact(a, b, c):
+    assert to_fraction(rfma(a, b, c)) == \
+        Fraction(a) * Fraction(b) + Fraction(c)
+
+
+@given(st.integers(min_value=1, max_value=10**15),
+       st.integers(min_value=1, max_value=10**15))
+def test_floor_log2(num, den):
+    s = floor_log2_rat((num, den))
+    q = Fraction(num, den)
+    assert Fraction(2) ** s <= q < Fraction(2) ** (s + 1)
+
+
+def test_floor_log2_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        floor_log2_rat((0, 1))
+    with pytest.raises(ValueError):
+        floor_log2_rat((-3, 2))
+
+
+@given(st.integers(min_value=0, max_value=10**12),
+       st.integers(min_value=1, max_value=10**6),
+       st.integers(min_value=0, max_value=40))
+@settings(max_examples=200)
+def test_floor_sqrt_scaled(num, den, shift):
+    got = floor_sqrt_scaled((num, den), shift)
+    # got = floor(sqrt(num/den) * 2**shift):
+    #   got**2 <= (num/den) * 4**shift < (got+1)**2
+    assert got * got * den <= num << (2 * shift)
+    assert num << (2 * shift) < (got + 1) * (got + 1) * den
+
+
+def test_floor_sqrt_examples():
+    assert floor_sqrt_scaled((4, 1)) == 2
+    assert floor_sqrt_scaled((2, 1), 1) == 2          # floor(2*sqrt(2))
+    assert floor_sqrt_scaled((1, 2), 4) == isqrt(128)  # floor(16/sqrt 2)
+    with pytest.raises(ValueError):
+        floor_sqrt_scaled((-1, 1))

@@ -15,15 +15,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.posit.codec import decode_float, encode, posit_config
-
-#: the (nbits, es) grid under test — the paper's formats plus the
-#: widened-recovery rungs and a tiny format for exhaustive coverage
-GRID = [(6, 0), (8, 0), (8, 1), (16, 1), (16, 2), (24, 1), (32, 2),
-        (32, 3)]
-
-FORMATS = st.sampled_from(GRID)
-finite_floats = st.floats(allow_nan=False, allow_infinity=False,
-                          width=64)
+from tests.strategies import (POSIT_FAULT_FORMATS as FORMATS,
+                              POSIT_FAULT_GRID as GRID, finite_floats)
 
 
 def _encode_back(value: float, cfg) -> int:

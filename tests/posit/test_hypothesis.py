@@ -13,13 +13,8 @@ from repro.posit import Posit
 from repro.posit.codec import (decode_fraction, encode, negate,
                                posit_config, round_to_nearest)
 from repro.posit.rounding import posit_round
-
-FORMATS = st.sampled_from([(8, 0), (8, 1), (16, 1), (16, 2), (32, 2)])
-
-finite_floats = st.floats(allow_nan=False, allow_infinity=False,
-                          allow_subnormal=True, width=64)
-reasonable_floats = st.floats(min_value=-1e30, max_value=1e30,
-                              allow_nan=False, allow_infinity=False)
+from tests.strategies import (POSIT_CORE_FORMATS as FORMATS,
+                              finite_floats, reasonable_floats)
 
 
 @given(FORMATS, finite_floats)

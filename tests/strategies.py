@@ -1,0 +1,75 @@
+"""Shared hypothesis strategies and operand generators for the suite.
+
+Historically each property-test module grew its own copy of "a finite
+float64", "a registered format name" and "the posit grid"; they drifted
+(different widths, different grids) and the conformance tests would have
+added a fourth copy.  Everything operand-shaped now lives here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.formats import get_format
+
+__all__ = [
+    "ALL_FORMAT_NAMES", "ALL_FORMATS",
+    "POSIT_CORE_GRID", "POSIT_FAULT_GRID",
+    "POSIT_CORE_FORMATS", "POSIT_FAULT_FORMATS",
+    "finite_floats", "reasonable_floats", "representable_floats",
+    "adversarial_values",
+]
+
+#: every format registered by default (kept in sync with the registry;
+#: tests/formats/test_registry.py asserts these all resolve)
+ALL_FORMAT_NAMES = (
+    "fp16", "fp32", "fp64", "bf16", "fp8e4m3", "fp8e5m2",
+    "posit8es0", "posit16es1", "posit16es2", "posit32es2", "posit32es3",
+)
+
+ALL_FORMATS = st.sampled_from(ALL_FORMAT_NAMES)
+
+#: the paper's (nbits, es) grid exercised by the posit arithmetic tests
+POSIT_CORE_GRID = ((8, 0), (8, 1), (16, 1), (16, 2), (32, 2))
+
+#: the wider grid the fault-injection codec tests sweep — the paper's
+#: formats plus the widened-recovery rungs and a tiny exhaustive format
+POSIT_FAULT_GRID = ((6, 0), (8, 0), (8, 1), (16, 1), (16, 2), (24, 1),
+                    (32, 2), (32, 3))
+
+POSIT_CORE_FORMATS = st.sampled_from(POSIT_CORE_GRID)
+POSIT_FAULT_FORMATS = st.sampled_from(POSIT_FAULT_GRID)
+
+#: any finite float64, subnormals included
+finite_floats = st.floats(allow_nan=False, allow_infinity=False,
+                          allow_subnormal=True, width=64)
+
+#: floats inside every format's dynamic range (no saturation effects)
+reasonable_floats = st.floats(min_value=-1e30, max_value=1e30,
+                              allow_nan=False, allow_infinity=False)
+
+
+def representable_floats(fmt) -> st.SearchStrategy:
+    """Finite float64 values exactly representable in *fmt*."""
+    fobj = get_format(fmt)
+    return finite_floats.map(fobj.round).filter(np.isfinite).map(float)
+
+
+def adversarial_values(rng: np.random.Generator, fmt,
+                       n_random: int = 2000) -> np.ndarray:
+    """Random wide-range values plus every boundary that matters.
+
+    Covers ±0, the overflow threshold neighbourhood, the subnormal /
+    minpos flush region, ±inf and NaN — the places quantizers get wrong.
+    """
+    fobj = get_format(fmt)
+    base = rng.standard_normal(n_random) * \
+        10.0 ** rng.integers(-40, 40, n_random)
+    edges = np.array([
+        0.0, -0.0, fobj.max_value, fobj.max_value * (1 + 2 ** -30),
+        fobj.max_value * 1.001, fobj.min_positive, fobj.min_positive / 2,
+        fobj.min_positive / 2 * (1 + 1e-9), fobj.min_positive * 1.5,
+        np.inf, -np.inf, np.nan, 1.0, -1.0,
+    ])
+    return np.concatenate([base, edges])

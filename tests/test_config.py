@@ -8,11 +8,12 @@ from repro.config import SCALES, current_scale, scale_from_env
 
 
 class TestScales:
-    def test_three_scales(self):
-        assert set(SCALES) == {"small", "medium", "full"}
+    def test_scale_names(self):
+        assert set(SCALES) == {"smoke", "small", "medium", "full"}
 
     def test_ordering(self):
-        assert SCALES["small"].max_dimension < \
+        assert SCALES["smoke"].max_dimension < \
+            SCALES["small"].max_dimension < \
             SCALES["medium"].max_dimension < SCALES["full"].max_dimension
 
     def test_full_scale_fits_paper(self):
