@@ -41,25 +41,42 @@ from .resilience import (FaultInjector, RecoveryPolicy, RecoveryTrace,
 __version__ = "1.0.0"
 
 
-def context(fmt="fp64", **kwargs) -> FPContext:
+def context(fmt="fp64", trace=False, **kwargs) -> FPContext:
     """An :class:`FPContext` for *fmt* (any name :func:`get_format`
     accepts, aliases included) — the recommended entry point for
     per-operation-rounded arithmetic::
 
         ctx = repro.context("posit32es2")
         ctx = repro.context("half", sum_order="sequential")
+
+    With ``trace=True`` a fresh :class:`repro.telemetry.Collector` is
+    bound to the context (reachable as ``ctx.collector``), so every
+    rounding the context performs is counted per site::
+
+        ctx = repro.context("posit16es1", trace=True)
+        ctx.dot(x, y)
+        ctx.collector.site_totals()     # {"dot.mul": ..., "dot.sum": ...}
+
+    Pass an existing collector as ``collector=...`` to share one
+    across contexts; ``trace=True`` is just the make-me-one shorthand.
     """
+    if trace and "collector" not in kwargs:
+        from .telemetry import Collector
+        kwargs["collector"] = Collector()
     return FPContext(fmt, **kwargs)
 
 
-def run_experiment(exp_id, scale=None, quiet=False):
+def run_experiment(exp_id, scale=None, quiet=False, trace=False):
     """Run one registered experiment by id (e.g. ``"fig6"``).
 
     Imports the experiment harness lazily; see
-    ``python -m repro.experiments list`` for the available ids.
+    ``python -m repro.experiments list`` for the available ids.  With
+    ``trace`` truthy (``True`` or a path), the run records a JSON-lines
+    telemetry trace — see
+    :func:`repro.experiments.runner.run_experiment`.
     """
     from .experiments import run_experiment as _run
-    return _run(exp_id, scale=scale, quiet=quiet)
+    return _run(exp_id, scale=scale, quiet=quiet, trace=trace)
 
 
 __all__ = [

@@ -25,37 +25,64 @@ from ..formats.registry import get_format
 from .sparse import ELLMatrix
 from .summation import SUM_ORDERS, rounded_sum_last_axis
 
-__all__ = ["FPContext", "get_active_injector", "set_active_injector"]
+__all__ = ["FPContext", "INSTRUMENT_KINDS", "get_active_injector",
+           "get_instrument", "set_active_injector", "set_instrument"]
 
 
 def _identity(x: np.ndarray) -> np.ndarray:
     return x
 
 
-# Ambient fault injector (see repro.resilience.faults).  The context
-# layer knows nothing about injector internals — anything with an
-# ``apply(site, value, fmt)`` method works — which keeps this module
-# import-free of the resilience package.
-_ACTIVE_INJECTOR = None
+# Ambient instrumentation registry.  The context layer knows nothing
+# about the internals of what is installed — an ``injector`` is anything
+# with ``apply(site, value, fmt)`` (repro.resilience.faults), a
+# ``collector`` anything with ``record(site, exact, rounded, fmt)``
+# (repro.telemetry.collector), a ``tracer`` anything with
+# ``emit(type, **fields)`` (repro.telemetry.trace) — which keeps this
+# module import-free of both packages.  Every slot defaults to None and
+# a single ``is None`` check per site is the entire disabled overhead.
+INSTRUMENT_KINDS = ("injector", "collector", "tracer")
+
+_INSTRUMENTS: dict[str, object] = {kind: None for kind in INSTRUMENT_KINDS}
+
+
+def set_instrument(kind: str, obj):
+    """Install *obj* process-wide as the ambient *kind* instrument.
+
+    Every :class:`FPContext` (including ones solvers construct
+    internally) routes through the active instruments, so arbitrary
+    solver code is observable — and testable under silent data
+    corruption — without modification.  Returns the previously
+    installed instrument; pass ``None`` to deactivate.
+    """
+    if kind not in _INSTRUMENTS:
+        raise KeyError(f"unknown instrument kind {kind!r}; "
+                       f"choose from {INSTRUMENT_KINDS}")
+    previous = _INSTRUMENTS[kind]
+    _INSTRUMENTS[kind] = obj
+    return previous
+
+
+def get_instrument(kind: str):
+    """The ambient instrument of the given kind, or None when inactive."""
+    if kind not in _INSTRUMENTS:
+        raise KeyError(f"unknown instrument kind {kind!r}; "
+                       f"choose from {INSTRUMENT_KINDS}")
+    return _INSTRUMENTS[kind]
 
 
 def set_active_injector(injector):
     """Install *injector* process-wide; returns the previous one.
 
-    Every :class:`FPContext` (including ones solvers construct
-    internally) routes its named sites through the active injector, so
-    arbitrary solver code is testable under silent data corruption
-    without modification.  Pass ``None`` to deactivate.
+    Shorthand for ``set_instrument("injector", injector)``, kept as the
+    resilience layer's historical entry point.
     """
-    global _ACTIVE_INJECTOR
-    previous = _ACTIVE_INJECTOR
-    _ACTIVE_INJECTOR = injector
-    return previous
+    return set_instrument("injector", injector)
 
 
 def get_active_injector():
     """The ambient fault injector, or None when injection is off."""
-    return _ACTIVE_INJECTOR
+    return _INSTRUMENTS["injector"]
 
 
 class FPContext:
@@ -72,15 +99,24 @@ class FPContext:
         Optional fault injector bound to this context only (anything
         with ``apply(site, value, fmt)``); when None, the ambient
         injector installed via :func:`set_active_injector` applies.
+    collector:
+        Optional op-metrics collector bound to this context only
+        (anything with ``record(site, exact, rounded, fmt)``, normally
+        a :class:`repro.telemetry.Collector`); when None, the ambient
+        collector installed via ``set_instrument("collector", ...)``
+        applies.  Collectors only observe — results are bit-identical
+        with and without one.
     """
 
     def __init__(self, fmt: NumberFormat | str,
-                 sum_order: str = "pairwise", injector=None):
+                 sum_order: str = "pairwise", injector=None,
+                 collector=None):
         self.fmt = get_format(fmt)
         if sum_order not in SUM_ORDERS:
             raise ValueError(f"sum_order must be one of {SUM_ORDERS}")
         self.sum_order = sum_order
         self.injector = injector
+        self.collector = collector
         self._exact = self.fmt == FLOAT64
         self._rnd = _identity if self._exact else self.fmt.round
 
@@ -99,14 +135,57 @@ class FPContext:
         solvers add their own (e.g. the Cholesky ``pivot`` site).
         """
         injector = self.injector if self.injector is not None \
-            else _ACTIVE_INJECTOR
+            else _INSTRUMENTS["injector"]
         if injector is None:
             return value
         return injector.apply(site, value, self.fmt)
 
+    def _quantize(self, site: str, exact):
+        """Round *exact* into the format, reporting the rounding event.
+
+        Every named rounding site funnels through here (or through the
+        per-reduction rounder of :meth:`_rnd_for`).  When no collector
+        is bound or ambient, the overhead over a bare ``self._rnd``
+        call is one attribute read and one ``is None`` check.
+        """
+        out = self._rnd(exact)
+        if self._exact:
+            # float64 is the carrier: no rounding happened, so there
+            # is no event to report
+            return out
+        col = self.collector
+        if col is None:
+            col = _INSTRUMENTS["collector"]
+            if col is None:
+                return out
+        col.record(site, exact, out, self.fmt)
+        return out
+
+    def _rnd_for(self, site: str):
+        """The rounding callable for a reduction at the named site.
+
+        Returns the bare rounder when no collector is active (zero
+        added cost on the disabled path); otherwise a wrapper that
+        reports every partial result to the collector.
+        """
+        if self._exact:
+            return self._rnd
+        col = self.collector
+        if col is None:
+            col = _INSTRUMENTS["collector"]
+            if col is None:
+                return self._rnd
+        rnd, fmt, record = self._rnd, self.fmt, col.record
+
+        def observed(x):
+            out = rnd(x)
+            record(site, x, out, fmt)
+            return out
+        return observed
+
     def round(self, x):
         """Quantize values into the context's format."""
-        return x if self._exact else self.fmt.round(x)
+        return x if self._exact else self._quantize("round", x)
 
     def asarray(self, x):
         """Convert to a float64 array holding format-representable values.
@@ -118,9 +197,11 @@ class FPContext:
         if isinstance(x, ELLMatrix):
             # sparse storage is not fault-instrumented (padding zeros
             # would absorb a rate-proportional share of the hits)
-            return x if self._exact else x.quantized(self.fmt.round)
+            return x if self._exact else x.quantized(
+                self._rnd_for("storage"))
         arr = np.array(x, dtype=np.float64)
-        arr = arr if self._exact else np.asarray(self.fmt.round(arr))
+        if not self._exact:
+            arr = np.asarray(self._quantize("storage", arr))
         return self.inject("storage", arr)
 
     # -- elementwise ops (one rounding each) ------------------------------
@@ -129,23 +210,23 @@ class FPContext:
     # NaNs propagate and surface as solver failures.
     def add(self, a, b):
         with np.errstate(invalid="ignore", over="ignore"):
-            return self._rnd(np.add(a, b))
+            return self._quantize("add", np.add(a, b))
 
     def sub(self, a, b):
         with np.errstate(invalid="ignore", over="ignore"):
-            return self._rnd(np.subtract(a, b))
+            return self._quantize("sub", np.subtract(a, b))
 
     def mul(self, a, b):
         with np.errstate(invalid="ignore", over="ignore"):
-            return self._rnd(np.multiply(a, b))
+            return self._quantize("mul", np.multiply(a, b))
 
     def div(self, a, b):
         with np.errstate(divide="ignore", invalid="ignore"):
-            return self._rnd(np.divide(a, b))
+            return self._quantize("div", np.divide(a, b))
 
     def sqrt(self, a):
         with np.errstate(invalid="ignore"):
-            return self._rnd(np.sqrt(a))
+            return self._quantize("sqrt", np.sqrt(a))
 
     # -- reductions ------------------------------------------------------
     def sum(self, x) -> float:
@@ -156,7 +237,8 @@ class FPContext:
         if self._exact:
             # float64 reference still sums in a well-defined order
             return float(np.sum(x))
-        return float(rounded_sum_last_axis(x, self._rnd, self.sum_order))
+        return float(rounded_sum_last_axis(x, self._rnd_for("sum"),
+                                           self.sum_order))
 
     def dot(self, x, y) -> float:
         """Rounded inner product: round every product, round every add."""
@@ -165,8 +247,9 @@ class FPContext:
         if self._exact:
             return float(self.inject("dot", float(x @ y)))
         with np.errstate(invalid="ignore", over="ignore"):
-            products = self._rnd(x * y)
-        out = float(rounded_sum_last_axis(products, self._rnd,
+            products = self._quantize("dot.mul", x * y)
+        out = float(rounded_sum_last_axis(products,
+                                          self._rnd_for("dot.sum"),
                                           self.sum_order))
         return float(self.inject("dot", out))
 
@@ -182,25 +265,27 @@ class FPContext:
             if self._exact:
                 return self.inject("matvec", A.matvec64(x))
             with np.errstate(invalid="ignore", over="ignore"):
-                products = self._rnd(A.data * x[A.cols])
+                products = self._quantize("matvec.mul", A.data * x[A.cols])
             return self.inject("matvec",
-                               rounded_sum_last_axis(products, self._rnd,
-                                                     self.sum_order))
+                               rounded_sum_last_axis(
+                                   products, self._rnd_for("matvec.sum"),
+                                   self.sum_order))
         A = np.asarray(A, dtype=np.float64)
         if self._exact:
             return self.inject("matvec", A @ x)
         with np.errstate(invalid="ignore", over="ignore"):
-            products = self._rnd(A * x[np.newaxis, :])
+            products = self._quantize("matvec.mul", A * x[np.newaxis, :])
         return self.inject("matvec",
-                           rounded_sum_last_axis(products, self._rnd,
-                                                 self.sum_order))
+                           rounded_sum_last_axis(
+                               products, self._rnd_for("matvec.sum"),
+                               self.sum_order))
 
     def outer(self, x, y) -> np.ndarray:
         """Rounded outer product."""
         x = np.asarray(x, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64)
         with np.errstate(invalid="ignore", over="ignore"):
-            return self._rnd(np.multiply.outer(x, y))
+            return self._quantize("outer", np.multiply.outer(x, y))
 
     def gemm(self, A, B) -> np.ndarray:
         """Rounded matrix-matrix product, accumulated over k per sum_order."""
@@ -209,10 +294,12 @@ class FPContext:
         if self._exact:
             return A @ B
         # stack of rounded rank-1 terms, then rounded reduction over k
-        terms = self._rnd(A[:, :, np.newaxis] * B[np.newaxis, :, :])
+        terms = self._quantize("gemm.mul",
+                               A[:, :, np.newaxis] * B[np.newaxis, :, :])
         # move k to the last axis: terms[i, k, j] -> [i, j, k]
         terms = np.moveaxis(terms, 1, -1)
-        return rounded_sum_last_axis(terms, self._rnd, self.sum_order)
+        return rounded_sum_last_axis(terms, self._rnd_for("gemm.sum"),
+                                     self.sum_order)
 
     # -- compound helpers (each primitive rounded) -------------------------
     def axpy(self, alpha: float, x, y) -> np.ndarray:

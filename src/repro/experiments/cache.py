@@ -29,9 +29,9 @@ from typing import Any
 from ..analysis.reporting import results_dir
 from ..resilience.atomic import atomic_open
 
-__all__ = ["ResultCache", "result_cache", "cache_enabled",
-           "code_fingerprint", "iter_source_files", "clear_result_cache",
-           "CACHE_DIR_NAME"]
+__all__ = ["CacheStats", "ResultCache", "result_cache", "cache_enabled",
+           "cache_stats", "code_fingerprint", "iter_source_files",
+           "clear_result_cache", "reset_cache_stats", "CACHE_DIR_NAME"]
 
 #: subdirectory of the results dir that holds cache entries
 CACHE_DIR_NAME = ".cache"
@@ -39,6 +39,55 @@ CACHE_DIR_NAME = ".cache"
 _FALSEY = frozenset({"off", "0", "no", "false", "disabled"})
 
 _fingerprint: str | None = None
+
+
+class CacheStats:
+    """Process-wide cache traffic counters (``--cache-stats``).
+
+    Counted at the :class:`ResultCache` layer, so every consumer —
+    cell lookups, the engine's workers, tests — contributes.  A lookup
+    that finds a damaged entry counts as both a miss and an
+    invalidation (the entry is deleted and recomputed).
+    """
+
+    __slots__ = ("hits", "misses", "stores", "invalidations")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.invalidations = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def as_dict(self) -> dict[str, int]:
+        return {"lookups": self.lookups, "hits": self.hits,
+                "misses": self.misses, "stores": self.stores,
+                "invalidations": self.invalidations}
+
+    def __repr__(self) -> str:
+        return (f"<CacheStats {self.hits} hits / {self.lookups} lookups, "
+                f"{self.stores} stores, "
+                f"{self.invalidations} invalidations>")
+
+
+_STATS = CacheStats()
+
+
+def cache_stats() -> CacheStats:
+    """The live process-wide cache counters."""
+    return _STATS
+
+
+def reset_cache_stats() -> CacheStats:
+    """Zero the counters (start of a sweep); returns the live object."""
+    _STATS.reset()
+    return _STATS
 
 
 def cache_enabled() -> bool:
@@ -114,14 +163,18 @@ class ResultCache:
                 entry = pickle.load(fh)
             if entry.get("cell") != cell_id:  # hash collision / tamper
                 raise ValueError("cache entry does not match its key")
+            _STATS.hits += 1
             return True, entry["value"]
         except FileNotFoundError:
+            _STATS.misses += 1
             return False, None
         except Exception:
             # corrupt pickle, truncated file, renamed class, ... —
             # recomputing is always safe, failing the sweep is not
             with contextlib.suppress(OSError):
                 os.unlink(path)
+            _STATS.misses += 1
+            _STATS.invalidations += 1
             return False, None
 
     def put(self, cell_id: str, scale_name: str, value: Any) -> str:
@@ -130,6 +183,7 @@ class ResultCache:
             pickle.dump({"cell": cell_id, "scale": scale_name,
                          "value": value}, fh,
                         protocol=pickle.HIGHEST_PROTOCOL)
+        _STATS.stores += 1
         return path
 
 

@@ -41,6 +41,7 @@ from ..matrices.suite import (SUITE_ORDER, load_matrix, matrix_spec,
 from ..scaling.diagonal_mean import scale_by_diagonal_mean
 from ..scaling.higham import higham_rescale
 from ..scaling.power_of_two import scale_to_inf_norm
+from ..telemetry.trace import span
 from .cache import cache_enabled, result_cache
 
 __all__ = [
@@ -70,6 +71,8 @@ class ExperimentResult:
     text: str                  # the rendered table/figure
     csv_path: str | None
     data: dict[str, Any] = field(default_factory=dict)
+    #: JSON-lines trace written for this run, when traced (--trace)
+    trace_path: str | None = None
 
     def show(self) -> None:  # pragma: no cover - console I/O
         print(self.text)
@@ -157,6 +160,11 @@ def compute_cell(cell: Cell, scale: RunScale) -> Any:
     on disk.  The per-kind bodies mirror the pre-cell suite loops
     bit for bit — rescaling, sparse layout, then the solver.
     """
+    with span("cell.compute", cell=cell.cell_id, scale=scale.name):
+        return _compute_cell(cell, scale)
+
+
+def _compute_cell(cell: Cell, scale: RunScale) -> Any:
     spec, A, b = suite_systems(scale, names=(cell.matrix,))[0]
     if cell.kind == "cg":
         if cell.option("rescaled"):
@@ -230,7 +238,8 @@ def cell_value(cell: Cell, scale: RunScale) -> Any:
     if mkey in _MEMO:
         return _MEMO[mkey]
     if cache_enabled():
-        hit, value = result_cache().get(cell.cell_id, scale.name)
+        with span("cache.lookup", cell=cell.cell_id):
+            hit, value = result_cache().get(cell.cell_id, scale.name)
         if hit:
             _MEMO[mkey] = value
             return value
@@ -253,7 +262,8 @@ def suite_systems(scale: RunScale, names: tuple[str, ...] | None = None):
         out = []
         for name in selected:
             spec = matrix_spec(name)
-            A = load_matrix(name, scale)
+            with span("matrix.load", matrix=name, scale=scale.name):
+                A = load_matrix(name, scale)
             out.append((spec, A, right_hand_side(A)))
         return out
     return _memo(("systems", scale.name, selected), build)

@@ -35,7 +35,7 @@ def iteration_cell(result, cap: int) -> str:
 
 
 @experiment("fig6", "Fig. 6: CG convergence (native range)",
-            artifact="fig6_cg.csv", cells=cg_cells)
+            artifact="fig06_cg.csv", cells=cg_cells)
 def run(scale: RunScale | None = None, quiet: bool = False
         ) -> ExperimentResult:
     """Regenerate Fig. 6 (native-range CG sweep)."""
@@ -44,8 +44,8 @@ def run(scale: RunScale | None = None, quiet: bool = False
 
 def _run(scale: RunScale | None = None, quiet: bool = False,
          rescaled: bool = False, experiment_id: str = "fig6",
-         title: str = "Fig. 6: CG convergence (native range)"
-         ) -> ExperimentResult:
+         title: str = "Fig. 6: CG convergence (native range)",
+         artifact: str = "fig06_cg.csv") -> ExperimentResult:
     """Fig. 6 implementation (Fig. 7 delegates with ``rescaled=True``)."""
     scale = scale or current_scale()
     results = run_cg_suite(scale, rescaled=rescaled)
@@ -93,7 +93,7 @@ def _run(scale: RunScale | None = None, quiet: bool = False,
         value_format="{:+.1f}%")
 
     csv_path = write_csv(
-        f"{experiment_id}_cg.csv",
+        artifact,
         ["matrix"] + [f"iters_{f}" for f in CG_FORMATS]
         + [f"converged_{f}" for f in CG_FORMATS]
         + ["pct_improvement_es2", "pct_improvement_es3"],

@@ -22,7 +22,7 @@ __all__ = ["run"]
 
 @experiment("fig7",
             "Fig. 7: CG convergence (rescaled to ||A||_inf ~ 2^10)",
-            artifact="fig7_cg.csv",
+            artifact="fig07_cg_scaled.csv",
             cells=lambda scale: cg_cells(scale, rescaled=True))
 def run(scale: RunScale | None = None, quiet: bool = False
         ) -> ExperimentResult:
@@ -30,7 +30,8 @@ def run(scale: RunScale | None = None, quiet: bool = False
     return _run_cg(scale=scale, quiet=quiet, rescaled=True,
                    experiment_id="fig7",
                    title="Fig. 7: CG convergence (rescaled to "
-                         "||A||_inf ~ 2^10)")
+                         "||A||_inf ~ 2^10)",
+                   artifact="fig07_cg_scaled.csv")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -48,7 +48,7 @@ def advantage_rows(results: dict) -> list[dict]:
 
 
 @experiment("fig8", "Fig. 8: Cholesky backward error (native range)",
-            artifact="fig8_cholesky.csv", cells=cholesky_cells)
+            artifact="fig08_cholesky.csv", cells=cholesky_cells)
 def run(scale: RunScale | None = None, quiet: bool = False
         ) -> ExperimentResult:
     """Regenerate Fig. 8 (native-range Cholesky sweep)."""
@@ -57,8 +57,8 @@ def run(scale: RunScale | None = None, quiet: bool = False
 
 def _run(scale: RunScale | None = None, quiet: bool = False,
          rescaled: bool = False, experiment_id: str = "fig8",
-         title: str = "Fig. 8: Cholesky backward error (native range)"
-         ) -> ExperimentResult:
+         title: str = "Fig. 8: Cholesky backward error (native range)",
+         artifact: str = "fig08_cholesky.csv") -> ExperimentResult:
     """Fig. 8 implementation (Fig. 9 delegates with ``rescaled=True``)."""
     scale = scale or current_scale()
     results = run_cholesky_suite(scale, rescaled=rescaled)
@@ -93,7 +93,7 @@ def _run(scale: RunScale | None = None, quiet: bool = False,
         trend = "panel (b): insufficient finite data for the trend fit"
 
     csv_path = write_csv(
-        f"{experiment_id}_cholesky.csv",
+        artifact,
         ["matrix", "norm2", "err_fp32", "err_posit32es2",
          "err_posit32es3", "digits_adv_es2", "digits_adv_es3"],
         [[r["matrix"], r["norm2"], r["err_fp32"], r["err_es2"],

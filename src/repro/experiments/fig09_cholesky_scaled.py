@@ -23,7 +23,7 @@ __all__ = ["run"]
 
 @experiment("fig9",
             "Fig. 9: Cholesky backward error (Algorithm-3 rescaling)",
-            artifact="fig9_cholesky.csv",
+            artifact="fig09_cholesky_scaled.csv",
             cells=lambda scale: cholesky_cells(scale, rescaled=True))
 def run(scale: RunScale | None = None, quiet: bool = False
         ) -> ExperimentResult:
@@ -31,7 +31,8 @@ def run(scale: RunScale | None = None, quiet: bool = False
     return _run_cholesky(scale=scale, quiet=quiet, rescaled=True,
                          experiment_id="fig9",
                          title="Fig. 9: Cholesky backward error "
-                               "(Algorithm-3 rescaling)")
+                               "(Algorithm-3 rescaling)",
+                         artifact="fig09_cholesky_scaled.csv")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -7,7 +7,7 @@ hand-maintained table::
     from .registry import experiment
 
     @experiment("fig8", "Fig. 8: Cholesky backward error (native range)",
-                artifact="fig8_cholesky.csv",
+                artifact="fig08_cholesky.csv",
                 cells=lambda scale: cholesky_cells(scale))
     def run(scale=None, quiet=False) -> ExperimentResult:
         ...
@@ -39,11 +39,26 @@ from ..config import RunScale
 from .common import Cell, ExperimentResult
 
 __all__ = ["ExperimentSpec", "experiment", "register", "get_experiment",
-           "all_experiments", "load_all", "REGISTRY", "PAPER_ARTIFACTS"]
+           "all_experiments", "load_all", "REGISTRY", "PAPER_ARTIFACTS",
+           "LEGACY_ARTIFACTS"]
 
 #: the paper's own artifacts, in paper order (extensions excluded)
 PAPER_ARTIFACTS = ("table1", "fig3", "fig5", "fig6", "fig7", "fig8",
                    "fig9", "table2", "table3", "fig10")
+
+#: artifact filenames written before they were standardized to the
+#: experiment module ids.  Manifests recorded with these names still
+#: satisfy ``--resume`` (completion is judged by the *recorded*
+#: ``csv_path`` existing on disk, not by the current spec name); this
+#: map documents the rename for tooling that matches artifacts by name.
+LEGACY_ARTIFACTS = {
+    "fig6_cg.csv": "fig06_cg.csv",
+    "fig7_cg.csv": "fig07_cg_scaled.csv",
+    "fig8_cholesky.csv": "fig08_cholesky.csv",
+    "fig9_cholesky.csv": "fig09_cholesky_scaled.csv",
+    "table2_ir.csv": "table02_ir_naive.csv",
+    "table3_ir_higham.csv": "table03_ir_higham.csv",
+}
 
 #: import order for ``list`` display: paper artifacts, then X1..X12
 _MODULE_ORDER = (

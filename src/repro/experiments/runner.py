@@ -38,6 +38,7 @@ from ..config import SCALES, RunScale, jobs_from_env, scale_from_env
 from ..errors import ExperimentTimeout
 from ..resilience.isolation import backoff_delays, time_limit
 from ..resilience.manifest import MANIFEST_NAME, RunManifest
+from .cache import cache_enabled, reset_cache_stats
 from .common import Cell, ExperimentResult
 from .engine import CellOutcome, execute_cells
 from .registry import PAPER_ARTIFACTS, REGISTRY, get_experiment
@@ -53,9 +54,29 @@ BENCH_NAME = "BENCH_experiments.json"
 
 
 def run_experiment(exp_id: str, scale: RunScale | None = None,
-                   quiet: bool = False) -> ExperimentResult:
-    """Run one experiment by id (programmatic entry point)."""
-    return get_experiment(exp_id).run(scale=scale, quiet=quiet)
+                   quiet: bool = False,
+                   trace: bool | str = False) -> ExperimentResult:
+    """Run one experiment by id (programmatic entry point).
+
+    With ``trace`` truthy the run executes inside a
+    :func:`repro.telemetry.trace_session`: op-level rounding counters
+    and span/solver events are recorded to a JSON-lines file (a string
+    *trace* names the file; ``True`` defaults to
+    ``results/traces/<exp_id>.jsonl``), the result cache is off for
+    the duration (counters measure the computation, not the cache
+    temperature), and the result's ``trace_path`` points at the file.
+    """
+    spec = get_experiment(exp_id)
+    if not trace:
+        return spec.run(scale=scale, quiet=quiet)
+    from ..telemetry.trace import trace_session, traces_dir
+
+    path = (trace if isinstance(trace, str)
+            else os.path.join(traces_dir(), f"{exp_id}.jsonl"))
+    with trace_session(path, label=exp_id) as session:
+        result = spec.run(scale=scale, quiet=quiet)
+    result.trace_path = session.path
+    return result
 
 
 def _run_protected(exp_id: str, scale: RunScale, timeout: float | None,
@@ -131,6 +152,29 @@ def _run_cell_phase(owners: dict[Cell, list[str]], scale: RunScale,
     return failures, compute_s, outcomes
 
 
+def _record_trace(manifest: RunManifest, session) -> None:
+    """Persist the traced sweep's summary into the run manifest.
+
+    The per-cell wall-clock aggregation (``cell_seconds``) comes from
+    the ``cell.compute`` span events, giving manifest v2 a per-cell
+    time breakdown alongside its per-cell outcome records.
+    """
+    cells: dict[str, float] = {}
+    for ev in session.tracer.events:
+        if (ev.get("type") == "span" and ev.get("name") == "cell.compute"
+                and "cell" in ev):
+            cells[ev["cell"]] = (cells.get(ev["cell"], 0.0)
+                                 + float(ev.get("seconds", 0.0)))
+    manifest.record_section("trace", {
+        "path": session.path,
+        "label": session.label,
+        "events": len(session.tracer.events),
+        "roundings": session.collector.total(),
+        "cell_seconds": {cid: round(s, 4)
+                         for cid, s in sorted(cells.items())},
+    })
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -161,6 +205,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="skip experiments the run manifest records "
                              "as completed at this scale (cells are "
                              "always reused from the result cache)")
+    parser.add_argument("--trace", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="record op-level counters and span/solver "
+                             "events to results/traces/<label>.jsonl "
+                             "(forces --jobs 1 and a cold cache so the "
+                             "counts are reproducible); summarize with "
+                             "'python -m repro.telemetry summarize'")
+    parser.add_argument("--cache-stats", action="store_true",
+                        help="print result-cache hit/miss/invalidation "
+                             "counts after the sweep (always recorded "
+                             "in the run manifest)")
     args = parser.parse_args(argv)
 
     if args.experiments == ["list"]:
@@ -203,73 +258,116 @@ def main(argv: list[str] | None = None) -> int:
             if manifest.is_complete(eid, scale.name):
                 skipped.add(eid)
 
-    # ---- Phase 1: the cell grid (shared, parallel, cached) ------------
-    owners = _gather_cells([e for e in ids if e not in skipped], scale)
-    cell_failures: dict[str, list[str]] = {}
-    compute_s: dict[str, float] = {}
-    outcomes: list[CellOutcome] = []
-    if owners:
-        print(f"===== cell grid: {len(owners)} cells for "
-              f"{len(ids) - len(skipped)} experiment(s) at scale "
-              f"{scale.name!r}, jobs={jobs}")
-        cell_failures, compute_s, outcomes = _run_cell_phase(
-            owners, scale, manifest, jobs, args.timeout, args.retries,
-            args.backoff)
-        cached = sum(1 for o in outcomes if o.status == "cached")
-        computed = sum(1 for o in outcomes if o.status == "completed")
-        bad = len(outcomes) - cached - computed
-        print(f"===== cell grid done: {computed} computed, "
-              f"{cached} cached" + (f", {bad} FAILED" if bad else ""))
+    # ---- Telemetry: cache counters + optional trace session ----------
+    stats = reset_cache_stats()
+    if args.trace and jobs != 1:
+        print(f"note: --trace forces --jobs 1 (was {jobs}); worker "
+              f"processes cannot feed the in-process collector",
+              file=sys.stderr)
+        jobs = 1
+    session_cm = session = None
+    if args.trace:
+        from ..telemetry.trace import trace_session, traces_dir
+        label = ids[0] if len(ids) == 1 else "sweep"
+        session_cm = trace_session(
+            os.path.join(traces_dir(), f"{label}.jsonl"), label=label)
+        session = session_cm.__enter__()
 
-    # ---- Phase 2: assemble each artifact from the warm cache ----------
     failures: list[tuple[str, str]] = []
     bench: dict[str, dict] = {}
-    for eid in ids:
-        spec = get_experiment(eid)
-        n_cells = len(spec.enumerate_cells(scale))
-        if eid in skipped:
-            print(f"===== {eid} already completed at scale "
-                  f"{scale.name!r}; skipping (--resume)")
-            continue
-        t0 = time.time()
-        print(f"\n===== {eid} ({spec.title}) =====")
-        if eid in cell_failures:
-            why = "; ".join(cell_failures[eid][:3])
-            more = len(cell_failures[eid]) - 3
-            if more > 0:
-                why += f"; +{more} more"
-            error = f"{len(cell_failures[eid])} cell(s) failed: {why}"
-            manifest.record(eid, status="failed", scale=scale.name,
-                            duration=time.time() - t0, error=error,
-                            extra={"cells": n_cells,
-                                   "cell_compute_s":
-                                       round(compute_s.get(eid, 0.0), 3)})
-            failures.append((eid, f"failed: {error}"))
-            print(f"----- {eid} failed: {error}", file=sys.stderr)
-            bench[eid] = {"status": "failed",
-                          "duration_s": round(time.time() - t0, 3)}
-            continue
-        status, result, error, attempts = _run_protected(
-            eid, scale, args.timeout, args.retries, args.backoff)
-        dt = time.time() - t0
-        csv_path = result.csv_path if result is not None else None
-        manifest.record(
-            eid, status=status, scale=scale.name, duration=dt,
-            csv_path=csv_path, error=error, attempts=attempts,
-            extra={"cells": n_cells,
-                   "cell_compute_s": round(compute_s.get(eid, 0.0), 3)})
-        bench[eid] = {"status": status, "duration_s": round(dt, 3),
-                      "cells": n_cells,
-                      "cell_compute_s": round(compute_s.get(eid, 0.0),
-                                              3)}
-        if status == "completed":
-            where = f" [csv: {csv_path}]" if csv_path else ""
-            print(f"----- {eid} done in {dt:.1f}s{where}")
-        else:
-            failures.append((eid, f"{status}: {error}"))
-            print(f"----- {eid} {status} after {dt:.1f}s "
-                  f"({attempts} attempt{'s' if attempts != 1 else ''}): "
-                  f"{error}", file=sys.stderr)
+    outcomes: list[CellOutcome] = []
+    try:
+        # ---- Phase 1: the cell grid (shared, parallel, cached) --------
+        owners = _gather_cells([e for e in ids if e not in skipped],
+                               scale)
+        cell_failures: dict[str, list[str]] = {}
+        compute_s: dict[str, float] = {}
+        if owners:
+            print(f"===== cell grid: {len(owners)} cells for "
+                  f"{len(ids) - len(skipped)} experiment(s) at scale "
+                  f"{scale.name!r}, jobs={jobs}")
+            cell_failures, compute_s, outcomes = _run_cell_phase(
+                owners, scale, manifest, jobs, args.timeout,
+                args.retries, args.backoff)
+            cached = sum(1 for o in outcomes if o.status == "cached")
+            computed = sum(1 for o in outcomes
+                           if o.status == "completed")
+            bad = len(outcomes) - cached - computed
+            print(f"===== cell grid done: {computed} computed, "
+                  f"{cached} cached" + (f", {bad} FAILED" if bad else ""))
+
+        # ---- Phase 2: assemble each artifact from the warm cache ------
+        for eid in ids:
+            spec = get_experiment(eid)
+            n_cells = len(spec.enumerate_cells(scale))
+            if eid in skipped:
+                print(f"===== {eid} already completed at scale "
+                      f"{scale.name!r}; skipping (--resume)")
+                continue
+            t0 = time.time()
+            print(f"\n===== {eid} ({spec.title}) =====")
+            if eid in cell_failures:
+                why = "; ".join(cell_failures[eid][:3])
+                more = len(cell_failures[eid]) - 3
+                if more > 0:
+                    why += f"; +{more} more"
+                error = (f"{len(cell_failures[eid])} cell(s) failed: "
+                         f"{why}")
+                manifest.record(
+                    eid, status="failed", scale=scale.name,
+                    duration=time.time() - t0, error=error,
+                    extra={"cells": n_cells,
+                           "cell_compute_s":
+                               round(compute_s.get(eid, 0.0), 3)})
+                failures.append((eid, f"failed: {error}"))
+                print(f"----- {eid} failed: {error}", file=sys.stderr)
+                bench[eid] = {"status": "failed",
+                              "duration_s": round(time.time() - t0, 3)}
+                continue
+            status, result, error, attempts = _run_protected(
+                eid, scale, args.timeout, args.retries, args.backoff)
+            dt = time.time() - t0
+            csv_path = result.csv_path if result is not None else None
+            manifest.record(
+                eid, status=status, scale=scale.name, duration=dt,
+                csv_path=csv_path, error=error, attempts=attempts,
+                extra={"cells": n_cells,
+                       "cell_compute_s": round(compute_s.get(eid, 0.0),
+                                               3)})
+            bench[eid] = {"status": status, "duration_s": round(dt, 3),
+                          "cells": n_cells,
+                          "cell_compute_s":
+                              round(compute_s.get(eid, 0.0), 3)}
+            if status == "completed":
+                where = f" [csv: {csv_path}]" if csv_path else ""
+                print(f"----- {eid} done in {dt:.1f}s{where}")
+            else:
+                failures.append((eid, f"{status}: {error}"))
+                print(f"----- {eid} {status} after {dt:.1f}s "
+                      f"({attempts} attempt"
+                      f"{'s' if attempts != 1 else ''}): "
+                      f"{error}", file=sys.stderr)
+    finally:
+        # the trace session flushes its file even when a phase raised —
+        # a killed sweep keeps the events recorded so far
+        if session_cm is not None:
+            session_cm.__exit__(*sys.exc_info())
+
+    if session is not None:
+        _record_trace(manifest, session)
+        print(f"\ntrace written: {session.path} "
+              f"({len(session.tracer.events)} events, "
+              f"{session.collector.total()} roundings) — summarize "
+              f"with: python -m repro.telemetry summarize "
+              f"{session.path}")
+    manifest.record_section("cache", {
+        "scale": scale.name, **stats.as_dict()})
+    if args.cache_stats:
+        s = stats.as_dict()
+        print(f"\ncache: {s['hits']} hits / {s['lookups']} lookups, "
+              f"{s['misses']} misses, {s['stores']} stores, "
+              f"{s['invalidations']} invalidations"
+              + (" [REPRO_CACHE=off]" if not cache_enabled() else ""))
 
     total_s = time.time() - sweep_t0
     if bench:

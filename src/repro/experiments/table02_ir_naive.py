@@ -41,7 +41,7 @@ def solved_sets(results: dict) -> dict[str, set[str]]:
 
 
 @experiment("table2", "Table II: naive mixed-precision IR",
-            artifact="table2_ir.csv", cells=ir_cells)
+            artifact="table02_ir_naive.csv", cells=ir_cells)
 def run(scale: RunScale | None = None, quiet: bool = False
         ) -> ExperimentResult:
     """Regenerate Table II (out-of-the-box mixed-precision IR)."""
@@ -79,7 +79,7 @@ def run(scale: RunScale | None = None, quiet: bool = False
         title=(f"{title} — refinement steps "
                f"(cap {cap}, scale={scale.name}); right half = paper"))
     csv_path = write_csv(
-        f"{experiment_id}_ir.csv",
+        "table02_ir_naive.csv",
         ["matrix"] + [f"entry_{f}" for f in IR_FORMATS]
         + [f"iters_{f}" for f in IR_FORMATS]
         + [f"fact_err_{f}" for f in IR_FORMATS]

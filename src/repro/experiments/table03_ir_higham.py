@@ -60,7 +60,7 @@ def _pct_diff(per: dict, cap: int) -> float:
 
 
 @experiment("table3", "Table III: IR after Higham rescaling",
-            artifact="table3_ir_higham.csv",
+            artifact="table03_ir_higham.csv",
             cells=lambda scale: ir_cells(scale, higham=True))
 def run(scale: RunScale | None = None, quiet: bool = False
         ) -> ExperimentResult:
@@ -101,7 +101,7 @@ def run(scale: RunScale | None = None, quiet: bool = False
         title=(f"Table III: IR after Higham rescaling "
                f"(cap {cap}, scale={scale.name}); right half = paper"))
     csv_path = write_csv(
-        "table3_ir_higham.csv",
+        "table03_ir_higham.csv",
         ["matrix"] + [f"entry_{f}" for f in IR_FORMATS] + ["pct_diff"]
         + [f"iters_{f}" for f in IR_FORMATS]
         + [f"fact_err_{f}" for f in IR_FORMATS],

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..arith.context import FPContext
+from ..telemetry.trace import SolverTrace, maybe_trace
 from .norms import relative_backward_error
 
 __all__ = ["BiCGResult", "bicg", "bicgstab", "iterate_dynamic_range"]
@@ -23,7 +24,14 @@ __all__ = ["BiCGResult", "bicg", "bicgstab", "iterate_dynamic_range"]
 
 @dataclass
 class BiCGResult:
-    """Outcome of a BiCG/BiCGSTAB run, with iterate-magnitude telemetry."""
+    """Outcome of a BiCG/BiCGSTAB run, with iterate-magnitude telemetry.
+
+    The per-iteration record lives in :attr:`trace` (a
+    :class:`~repro.telemetry.SolverTrace`, recorded unconditionally for
+    these solvers because the §VI hypothesis is *about* the iterate
+    telemetry); :attr:`iterate_peaks` and :attr:`peak_dynamic_range`
+    are views over it.
+    """
 
     converged: bool
     diverged: bool
@@ -31,31 +39,30 @@ class BiCGResult:
     relative_residual: float
     true_relative_residual: float
     x: np.ndarray
-    #: per-iteration max |entry| over all work vectors — the "dynamic
-    #: range of the iterates" the paper's hypothesis is about
-    iterate_peaks: list[float] = field(default_factory=list)
+    trace: SolverTrace = field(default_factory=lambda: SolverTrace("bicg"))
+
+    @property
+    def iterate_peaks(self) -> list[float]:
+        """Per-iteration max |entry| over all work vectors — the
+        "dynamic range of the iterates" the paper's hypothesis is
+        about."""
+        return self.trace.peaks
 
     @property
     def peak_dynamic_range(self) -> float:
         """log10(max peak / min peak) across the whole run."""
-        peaks = [p for p in self.iterate_peaks if p > 0 and np.isfinite(p)]
-        if not peaks:
-            return np.inf
-        return float(np.log10(max(peaks) / min(peaks)))
-
-
-def _track(peaks: list[float], *vectors: np.ndarray) -> None:
-    m = max(float(np.max(np.abs(v))) for v in vectors)
-    peaks.append(m)
+        return self.trace.peak_dynamic_range
 
 
 def bicg(ctx: FPContext, A: np.ndarray, b: np.ndarray, rtol: float = 1e-5,
-         max_iterations: int = 5000) -> BiCGResult:
+         max_iterations: int = 5000,
+         trace: SolverTrace | None = None) -> BiCGResult:
     """Classic (unstabilized) BiCG with per-op-rounded arithmetic.
 
     For symmetric A this is mathematically CG run with an extra shadow
     sequence; its iterates are the ones the paper warns can grow large.
     """
+    trace = maybe_trace("bicg", ctx.fmt.name, trace, always=True)
     A = ctx.asarray(A)
     At = np.ascontiguousarray(A.T)
     b = ctx.asarray(np.asarray(b, dtype=np.float64))
@@ -66,7 +73,6 @@ def bicg(ctx: FPContext, A: np.ndarray, b: np.ndarray, rtol: float = 1e-5,
     p = r.copy()
     pt = rt.copy()
     norm_b = float(np.linalg.norm(b)) or 1.0
-    peaks: list[float] = []
     rho = ctx.dot(rt, r)
     res = float(np.linalg.norm(r))
 
@@ -74,36 +80,38 @@ def bicg(ctx: FPContext, A: np.ndarray, b: np.ndarray, rtol: float = 1e-5,
         Ap = ctx.matvec(A, p)
         denom = ctx.dot(pt, Ap)
         if denom == 0.0 or not np.isfinite(denom) or rho == 0.0:
-            return _bicg_finish(A, b, x, it, np.inf, norm_b, peaks,
+            return _bicg_finish(A, b, x, it, np.inf, norm_b, trace,
                                 diverged=True)
         alpha = ctx.div(rho, denom)
         x = ctx.add(x, ctx.mul(alpha, p))
         r = ctx.sub(r, ctx.mul(alpha, Ap))
         Atpt = ctx.matvec(At, pt)
         rt = ctx.sub(rt, ctx.mul(alpha, Atpt))
-        _track(peaks, x, r, p, pt)
 
         res = float(np.linalg.norm(r))
+        trace.iteration(it, residual=res / norm_b, vectors=(x, r, p, pt))
         if not np.isfinite(res):
-            return _bicg_finish(A, b, x, it, np.inf, norm_b, peaks,
+            return _bicg_finish(A, b, x, it, np.inf, norm_b, trace,
                                 diverged=True)
         if res <= rtol * norm_b:
-            return _bicg_finish(A, b, x, it, res, norm_b, peaks,
+            return _bicg_finish(A, b, x, it, res, norm_b, trace,
                                 converged=True)
         rho_new = ctx.dot(rt, r)
         if rho_new == 0.0 or not np.isfinite(rho_new):
-            return _bicg_finish(A, b, x, it, res, norm_b, peaks,
+            return _bicg_finish(A, b, x, it, res, norm_b, trace,
                                 diverged=True)
         beta = ctx.div(rho_new, rho)
         p = ctx.add(r, ctx.mul(beta, p))
         pt = ctx.add(rt, ctx.mul(beta, pt))
         rho = rho_new
-    return _bicg_finish(A, b, x, max_iterations, res, norm_b, peaks)
+    return _bicg_finish(A, b, x, max_iterations, res, norm_b, trace)
 
 
 def bicgstab(ctx: FPContext, A: np.ndarray, b: np.ndarray,
-             rtol: float = 1e-5, max_iterations: int = 5000) -> BiCGResult:
+             rtol: float = 1e-5, max_iterations: int = 5000,
+             trace: SolverTrace | None = None) -> BiCGResult:
     """BiCGSTAB with per-op-rounded arithmetic."""
+    trace = maybe_trace("bicgstab", ctx.fmt.name, trace, always=True)
     A = ctx.asarray(A)
     b = ctx.asarray(np.asarray(b, dtype=np.float64))
     n = b.shape[0]
@@ -112,7 +120,6 @@ def bicgstab(ctx: FPContext, A: np.ndarray, b: np.ndarray,
     r0 = r.copy()
     p = r.copy()
     norm_b = float(np.linalg.norm(b)) or 1.0
-    peaks: list[float] = []
     rho = ctx.dot(r0, r)
     res = float(np.linalg.norm(r))
 
@@ -120,7 +127,7 @@ def bicgstab(ctx: FPContext, A: np.ndarray, b: np.ndarray,
         Ap = ctx.matvec(A, p)
         denom = ctx.dot(r0, Ap)
         if denom == 0.0 or not np.isfinite(denom):
-            return _bicg_finish(A, b, x, it, res, norm_b, peaks,
+            return _bicg_finish(A, b, x, it, res, norm_b, trace,
                                 diverged=True)
         alpha = ctx.div(rho, denom)
         s = ctx.sub(r, ctx.mul(alpha, Ap))
@@ -129,33 +136,37 @@ def bicgstab(ctx: FPContext, A: np.ndarray, b: np.ndarray,
         omega = ctx.div(ctx.dot(As, s), ss) if ss != 0.0 else 0.0
         x = ctx.add(x, ctx.add(ctx.mul(alpha, p), ctx.mul(omega, s)))
         r = ctx.sub(s, ctx.mul(omega, As))
-        _track(peaks, x, r, p, s)
 
         res = float(np.linalg.norm(r))
+        trace.iteration(it, residual=res / norm_b, vectors=(x, r, p, s))
         if not np.isfinite(res):
-            return _bicg_finish(A, b, x, it, np.inf, norm_b, peaks,
+            return _bicg_finish(A, b, x, it, np.inf, norm_b, trace,
                                 diverged=True)
         if res <= rtol * norm_b:
-            return _bicg_finish(A, b, x, it, res, norm_b, peaks,
+            return _bicg_finish(A, b, x, it, res, norm_b, trace,
                                 converged=True)
         rho_new = ctx.dot(r0, r)
         if rho == 0.0 or omega == 0.0 or not np.isfinite(rho_new):
-            return _bicg_finish(A, b, x, it, res, norm_b, peaks,
+            return _bicg_finish(A, b, x, it, res, norm_b, trace,
                                 diverged=True)
         beta = ctx.mul(ctx.div(rho_new, rho), ctx.div(alpha, omega))
         p = ctx.add(r, ctx.mul(beta, ctx.sub(p, ctx.mul(omega, Ap))))
         rho = rho_new
-    return _bicg_finish(A, b, x, max_iterations, res, norm_b, peaks)
+    return _bicg_finish(A, b, x, max_iterations, res, norm_b, trace)
 
 
-def _bicg_finish(A, b, x, iterations, res, norm_b, peaks, *,
+def _bicg_finish(A, b, x, iterations, res, norm_b, trace, *,
                  converged=False, diverged=False) -> BiCGResult:
     rel = res / norm_b if np.isfinite(res) else np.inf
+    trace.event("finish", iter=iterations,
+                outcome=("converged" if converged else
+                         "breakdown" if diverged else "budget"),
+                residual=rel)
     return BiCGResult(converged=converged, diverged=diverged,
                       iterations=iterations, relative_residual=rel,
                       true_relative_residual=relative_backward_error(
                           A, x, b),
-                      x=x, iterate_peaks=peaks)
+                      x=x, trace=trace)
 
 
 def iterate_dynamic_range(result: BiCGResult) -> float:

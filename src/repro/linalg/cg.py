@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..arith.context import FPContext
+from ..telemetry.trace import SolverTrace, maybe_trace
 from .norms import relative_backward_error
 
 __all__ = ["CGResult", "conjugate_gradient"]
@@ -55,6 +56,9 @@ class CGResult:
     true_relative_residual: float
     x: np.ndarray
     residual_history: list[float] = field(default_factory=list)
+    #: per-iteration event record (populated when tracing is active
+    #: or a :class:`~repro.telemetry.SolverTrace` was passed in)
+    trace: SolverTrace | None = None
 
     @property
     def failed(self) -> bool:
@@ -66,7 +70,8 @@ def conjugate_gradient(ctx: FPContext, A: np.ndarray, b: np.ndarray,
                        rtol: float = 1e-5, max_iterations: int = 5000,
                        divergence_factor: float = 1e8,
                        record_history: bool = False,
-                       jacobi: bool = False) -> CGResult:
+                       jacobi: bool = False,
+                       trace: SolverTrace | None = None) -> CGResult:
     """Solve SPD ``Ax = b`` with per-op-rounded CG (paper Algorithm 1).
 
     Parameters
@@ -82,6 +87,12 @@ def conjugate_gradient(ctx: FPContext, A: np.ndarray, b: np.ndarray,
         Iteration budget; exceeding it reports ``converged=False``.
     divergence_factor:
         Declares divergence when ‖r‖ grows beyond this multiple of ‖b‖.
+    trace:
+        Optional :class:`~repro.telemetry.SolverTrace` to record
+        per-iteration events (residual, iterate peaks) into; when None
+        one is created automatically if an ambient tracer is active
+        (``repro.telemetry.tracing`` / ``trace_session``), otherwise
+        nothing is recorded.
     jacobi:
         Use Jacobi (diagonal) preconditioning, ``M = diag(A)``.  Not
         part of the paper's protocol — provided as the *dynamic*
@@ -96,6 +107,7 @@ def conjugate_gradient(ctx: FPContext, A: np.ndarray, b: np.ndarray,
     layout), which makes full-scale suite runs tractable.
     """
     from ..arith.sparse import ELLMatrix
+    trace = maybe_trace("cg", ctx.fmt.name, trace)
     A = ctx.asarray(A)
     b = ctx.asarray(np.asarray(b, dtype=np.float64))
     n = b.shape[0]
@@ -116,7 +128,7 @@ def conjugate_gradient(ctx: FPContext, A: np.ndarray, b: np.ndarray,
 
     norm_b = float(np.linalg.norm(b))
     if norm_b == 0.0:
-        return CGResult(True, False, 0, 0.0, 0.0, x)
+        return CGResult(True, False, 0, 0.0, 0.0, x, trace=trace)
     threshold = rtol * norm_b
     blowup = divergence_factor * norm_b
 
@@ -129,7 +141,7 @@ def conjugate_gradient(ctx: FPContext, A: np.ndarray, b: np.ndarray,
         Ap = ctx.matvec(A, p)
         pAp = ctx.dot(p, Ap)
         if not np.isfinite(pAp) or pAp == 0.0:
-            return _finish(A, b, x, iterations, rr, norm_b, history,
+            return _finish(A, b, x, iterations, rr, norm_b, history, trace,
                            diverged=True)
         alpha = ctx.div(rz, pAp)                     # line 3
         x = ctx.axpy(alpha, p, x)                    # line 4
@@ -138,36 +150,44 @@ def conjugate_gradient(ctx: FPContext, A: np.ndarray, b: np.ndarray,
         rz_new = ctx.dot(r, z)
         rr_new = rz_new if not jacobi else ctx.dot(r, r)
         if not np.isfinite(rr_new) or not np.isfinite(rz_new):
-            return _finish(A, b, x, iterations, rr_new, norm_b, history,
+            return _finish(A, b, x, iterations, rr_new, norm_b, history, trace,
                            diverged=True)
 
         res_norm = float(np.sqrt(max(rr_new, 0.0)))
         if record_history:
             history.append(res_norm / norm_b)
+        if trace is not None:
+            trace.iteration(iterations, residual=res_norm / norm_b,
+                            vectors=(x, r, p))
         if res_norm <= threshold:
-            return _finish(A, b, x, iterations, rr_new, norm_b, history,
+            return _finish(A, b, x, iterations, rr_new, norm_b, history, trace,
                            converged=True)
         if res_norm >= blowup:
-            return _finish(A, b, x, iterations, rr_new, norm_b, history,
+            return _finish(A, b, x, iterations, rr_new, norm_b, history, trace,
                            diverged=True)
 
         if rz == 0.0:
-            return _finish(A, b, x, iterations, rr_new, norm_b, history,
+            return _finish(A, b, x, iterations, rr_new, norm_b, history, trace,
                            diverged=True)
         beta = ctx.div(rz_new, rz)                   # line 6
         p = ctx.axpy(beta, p, z)                     # line 7
         rz = rz_new
         rr = rr_new
 
-    return _finish(A, b, x, iterations, rr, norm_b, history)
+    return _finish(A, b, x, iterations, rr, norm_b, history, trace)
 
 
-def _finish(A, b, x, iterations, rr, norm_b, history, *,
+def _finish(A, b, x, iterations, rr, norm_b, history, trace, *,
             converged: bool = False, diverged: bool = False) -> CGResult:
     computed = (float(np.sqrt(rr)) / norm_b
                 if np.isfinite(rr) and rr >= 0 else np.inf)
     true_rel = relative_backward_error(A, x, b)
+    if trace is not None:
+        trace.event("finish", iter=iterations,
+                    outcome=("converged" if converged else
+                             "breakdown" if diverged else "budget"),
+                    residual=computed)
     return CGResult(converged=converged, diverged=diverged,
                     iterations=iterations, relative_residual=computed,
                     true_relative_residual=true_rel, x=x,
-                    residual_history=history)
+                    residual_history=history, trace=trace)

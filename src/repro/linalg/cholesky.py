@@ -22,17 +22,24 @@ import numpy as np
 from ..arith.context import FPContext
 from ..arith.triangular import solve_lower, solve_upper
 from ..errors import FactorizationError
+from ..telemetry.trace import SolverTrace, maybe_trace
 from .norms import relative_backward_error
 
 __all__ = ["cholesky_factor", "cholesky_solve", "CholeskyResult"]
 
 
-def cholesky_factor(ctx: FPContext, A: np.ndarray) -> np.ndarray:
+def cholesky_factor(ctx: FPContext, A: np.ndarray,
+                    trace: SolverTrace | None = None) -> np.ndarray:
     """Rounded Cholesky: returns upper-triangular R with ``A ≈ RᵀR``.
 
     *A* is quantized into the context's format on entry (the storage
-    rounding the paper applies when casting the matrix down).
+    rounding the paper applies when casting the matrix down).  With an
+    active tracer (or an explicit *trace*), a summary ``factorize``
+    event — or a ``breakdown`` event naming the broken pivot column —
+    is recorded; per-pivot events are deliberately not emitted (they
+    would dominate the trace at full matrix sizes).
     """
+    trace = maybe_trace("cholesky", ctx.fmt.name, trace)
     W = np.array(ctx.asarray(A), dtype=np.float64)  # working copy
     n = W.shape[0]
     if W.shape != (n, n):
@@ -42,11 +49,17 @@ def cholesky_factor(ctx: FPContext, A: np.ndarray) -> np.ndarray:
     for k in range(n):
         d = W[k, k]
         if not np.isfinite(d) or d <= 0.0:
+            if trace is not None:
+                trace.event("breakdown", stage="pivot", column=k,
+                            pivot=float(d))
             raise FactorizationError(
                 f"non-positive or non-finite pivot {d!r} at column {k}",
                 pivot_index=k)
         rkk = float(ctx.inject("pivot", float(ctx.sqrt(d))))
         if not np.isfinite(rkk) or rkk == 0.0:
+            if trace is not None:
+                trace.event("breakdown", stage="pivot-sqrt", column=k,
+                            pivot=rkk)
             raise FactorizationError(
                 f"pivot square root degenerated to {rkk!r} at column {k}",
                 pivot_index=k)
@@ -56,6 +69,10 @@ def cholesky_factor(ctx: FPContext, A: np.ndarray) -> np.ndarray:
             R[k, k + 1:] = row
             W[k + 1:, k + 1:] = ctx.sub(W[k + 1:, k + 1:],
                                         ctx.outer(row, row))
+    if trace is not None and n:
+        diag = np.diag(R)
+        trace.event("factorize", n=n, min_pivot=float(np.min(diag)),
+                    max_pivot=float(np.max(diag)))
     return R
 
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..arith.context import FPContext
+from ..telemetry.trace import SolverTrace, maybe_trace
 
 __all__ = ["GMRESResult", "gmres"]
 
@@ -37,7 +38,8 @@ class GMRESResult:
 def gmres(ctx: FPContext, A: np.ndarray, b: np.ndarray,
           x0: np.ndarray | None = None, rtol: float = 1e-8,
           restart: int = 50, max_iterations: int = 1000,
-          preconditioner_solve=None) -> GMRESResult:
+          preconditioner_solve=None,
+          trace: SolverTrace | None = None) -> GMRESResult:
     """Solve ``Ax = b`` by restarted GMRES(restart) in the context format.
 
     Parameters
@@ -46,6 +48,7 @@ def gmres(ctx: FPContext, A: np.ndarray, b: np.ndarray,
         Optional callable ``M_inv(v) -> vector`` applied on the left
         (used by GMRES-IR where M is the low-precision factorization).
     """
+    trace = maybe_trace("gmres", ctx.fmt.name, trace)
     A = ctx.asarray(A)
     b = ctx.asarray(np.asarray(b, dtype=np.float64))
     n = b.shape[0]
@@ -111,6 +114,9 @@ def gmres(ctx: FPContext, A: np.ndarray, b: np.ndarray,
             g[k] = cs[k] * g[k]
             k_done = k + 1
             total += 1
+            if trace is not None:
+                trace.iteration(total,
+                                residual=abs(g[k + 1]) / norm_rhs)
             if abs(g[k + 1]) <= rtol * norm_rhs or hk1 == 0.0:
                 break
 

@@ -32,6 +32,7 @@ from ..arith.context import FPContext
 from ..errors import FactorizationError
 from ..formats.base import NumberFormat
 from ..formats.registry import get_format
+from ..telemetry.trace import maybe_trace
 from .cholesky import cholesky_factor
 from .norms import factorization_backward_error, normwise_backward_error
 
@@ -123,6 +124,7 @@ def iterative_refinement(A: np.ndarray, b: np.ndarray,
     A64 = np.asarray(A, dtype=np.float64)
     b64 = np.asarray(b, dtype=np.float64)
     fmt = get_format(factor_format)
+    trace = maybe_trace("ir", fmt.name)
     if low_ctx is None:
         low_ctx = FPContext(fmt, sum_order=sum_order)
     elif low_ctx.fmt != fmt:
@@ -133,15 +135,24 @@ def iterative_refinement(A: np.ndarray, b: np.ndarray,
                      if scaling is not None else A64)
     A_low = lower_precision_storage(factor_target, fmt)
     if not np.all(np.isfinite(A_low)):
+        if trace is not None:
+            trace.event("breakdown", stage="storage",
+                        reason="matrix not storable in format")
         return IRResult(False, True, 0, np.inf, np.inf,
                         failure_reason="matrix not storable in format")
 
     try:
         R = cholesky_factor(low_ctx, A_low)
     except FactorizationError as exc:
+        if trace is not None:
+            trace.event("breakdown", stage="factorization",
+                        reason=str(exc))
         return IRResult(False, True, 0, np.inf, np.inf,
                         failure_reason=f"factorization: {exc}")
     if not np.all(np.isfinite(R)):
+        if trace is not None:
+            trace.event("breakdown", stage="factorization",
+                        reason="non-finite factor")
         return IRResult(False, True, 0, np.inf, np.inf,
                         failure_reason="non-finite factor")
 
@@ -169,11 +180,19 @@ def iterative_refinement(A: np.ndarray, b: np.ndarray,
         err = normwise_backward_error(A64, x, b64)
         if record_history:
             history.append(err)
+        if trace is not None:
+            trace.iteration(i, residual=err)
         if not np.isfinite(err):
+            if trace is not None:
+                trace.event("breakdown", stage="refinement",
+                            reason="diverged (non-finite)")
             return IRResult(False, True, i, np.inf, fact_err,
                             failure_reason="refinement diverged (non-finite)",
                             history=history)
         if err <= tolerance:
+            if trace is not None:
+                trace.event("finish", iter=i, outcome="converged",
+                            residual=err)
             return IRResult(True, False, i, err, fact_err,
                             history=history, x=x)
         if err < best:
@@ -182,11 +201,17 @@ def iterative_refinement(A: np.ndarray, b: np.ndarray,
         else:
             stall += 1
             if stall >= divergence_patience and best > np.sqrt(_U64):
+                if trace is not None:
+                    trace.event("breakdown", stage="refinement",
+                                reason="stagnated far from solution")
                 return IRResult(False, True, i, err, fact_err,
                                 failure_reason="refinement stagnated far "
                                                "from solution",
                                 history=history)
 
+    if trace is not None:
+        trace.event("finish", iter=max_iterations, outcome="budget",
+                    residual=best)
     return IRResult(False, False, max_iterations, best, fact_err,
                     failure_reason="iteration budget exhausted",
                     history=history, x=x)

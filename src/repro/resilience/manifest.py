@@ -57,7 +57,10 @@ class RunManifest:
             return self
         if isinstance(data, dict) and isinstance(data.get("runs"), dict):
             cells = data.get("cells")
-            self.data = {"version": _VERSION, "runs": dict(data["runs"]),
+            # keep unknown top-level sections (telemetry/cache payloads
+            # from newer writers) instead of silently dropping them
+            self.data = {**data, "version": _VERSION,
+                         "runs": dict(data["runs"]),
                          "cells": (dict(cells) if isinstance(cells, dict)
                                    else {})}
         return self
@@ -111,6 +114,25 @@ class RunManifest:
         }
         if save:
             self.save()
+
+    # -- telemetry sidecars ----------------------------------------------
+    def record_section(self, name: str, payload: Any,
+                       save: bool = True) -> None:
+        """Attach a free-form top-level section (``trace``, ``cache``).
+
+        Used by the runner to persist the traced-run summary (trace
+        file path, per-cell time aggregation) and the sweep's cache
+        hit/miss/invalidation counts alongside the run records.
+        """
+        if name in ("version", "runs", "cells"):
+            raise ValueError(f"section name {name!r} is reserved")
+        self.data[name] = payload
+        if save:
+            self.save()
+
+    def get_section(self, name: str) -> Any:
+        """A previously recorded free-form section, or None."""
+        return self.data.get(name)
 
     def is_cell_complete(self, cell_id: str, scale: str) -> bool:
         entry = self.get_cell(cell_id)

@@ -29,7 +29,7 @@ from typing import Any, Iterator, Mapping
 
 import numpy as np
 
-from ..arith.context import FPContext
+from ..arith.context import FPContext, get_instrument
 from ..errors import FactorizationError, RecoveryExhausted, ScalingError
 from ..formats.registry import get_format
 from ..linalg.cg import conjugate_gradient
@@ -168,17 +168,33 @@ def _run_ladder(trace: RecoveryTrace, policy: RecoveryPolicy,
 
     ``attempt_fn`` returns ``(succeeded, metric, detail, result)`` and
     may raise :class:`ReproError` subclasses (recorded as failures).
+    Each rung additionally lands as a ``recovery`` event on the ambient
+    telemetry tracer (when one is installed), so traced experiment runs
+    show which ladder rungs fired without post-processing the results.
     """
+    def emit(attempt: RecoveryAttempt) -> None:
+        tracer = get_instrument("tracer")
+        if tracer is not None:
+            tracer.emit("solver", solver=trace.solver,
+                        format=attempt.fmt, event="recovery",
+                        rung=attempt.rung, rescaled=attempt.rescaled,
+                        succeeded=attempt.succeeded,
+                        detail=attempt.detail)
+
     for rung, fmt, rescaled in policy.ladder(fmt_name):
         try:
             ok, metric, detail, result = attempt_fn(rung, fmt, rescaled)
         except (FactorizationError, ScalingError) as exc:
-            trace.record(RecoveryAttempt(rung, fmt, rescaled, False,
-                                         np.inf, f"{type(exc).__name__}: "
-                                                 f"{exc}"))
+            attempt = RecoveryAttempt(rung, fmt, rescaled, False,
+                                      np.inf,
+                                      f"{type(exc).__name__}: {exc}")
+            trace.record(attempt)
+            emit(attempt)
             continue
-        trace.record(RecoveryAttempt(rung, fmt, rescaled, ok, metric,
-                                     detail))
+        attempt = RecoveryAttempt(rung, fmt, rescaled, ok, metric,
+                                  detail)
+        trace.record(attempt)
+        emit(attempt)
         if ok:
             trace.result = result
             return trace

@@ -1,0 +1,67 @@
+"""``python -m repro.telemetry`` — trace summaries and diffs.
+
+Subcommands::
+
+    summarize TRACE              render one trace (sites, solvers, time)
+    diff OLD NEW                 counter/span deltas between two traces
+    bench-diff BASELINE CURRENT  per-experiment wall-clock vs a committed
+                                 baseline (warn-only; --strict to fail)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analyze import (diff_bench, diff_traces, render_bench_diff,
+                      render_diff, render_summary, summarize_trace)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Summarize and diff telemetry traces.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("summarize", help="render one trace file")
+    p.add_argument("trace", help="JSON-lines trace file")
+    p.add_argument("--top", type=int, default=12,
+                   help="rows in the top-sites/cells tables")
+
+    p = sub.add_parser("diff", help="compare two trace files")
+    p.add_argument("old", help="baseline trace")
+    p.add_argument("new", help="current trace")
+
+    p = sub.add_parser("bench-diff",
+                       help="compare BENCH_experiments.json files")
+    p.add_argument("baseline", help="committed baseline bench JSON")
+    p.add_argument("current", help="freshly produced bench JSON")
+    p.add_argument("--warn-pct", type=float, default=25.0,
+                   help="warn when an experiment regresses beyond this "
+                        "percentage (default 25)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero when any warning fires "
+                        "(default: warn-only, exit 0)")
+
+    args = parser.parse_args(argv)
+    if args.command == "summarize":
+        print(render_summary(summarize_trace(args.trace), top=args.top))
+        return 0
+    if args.command == "diff":
+        print(render_diff(diff_traces(args.old, args.new)))
+        return 0
+    diff = diff_bench(args.baseline, args.current,
+                      warn_pct=args.warn_pct)
+    print(render_bench_diff(diff))
+    if args.strict and diff["warnings"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # downstream pager/head closed the pipe; not an error
+        sys.stderr.close()
+        sys.exit(0)

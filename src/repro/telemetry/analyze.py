@@ -1,0 +1,285 @@
+"""Trace analysis: summaries, trace diffs, bench diffs.
+
+Pure functions over event lists (as read by :func:`read_events`) so the
+CLI in ``__main__`` and the tests share one implementation.  Renderers
+return strings; nothing here prints.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from ..analysis.reporting import format_table
+
+__all__ = ["diff_bench", "diff_traces", "read_events",
+           "render_bench_diff", "render_diff", "render_summary",
+           "summarize_trace"]
+
+#: the SiteCounters fields, in table-column order
+COUNTER_FIELDS = ("total", "exact", "inexact", "nar", "saturated",
+                  "overflow", "underflow_zero", "minpos_clamp")
+#: counters flagging range exhaustion (the paper's §IV accounting)
+EXCEPTION_FIELDS = ("nar", "saturated", "overflow", "underflow_zero",
+                    "minpos_clamp")
+
+
+def read_events(path: str) -> list[dict]:
+    """Parse a JSON-lines trace file into a list of event dicts."""
+    events = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def _ensure_events(trace: str | Iterable[dict]) -> list[dict]:
+    if isinstance(trace, str):
+        return read_events(trace)
+    return list(trace)
+
+
+def summarize_trace(trace: str | Iterable[dict]) -> dict:
+    """Aggregate a trace (path or event list) into one summary dict.
+
+    Keys: ``meta``; ``counters`` ``{(site, format): {field: n}}``;
+    ``spans`` ``{name: {count, seconds}}``; ``cells`` ``{cell_id:
+    seconds}`` (the per-cell time breakdown); ``solvers``
+    ``{(solver, format): {iterations, final_residual, episodes}}``.
+    """
+    events = _ensure_events(trace)
+    meta: dict = {}
+    counters: dict[tuple[str, str], dict[str, int]] = {}
+    spans: dict[str, dict[str, float]] = {}
+    cells: dict[str, float] = {}
+    solvers: dict[tuple[str, str], dict] = {}
+
+    for ev in events:
+        etype = ev.get("type")
+        if etype == "meta":
+            meta = {k: v for k, v in ev.items() if k != "type"}
+        elif etype == "counters":
+            key = (ev.get("site", "?"), ev.get("format", "?"))
+            agg = counters.setdefault(
+                key, {f: 0 for f in COUNTER_FIELDS})
+            for f in COUNTER_FIELDS:
+                agg[f] += int(ev.get(f, 0))
+        elif etype == "span":
+            name = ev.get("name", "?")
+            agg = spans.setdefault(name, {"count": 0, "seconds": 0.0})
+            agg["count"] += 1
+            agg["seconds"] += float(ev.get("seconds", 0.0))
+            if name == "cell.compute" and "cell" in ev:
+                cells[ev["cell"]] = (cells.get(ev["cell"], 0.0)
+                                     + float(ev.get("seconds", 0.0)))
+        elif etype == "solver":
+            key = (ev.get("solver", "?"), ev.get("format") or "?")
+            agg = solvers.setdefault(
+                key, {"iterations": 0, "final_residual": None,
+                      "episodes": {}})
+            if ev.get("event") == "iteration":
+                agg["iterations"] += 1
+                if "residual" in ev:
+                    agg["final_residual"] = ev["residual"]
+            else:
+                kind = ev.get("event", "?")
+                agg["episodes"][kind] = agg["episodes"].get(kind, 0) + 1
+
+    return {"meta": meta, "counters": counters, "spans": spans,
+            "cells": cells, "solvers": solvers}
+
+
+def render_summary(summary: dict, top: int = 12) -> str:
+    """Human-readable report for one trace summary."""
+    parts: list[str] = []
+    label = summary["meta"].get("label")
+    parts.append(f"trace: {label or '(unlabelled)'}")
+
+    counters = summary["counters"]
+    if counters:
+        total = sum(c["total"] for c in counters.values())
+        inexact = sum(c["inexact"] for c in counters.values())
+        parts.append(f"\nroundings: {total} total, {inexact} inexact "
+                     f"({100.0 * inexact / total:.1f}%)"
+                     if total else "\nroundings: none recorded")
+        by_total = sorted(counters.items(),
+                          key=lambda kv: (-kv[1]["total"], kv[0]))
+        rows = [(f"{site} [{fmt}]",) + tuple(c[f] for f in
+                                             COUNTER_FIELDS)
+                for (site, fmt), c in by_total[:top]]
+        parts.append("\n" + format_table(
+            ("site",) + COUNTER_FIELDS, rows,
+            title=f"top {min(top, len(by_total))} sites by roundings",
+            first_col_width=24, col_width=11))
+        exceptional = [((site, fmt), c) for (site, fmt), c in by_total
+                       if any(c[f] for f in EXCEPTION_FIELDS)]
+        if exceptional:
+            rows = [(f"{site} [{fmt}]",) + tuple(c[f] for f in
+                                                 EXCEPTION_FIELDS)
+                    for (site, fmt), c in exceptional]
+            parts.append("\n" + format_table(
+                ("site",) + EXCEPTION_FIELDS, rows,
+                title="saturation / exception events",
+                first_col_width=24, col_width=15))
+
+    solvers = summary["solvers"]
+    if solvers:
+        rows = []
+        for (solver, fmt), agg in sorted(solvers.items()):
+            episodes = ", ".join(f"{k}x{v}" for k, v in
+                                 sorted(agg["episodes"].items())) or "-"
+            rows.append((f"{solver} [{fmt}]", agg["iterations"],
+                         agg["final_residual"], episodes))
+        parts.append("\n" + format_table(
+            ("solver", "iters", "final_res", "episodes"), rows,
+            title="solver traces", first_col_width=24, col_width=13))
+
+    spans = summary["spans"]
+    if spans:
+        rows = [(name, agg["count"], agg["seconds"])
+                for name, agg in sorted(
+                    spans.items(), key=lambda kv: -kv[1]["seconds"])]
+        parts.append("\n" + format_table(
+            ("span", "count", "seconds"), rows,
+            title="time breakdown by span", first_col_width=24))
+    cells = summary["cells"]
+    if cells:
+        rows = sorted(cells.items(), key=lambda kv: -kv[1])[:top]
+        parts.append("\n" + format_table(
+            ("cell", "seconds"), rows,
+            title=f"top {len(rows)} cells by compute time",
+            first_col_width=44))
+    return "\n".join(parts)
+
+
+def diff_traces(old: str | Iterable[dict],
+                new: str | Iterable[dict]) -> dict:
+    """Per-(site, format) counter deltas and per-span time deltas.
+
+    Returns ``{"counters": {(site, fmt): {field: (old, new)}},
+    "spans": {name: (old_s, new_s)}}`` — only entries that changed.
+    """
+    a = summarize_trace(old)
+    b = summarize_trace(new)
+    counter_delta: dict[tuple[str, str], dict[str, tuple[int, int]]] = {}
+    zeros = {f: 0 for f in COUNTER_FIELDS}
+    for key in sorted(set(a["counters"]) | set(b["counters"])):
+        ca = a["counters"].get(key, zeros)
+        cb = b["counters"].get(key, zeros)
+        changed = {f: (ca[f], cb[f]) for f in COUNTER_FIELDS
+                   if ca[f] != cb[f]}
+        if changed:
+            counter_delta[key] = changed
+    span_delta: dict[str, tuple[float, float]] = {}
+    for name in sorted(set(a["spans"]) | set(b["spans"])):
+        sa = a["spans"].get(name, {}).get("seconds", 0.0)
+        sb = b["spans"].get(name, {}).get("seconds", 0.0)
+        span_delta[name] = (sa, sb)
+    return {"counters": counter_delta, "spans": span_delta}
+
+
+def render_diff(diff: dict) -> str:
+    """Human-readable report for a trace diff."""
+    parts: list[str] = []
+    if not diff["counters"]:
+        parts.append("counters: identical")
+    else:
+        rows = []
+        for (site, fmt), changed in diff["counters"].items():
+            for fieldname, (old, new) in changed.items():
+                rows.append((f"{site} [{fmt}]", fieldname, old, new,
+                             new - old))
+        parts.append(format_table(
+            ("site", "counter", "old", "new", "delta"), rows,
+            title="counter changes", first_col_width=24))
+    if diff["spans"]:
+        rows = [(name, old, new) for name, (old, new) in
+                diff["spans"].items() if old or new]
+        if rows:
+            parts.append("\n" + format_table(
+                ("span", "old_s", "new_s"), rows,
+                title="span time (informational — timing is noisy)",
+                first_col_width=24))
+    return "\n".join(parts)
+
+
+def _load_bench(payload: str | dict) -> dict:
+    if isinstance(payload, str):
+        with open(payload, encoding="utf-8") as fh:
+            return json.load(fh)
+    return payload
+
+
+def diff_bench(baseline: str | dict, current: str | dict,
+               warn_pct: float = 25.0) -> dict:
+    """Compare per-experiment wall-clock against a committed baseline.
+
+    Returns ``{"rows": [...], "warnings": [...], "scale_mismatch":
+    bool}``; a row per experiment id present in either payload with
+    ``baseline_s`` / ``current_s`` / ``pct`` (None when not
+    comparable) and ``warn`` set on regressions beyond *warn_pct*.
+    Missing-in-either and failed experiments also warn.
+    """
+    base = _load_bench(baseline)
+    cur = _load_bench(current)
+    base_exps = base.get("experiments", {})
+    cur_exps = cur.get("experiments", {})
+    rows: list[dict] = []
+    warnings: list[str] = []
+    for eid in sorted(set(base_exps) | set(cur_exps)):
+        b = base_exps.get(eid)
+        c = cur_exps.get(eid)
+        row = {"id": eid,
+               "baseline_s": b.get("duration_s") if b else None,
+               "current_s": c.get("duration_s") if c else None,
+               "pct": None, "warn": False}
+        if b is None:
+            row["warn"] = True
+            warnings.append(f"{eid}: new experiment (no baseline)")
+        elif c is None:
+            row["warn"] = True
+            warnings.append(f"{eid}: missing from current run")
+        elif c.get("status") != "completed":
+            row["warn"] = True
+            warnings.append(f"{eid}: status {c.get('status')!r}")
+        else:
+            bs, cs = row["baseline_s"], row["current_s"]
+            if bs and bs > 0:
+                row["pct"] = 100.0 * (cs - bs) / bs
+                if row["pct"] > warn_pct:
+                    row["warn"] = True
+                    warnings.append(
+                        f"{eid}: {bs:.3f}s -> {cs:.3f}s "
+                        f"(+{row['pct']:.0f}% > {warn_pct:.0f}%)")
+        rows.append(row)
+    mismatch = base.get("scale") != cur.get("scale")
+    if mismatch:
+        warnings.insert(0, f"scale mismatch: baseline "
+                           f"{base.get('scale')!r} vs current "
+                           f"{cur.get('scale')!r} — timings not "
+                           f"comparable")
+    return {"rows": rows, "warnings": warnings,
+            "scale_mismatch": mismatch}
+
+
+def render_bench_diff(diff: dict) -> str:
+    """Human-readable report for a bench diff (warn-only contract)."""
+    table_rows = []
+    for row in diff["rows"]:
+        pct = row["pct"]
+        table_rows.append((
+            row["id"], row["baseline_s"], row["current_s"],
+            "-" if pct is None else f"{pct:+.0f}%",
+            "WARN" if row["warn"] else ""))
+    parts = [format_table(
+        ("experiment", "baseline_s", "current_s", "pct", ""),
+        table_rows, title="wall-clock vs baseline",
+        first_col_width=16)]
+    if diff["warnings"]:
+        parts.append("\nwarnings:")
+        parts.extend(f"  - {w}" for w in diff["warnings"])
+    else:
+        parts.append("\nno regressions beyond threshold")
+    return "\n".join(parts)

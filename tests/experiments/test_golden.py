@@ -33,7 +33,8 @@ from repro.experiments import (common, fig06_cg, fig08_cholesky,
 GOLDEN_PATH = Path(__file__).parent / "golden" / "smoke_digests.json"
 
 _EXPERIMENTS = (fig06_cg, fig08_cholesky, table02_ir_naive)
-ARTIFACTS = ("fig6_cg.csv", "fig8_cholesky.csv", "table2_ir.csv")
+ARTIFACTS = ("fig06_cg.csv", "fig08_cholesky.csv",
+             "table02_ir_naive.csv")
 
 
 def _canon(value: str) -> str:

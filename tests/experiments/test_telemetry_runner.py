@@ -1,0 +1,141 @@
+"""Runner telemetry: --trace, --cache-stats, cache counters, resume."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.cache import (ResultCache, cache_stats,
+                                     reset_cache_stats)
+from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import LEGACY_ARTIFACTS, ExperimentSpec
+from repro.experiments.runner import main
+from repro.resilience.manifest import MANIFEST_NAME, RunManifest
+
+
+@pytest.fixture(autouse=True)
+def _results(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    yield
+
+
+def _manifest(tmp_path) -> RunManifest:
+    return RunManifest(os.path.join(str(tmp_path), MANIFEST_NAME)).load()
+
+
+def _register_fake(monkeypatch, eid: str):
+    """A tiny experiment doing real posit arithmetic (traceable)."""
+    import numpy as np
+
+    from repro.arith.context import FPContext
+
+    def run(scale=None, quiet=False):
+        ctx = FPContext("posit16es1")
+        x = np.linspace(0.1, 1.0, 16)
+        ctx.dot(x, x)
+        return ExperimentResult(eid, f"fake {eid}", "ran", None)
+
+    from repro.experiments import runner
+    monkeypatch.setitem(
+        runner.EXPERIMENTS, eid,
+        ExperimentSpec(id=eid, title=f"fake {eid}", runner=run,
+                       module=f"tests.fake.{eid}"))
+
+
+class TestCacheStats:
+    def test_counters_track_cache_traffic(self, tmp_path):
+        stats = reset_cache_stats()
+        cache = ResultCache(str(tmp_path / "c"), fingerprint="f1")
+        cache.get("cg:a:fp32", "small")          # miss
+        cache.put("cg:a:fp32", "small", 1)       # store
+        cache.get("cg:a:fp32", "small")          # hit
+        path = cache.entry_path("cg:a:fp32", "small")
+        with open(path, "wb") as fh:
+            fh.write(b"\x00garbage")
+        cache.get("cg:a:fp32", "small")          # corrupt: miss+invalid
+        assert stats.hits == 1
+        assert stats.misses == 2
+        assert stats.stores == 1
+        assert stats.invalidations == 1
+        assert stats.lookups == 3
+        assert cache_stats() is stats
+
+    def test_as_dict_and_reset(self):
+        stats = reset_cache_stats()
+        d = stats.as_dict()
+        assert d == {"hits": 0, "misses": 0, "stores": 0,
+                     "invalidations": 0, "lookups": 0}
+        stats.hits = 3
+        assert reset_cache_stats().hits == 0
+
+
+class TestRunnerFlags:
+    def test_cache_stats_flag_prints_and_records(self, tmp_path,
+                                                 monkeypatch, capsys):
+        _register_fake(monkeypatch, "zz-fake")
+        assert main(["zz-fake", "--scale", "smoke",
+                     "--cache-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "cache:" in out and "lookups" in out
+        section = _manifest(tmp_path).get_section("cache")
+        assert section is not None and section["scale"] == "smoke"
+        assert set(section) >= {"hits", "misses", "stores",
+                                "invalidations", "lookups", "scale"}
+
+    def test_trace_flag_writes_trace_and_manifest(self, tmp_path,
+                                                  monkeypatch, capsys):
+        _register_fake(monkeypatch, "zz-fake")
+        assert main(["zz-fake", "--scale", "smoke", "--trace"]) == 0
+        out = capsys.readouterr().out
+        trace_path = os.path.join(str(tmp_path), "traces",
+                                  "zz-fake.jsonl")
+        assert os.path.exists(trace_path)
+        assert "trace written:" in out
+        with open(trace_path) as fh:
+            events = [json.loads(line) for line in fh]
+        assert any(e["type"] == "counters" for e in events)
+        section = _manifest(tmp_path).get_section("trace")
+        assert section["label"] == "zz-fake"
+        assert section["roundings"] > 0
+        assert section["path"] == trace_path
+
+    def test_trace_forces_serial(self, monkeypatch, capsys):
+        _register_fake(monkeypatch, "zz-fake")
+        assert main(["zz-fake", "--scale", "smoke", "--trace",
+                     "--jobs", "4"]) == 0
+        assert "forces --jobs 1" in capsys.readouterr().err
+
+    def test_no_trace_is_default_and_accepted(self, tmp_path,
+                                              monkeypatch):
+        _register_fake(monkeypatch, "zz-fake")
+        assert main(["zz-fake", "--scale", "smoke", "--no-trace"]) == 0
+        assert not os.path.exists(os.path.join(str(tmp_path), "traces",
+                                               "zz-fake.jsonl"))
+
+
+class TestLegacyResume:
+    def test_legacy_artifact_names_still_resume(self, tmp_path, capsys):
+        """A manifest written before the artifact rename still skips.
+
+        Completion is judged by the *recorded* csv_path existing, so an
+        entry pointing at e.g. ``fig6_cg.csv`` keeps satisfying
+        ``--resume`` after the standardization to ``fig06_cg.csv``.
+        """
+        legacy = os.path.join(str(tmp_path), "fig6_cg.csv")
+        with open(legacy, "w") as fh:
+            fh.write("matrix\nexample\n")
+        manifest = _manifest(tmp_path)
+        manifest.record("fig6", status="completed", scale="smoke",
+                        duration=1.0, csv_path=legacy)
+        assert main(["fig6", "--scale", "smoke", "--resume"]) == 0
+        assert "skipping (--resume)" in capsys.readouterr().out
+
+    def test_legacy_map_is_complete_and_disjoint(self):
+        from repro.experiments import runner
+        current = {spec.artifact for spec in runner.EXPERIMENTS.values()}
+        for old, new in LEGACY_ARTIFACTS.items():
+            assert new in current, f"{old} maps to unknown {new}"
+            assert old not in current, f"{old} still written by a spec"

@@ -1,0 +1,83 @@
+"""The PR's acceptance criteria, as executable checks (smoke scale).
+
+* a traced fig6 run produces a JSON-lines trace whose per-site rounding
+  counts are nonzero and identical run-to-run;
+* the summarizer renders that trace;
+* with collection disabled the experiment CSV is byte-identical to an
+  uninstrumented run (observation only, never perturbation).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import SCALES
+from repro.experiments import common, run_experiment
+from repro.telemetry import Collector, collecting, read_events
+
+SMOKE = SCALES["smoke"]
+
+
+def _counter_events(path: str) -> list[dict]:
+    return [e for e in read_events(path) if e["type"] == "counters"]
+
+
+@pytest.fixture()
+def results_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    common.clear_cache()
+    yield str(tmp_path)
+    common.clear_cache()
+
+
+def _traced_fig6(results: str, name: str) -> tuple:
+    common.clear_cache()        # counts must measure the computation
+    path = os.path.join(results, f"{name}.jsonl")
+    result = run_experiment("fig6", scale=SMOKE, quiet=True,
+                            trace=path)
+    return result, path
+
+
+def test_traced_fig6_counts_nonzero_and_reproducible(results_dir):
+    result, path = _traced_fig6(results_dir, "first")
+    assert result.trace_path == path
+    assert os.path.exists(path)
+
+    first = _counter_events(path)
+    assert first, "traced run recorded no counters"
+    assert sum(e["total"] for e in first) > 0
+    posit_sites = [e for e in first if e["format"].startswith("posit")]
+    assert posit_sites and any(e["inexact"] > 0 for e in posit_sites)
+
+    _, path2 = _traced_fig6(results_dir, "second")
+    assert _counter_events(path2) == first
+
+
+def test_traced_fig6_summarizes(results_dir, capsys):
+    from repro.telemetry.__main__ import main
+    _, path = _traced_fig6(results_dir, "render")
+    assert main(["summarize", path]) == 0
+    out = capsys.readouterr().out
+    assert "roundings:" in out and "matvec" in out
+
+
+def test_csv_byte_identical_with_and_without_collector(results_dir,
+                                                       monkeypatch):
+    # disk cache off: both runs must actually compute (a warm second
+    # run would trivially match, and the collector would see nothing)
+    monkeypatch.setenv("REPRO_CACHE", "off")
+    common.clear_cache()
+    plain = run_experiment("fig6", scale=SMOKE, quiet=True)
+    with open(plain.csv_path, "rb") as fh:
+        plain_bytes = fh.read()
+
+    common.clear_cache()
+    with collecting() as col:
+        observed = run_experiment("fig6", scale=SMOKE, quiet=True)
+    with open(observed.csv_path, "rb") as fh:
+        observed_bytes = fh.read()
+
+    assert col.total() > 0          # the collector really was active
+    assert observed_bytes == plain_bytes

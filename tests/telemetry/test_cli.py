@@ -1,0 +1,120 @@
+"""``python -m repro.telemetry`` — summarize / diff / bench-diff."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.arith.context import FPContext
+from repro.telemetry import (diff_bench, diff_traces, summarize_trace,
+                             trace_session)
+from repro.telemetry.__main__ import main
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    """A small real trace: some posit arithmetic plus a span."""
+    path = str(tmp_path / "unit.jsonl")
+    with trace_session(path, label="unit"):
+        from repro.telemetry import span
+        ctx = FPContext("posit16es1")
+        x = np.linspace(0.1, 2.0, 32)
+        with span("cell.compute", cell="cg:demo:posit16es1"):
+            ctx.dot(x, x)
+            ctx.add(x, x)
+    return path
+
+
+class TestSummarize:
+    def test_cli_renders_sites(self, trace_file, capsys):
+        assert main(["summarize", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "trace: unit" in out
+        assert "dot.mul" in out and "posit16es1" in out
+        assert "cell.compute" in out
+
+    def test_summary_counts_cells(self, trace_file):
+        summary = summarize_trace(trace_file)
+        assert summary["meta"]["label"] == "unit"
+        assert "cg:demo:posit16es1" in summary["cells"]
+        assert ("dot.sum", "posit16es1") in summary["counters"]
+
+    def test_top_flag(self, trace_file, capsys):
+        assert main(["summarize", trace_file, "--top", "2"]) == 0
+        assert "top 2 sites" in capsys.readouterr().out
+
+
+class TestDiff:
+    def test_identical_traces(self, trace_file, capsys):
+        assert main(["diff", trace_file, trace_file]) == 0
+        assert "counters: identical" in capsys.readouterr().out
+
+    def test_counter_change_is_reported(self, trace_file, tmp_path):
+        other = str(tmp_path / "other.jsonl")
+        with trace_session(other, label="other"):
+            ctx = FPContext("posit16es1")
+            x = np.linspace(0.1, 2.0, 32)
+            ctx.dot(x, x)          # no add this time
+        diff = diff_traces(trace_file, other)
+        assert ("add", "posit16es1") in diff["counters"]
+
+
+def _bench(**experiments) -> dict:
+    return {"version": 1, "scale": "smoke", "jobs": 1, "total_s": 1.0,
+            "cells": {}, "experiments": experiments}
+
+
+class TestBenchDiff:
+    def test_no_regression(self):
+        base = _bench(fig6={"status": "completed", "duration_s": 1.0})
+        cur = _bench(fig6={"status": "completed", "duration_s": 1.1})
+        diff = diff_bench(base, cur)
+        assert diff["warnings"] == []
+        assert diff["rows"][0]["pct"] == pytest.approx(10.0)
+
+    def test_regression_warns(self):
+        base = _bench(fig6={"status": "completed", "duration_s": 1.0})
+        cur = _bench(fig6={"status": "completed", "duration_s": 1.6})
+        diff = diff_bench(base, cur, warn_pct=25.0)
+        assert any("fig6" in w for w in diff["warnings"])
+        assert diff["rows"][0]["warn"]
+
+    def test_missing_and_failed_warn(self):
+        base = _bench(fig6={"status": "completed", "duration_s": 1.0},
+                      fig8={"status": "completed", "duration_s": 1.0})
+        cur = _bench(fig6={"status": "failed", "duration_s": 0.1},
+                     table2={"status": "completed", "duration_s": 2.0})
+        diff = diff_bench(base, cur)
+        text = "\n".join(diff["warnings"])
+        assert "fig6: status 'failed'" in text
+        assert "fig8: missing from current run" in text
+        assert "table2: new experiment" in text
+
+    def test_scale_mismatch_flagged(self):
+        base = _bench()
+        cur = dict(_bench(), scale="small")
+        diff = diff_bench(base, cur)
+        assert diff["scale_mismatch"]
+        assert "scale mismatch" in diff["warnings"][0]
+
+    def test_cli_warn_only_exit_codes(self, tmp_path, capsys):
+        base_p = tmp_path / "base.json"
+        cur_p = tmp_path / "cur.json"
+        base_p.write_text(json.dumps(
+            _bench(fig6={"status": "completed", "duration_s": 1.0})))
+        cur_p.write_text(json.dumps(
+            _bench(fig6={"status": "completed", "duration_s": 2.0})))
+        # default contract: warn, never fail the build
+        assert main(["bench-diff", str(base_p), str(cur_p)]) == 0
+        assert "WARN" in capsys.readouterr().out
+        # --strict turns warnings into a nonzero exit
+        assert main(["bench-diff", str(base_p), str(cur_p),
+                     "--strict"]) == 1
+
+    def test_cli_strict_clean_exit_zero(self, tmp_path):
+        p = tmp_path / "b.json"
+        p.write_text(json.dumps(
+            _bench(fig6={"status": "completed", "duration_s": 1.0})))
+        assert main(["bench-diff", str(p), str(p), "--strict"]) == 0

@@ -1,0 +1,74 @@
+"""The disabled-instrumentation path must stay (near) free.
+
+Two guards: a *mechanism* check — with no collector bound or ambient,
+``FPContext`` hands reductions its bare rounder (identical object, so
+the cost is exactly one ``is None`` check per site) — and a coarse
+wall-clock ratio against the uninstrumented inline equivalent, with a
+generous bound so scheduler noise cannot flake CI.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.arith.context import FPContext, get_instrument
+from repro.arith.summation import rounded_sum_last_axis
+from repro.formats import get_format
+from repro.telemetry import Collector
+
+
+def test_disabled_reduction_uses_bare_rounder():
+    ctx = FPContext("posit16es1")
+    assert ctx.collector is None
+    assert get_instrument("collector") is None
+    # the zero-overhead contract: the very same callable, no wrapper
+    assert ctx._rnd_for("matvec.sum") is ctx._rnd
+    assert ctx._rnd_for("dot.sum") is ctx._rnd
+
+
+def test_enabled_reduction_wraps_rounder():
+    ctx = FPContext("posit16es1", collector=Collector())
+    assert ctx._rnd_for("matvec.sum") is not ctx._rnd
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_disabled_matvec_overhead_bounded():
+    """ctx.matvec with no collector ~ the inline uninstrumented loop.
+
+    The baseline below *is* the body of ``FPContext.matvec`` with the
+    instrumentation hooks deleted; the context may cost a little
+    dispatch on top, never a multiple (a 3x bound is already ~10 lines
+    of pure-python away from the actual <1.2x, so this only catches
+    accidentally counting on the disabled path).
+    """
+    fmt = get_format("posit16es1")
+    ctx = FPContext(fmt)
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((96, 96))
+    x = rng.standard_normal(96)
+
+    def baseline():
+        with np.errstate(invalid="ignore", over="ignore"):
+            products = fmt.round(A * x[np.newaxis, :])
+        return rounded_sum_last_axis(products, fmt.round, "pairwise")
+
+    def instrumented_but_disabled():
+        return ctx.matvec(A, x)
+
+    baseline()                       # warm any lazy format tables
+    instrumented_but_disabled()
+    t_base = _best_of(baseline)
+    t_ctx = _best_of(instrumented_but_disabled)
+    assert t_ctx <= 3.0 * t_base + 1e-3, (
+        f"disabled-path matvec {t_ctx * 1e6:.0f}us vs inline "
+        f"{t_base * 1e6:.0f}us — instrumentation is not free when off")

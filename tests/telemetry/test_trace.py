@@ -1,0 +1,212 @@
+"""Tracer / span / SolverTrace / trace_session behavior."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.arith.context import FPContext, get_instrument
+from repro.linalg.bicg import bicg
+from repro.linalg.cg import conjugate_gradient
+from repro.errors import FactorizationError
+from repro.linalg.cholesky import cholesky_factor
+from repro.telemetry import (SolverTrace, Tracer, active_tracer,
+                             maybe_trace, read_events, span,
+                             trace_session, tracing)
+
+
+def _spd(n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    M = rng.standard_normal((n, n))
+    return M @ M.T + n * np.eye(n)
+
+
+class TestTracer:
+    def test_meta_event_first(self):
+        t = Tracer(label="unit")
+        assert t.events[0] == {"type": "meta", "schema": 1,
+                               "label": "unit"}
+
+    def test_flush_roundtrip(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        t = Tracer(path, label="rt")
+        t.emit("span", name="x", seconds=0.25)
+        assert t.flush() == path
+        events = read_events(path)
+        assert events == t.events
+        # one JSON object per line
+        with open(path) as fh:
+            for line in fh:
+                json.loads(line)
+
+    def test_flush_without_path_is_noop(self):
+        assert Tracer().flush() is None
+
+
+class TestSpan:
+    def test_span_without_tracer_is_silent(self):
+        with span("nothing", extra=1):
+            pass
+        assert active_tracer() is None
+
+    def test_span_records_duration_and_fields(self):
+        with tracing() as t:
+            with span("work", cell="cg:a:fp32"):
+                pass
+        (ev,) = [e for e in t.events if e["type"] == "span"]
+        assert ev["name"] == "work"
+        assert ev["cell"] == "cg:a:fp32"
+        assert ev["seconds"] >= 0.0
+
+    def test_span_emits_even_when_body_raises(self):
+        with tracing() as t:
+            with pytest.raises(RuntimeError):
+                with span("doomed"):
+                    raise RuntimeError("boom")
+        assert any(e.get("name") == "doomed" for e in t.events)
+
+    def test_tracing_restores_previous(self):
+        with tracing() as outer:
+            with tracing() as inner:
+                assert active_tracer() is inner
+            assert active_tracer() is outer
+        assert active_tracer() is None
+
+
+class TestSolverTrace:
+    def test_iteration_bookkeeping(self):
+        tr = SolverTrace("cg", "posit32es2")
+        tr.iteration(0, residual=1.0, vectors=(np.array([1.0, -4.0]),))
+        tr.iteration(1, residual=0.5, vectors=(np.array([2.0, 0.25]),))
+        tr.event("finish", outcome="converged")
+        assert tr.iterations == 2
+        assert tr.residuals == [1.0, 0.5]
+        assert tr.peaks == [4.0, 2.0]
+        assert tr.peak_dynamic_range == pytest.approx(np.log10(2.0))
+
+    def test_peak_dynamic_range_empty_is_inf(self):
+        assert SolverTrace("cg").peak_dynamic_range == np.inf
+
+    def test_eager_forwarding_to_bound_tracer(self):
+        t = Tracer()
+        tr = SolverTrace("cg", "fp32", tracer=t)
+        tr.iteration(0, residual=1.0)
+        # forwarded immediately — a crash now would still see it
+        assert any(e.get("event") == "iteration" for e in t.events)
+
+    def test_publish_is_incremental(self):
+        t = Tracer()
+        tr = SolverTrace("cg", "fp32")
+        tr.iteration(0, residual=1.0)
+        tr.publish(t)
+        tr.publish(t)
+        assert sum(1 for e in t.events
+                   if e.get("event") == "iteration") == 1
+
+
+class TestMaybeTrace:
+    def test_explicit_trace_wins(self):
+        mine = SolverTrace("cg")
+        assert maybe_trace("cg", "fp32", mine) is mine
+
+    def test_untraced_run_buffers_nothing(self):
+        assert maybe_trace("cg", "fp32") is None
+
+    def test_ambient_tracer_binds(self):
+        with tracing() as t:
+            tr = maybe_trace("cg", "fp32")
+        assert isinstance(tr, SolverTrace)
+        assert tr.tracer is t
+
+    def test_always_returns_trace_without_tracer(self):
+        tr = maybe_trace("bicg", "fp32", always=True)
+        assert isinstance(tr, SolverTrace)
+        assert tr.tracer is None
+
+
+class TestSolverIntegration:
+    def test_cg_explicit_trace(self):
+        A = _spd(12)
+        b = np.ones(12)
+        tr = SolverTrace("cg", "fp64")
+        res = conjugate_gradient(FPContext("fp64"), A, b, trace=tr)
+        assert res.trace is tr
+        assert tr.iterations == res.iterations
+        assert tr.residuals and tr.residuals[-1] <= tr.residuals[0]
+        finishes = [e for e in tr.events if e["event"] == "finish"]
+        assert finishes and finishes[-1]["outcome"] == "converged"
+
+    def test_cg_untraced_run_has_no_trace(self):
+        A = _spd(8)
+        res = conjugate_gradient(FPContext("fp64"), A, np.ones(8))
+        assert res.trace is None
+
+    def test_cg_ambient_trace_events(self):
+        A = _spd(10, seed=1)
+        with tracing() as t:
+            conjugate_gradient(FPContext("fp32"), A, np.ones(10))
+        iters = [e for e in t.events if e.get("event") == "iteration"]
+        assert iters
+        assert all(e["solver"] == "cg" and e["format"] == "fp32"
+                   for e in iters)
+
+    def test_bicg_result_telemetry_unconditional(self):
+        A = _spd(10, seed=2)
+        res = bicg(FPContext("fp64"), A, np.ones(10))
+        assert len(res.iterate_peaks) == res.iterations
+        assert all(p > 0 for p in res.iterate_peaks)
+        assert np.isfinite(res.peak_dynamic_range)
+        assert res.trace.solver == "bicg"
+
+    def test_cholesky_breakdown_event(self):
+        A = np.array([[1.0, 2.0], [2.0, 1.0]])     # indefinite
+        tr = SolverTrace("cholesky", "fp64")
+        with pytest.raises(FactorizationError):
+            cholesky_factor(FPContext("fp64"), A, trace=tr)
+        kinds = [e["event"] for e in tr.events]
+        assert "breakdown" in kinds
+
+    def test_ir_emits_solver_events_under_ambient_tracer(self):
+        from repro.linalg.ir import iterative_refinement
+        A = _spd(8, seed=3)
+        b = np.ones(8)
+        with tracing() as t:
+            iterative_refinement(A, b, "posit16es2")
+        ir_events = [e for e in t.events if e.get("solver") == "ir"]
+        assert ir_events
+
+
+class TestTraceSession:
+    def test_writes_file_and_counts(self, tmp_path):
+        path = str(tmp_path / "s.jsonl")
+        with trace_session(path, label="unit") as session:
+            ctx = FPContext("posit16es1")
+            x = np.linspace(0.1, 1.0, 16)
+            ctx.dot(x, x)
+            with span("cell.compute", cell="c1"):
+                pass
+        assert os.path.exists(path)
+        assert session.collector.total() > 0
+        events = read_events(path)
+        types = {e["type"] for e in events}
+        assert {"meta", "span", "counters"} <= types
+
+    def test_forces_cache_off_and_restores(self, tmp_path,
+                                           monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "on")
+        with trace_session(str(tmp_path / "c.jsonl")):
+            assert os.environ["REPRO_CACHE"] == "off"
+        assert os.environ["REPRO_CACHE"] == "on"
+
+    def test_restores_instruments_even_on_error(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            with trace_session(str(tmp_path / "e.jsonl")):
+                assert get_instrument("collector") is not None
+                raise RuntimeError("mid-run crash")
+        assert get_instrument("collector") is None
+        assert get_instrument("tracer") is None
+        # the partial trace still flushed
+        assert os.path.exists(str(tmp_path / "e.jsonl"))
