@@ -22,11 +22,16 @@ import numpy as np
 from ..formats.base import NumberFormat
 from ..formats.native import FLOAT64
 from ..formats.registry import get_format
+from ..kernels.scratch import ScratchPool
 from .sparse import ELLMatrix
 from .summation import SUM_ORDERS, rounded_sum_last_axis
 
 __all__ = ["FPContext", "INSTRUMENT_KINDS", "get_active_injector",
            "get_instrument", "set_active_injector", "set_instrument"]
+
+#: scratch for pre-rounding products/sums; formats return fresh arrays,
+#: so a buffer never escapes the context method that took it
+_SCRATCH = ScratchPool()
 
 
 def _identity(x: np.ndarray) -> np.ndarray:
@@ -204,25 +209,43 @@ class FPContext:
             arr = np.asarray(self._quantize("storage", arr))
         return self.inject("storage", arr)
 
+    def _ewise(self, site: str, ufunc, a, b):
+        """Quantized binary ufunc, computed into scratch when possible.
+
+        The scratch path needs same-shape float64 ndarrays and a
+        rounding format (the exact context may return its input, which
+        must never be a scratch buffer).
+        """
+        if (self._exact or not isinstance(a, np.ndarray)
+                or not isinstance(b, np.ndarray) or a.shape != b.shape
+                or a.dtype != np.float64 or b.dtype != np.float64):
+            return self._quantize(site, ufunc(a, b))
+        buf = _SCRATCH.take(a.shape)
+        try:
+            ufunc(a, b, out=buf)
+            return self._quantize(site, buf)
+        finally:
+            _SCRATCH.give(buf)
+
     # -- elementwise ops (one rounding each) ------------------------------
     # NaN operands are legitimate mid-computation (posit NaR carriers,
     # IEEE overflow products), so invalid-op warnings are silenced; the
     # NaNs propagate and surface as solver failures.
     def add(self, a, b):
         with np.errstate(invalid="ignore", over="ignore"):
-            return self._quantize("add", np.add(a, b))
+            return self._ewise("add", np.add, a, b)
 
     def sub(self, a, b):
         with np.errstate(invalid="ignore", over="ignore"):
-            return self._quantize("sub", np.subtract(a, b))
+            return self._ewise("sub", np.subtract, a, b)
 
     def mul(self, a, b):
         with np.errstate(invalid="ignore", over="ignore"):
-            return self._quantize("mul", np.multiply(a, b))
+            return self._ewise("mul", np.multiply, a, b)
 
     def div(self, a, b):
         with np.errstate(divide="ignore", invalid="ignore"):
-            return self._quantize("div", np.divide(a, b))
+            return self._ewise("div", np.divide, a, b)
 
     def sqrt(self, a):
         with np.errstate(invalid="ignore"):
@@ -247,7 +270,7 @@ class FPContext:
         if self._exact:
             return float(self.inject("dot", float(x @ y)))
         with np.errstate(invalid="ignore", over="ignore"):
-            products = self._quantize("dot.mul", x * y)
+            products = self._ewise("dot.mul", np.multiply, x, y)
         out = float(rounded_sum_last_axis(products,
                                           self._rnd_for("dot.sum"),
                                           self.sum_order))
@@ -264,8 +287,14 @@ class FPContext:
         if isinstance(A, ELLMatrix):
             if self._exact:
                 return self.inject("matvec", A.matvec64(x))
-            with np.errstate(invalid="ignore", over="ignore"):
-                products = self._quantize("matvec.mul", A.data * x[A.cols])
+            gath = _SCRATCH.take(A.cols.shape)
+            try:
+                np.take(x, A.cols, out=gath)
+                with np.errstate(invalid="ignore", over="ignore"):
+                    np.multiply(A.data, gath, out=gath)
+                products = self._quantize("matvec.mul", gath)
+            finally:
+                _SCRATCH.give(gath)
             return self.inject("matvec",
                                rounded_sum_last_axis(
                                    products, self._rnd_for("matvec.sum"),
@@ -273,8 +302,13 @@ class FPContext:
         A = np.asarray(A, dtype=np.float64)
         if self._exact:
             return self.inject("matvec", A @ x)
-        with np.errstate(invalid="ignore", over="ignore"):
-            products = self._quantize("matvec.mul", A * x[np.newaxis, :])
+        buf = _SCRATCH.take(A.shape)
+        try:
+            with np.errstate(invalid="ignore", over="ignore"):
+                np.multiply(A, x[np.newaxis, :], out=buf)
+            products = self._quantize("matvec.mul", buf)
+        finally:
+            _SCRATCH.give(buf)
         return self.inject("matvec",
                            rounded_sum_last_axis(
                                products, self._rnd_for("matvec.sum"),
@@ -294,8 +328,14 @@ class FPContext:
         if self._exact:
             return A @ B
         # stack of rounded rank-1 terms, then rounded reduction over k
-        terms = self._quantize("gemm.mul",
-                               A[:, :, np.newaxis] * B[np.newaxis, :, :])
+        buf = _SCRATCH.take((A.shape[0], A.shape[1], B.shape[1]))
+        try:
+            with np.errstate(invalid="ignore", over="ignore"):
+                np.multiply(A[:, :, np.newaxis], B[np.newaxis, :, :],
+                            out=buf)
+            terms = self._quantize("gemm.mul", buf)
+        finally:
+            _SCRATCH.give(buf)
         # move k to the last axis: terms[i, k, j] -> [i, j, k]
         terms = np.moveaxis(terms, 1, -1)
         return rounded_sum_last_axis(terms, self._rnd_for("gemm.sum"),

@@ -23,31 +23,66 @@ from typing import Callable
 
 import numpy as np
 
+from ..kernels.scratch import ScratchPool
+
 __all__ = ["rounded_sum_last_axis", "rounded_sum", "SUM_ORDERS"]
 
 Rounder = Callable[[np.ndarray], np.ndarray]
 
 SUM_ORDERS = ("pairwise", "sequential")
 
+_SCRATCH = ScratchPool()
+
 
 def _fold_pairwise(terms: np.ndarray, rnd: Rounder) -> np.ndarray:
-    """Tree-sum along the last axis, rounding every partial sum."""
-    while terms.shape[-1] > 1:
-        k = terms.shape[-1]
-        m = k // 2
-        folded = rnd(terms[..., :m] + terms[..., m:2 * m])
-        if k & 1:
-            folded = np.concatenate(
-                [folded, terms[..., -1:]], axis=-1)
-        terms = folded
-    return terms[..., 0]
+    """Tree-sum along the last axis, rounding every partial sum.
+
+    One scratch buffer holds every level's pairwise sums; the rounded
+    values the rounder returns (always fresh arrays, or copied when a
+    pass-through rounder hands the input back) become the next level.
+    The sequence of arrays passed to ``rnd`` is value-identical to the
+    naive ``rnd(a + b)`` formulation, so collector op counts and CSV
+    digests are unchanged.
+    """
+    cur = terms
+    k = cur.shape[-1]
+    buf = _SCRATCH.take(cur.shape[:-1] + ((k + 1) // 2,))
+    try:
+        while k > 1:
+            m = k // 2
+            sums = buf[..., :m]
+            # out= overlaps cur[..., :m] only index-for-index when cur
+            # is buf itself, which ufuncs handle; cur[..., m:2m] is
+            # disjoint from the written range.
+            np.add(cur[..., :m], cur[..., m:2 * m], out=sums)
+            folded = rnd(sums)
+            if folded is sums:  # pass-through rounder: detach from buf
+                folded = sums.copy()
+            if k & 1:
+                head = buf[..., :m + 1]
+                head[..., :m] = folded
+                head[..., m] = cur[..., -1]
+                cur = head
+            else:
+                cur = folded
+            k = cur.shape[-1]
+        # an odd level is always followed by another fold, so the final
+        # `cur` came from the rounder — never a view into `buf`
+        return cur[..., 0]
+    finally:
+        _SCRATCH.give(buf)
 
 
 def _fold_sequential(terms: np.ndarray, rnd: Rounder) -> np.ndarray:
     """Left-to-right sum along the last axis, rounding every partial sum."""
     acc = terms[..., 0].copy()
     for j in range(1, terms.shape[-1]):
-        acc = rnd(acc + terms[..., j])
+        if isinstance(acc, np.ndarray) and acc.ndim:
+            np.add(acc, terms[..., j], out=acc)
+            acc = rnd(acc)
+        else:
+            # 0-d reductions: format rounders return Python floats
+            acc = rnd(acc + terms[..., j])
     return acc
 
 

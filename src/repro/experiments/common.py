@@ -32,6 +32,7 @@ import numpy as np
 
 from ..arith.context import FPContext
 from ..config import RunScale, current_scale
+from ..kernels.matcache import matrix_cache
 from ..linalg.cg import conjugate_gradient
 from ..linalg.cholesky import cholesky_solve
 from ..errors import FactorizationError
@@ -166,19 +167,32 @@ def compute_cell(cell: Cell, scale: RunScale) -> Any:
 
 def _compute_cell(cell: Cell, scale: RunScale) -> Any:
     spec, A, b = suite_systems(scale, names=(cell.matrix,))[0]
+    # Derived matrices (rescalings, ELL packing) depend only on the
+    # system and the derivation parameters — never on the cell's format
+    # (except Higham's, which keys on it) — so adjacent cells of a sweep
+    # share them through the per-worker cache.  Solvers treat inputs as
+    # read-only (they already share the memoized suite arrays).
+    cache = matrix_cache()
     if cell.kind == "cg":
         if cell.option("rescaled"):
-            ss = scale_to_inf_norm(A, b)
+            ss = cache.get_or_build(
+                ("cg.rescale", cell.matrix, scale.name),
+                lambda: scale_to_inf_norm(A, b))
             A, b = ss.A, ss.b
         if cell.option("sparse"):
             from ..arith.sparse import ELLMatrix
-            A = ELLMatrix.from_dense(A)
+            A = cache.get_or_build(
+                ("ell", cell.matrix, scale.name,
+                 bool(cell.option("rescaled"))),
+                lambda: ELLMatrix.from_dense(A))
         return conjugate_gradient(
             FPContext(cell.fmt), A, b, rtol=cell.option("rtol", 1e-5),
             max_iterations=scale.cg_max_iterations)
     if cell.kind == "chol":
         if cell.option("rescaled"):
-            ss = scale_by_diagonal_mean(A, b)
+            ss = cache.get_or_build(
+                ("chol.rescale", cell.matrix, scale.name),
+                lambda: scale_by_diagonal_mean(A, b))
             A, b = ss.A, ss.b
         try:
             return cholesky_solve(FPContext(cell.fmt), A,
@@ -188,7 +202,9 @@ def _compute_cell(cell: Cell, scale: RunScale) -> Any:
     if cell.kind == "ir":
         if cell.option("higham"):
             try:
-                sc = higham_rescale(A, b, cell.fmt)
+                sc = cache.get_or_build(
+                    ("higham", cell.matrix, scale.name, cell.fmt),
+                    lambda: higham_rescale(A, b, cell.fmt))
             except Exception as exc:
                 return IRResult(False, True, 0, np.inf, np.inf,
                                 failure_reason=f"rescaling failed: {exc}")

@@ -31,6 +31,7 @@ from typing import Callable, Sequence
 
 from ..config import SCALES, RunScale
 from ..errors import ExperimentTimeout
+from ..kernels.matcache import matrix_cache
 from ..resilience.isolation import backoff_delays, time_limit
 from .common import Cell, compute_cell, has_cell, store_cell
 
@@ -75,15 +76,22 @@ def _run_cell_guarded(cell: Cell, scale: RunScale,
 
 def _cell_worker(cell: Cell, scale_name: str,
                  timeout: float | None) -> tuple[str, object, float,
-                                                 str | None]:
-    """Pool entry point: compute one cell and persist it immediately."""
+                                                 str | None,
+                                                 dict[str, int]]:
+    """Pool entry point: compute one cell and persist it immediately.
+
+    Workers are long-lived, so their matrix caches warm up across the
+    cells they process; the per-cell counter delta rides back with the
+    result so the parent can report sweep-wide cache effectiveness.
+    """
     scale = SCALES[scale_name]
+    snap = matrix_cache().snapshot()
     status, value, duration, error = _run_cell_guarded(cell, scale,
                                                        timeout)
     if status == "completed":
         # worker-side persistence: survives even if the parent dies
         store_cell(cell, scale, value)
-    return status, value, duration, error
+    return status, value, duration, error, matrix_cache().delta_since(snap)
 
 
 def execute_cells(cells: Sequence[Cell], scale: RunScale, *,
@@ -166,7 +174,8 @@ def _execute_pooled(todo: list[Cell], scale: RunScale, jobs: int,
             done, _ = wait(pending, return_when=FIRST_COMPLETED)
             for fut in done:
                 cell = pending.pop(fut)
-                status, value, duration, error = fut.result()
+                status, value, duration, error, cache_delta = fut.result()
+                matrix_cache().absorb(cache_delta)
                 if status == "completed":
                     # memo only: the worker already persisted to disk
                     store_cell(cell, scale, value, persist=False)

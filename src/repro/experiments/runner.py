@@ -260,6 +260,8 @@ def main(argv: list[str] | None = None) -> int:
 
     # ---- Telemetry: cache counters + optional trace session ----------
     stats = reset_cache_stats()
+    from ..kernels.matcache import matrix_cache
+    matrix_cache().reset_stats()
     if args.trace and jobs != 1:
         print(f"note: --trace forces --jobs 1 (was {jobs}); worker "
               f"processes cannot feed the in-process collector",
@@ -362,12 +364,21 @@ def main(argv: list[str] | None = None) -> int:
               f"{session.path}")
     manifest.record_section("cache", {
         "scale": scale.name, **stats.as_dict()})
+    mstats = matrix_cache().stats()
+    manifest.record_section("matrix_cache", {
+        "scale": scale.name, "enabled": matrix_cache().enabled,
+        **mstats})
     if args.cache_stats:
         s = stats.as_dict()
         print(f"\ncache: {s['hits']} hits / {s['lookups']} lookups, "
               f"{s['misses']} misses, {s['stores']} stores, "
               f"{s['invalidations']} invalidations"
               + (" [REPRO_CACHE=off]" if not cache_enabled() else ""))
+        print(f"matrix cache: {mstats['hits']} hits, "
+              f"{mstats['misses']} misses, "
+              f"{mstats['evictions']} evictions"
+              + ("" if matrix_cache().enabled
+                 else " [REPRO_MATRIX_CACHE=off]"))
 
     total_s = time.time() - sweep_t0
     if bench:

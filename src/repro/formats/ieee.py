@@ -21,6 +21,7 @@ import math
 import numpy as np
 
 from ..errors import FormatError
+from ..kernels import lut
 from .base import NumberFormat
 
 __all__ = ["IEEEFormat", "BFLOAT16", "FP8_E4M3", "FP8_E5M2"]
@@ -60,12 +61,29 @@ class IEEEFormat(NumberFormat):
         # smallest positive subnormal: 2**(emin - (p-1))
         self._tiny = float(np.ldexp(1.0, self.emin - (precision - 1)))
         self._eps = float(np.ldexp(1.0, 1 - precision))
+        self._lut_max_n = (lut.max_eligible_n(self.nbits)
+                           if self.nbits <= lut.MAX_TABLE_BITS else -1)
+        self._table = None
+
+    def _lut_table(self) -> "lut.RoundingTable":
+        if self._table is None:
+            self._table = lut.rounding_table(
+                self._key(),
+                lambda: np.array([self.from_bits(p)
+                                  for p in range(1 << self.nbits)],
+                                 dtype=np.float64),
+                self._round_impl)
+        return self._table
 
     def round(self, x):
         arr = np.asarray(x, dtype=np.float64)
-        scalar = np.isscalar(x) or arr.ndim == 0
-        arr = np.atleast_1d(arr).astype(np.float64)
-        out = self._round_impl(arr)
+        scalar = arr.ndim == 0
+        if scalar:
+            arr = arr.reshape(1)
+        if arr.size <= self._lut_max_n and lut._ENABLED:
+            out = self._lut_table().round_array(arr)
+        else:
+            out = self._round_impl(arr)
         return float(out[0]) if scalar else out
 
     def _round_impl(self, arr: np.ndarray) -> np.ndarray:

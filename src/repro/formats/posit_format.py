@@ -6,8 +6,9 @@ import math
 
 import numpy as np
 
+from ..kernels import lut
 from ..posit.codec import PositConfig, decode_float, encode, posit_config
-from ..posit.rounding import posit_round
+from ..posit.rounding import _posit_round_impl, posit_decode_array
 from .base import NumberFormat
 
 __all__ = ["PositFormat", "POSIT8_0", "POSIT16_1", "POSIT16_2",
@@ -18,7 +19,9 @@ class PositFormat(NumberFormat):
     """A posit(nbits, es) arithmetic format.
 
     Quantization delegates to the vectorized kernel in
-    :mod:`repro.posit.rounding`.  Note the two posit-specific behaviours
+    :mod:`repro.posit.rounding`, or — for narrow formats on small
+    arrays — to the bit-identical searchsorted tables of
+    :mod:`repro.kernels.lut`.  Note the two posit-specific behaviours
     that matter in the experiments: saturation at ±maxpos instead of
     overflow to infinity, and clamping to ±minpos instead of underflow
     to zero — both are what give Posit16 its "superior reach" in the
@@ -31,15 +34,39 @@ class PositFormat(NumberFormat):
         self.es = es
         self.name = f"posit{nbits}es{es}"
         self.display_name = f"Posit({nbits}, {es})"
+        self._lut_max_n = (lut.max_eligible_n(nbits)
+                           if nbits <= lut.MAX_TABLE_BITS else -1)
+        self._table = None
 
     @property
     def config(self) -> PositConfig:
         """The underlying codec configuration."""
         return self._cfg
 
+    def _bitwise_round(self, arr: np.ndarray) -> np.ndarray:
+        return _posit_round_impl(np.asarray(arr, dtype=np.float64),
+                                 self._cfg)
+
+    def _lut_table(self) -> "lut.RoundingTable":
+        if self._table is None:
+            cfg = self._cfg
+            self._table = lut.rounding_table(
+                self._key(),
+                lambda: posit_decode_array(
+                    np.arange(cfg.npat, dtype=np.int64), cfg),
+                self._bitwise_round)
+        return self._table
+
     def round(self, x):
-        out = posit_round(x, self._cfg.nbits, self._cfg.es)
-        return float(out) if np.isscalar(x) or np.ndim(x) == 0 else out
+        arr = np.asarray(x, dtype=np.float64)
+        scalar = arr.ndim == 0
+        if scalar:
+            arr = arr.reshape(1)
+        if arr.size <= self._lut_max_n and lut._ENABLED:
+            out = self._lut_table().round_array(arr)
+        else:
+            out = _posit_round_impl(arr, self._cfg)
+        return float(out[0]) if scalar else out
 
     @property
     def max_value(self) -> float:

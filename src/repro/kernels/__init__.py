@@ -1,0 +1,40 @@
+"""``repro.kernels`` — the performance layer under the numerics.
+
+Three coordinated attacks on intra-cell cost, all bit-identical to the
+reference kernels they accelerate (the golden-digest and oracle
+conformance suites hold them to that):
+
+:mod:`repro.kernels.lut`
+    Table-driven rounding for narrow formats (≤ 2¹⁶ patterns): a sorted
+    representable-value table plus bisection-probed decision boundaries,
+    rounding via ``np.searchsorted`` instead of the ~20-op bitwise
+    chain.  See :func:`lut.rounding_table`.
+:mod:`repro.kernels.scratch`
+    Shape-keyed, thread-local pools of reusable ndarray buffers, so the
+    quantize pipeline (``posit_round``, ``FPContext``, the summation
+    folds) stops churning temporaries on every small-vector CG step.
+:mod:`repro.kernels.matcache`
+    A per-worker LRU over derived matrices (rescaled systems, ELL
+    conversions, Higham scalings) so sweep cells sharing a matrix stop
+    re-deriving it; hit/miss counts surface through the telemetry
+    manifest.  ``REPRO_MATRIX_CACHE=off`` disables it.
+:mod:`repro.kernels.bench`
+    The kernel microbenchmark CLI behind ``benchmarks/BENCH_kernels.json``
+    (``python -m repro.kernels.bench``).
+
+The package ``__init__`` is deliberately lazy: :mod:`repro.arith.context`
+imports :mod:`repro.kernels.scratch` while :mod:`repro.kernels.matcache`
+imports :mod:`repro.telemetry.trace` (which imports the context back), so
+eager submodule imports here would create a cycle.
+"""
+
+from __future__ import annotations
+
+__all__ = ["bench", "lut", "matcache", "scratch"]
+
+
+def __getattr__(name: str):
+    if name in __all__:
+        import importlib
+        return importlib.import_module(f".{name}", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,189 @@
+"""Kernel microbenchmarks and the ``BENCH_kernels.json`` trajectory.
+
+Measures the primitives every experiment is built on — quantize, dot,
+matvec, rounded sum — per format and size, and writes a bench payload
+(``kind: "kernels"``) that ``python -m repro.telemetry bench-diff``
+compares against the committed ``benchmarks/BENCH_kernels.json`` the
+same way experiment sweeps diff against ``BENCH_experiments.json``.
+
+Timing protocol: each entry is the best of ``repeats`` timed loops
+(min over medians is too clever; min over loop averages is the
+standard microbench estimator robust to scheduler noise).  Quantize
+entries additionally time the format's bitwise/softfloat reference
+path, so the table-lookup speedup of :mod:`repro.kernels.lut` is
+visible per size — including the sizes above the crossover where both
+paths are the same code.
+
+Run as a module::
+
+    python -m repro.kernels.bench --output benchmarks/BENCH_kernels.json
+    python -m repro.kernels.bench --sweep --sweep-baseline 5.68
+
+``--sweep`` times the fig06 smoke sweep's cell compute (result cache
+off, serial) and records it under ``sweeps.fig06_smoke`` next to the
+optional same-machine baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["measure", "microbench", "run_fig06_smoke", "main",
+           "QUANTIZE_FORMATS", "CONTEXT_FORMATS", "QUANTIZE_SIZES",
+           "CONTEXT_SIZES"]
+
+#: quantize coverage: the paper's narrow actors (LUT-eligible) plus the
+#: wide posits that exercise the bitwise kernel only
+QUANTIZE_FORMATS = ("posit8es0", "posit16es1", "posit16es2", "bf16",
+                    "fp8e4m3", "posit32es2", "posit32es3")
+QUANTIZE_SIZES = (32, 128, 1024, 65536)
+#: context ops: one narrow and one wide format per solver family
+CONTEXT_FORMATS = ("posit16es1", "posit32es2", "fp32")
+CONTEXT_SIZES = (24, 96)
+
+
+def measure(fn: Callable[[], object], repeats: int = 5,
+            loops: int | None = None,
+            min_time: float = 0.01) -> float:
+    """Best average seconds/call over *repeats* timed loops."""
+    if loops is None:
+        loops = 1
+        while True:
+            t0 = time.perf_counter()
+            for _ in range(loops):
+                fn()
+            if time.perf_counter() - t0 >= min_time or loops >= 65536:
+                break
+            loops *= 4
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(loops):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / loops)
+    return best
+
+
+def _quantize_reference(fmt) -> Callable[[np.ndarray], np.ndarray] | None:
+    """The format's non-LUT rounding kernel, when it has one."""
+    if hasattr(fmt, "_bitwise_round"):
+        return fmt._bitwise_round
+    if hasattr(fmt, "_round_impl"):
+        return fmt._round_impl
+    return None
+
+
+def microbench(formats: tuple[str, ...] = QUANTIZE_FORMATS,
+               sizes: tuple[int, ...] = QUANTIZE_SIZES,
+               ctx_formats: tuple[str, ...] = CONTEXT_FORMATS,
+               ctx_sizes: tuple[int, ...] = CONTEXT_SIZES,
+               repeats: int = 5) -> dict[str, dict]:
+    """The ``kernels`` map: ``{kernel-id: {seconds, ...}}``."""
+    from ..arith.context import FPContext
+    from ..formats.registry import get_format
+
+    rng = np.random.default_rng(12345)
+    kernels: dict[str, dict] = {}
+
+    for name in formats:
+        fmt = get_format(name)
+        ref = _quantize_reference(fmt)
+        for n in sizes:
+            x = rng.standard_normal(n)
+            fmt.round(x)  # warm caches / tables outside the timer
+            entry = {"seconds": measure(lambda: fmt.round(x), repeats)}
+            if ref is not None:
+                ref(x)
+                entry["bitwise_s"] = measure(lambda: ref(x), repeats)
+                entry["speedup_vs_bitwise"] = round(
+                    entry["bitwise_s"] / entry["seconds"], 3)
+            kernels[f"quantize/{name}/n{n}"] = entry
+
+    for name in ctx_formats:
+        ctx = FPContext(name)
+        for n in ctx_sizes:
+            v = rng.standard_normal(n)
+            A = rng.standard_normal((n, n))
+            v = np.asarray(ctx.asarray(v))
+            A = np.asarray(ctx.asarray(A))
+            ctx.dot(v, v)
+            kernels[f"dot/{name}/n{n}"] = {
+                "seconds": measure(lambda: ctx.dot(v, v), repeats)}
+            ctx.matvec(A, v)
+            kernels[f"matvec/{name}/n{n}"] = {
+                "seconds": measure(lambda: ctx.matvec(A, v), repeats)}
+            ctx.sum(v)
+            kernels[f"sum/{name}/n{n}"] = {
+                "seconds": measure(lambda: ctx.sum(v), repeats)}
+
+    for key, entry in kernels.items():
+        entry["seconds"] = round(entry["seconds"], 9)
+        if "bitwise_s" in entry:
+            entry["bitwise_s"] = round(entry["bitwise_s"], 9)
+    return kernels
+
+
+def run_fig06_smoke() -> float:
+    """Cell-compute seconds of a cold, serial, cache-off fig06 sweep."""
+    from ..config import SCALES
+    from ..experiments.common import clear_cache, compute_cell
+    from ..experiments.registry import get_experiment
+    from .matcache import matrix_cache
+
+    scale = SCALES["smoke"]
+    cells = get_experiment("fig6").enumerate_cells(scale)
+    clear_cache()
+    matrix_cache().clear()
+    t0 = time.perf_counter()
+    for cell in cells:
+        compute_cell(cell, scale)
+    return time.perf_counter() - t0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.kernels.bench",
+        description="kernel microbenchmarks -> BENCH_kernels.json")
+    parser.add_argument("--output", default=None,
+                        help="write the payload here (default: stdout)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timed loops per entry (default 5)")
+    parser.add_argument("--sweep", action="store_true",
+                        help="also time the fig06 smoke sweep "
+                             "(serial, result cache bypassed)")
+    parser.add_argument("--sweep-baseline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="same-machine baseline for the sweep entry")
+    args = parser.parse_args(argv)
+
+    payload: dict = {"version": 1, "kind": "kernels",
+                     "kernels": microbench(repeats=args.repeats)}
+    if args.sweep:
+        # best-of-3: single sweep timings are dominated by OS jitter
+        seconds = min(run_fig06_smoke() for _ in range(3))
+        entry = {"current_s": round(seconds, 3)}
+        if args.sweep_baseline:
+            entry["baseline_s"] = args.sweep_baseline
+            entry["speedup"] = round(args.sweep_baseline / seconds, 3)
+        payload["sweeps"] = {"fig06_smoke": entry}
+
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if args.output:
+        os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.output} ({len(payload['kernels'])} kernels)")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    raise SystemExit(main())

@@ -1,0 +1,170 @@
+"""Table-driven rounding for narrow formats (≤ 2¹⁶ patterns).
+
+The reference rounders (the posit bitwise kernel, the IEEE softfloat
+emulation) spend ~20 C-level calls per invocation.  For a format whose
+representable set fits in a table — posit(≤16, ·), fp16-class emulated
+IEEE, bfloat16, the FP8 minifloats — rounding is a single
+``np.searchsorted`` over precomputed **decision boundaries** plus one
+``take``.
+
+Correctness by construction
+---------------------------
+Decision boundaries are *not* arithmetic midpoints: posit rounding in
+the tapered regimes rounds the extended bit pattern, so the value-space
+boundary between two adjacent posits is a pattern-space midpoint
+(geometric-ish), and IEEE ties-to-even picks sides by pattern parity.
+Rather than re-deriving each format's tie rules, the table is built by
+**bisection against the trusted reference rounder**: for every adjacent
+value pair the build binary-searches, in the monotone integer ordering
+of float64, for the smallest double the reference rounds *up*.  The
+resulting table reproduces the reference bit-for-bit for every float64
+input — no tie logic exists to get wrong — and the test suite verifies
+every pattern and every boundary neighbourhood exhaustively.
+
+Size crossover
+--------------
+Binary search over a 64 K-entry table is cache-unfriendly; the bitwise
+kernels win on large arrays.  Callers consult :func:`max_eligible_n`
+and fall back to their reference kernel above it (both paths are
+bit-identical, so switching is free).  ``REPRO_LUT=off`` disables the
+tables entirely.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Hashable
+
+import numpy as np
+
+__all__ = ["RoundingTable", "lut_enabled", "max_eligible_n",
+           "rounding_table", "MAX_TABLE_BITS"]
+
+#: widest format a table is built for (2**16 values / boundaries)
+MAX_TABLE_BITS = 16
+
+_INT64_MIN = np.int64(np.iinfo(np.int64).min)
+
+#: process-wide table cache, keyed by the format's identity key
+_TABLES: dict[Hashable, "RoundingTable"] = {}
+
+_ENABLED = os.environ.get("REPRO_LUT", "").strip().lower() not in (
+    "off", "0", "no", "false")
+
+
+def lut_enabled() -> bool:
+    """True unless disabled via ``REPRO_LUT=off`` (read at import)."""
+    return _ENABLED
+
+
+def max_eligible_n(nbits: int) -> int:
+    """Largest array size the table path should handle for *nbits*.
+
+    Above this, binary search over the table loses to the bitwise
+    kernel (measured crossover; small tables stay cache-resident much
+    longer than the 64 K ones).
+    """
+    return 1024 if nbits <= 8 else 256
+
+
+def _keys_from_floats(v: np.ndarray) -> np.ndarray:
+    """Map float64 → int64 so integer order equals value order.
+
+    Non-negative doubles keep their bit pattern; negative ones map to
+    ``INT64_MIN - bits`` (involutive, overflow-free for every float64).
+    ±0.0 collide on key 0, which is fine — they are the same value.
+    """
+    b = np.ascontiguousarray(v, dtype=np.float64).view(np.int64)
+    return np.where(b >= 0, b, _INT64_MIN - b)
+
+
+def _floats_from_keys(k: np.ndarray) -> np.ndarray:
+    b = np.where(k >= 0, k, _INT64_MIN - k)
+    return b.view(np.float64)
+
+
+class RoundingTable:
+    """Sorted representable values + bisection-probed decision boundaries.
+
+    ``boundaries[i]`` is the smallest float64 that the reference rounder
+    maps to ``values[i+1]``, so
+    ``values[searchsorted(boundaries, x, side="right")]`` equals
+    ``reference(x)`` for every finite ``x``.  Non-finite inputs are
+    delegated to the reference (posit NaR vs IEEE ±inf semantics differ).
+    """
+
+    def __init__(self, values: np.ndarray, boundaries: np.ndarray,
+                 reference: Callable[[np.ndarray], np.ndarray]):
+        self.values = values
+        self.boundaries = boundaries
+        self._reference = reference
+
+    @classmethod
+    def build(cls, candidates: np.ndarray,
+              reference: Callable[[np.ndarray], np.ndarray]
+              ) -> "RoundingTable":
+        """Build from the format's value set and trusted rounder.
+
+        *candidates* is every decoded pattern value (duplicates, NaNs
+        and ±0 sign variants welcome); *reference* must be monotone and
+        idempotent — exactly the :class:`NumberFormat` round contract.
+        """
+        values = np.unique(np.asarray(candidates, dtype=np.float64))
+        values = values[~np.isnan(values)]
+        if values.size < 2:
+            raise ValueError("rounding table needs at least two values")
+
+        keys = _keys_from_floats(values)
+        lo = keys[:-1].copy()   # rounds to values[i] (idempotence)
+        hi = keys[1:].copy()    # rounds to values[i+1]
+        target = np.arange(1, values.size)
+        while True:
+            gap = hi - lo
+            active = gap > 1
+            if not active.any():
+                break
+            mid = lo + (gap >> 1)
+            rounded = reference(_floats_from_keys(mid))
+            up = np.searchsorted(values, rounded) >= target
+            took_up = active & up
+            hi = np.where(took_up, mid, hi)
+            lo = np.where(active & ~up, mid, lo)
+        return cls(values, _floats_from_keys(hi), reference)
+
+    def round_array(self, arr: np.ndarray) -> np.ndarray:
+        """Round a float64 array; always returns a fresh array."""
+        idx = np.searchsorted(self.boundaries, arr, side="right")
+        out = self.values.take(idx)
+        zero = out == 0.0
+        if zero.any():
+            # the table stores one zero; restore the input's zero sign
+            # (x * 0.0 is ±0.0 with x's sign for every finite x)
+            out[zero] = arr[zero] * 0.0
+        bad = ~np.isfinite(arr)
+        if bad.any():
+            # NaN/±inf semantics differ per family (posit NaR vs IEEE
+            # ±inf passthrough); the reference is authoritative
+            out[bad] = self._reference(arr[bad])
+        return out
+
+
+def rounding_table(key: Hashable,
+                   values_fn: Callable[[], np.ndarray],
+                   reference: Callable[[np.ndarray], np.ndarray]
+                   ) -> RoundingTable:
+    """The cached table for *key*, building it on first use.
+
+    *key* must capture everything that determines the rounding function
+    (format class, parameters, rounding mode) — formats pass their
+    ``_key()`` identity tuple.
+    """
+    table = _TABLES.get(key)
+    if table is None:
+        table = RoundingTable.build(values_fn(), reference)
+        _TABLES[key] = table
+    return table
+
+
+def clear_tables() -> None:
+    """Drop every cached table (tests)."""
+    _TABLES.clear()

@@ -1,0 +1,76 @@
+"""Reusable ndarray scratch buffers for the quantize pipeline.
+
+The emulated-arithmetic hot path ("compute in float64, round after every
+op") spends a surprising share of its time in ``np.empty``/refcount
+churn: a single CG iteration on a 24-vector allocates dozens of
+temporaries that live for microseconds.  A :class:`ScratchPool` hands
+those call sites preallocated buffers keyed by ``(shape, dtype)``.
+
+Contract
+--------
+* Pools are **module-private**: each consumer (``posit.rounding``,
+  ``arith.context``, ``arith.summation``) owns its own pool so buffers
+  can never alias across layers.
+* ``take`` / ``give`` are LIFO per key and safe under reentrancy — a
+  taken buffer is removed from the pool, so a nested call simply
+  allocates a fresh one.
+* Buffers are per-thread (``threading.local``), so two threads never
+  share scratch.
+* Rounders and context methods **always return freshly-allocated
+  arrays**; scratch buffers only ever hold intermediate values and are
+  given back before the call returns.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = ["ScratchPool"]
+
+#: retained buffers per (shape, dtype) key — bounds pool memory while
+#: covering the deepest legitimate nesting (context op → fold → rounder)
+_MAX_PER_KEY = 8
+
+
+class ScratchPool:
+    """Thread-local pools of reusable ndarray buffers.
+
+    Usage::
+
+        buf = pool.take(x.shape, np.float64)
+        try:
+            np.multiply(x, y, out=buf)
+            result = rounder(buf)          # rounder returns a fresh array
+        finally:
+            pool.give(buf)
+    """
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+
+    def _buffers(self) -> dict:
+        buffers = getattr(self._local, "buffers", None)
+        if buffers is None:
+            buffers = {}
+            self._local.buffers = buffers
+        return buffers
+
+    def take(self, shape: tuple, dtype=np.float64) -> np.ndarray:
+        """A writable buffer of the given shape/dtype, contents arbitrary."""
+        stack = self._buffers().get((shape, np.dtype(dtype).char))
+        if stack:
+            return stack.pop()
+        return np.empty(shape, dtype=dtype)
+
+    def give(self, arr: np.ndarray) -> None:
+        """Return a buffer obtained from :meth:`take` to the pool."""
+        key = (arr.shape, arr.dtype.char)
+        stack = self._buffers().setdefault(key, [])
+        if len(stack) < _MAX_PER_KEY:
+            stack.append(arr)
+
+    def clear(self) -> None:
+        """Drop every retained buffer (tests / memory pressure)."""
+        self._buffers().clear()

@@ -19,6 +19,18 @@ using the "round the monotone integer encoding" technique:
 The result is bit-identical to the exact scalar reference
 :func:`repro.posit.codec.round_to_nearest` (the test suite checks this
 exhaustively for small widths and statistically for the paper's formats).
+
+The hot path avoids the full pattern route: regions that store at least
+one fraction bit have *uniformly* spaced posits, so rounding there is a
+divide / ``np.rint`` / multiply against the region's granule.  The
+regime / exponent / fraction-width chain that used to be recomputed per
+call is a function of the frexp exponent alone, so it is precomputed
+once per ``(nbits, es)`` into two 2098-entry tables (one per possible
+float64 exponent) and gathered with ``np.take``; intermediates live in
+a :class:`~repro.kernels.scratch.ScratchPool` instead of fresh
+temporaries.  Narrow formats can skip even this via the searchsorted
+tables in :mod:`repro.kernels.lut` (see
+:class:`~repro.formats.posit_format.PositFormat`).
 """
 
 from __future__ import annotations
@@ -26,6 +38,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import InvalidPositConfig
+from ..kernels.scratch import ScratchPool
 from .codec import PositConfig, posit_config
 
 __all__ = [
@@ -38,6 +51,38 @@ __all__ = [
 # keep = nbits - 3 payload bits must leave a non-negative drop count from
 # the (es + 52)-bit exact payload, and patterns must fit in int64.
 VECTORIZED_MAX_NBITS = 50
+
+_SCRATCH = ScratchPool()
+
+#: frexp exponents of finite nonzero doubles span [-1073, 1024]
+_E_LO = -1073
+_E_TABLE = 2098
+
+#: (nbits, es) → (minpos, maxpos, fast-region table, granule table);
+#: the latter two are indexed by shifted frexp exponent
+_GRANULES: dict[tuple[int, int],
+                tuple[float, float, np.ndarray, np.ndarray]] = {}
+
+
+def _granule_tables(cfg: PositConfig
+                    ) -> tuple[float, float, np.ndarray, np.ndarray]:
+    tabs = _GRANULES.get((cfg.nbits, cfg.es))
+    if tabs is None:
+        _check_vectorizable(cfg)
+        e = np.arange(_E_LO, _E_LO + _E_TABLE, dtype=np.int64)
+        s = e - 1                # |x| in [2**s, 2**(s+1))
+        k = s >> cfg.es
+        r_len = np.where(k >= 0, k + 2, -k + 1)
+        f_bits = np.int64(cfg.nbits - 1 - cfg.es) - r_len
+        fast = f_bits >= 1
+        # granule 2**(s - f_bits) where the region stores fraction bits
+        # (never 0: f_bits >= 1 keeps s within ±max_scale <= 1022); the
+        # filler 2**0 elsewhere is never used — the mask is False there
+        g = np.ldexp(1.0, np.where(fast, s - f_bits,
+                                   np.int64(0)).astype(np.int32))
+        tabs = (float(cfg.minpos), float(cfg.maxpos), fast, g)
+        _GRANULES[(cfg.nbits, cfg.es)] = tabs
+    return tabs
 
 
 def _check_vectorizable(cfg: PositConfig) -> None:
@@ -73,23 +118,22 @@ def posit_encode_array(x: np.ndarray, cfg: PositConfig) -> np.ndarray:
     posit standard (see :mod:`repro.posit.codec`).
     """
     _check_vectorizable(cfg)
+    minpos, maxpos = _granule_tables(cfg)[:2]
     x = np.asarray(x, dtype=np.float64)
     patterns = np.zeros(x.shape, dtype=np.int64)
 
     nar_mask = ~np.isfinite(x)
     zero_mask = x == 0
     regular = ~(nar_mask | zero_mask)
-    if np.any(nar_mask):
+    if nar_mask.any():
         patterns[nar_mask] = np.int64(cfg.nar_pattern)
-    if not np.any(regular):
+    if not regular.any():
         return patterns
 
     xv = x[regular]
     neg = xv < 0
     ax = np.abs(xv)
 
-    maxpos = float(cfg.maxpos)
-    minpos = float(cfg.minpos)
     p = np.empty(ax.shape, dtype=np.int64)
     hi = ax >= maxpos
     lo = ax <= minpos
@@ -97,7 +141,7 @@ def posit_encode_array(x: np.ndarray, cfg: PositConfig) -> np.ndarray:
     p[hi] = np.int64(cfg.maxpos_pattern)
     p[lo] = np.int64(cfg.minpos_pattern)
 
-    if np.any(mid):
+    if mid.any():
         p[mid] = _encode_mid(ax[mid], cfg)
 
     p = np.where(neg, (np.int64(cfg.npat) - p) & np.int64(cfg.npat - 1), p)
@@ -118,7 +162,9 @@ def _encode_mid(ax: np.ndarray, cfg: PositConfig) -> np.ndarray:
     regime = np.where(k >= 0, ((np.int64(1) << (k + 1)) - 1) << 1,
                       np.int64(1))
 
-    payload = (e << np.int64(52)) | frac52  # exact, es + 52 bits
+    # payload = (e << 52) | frac52, exact in es + 52 bits; build in place
+    payload = np.left_shift(e, np.int64(52), out=e)
+    np.bitwise_or(payload, frac52, out=payload)
     drop = np.int64(es + 52) - keep  # > 0 always (nbits <= 50)
 
     base = (regime << keep) | (payload >> drop)
@@ -126,7 +172,7 @@ def _encode_mid(ax: np.ndarray, cfg: PositConfig) -> np.ndarray:
     sticky = (payload & ((np.int64(1) << (drop - 1)) - 1)) != 0
     lsb = base & 1
     round_up = (guard == 1) & (sticky | (lsb == 1))
-    pattern = base + round_up.astype(np.int64)
+    pattern = np.add(base, round_up.astype(np.int64), out=base)
     np.minimum(pattern, np.int64(cfg.maxpos_pattern), out=pattern)
     return pattern
 
@@ -143,9 +189,9 @@ def posit_decode_array(patterns: np.ndarray, cfg: PositConfig) -> np.ndarray:
     nar = patterns == cfg.nar_pattern
     zero = patterns == 0
     regular = ~(nar | zero)
-    if np.any(nar):
+    if nar.any():
         out[nar] = np.nan
-    if not np.any(regular):
+    if not regular.any():
         return out
 
     p = patterns[regular]
@@ -172,10 +218,13 @@ def posit_decode_array(patterns: np.ndarray, cfg: PositConfig) -> np.ndarray:
     f_bits = w - e_bits
     frac = payload & ((np.int64(1) << f_bits) - 1)
 
-    scale = (k << np.int64(cfg.es)) + e
-    significand = 1.0 + frac.astype(np.float64) * np.ldexp(
-        1.0, -f_bits.astype(np.int32))
-    value = np.ldexp(significand, scale.astype(np.int32))
+    scale = np.add(k << np.int64(cfg.es), e, out=e)
+    significand = frac.astype(np.float64)
+    np.multiply(significand, np.ldexp(1.0, -f_bits.astype(np.int32)),
+                out=significand)
+    np.add(significand, 1.0, out=significand)
+    value = np.ldexp(significand, scale.astype(np.int32),
+                     out=significand)
     out[regular] = np.where(neg, -value, value)
     return out
 
@@ -196,39 +245,56 @@ def posit_round(x: np.ndarray | float, nbits: int, es: int) -> np.ndarray:
     geometric) fall back to the exact pattern-based path.
     """
     cfg = posit_config(nbits, es)
-    _check_vectorizable(cfg)
     arr = np.asarray(x, dtype=np.float64)
-    scalar = arr.ndim == 0
-    arr = np.atleast_1d(arr)
-    out = _posit_round_impl(arr, cfg)
-    return out[0] if scalar else out
+    if arr.ndim == 0:
+        return _posit_round_impl(arr.reshape(1), cfg)[0]
+    return _posit_round_impl(arr, cfg)
 
 
 def _posit_round_impl(arr: np.ndarray, cfg: PositConfig) -> np.ndarray:
-    es = cfg.es
-    ax = np.abs(arr)
-    with np.errstate(invalid="ignore"):
-        m, e = np.frexp(ax)
-    s = e.astype(np.int64) - 1
-    k = s >> es
-    r_len = np.where(k >= 0, k + 2, -k + 1)
-    f_bits = np.int64(cfg.nbits - 1 - es) - r_len
+    fast_tbl, g_tbl = _granule_tables(cfg)[2:]
+    shape = arr.shape
+    ax = _SCRATCH.take(shape)
+    g = _SCRATCH.take(shape)
+    m = _SCRATCH.take(shape)
+    e = _SCRATCH.take(shape, np.int32)
+    fast = _SCRATCH.take(shape, np.bool_)
+    tmp = _SCRATCH.take(shape, np.bool_)
+    try:
+        np.abs(arr, out=ax)
+        with np.errstate(invalid="ignore"):
+            np.frexp(ax, m, e)
+        np.add(e, -_E_LO, out=e)
+        g_tbl.take(e, out=g)
+        fast_tbl.take(e, out=fast)
+        # The table excludes the tapered extremes (f_bits < 1 there, so
+        # sub-minpos and near-maxpos scales are already False); of the
+        # special values sharing frexp exponent 0, ±0 and NaN round
+        # correctly through the arithmetic below, leaving only ±inf to
+        # exclude (NaN compares False and takes the NaR route, which is
+        # equally correct).
+        np.less(ax, np.inf, out=tmp)
+        np.logical_and(fast, tmp, out=fast)
 
-    fast = (
-        (f_bits >= 1)
-        & (ax > float(cfg.minpos))
-        & (ax < float(cfg.maxpos))
-    )
-    # the fast mask is False for 0, NaN, inf (comparisons yield False)
+        np.divide(ax, g, out=m)
+        np.rint(m, out=m)
+        np.multiply(m, g, out=m)
+        np.copysign(m, arr, out=m)
+        out = np.where(fast, m, arr)
 
-    f_bits_safe = np.where(fast, f_bits, np.int64(0))
-    s_safe = np.where(fast, s, np.int64(0))
-    g = np.ldexp(1.0, (s_safe - f_bits_safe).astype(np.int32))
-    rounded = np.rint(ax / g) * g
-    out = np.where(fast, np.copysign(rounded, arr), arr)
-
-    slow = ~fast & (arr != 0)
-    if np.any(slow):
-        xs = arr[slow]
-        out[slow] = posit_decode_array(posit_encode_array(xs, cfg), cfg)
-    return out
+        # slow path: tapered extremes, clamps, non-finite → pattern route
+        np.logical_not(fast, out=fast)
+        np.not_equal(arr, 0.0, out=tmp)
+        np.logical_and(fast, tmp, out=fast)
+        if fast.any():
+            xs = arr[fast]
+            out[fast] = posit_decode_array(posit_encode_array(xs, cfg),
+                                           cfg)
+        return out
+    finally:
+        _SCRATCH.give(ax)
+        _SCRATCH.give(g)
+        _SCRATCH.give(m)
+        _SCRATCH.give(e)
+        _SCRATCH.give(fast)
+        _SCRATCH.give(tmp)

@@ -4,8 +4,9 @@ Subcommands::
 
     summarize TRACE              render one trace (sites, solvers, time)
     diff OLD NEW                 counter/span deltas between two traces
-    bench-diff BASELINE CURRENT  per-experiment wall-clock vs a committed
-                                 baseline (warn-only; --strict to fail)
+    bench-diff BASELINE CURRENT  per-experiment (or per-kernel)
+                                 wall-clock vs a committed baseline
+                                 (warn-only; --strict to fail)
 """
 
 from __future__ import annotations
@@ -33,7 +34,8 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("new", help="current trace")
 
     p = sub.add_parser("bench-diff",
-                       help="compare BENCH_experiments.json files")
+                       help="compare BENCH_experiments.json / "
+                            "BENCH_kernels.json files")
     p.add_argument("baseline", help="committed baseline bench JSON")
     p.add_argument("current", help="freshly produced bench JSON")
     p.add_argument("--warn-pct", type=float, default=25.0,

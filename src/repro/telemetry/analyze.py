@@ -214,34 +214,44 @@ def _load_bench(payload: str | dict) -> dict:
 
 def diff_bench(baseline: str | dict, current: str | dict,
                warn_pct: float = 25.0) -> dict:
-    """Compare per-experiment wall-clock against a committed baseline.
+    """Compare per-entry wall-clock against a committed baseline.
 
-    Returns ``{"rows": [...], "warnings": [...], "scale_mismatch":
-    bool}``; a row per experiment id present in either payload with
-    ``baseline_s`` / ``current_s`` / ``pct`` (None when not
-    comparable) and ``warn`` set on regressions beyond *warn_pct*.
-    Missing-in-either and failed experiments also warn.
+    Understands both bench payload kinds: the experiment sweep
+    (``"experiments"`` map, timed by ``duration_s``, with a status to
+    check) and the kernel microbench (``"kernels"`` map, timed by
+    ``seconds``).  Returns ``{"rows": [...], "warnings": [...],
+    "scale_mismatch": bool}``; a row per entry id present in either
+    payload with ``baseline_s`` / ``current_s`` / ``pct`` (None when
+    not comparable) and ``warn`` set on regressions beyond *warn_pct*.
+    Missing-in-either and failed entries also warn.
     """
     base = _load_bench(baseline)
     cur = _load_bench(current)
-    base_exps = base.get("experiments", {})
-    cur_exps = cur.get("experiments", {})
+    if "kernels" in base or "kernels" in cur:
+        base_exps = base.get("kernels", {})
+        cur_exps = cur.get("kernels", {})
+        metric, label = "seconds", "kernel"
+    else:
+        base_exps = base.get("experiments", {})
+        cur_exps = cur.get("experiments", {})
+        metric, label = "duration_s", "experiment"
+    kind = label
     rows: list[dict] = []
     warnings: list[str] = []
     for eid in sorted(set(base_exps) | set(cur_exps)):
         b = base_exps.get(eid)
         c = cur_exps.get(eid)
         row = {"id": eid,
-               "baseline_s": b.get("duration_s") if b else None,
-               "current_s": c.get("duration_s") if c else None,
+               "baseline_s": b.get(metric) if b else None,
+               "current_s": c.get(metric) if c else None,
                "pct": None, "warn": False}
         if b is None:
             row["warn"] = True
-            warnings.append(f"{eid}: new experiment (no baseline)")
+            warnings.append(f"{eid}: new {label} (no baseline)")
         elif c is None:
             row["warn"] = True
             warnings.append(f"{eid}: missing from current run")
-        elif c.get("status") != "completed":
+        elif c.get("status", "completed") != "completed":
             row["warn"] = True
             warnings.append(f"{eid}: status {c.get('status')!r}")
         else:
@@ -261,7 +271,7 @@ def diff_bench(baseline: str | dict, current: str | dict,
                            f"{cur.get('scale')!r} — timings not "
                            f"comparable")
     return {"rows": rows, "warnings": warnings,
-            "scale_mismatch": mismatch}
+            "scale_mismatch": mismatch, "kind": kind}
 
 
 def render_bench_diff(diff: dict) -> str:
@@ -273,10 +283,11 @@ def render_bench_diff(diff: dict) -> str:
             row["id"], row["baseline_s"], row["current_s"],
             "-" if pct is None else f"{pct:+.0f}%",
             "WARN" if row["warn"] else ""))
+    kind = diff.get("kind", "experiment")
     parts = [format_table(
-        ("experiment", "baseline_s", "current_s", "pct", ""),
+        (kind, "baseline_s", "current_s", "pct", ""),
         table_rows, title="wall-clock vs baseline",
-        first_col_width=16)]
+        first_col_width=16 if kind == "experiment" else 28)]
     if diff["warnings"]:
         parts.append("\nwarnings:")
         parts.extend(f"  - {w}" for w in diff["warnings"])

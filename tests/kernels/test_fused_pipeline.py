@@ -1,0 +1,160 @@
+"""The fused low-allocation pipeline is bit-identical to the naive one.
+
+Every scratch-buffer/out= rework in ``FPContext`` and the summation
+fold must reproduce the pre-fusion formulation exactly: same values,
+same zero signs, same NaN placement.  The naive references below are
+the original allocate-per-step implementations, kept verbatim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith.context import FPContext
+from repro.arith.summation import rounded_sum_last_axis
+
+#: the paper's main actors (narrow LUT formats + wide bitwise posits)
+PAPER_FORMATS = ("posit16es1", "posit16es2", "fp16", "bf16",
+                 "posit32es2", "fp32")
+
+_elements = st.floats(min_value=-1e25, max_value=1e25,
+                      allow_nan=False, allow_infinity=False)
+
+
+def _vec(n_min=1, n_max=12):
+    return st.lists(_elements, min_size=n_min, max_size=n_max) \
+        .map(lambda v: np.asarray(v, dtype=np.float64))
+
+
+def _naive_fold_pairwise(terms, rnd):
+    while terms.shape[-1] > 1:
+        k = terms.shape[-1]
+        m = k // 2
+        folded = rnd(terms[..., :m] + terms[..., m:2 * m])
+        if k & 1:
+            folded = np.concatenate([folded, terms[..., -1:]], axis=-1)
+        terms = folded
+    return terms[..., 0]
+
+
+def _naive_fold_sequential(terms, rnd):
+    acc = terms[..., 0].copy()
+    for j in range(1, terms.shape[-1]):
+        acc = rnd(acc + terms[..., j])
+    return acc
+
+
+def _assert_same(got, want):
+    got = np.asarray(got, dtype=np.float64)
+    want = np.asarray(want, dtype=np.float64)
+    assert got.shape == want.shape
+    g = np.ascontiguousarray(got).view(np.int64)
+    w = np.ascontiguousarray(want).view(np.int64)
+    both_nan = np.isnan(got) & np.isnan(want)
+    assert ((g == w) | both_nan).all()
+
+
+@pytest.mark.parametrize("fmt", PAPER_FORMATS)
+class TestElementwiseEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_add_sub_mul_div(self, fmt, data):
+        ctx = FPContext(fmt)
+        a = data.draw(_vec())
+        b = data.draw(_vec(n_min=len(a), n_max=len(a)))
+        with np.errstate(invalid="ignore", over="ignore",
+                         divide="ignore"):
+            _assert_same(ctx.add(a, b), ctx.fmt.round(a + b))
+            _assert_same(ctx.sub(a, b), ctx.fmt.round(a - b))
+            _assert_same(ctx.mul(a, b), ctx.fmt.round(a * b))
+            _assert_same(ctx.div(a, b), ctx.fmt.round(a / b))
+
+    @settings(max_examples=25, deadline=None)
+    @given(x=_vec(n_min=2))
+    def test_dot_and_sum(self, fmt, x):
+        ctx = FPContext(fmt)
+        rnd = ctx.fmt.round
+        with np.errstate(invalid="ignore", over="ignore"):
+            products = rnd(x * x)
+        for order, fold in (("pairwise", _naive_fold_pairwise),
+                            ("sequential", _naive_fold_sequential)):
+            c = FPContext(fmt, sum_order=order)
+            _assert_same(np.float64(c.dot(x, x)),
+                         np.float64(fold(products, rnd)))
+            _assert_same(np.float64(c.sum(x)),
+                         np.float64(fold(x, rnd)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_matvec_gemm_axpy(self, fmt, data):
+        n = data.draw(st.integers(min_value=1, max_value=6))
+        flat = data.draw(st.lists(_elements, min_size=n * n + 2 * n + 1,
+                                  max_size=n * n + 2 * n + 1))
+        A = np.asarray(flat[:n * n]).reshape(n, n)
+        x = np.asarray(flat[n * n:n * n + n])
+        y = np.asarray(flat[n * n + n:n * n + 2 * n])
+        alpha = flat[-1]
+        for order in ("pairwise", "sequential"):
+            ctx = FPContext(fmt, sum_order=order)
+            rnd = ctx.fmt.round
+            fold = _naive_fold_pairwise if order == "pairwise" \
+                else _naive_fold_sequential
+            with np.errstate(invalid="ignore", over="ignore"):
+                products = rnd(A * x[np.newaxis, :])
+            _assert_same(ctx.matvec(A, x), fold(products, rnd))
+            with np.errstate(invalid="ignore", over="ignore"):
+                terms = rnd(A[:, :, np.newaxis] * A[np.newaxis, :, :])
+            _assert_same(ctx.gemm(A, A),
+                         fold(np.moveaxis(terms, 1, -1), rnd))
+            with np.errstate(invalid="ignore", over="ignore"):
+                _assert_same(ctx.axpy(alpha, x, y),
+                             rnd(y + rnd(alpha * x)))
+
+
+class TestFoldMechanics:
+    def test_new_folds_match_naive_on_random_batches(self):
+        rng = np.random.default_rng(3)
+        ctx = FPContext("posit16es1")
+        rnd = ctx.fmt.round
+        for shape in ((7,), (2, 9), (3, 4, 5), (24, 24), (1, 1)):
+            terms = rnd(rng.standard_normal(shape))
+            _assert_same(rounded_sum_last_axis(terms, rnd, "pairwise"),
+                         _naive_fold_pairwise(terms, rnd))
+            _assert_same(rounded_sum_last_axis(terms, rnd,
+                                               "sequential"),
+                         _naive_fold_sequential(terms, rnd))
+
+    def test_identity_rounder_result_detached_from_scratch(self):
+        # an exact (pass-through) rounder must not leak scratch views
+        terms = np.arange(12.0).reshape(3, 4)
+        out = rounded_sum_last_axis(terms, lambda x: x, "pairwise")
+        first = out.copy()
+        # reusing the fold (and thus its scratch buffer) must not
+        # corrupt the previously returned array
+        rounded_sum_last_axis(terms * 7.0, lambda x: x, "pairwise")
+        np.testing.assert_array_equal(out, first)
+
+    def test_rounder_call_pattern_unchanged(self):
+        # collectors count one record per fold level — the scratch
+        # rework must preserve the exact call sequence
+        calls = []
+
+        def spy(x):
+            calls.append(np.array(x, copy=True))
+            return np.asarray(x, dtype=np.float64) * 1.0
+
+        terms = np.arange(11.0)[np.newaxis, :]
+        rounded_sum_last_axis(terms, spy, "pairwise")
+        naive_calls = []
+
+        def naive_spy(x):
+            naive_calls.append(np.array(x, copy=True))
+            return np.asarray(x, dtype=np.float64) * 1.0
+
+        _naive_fold_pairwise(terms, naive_spy)
+        assert len(calls) == len(naive_calls)
+        for a, b in zip(calls, naive_calls):
+            np.testing.assert_array_equal(a, b)

@@ -1,0 +1,179 @@
+"""Table-driven rounding: exhaustive equivalence with the bitwise kernels.
+
+The acceptance bar from the issue: for every registered format with
+≤ 16 bits, the LUT must agree with the reference rounder on **every
+pattern value and every decision-boundary neighbourhood** — compared
+bit-for-bit (signbit of zeros included), not just by value.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.formats.ieee import IEEEFormat
+from repro.formats.posit_format import PositFormat
+from repro.formats.registry import available_formats, get_format
+from repro.formats.rounding_modes import DirectedIEEEFormat
+from repro.kernels import lut
+
+
+def _hooked_formats():
+    """Every registered format that carries a rounding table."""
+    fmts = []
+    for canonical in available_formats():
+        f = get_format(canonical)
+        if getattr(f, "_lut_max_n", -1) > 0:
+            fmts.append(f)
+    # dynamic registrations and a directed mode widen the sweep
+    fmts.append(get_format("posit12es0"))
+    fmts.append(get_format("ieee10p5e4"))
+    fmts.append(DirectedIEEEFormat(8, 4, "toward_zero"))
+    fmts.append(DirectedIEEEFormat(8, 4, "up"))
+    return fmts
+
+
+def _reference(fmt):
+    return fmt._bitwise_round if isinstance(fmt, PositFormat) \
+        else fmt._round_impl
+
+
+def _bits(a: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(a, dtype=np.float64).view(np.int64)
+
+
+def _assert_bit_identical(got, want):
+    g, w = _bits(got), _bits(want)
+    both_nan = np.isnan(got) & np.isnan(want)
+    bad = (g != w) & ~both_nan
+    assert not bad.any(), (
+        f"{bad.sum()} divergences, first at index "
+        f"{np.flatnonzero(bad)[0]}")
+
+
+@pytest.mark.parametrize("fmt", _hooked_formats(),
+                         ids=lambda f: f.name)
+class TestExhaustiveEquivalence:
+    def test_every_pattern_and_boundary_neighbourhood(self, fmt):
+        table = fmt._lut_table()
+        ref = _reference(fmt)
+        bnd = table.boundaries[np.isfinite(table.boundaries)]
+        with np.errstate(over="ignore"):
+            probes = np.concatenate([
+                table.values[np.isfinite(table.values)],
+                bnd,                          # first float rounding up
+                np.nextafter(bnd, -np.inf),   # last float rounding down
+                np.nextafter(bnd, np.inf),
+            ])
+        probes = np.concatenate([probes, -probes])
+        _assert_bit_identical(table.round_array(probes),
+                              ref(probes.copy()))
+
+    def test_specials_and_zero_signs(self, fmt):
+        table = fmt._lut_table()
+        ref = _reference(fmt)
+        tiny = np.min(np.abs(table.values[table.values != 0.0]))
+        probes = np.array([0.0, -0.0, np.inf, -np.inf, np.nan,
+                           5e-324, -5e-324, 1e308, -1e308,
+                           tiny / 4, -tiny / 4])
+        got = table.round_array(probes)
+        want = ref(probes.copy())
+        _assert_bit_identical(got, want)
+        assert np.signbit(got[1]) == np.signbit(want[1])
+
+    def test_random_wide_range(self, fmt):
+        import zlib
+        rng = np.random.default_rng(zlib.crc32(fmt.name.encode()))
+        probes = rng.standard_normal(5000) * \
+            10.0 ** rng.integers(-40, 40, 5000)
+        _assert_bit_identical(fmt._lut_table().round_array(probes),
+                              _reference(fmt)(probes.copy()))
+
+
+class TestDispatch:
+    def test_small_arrays_take_the_table(self, monkeypatch):
+        fmt = get_format("posit16es1")
+        table = fmt._lut_table()
+        calls = []
+        orig = table.round_array
+        monkeypatch.setattr(table, "round_array",
+                            lambda arr: calls.append(arr.size) or
+                            orig(arr))
+        fmt.round(np.linspace(0.1, 1.0, 8))
+        assert calls == [8]
+
+    def test_large_arrays_fall_back_to_bitwise(self, monkeypatch):
+        fmt = get_format("posit16es1")
+        table = fmt._lut_table()
+        monkeypatch.setattr(
+            table, "round_array",
+            lambda arr: pytest.fail("LUT used above crossover"))
+        n = lut.max_eligible_n(fmt.nbits) + 1
+        out = fmt.round(np.linspace(0.1, 1.0, n))
+        assert out.shape == (n,)
+
+    def test_wide_formats_never_build_tables(self):
+        assert get_format("posit32es2")._lut_max_n == -1
+        assert get_format("fp64").__class__.__name__ == \
+            "NativeIEEEFormat"  # native casts are not hooked at all
+
+    def test_scalar_round_matches_array_round(self):
+        fmt = get_format("posit16es2")
+        for v in (0.3, -0.3, 1e30, -0.0, float("inf")):
+            got = fmt.round(v)
+            want = float(fmt.round(np.array([v]))[0])
+            assert (got == want or (np.isnan(got) and np.isnan(want)))
+            assert np.signbit(got) == np.signbit(want)
+
+    def test_table_cache_is_keyed_and_shared(self):
+        lut.clear_tables()
+        try:
+            a = PositFormat(10, 1)._lut_table()
+            b = PositFormat(10, 1)._lut_table()
+            c = PositFormat(10, 2)._lut_table()
+            assert a is b
+            assert a is not c
+            # directed modes key on the mode too
+            d = DirectedIEEEFormat(8, 4, "down")._lut_table()
+            e = DirectedIEEEFormat(8, 4, "up")._lut_table()
+            assert d is not e
+        finally:
+            lut.clear_tables()
+
+    def test_env_off_disables_the_table_path(self):
+        code = (
+            "import numpy as np\n"
+            "from repro.kernels import lut\n"
+            "from repro.formats.registry import get_format\n"
+            "assert not lut.lut_enabled()\n"
+            "fmt = get_format('posit16es1')\n"
+            "x = np.linspace(0.1, 1.0, 8)\n"
+            "out = fmt.round(x)\n"
+            "np.testing.assert_array_equal(out, fmt._bitwise_round(x))\n"
+            "assert fmt._table is None  # table never built\n"
+        )
+        env = dict(os.environ, REPRO_LUT="off",
+                   PYTHONPATH=os.pathsep.join(sys.path))
+        subprocess.run([sys.executable, "-c", code], check=True,
+                       env=env)
+
+
+class TestBuildContract:
+    def test_rejects_degenerate_value_sets(self):
+        with pytest.raises(ValueError):
+            lut.RoundingTable.build(np.array([1.0, 1.0, np.nan]),
+                                    lambda a: a)
+
+    def test_ieee_and_posit_tables_have_full_pattern_coverage(self):
+        p = get_format("posit8es0")
+        assert p._lut_table().values.size == 255  # 256 minus NaR
+        f = get_format("fp8e4m3")
+        assert isinstance(f, IEEEFormat)
+        vals = f._lut_table().values
+        # ±inf bracket the table; extremes of the finite range present
+        assert np.isneginf(vals[0]) and np.isposinf(vals[-1])
+        assert f.max_value in vals and f.min_positive in vals

@@ -1,0 +1,89 @@
+"""Allocation-regression guard for the disabled-telemetry hot path.
+
+Once the scratch pools are warm, a ``matvec`` with no collector active
+must perform **zero** Python-level ``np.empty`` allocations — every
+intermediate lives in a pooled buffer.  (The rounded outputs themselves
+are C-level ufunc results; what this guards is the pooled-scratch
+contract, i.e. that a refactor doesn't silently fall back to
+allocate-per-call.)
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+
+from repro.arith.context import FPContext
+
+
+def _system(n=24, seed=11):
+    rng = np.random.default_rng(seed)
+    # values in the posit fast-rounding band: no slow-path encode/decode
+    A = rng.uniform(0.5, 1.5, (n, n))
+    x = rng.uniform(0.5, 1.5, n)
+    return A, x
+
+
+def test_warm_matvec_makes_no_pool_allocations(monkeypatch):
+    ctx = FPContext("posit16es1")
+    A, x = _system()
+    for _ in range(5):                      # warm every pool shape
+        ctx.matvec(A, x)
+
+    calls: list[tuple] = []
+    real_empty = np.empty
+
+    def counting_empty(*args, **kwargs):
+        calls.append(args)
+        return real_empty(*args, **kwargs)
+
+    monkeypatch.setattr(np, "empty", counting_empty)
+    try:
+        for _ in range(20):
+            ctx.matvec(A, x)
+    finally:
+        monkeypatch.undo()
+    assert calls == [], (f"{len(calls)} np.empty calls on the warm "
+                         f"matvec path: {calls[:5]}")
+
+
+def test_warm_matvec_memory_is_steady():
+    ctx = FPContext("posit16es2")
+    A, x = _system()
+    for _ in range(10):
+        ctx.matvec(A, x)
+    tracemalloc.start()
+    try:
+        before = tracemalloc.get_traced_memory()[0]
+        for _ in range(50):
+            ctx.matvec(A, x)
+        after = tracemalloc.get_traced_memory()[0]
+    finally:
+        tracemalloc.stop()
+    growth = after - before
+    assert growth < 64 * 1024, f"steady-state matvec grew {growth} B"
+
+
+def test_warm_dot_and_sum_make_no_pool_allocations(monkeypatch):
+    ctx = FPContext("posit16es1")
+    _A, x = _system(n=96)
+    for _ in range(5):
+        ctx.dot(x, x)
+        ctx.sum(x)
+
+    calls: list[tuple] = []
+    real_empty = np.empty
+
+    def counting_empty(*args, **kwargs):
+        calls.append(args)
+        return real_empty(*args, **kwargs)
+
+    monkeypatch.setattr(np, "empty", counting_empty)
+    try:
+        for _ in range(20):
+            ctx.dot(x, x)
+            ctx.sum(x)
+    finally:
+        monkeypatch.undo()
+    assert calls == []

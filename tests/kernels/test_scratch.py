@@ -1,0 +1,67 @@
+"""ScratchPool: keying, LIFO reuse, reentrancy, bounds."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.kernels.scratch import ScratchPool, _MAX_PER_KEY
+
+
+class TestScratchPool:
+    def test_take_returns_requested_shape_dtype(self):
+        pool = ScratchPool()
+        buf = pool.take((3, 4), np.int32)
+        assert buf.shape == (3, 4) and buf.dtype == np.int32
+
+    def test_give_take_reuses_the_same_buffer(self):
+        pool = ScratchPool()
+        buf = pool.take((8,))
+        pool.give(buf)
+        assert pool.take((8,)) is buf
+
+    def test_keying_separates_shape_and_dtype(self):
+        pool = ScratchPool()
+        f = pool.take((4,), np.float64)
+        pool.give(f)
+        assert pool.take((4,), np.bool_) is not f
+        assert pool.take((2, 2), np.float64) is not f
+        assert pool.take((4,), np.float64) is f
+
+    def test_reentrancy_never_hands_out_a_taken_buffer(self):
+        pool = ScratchPool()
+        a = pool.take((16,))
+        b = pool.take((16,))     # nested take while `a` is out
+        assert a is not b
+        pool.give(a)
+        pool.give(b)
+
+    def test_pool_is_bounded_per_key(self):
+        pool = ScratchPool()
+        bufs = [pool.take((5,)) for _ in range(_MAX_PER_KEY + 3)]
+        for buf in bufs:
+            pool.give(buf)
+        stack = pool._buffers()[((5,), "d")]
+        assert len(stack) == _MAX_PER_KEY
+
+    def test_clear_drops_buffers(self):
+        pool = ScratchPool()
+        buf = pool.take((6,))
+        pool.give(buf)
+        pool.clear()
+        assert pool.take((6,)) is not buf
+
+    def test_buffers_are_thread_local(self):
+        pool = ScratchPool()
+        mine = pool.take((7,))
+        pool.give(mine)
+        seen = {}
+
+        def worker():
+            seen["theirs"] = pool.take((7,))
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert seen["theirs"] is not mine

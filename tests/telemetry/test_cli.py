@@ -118,3 +118,44 @@ class TestBenchDiff:
         p.write_text(json.dumps(
             _bench(fig6={"status": "completed", "duration_s": 1.0})))
         assert main(["bench-diff", str(p), str(p), "--strict"]) == 0
+
+
+def _kbench(**kernels) -> dict:
+    return {"version": 1, "kind": "kernels", "kernels": kernels}
+
+
+class TestBenchDiffKernels:
+    """bench-diff also understands the BENCH_kernels.json payload."""
+
+    K = "quantize/posit16es1/n32"
+
+    def test_compares_on_seconds(self):
+        base = _kbench(**{self.K: {"seconds": 1e-5}})
+        cur = _kbench(**{self.K: {"seconds": 1.05e-5}})
+        diff = diff_bench(base, cur)
+        assert diff["warnings"] == []
+        assert diff["rows"][0]["id"] == self.K
+        assert diff["rows"][0]["pct"] == pytest.approx(5.0)
+
+    def test_kernel_regression_warns(self):
+        base = _kbench(**{self.K: {"seconds": 1e-5}})
+        cur = _kbench(**{self.K: {"seconds": 2e-5}})
+        diff = diff_bench(base, cur, warn_pct=25.0)
+        assert any(self.K in w for w in diff["warnings"])
+
+    def test_new_kernel_labelled(self):
+        diff = diff_bench(_kbench(),
+                          _kbench(**{self.K: {"seconds": 1e-5}}))
+        assert f"{self.K}: new kernel" in diff["warnings"][0]
+
+    def test_cli_on_kernel_files(self, tmp_path, capsys):
+        base_p = tmp_path / "base.json"
+        cur_p = tmp_path / "cur.json"
+        base_p.write_text(json.dumps(
+            _kbench(**{self.K: {"seconds": 1e-5}})))
+        cur_p.write_text(json.dumps(
+            _kbench(**{self.K: {"seconds": 9e-5}})))
+        assert main(["bench-diff", str(base_p), str(cur_p)]) == 0
+        assert "WARN" in capsys.readouterr().out
+        assert main(["bench-diff", str(base_p), str(cur_p),
+                     "--strict"]) == 1
