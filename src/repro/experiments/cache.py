@@ -10,10 +10,20 @@ results are cached on disk under ``results/.cache/`` keyed by
 where the *code fingerprint* hashes every ``*.py`` file in the
 installed ``repro`` package.  Editing any source file therefore
 invalidates the whole cache — conservative, but it can never serve a
-stale result after a code change.  Entries are pickled payloads written
-atomically (see :mod:`repro.resilience.atomic`), so a sweep killed
-mid-write never leaves a corrupt entry that shadows a real one; a
-corrupt or unreadable entry is discarded and recomputed, never fatal.
+stale result after a code change.  Entries are pickled payloads with a
+sha256 **checksum footer**, written atomically (see
+:mod:`repro.resilience.atomic`), so a sweep killed mid-write never
+leaves a corrupt entry that shadows a real one — and a truncated or
+bit-rotted entry is *detected* (not merely "happens to unpickle
+badly"), discarded and recomputed, never fatal.
+
+Writes are ENOSPC-safe: a cache store that fails with a full disk
+(``ENOSPC``/``EDQUOT``) disables the cache for the rest of the run
+with a single warning instead of failing the cell — results keep
+flowing through the in-process memo, only persistence stops.  The
+process-level chaos harness (:mod:`repro.supervise.chaos`,
+``REPRO_CHAOS=enospc:p``) injects exactly this failure to keep the
+path tested.
 
 Disable with ``REPRO_CACHE=off`` (benchmarking cold paths, debugging).
 """
@@ -21,24 +31,35 @@ Disable with ``REPRO_CACHE=off`` (benchmarking cold paths, debugging).
 from __future__ import annotations
 
 import contextlib
+import errno
 import hashlib
 import os
 import pickle
+import sys
 from typing import Any
 
 from ..analysis.reporting import results_dir
 from ..resilience.atomic import atomic_open
+from ..supervise.chaos import maybe_chaos_enospc
 
 __all__ = ["CacheStats", "ResultCache", "result_cache", "cache_enabled",
-           "cache_stats", "code_fingerprint", "iter_source_files",
-           "clear_result_cache", "reset_cache_stats", "CACHE_DIR_NAME"]
+           "cache_stats", "cache_disabled_reason", "code_fingerprint",
+           "iter_source_files", "clear_result_cache",
+           "reset_cache_stats", "CACHE_DIR_NAME"]
 
 #: subdirectory of the results dir that holds cache entries
 CACHE_DIR_NAME = ".cache"
 
+#: entry format: pickled payload + _FOOTER_MAGIC + sha256(payload)
+_FOOTER_MAGIC = b"RPRCv1"
+_FOOTER_LEN = len(_FOOTER_MAGIC) + hashlib.sha256().digest_size
+
 _FALSEY = frozenset({"off", "0", "no", "false", "disabled"})
 
 _fingerprint: str | None = None
+
+#: why on-disk caching was disabled mid-run (full disk), or None
+_disabled_reason: str | None = None
 
 
 class CacheStats:
@@ -47,10 +68,13 @@ class CacheStats:
     Counted at the :class:`ResultCache` layer, so every consumer —
     cell lookups, the engine's workers, tests — contributes.  A lookup
     that finds a damaged entry counts as both a miss and an
-    invalidation (the entry is deleted and recomputed).
+    invalidation (the entry is deleted and recomputed); a store that
+    fails on a full disk counts as a ``write_error`` (and disables the
+    cache for the rest of the run).
     """
 
-    __slots__ = ("hits", "misses", "stores", "invalidations")
+    __slots__ = ("hits", "misses", "stores", "invalidations",
+                 "write_errors")
 
     def __init__(self) -> None:
         self.reset()
@@ -60,6 +84,7 @@ class CacheStats:
         self.misses = 0
         self.stores = 0
         self.invalidations = 0
+        self.write_errors = 0
 
     @property
     def lookups(self) -> int:
@@ -68,7 +93,8 @@ class CacheStats:
     def as_dict(self) -> dict[str, int]:
         return {"lookups": self.lookups, "hits": self.hits,
                 "misses": self.misses, "stores": self.stores,
-                "invalidations": self.invalidations}
+                "invalidations": self.invalidations,
+                "write_errors": self.write_errors}
 
     def __repr__(self) -> str:
         return (f"<CacheStats {self.hits} hits / {self.lookups} lookups, "
@@ -85,14 +111,46 @@ def cache_stats() -> CacheStats:
 
 
 def reset_cache_stats() -> CacheStats:
-    """Zero the counters (start of a sweep); returns the live object."""
+    """Zero the counters (start of a sweep); returns the live object.
+
+    Also re-arms a cache that a *previous* sweep in this process
+    disabled after a full-disk write error — "disabled for the rest of
+    the run" is per sweep, and the next store will re-disable it in
+    one syscall if the disk is still full.
+    """
+    global _disabled_reason
+    _disabled_reason = None
     _STATS.reset()
     return _STATS
 
 
 def cache_enabled() -> bool:
-    """False when ``REPRO_CACHE`` opts out of on-disk caching."""
+    """False when ``REPRO_CACHE`` opts out — or a write error opted us out.
+
+    The second case is runtime degradation: a store that hit
+    ``ENOSPC``/``EDQUOT`` disabled on-disk caching for the rest of the
+    run (see :func:`cache_disabled_reason`), because every subsequent
+    write would fail the same way and each cell's result is still
+    available through the in-process memo.
+    """
+    if _disabled_reason is not None:
+        return False
     return os.environ.get("REPRO_CACHE", "on").strip().lower() not in _FALSEY
+
+
+def cache_disabled_reason() -> str | None:
+    """Why the cache disabled itself mid-run (full disk), or ``None``."""
+    return _disabled_reason
+
+
+def _disable_cache(reason: str) -> None:
+    """Stop persisting for the rest of the run; warn exactly once."""
+    global _disabled_reason
+    if _disabled_reason is None:
+        _disabled_reason = reason
+        print(f"!! result cache disabled for the rest of the run: "
+              f"{reason} (cells keep completing; only persistence "
+              f"stops)", file=sys.stderr)
 
 
 def iter_source_files(pkg_root: str):
@@ -156,11 +214,23 @@ class ResultCache:
         return os.path.exists(self.entry_path(cell_id, scale_name))
 
     def get(self, cell_id: str, scale_name: str) -> tuple[bool, Any]:
-        """Return ``(hit, value)``; a damaged entry is dropped as a miss."""
+        """Return ``(hit, value)``; a damaged entry is dropped as a miss.
+
+        Entries are only trusted when their checksum footer verifies:
+        a truncated file (partial write, filesystem rollback) is
+        *detected*, not just hoped to be unpicklable.
+        """
         path = self.entry_path(cell_id, scale_name)
         try:
             with open(path, "rb") as fh:
-                entry = pickle.load(fh)
+                blob = fh.read()
+            if (len(blob) <= _FOOTER_LEN
+                    or blob[-_FOOTER_LEN:-32] != _FOOTER_MAGIC
+                    or hashlib.sha256(blob[:-_FOOTER_LEN]).digest()
+                    != blob[-32:]):
+                raise ValueError("cache entry truncated or corrupt "
+                                 "(checksum footer mismatch)")
+            entry = pickle.loads(blob[:-_FOOTER_LEN])
             if entry.get("cell") != cell_id:  # hash collision / tamper
                 raise ValueError("cache entry does not match its key")
             _STATS.hits += 1
@@ -177,12 +247,26 @@ class ResultCache:
             _STATS.invalidations += 1
             return False, None
 
-    def put(self, cell_id: str, scale_name: str, value: Any) -> str:
+    def put(self, cell_id: str, scale_name: str, value: Any) -> str | None:
+        """Persist one entry; returns its path, or ``None`` if the disk
+        is full (the cache disables itself rather than fail the cell)."""
         path = self.entry_path(cell_id, scale_name)
-        with atomic_open(path, "wb") as fh:
-            pickle.dump({"cell": cell_id, "scale": scale_name,
-                         "value": value}, fh,
-                        protocol=pickle.HIGHEST_PROTOCOL)
+        payload = pickle.dumps({"cell": cell_id, "scale": scale_name,
+                                "value": value},
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            maybe_chaos_enospc(cell_id)
+            with atomic_open(path, "wb") as fh:
+                fh.write(payload)
+                fh.write(_FOOTER_MAGIC)
+                fh.write(hashlib.sha256(payload).digest())
+        except OSError as exc:
+            if exc.errno in (errno.ENOSPC, errno.EDQUOT):
+                _STATS.write_errors += 1
+                _disable_cache(f"{exc.strerror or 'disk full'} while "
+                               f"writing {path}")
+                return None
+            raise
         _STATS.stores += 1
         return path
 

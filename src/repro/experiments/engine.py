@@ -1,4 +1,4 @@
-"""The cell execution engine: serial or process-parallel, crash-safe.
+"""The cell execution engine: serial or supervised-parallel, crash-safe.
 
 :func:`execute_cells` drives a batch of experiment cells (see
 :class:`~repro.experiments.common.Cell`) to completion with the same
@@ -6,10 +6,16 @@ guarantees the PR-1 runner gave whole experiments — wall-clock budget,
 retries with backoff, crash isolation — but at cell granularity, plus
 two new powers:
 
-* ``jobs > 1`` fans cells out over a ``ProcessPoolExecutor``.  Each
-  worker computes its cell and writes it to the persistent cache
-  itself, so even a sweep whose *parent* is killed keeps every cell
-  that finished — ``--resume`` then re-executes only unfinished cells.
+* ``jobs > 1`` fans cells out over the **supervised worker runtime**
+  (:class:`repro.supervise.pool.SupervisedPool`): individually spawned
+  heartbeat-monitored workers, an external watchdog that SIGTERMs (then
+  SIGKILLs) workers hung past the budget, crash records for manifest
+  v2, respawn with jittered backoff, and poison-cell quarantine after
+  ``max_worker_deaths`` — so one segfaulted or OOM-killed worker costs
+  one retry, not the sweep.  Each worker writes finished cells to the
+  persistent cache itself, so even a sweep whose *parent* is killed
+  keeps every cell that finished — ``--resume`` then re-executes only
+  unfinished cells.
 * cells already present (in-process memo or disk cache) are reported
   as ``cached`` and never recomputed.
 
@@ -17,21 +23,20 @@ Cell payloads are deterministic functions of ``(cell, scale)``; the
 serial and parallel paths therefore produce bit-identical results, and
 the CSV artifacts assembled from them are byte-identical.
 
-A broken pool (a worker OOM-killed or segfaulted) degrades to in-process
-serial execution of the remaining cells rather than failing the sweep.
+A pool that keeps breaking (spawn failures, a streak of worker deaths
+with no progress) degrades to in-process serial execution of the
+remaining cells rather than failing the sweep.
 """
 
 from __future__ import annotations
 
 import sys
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from ..config import SCALES, RunScale
+from ..config import RunScale
 from ..errors import ExperimentTimeout
-from ..kernels.matcache import matrix_cache
 from ..resilience.isolation import backoff_delays, time_limit
 from .common import Cell, compute_cell, has_cell, store_cell
 
@@ -43,7 +48,7 @@ class CellOutcome:
     """What happened to one cell during a sweep."""
 
     cell: Cell
-    status: str            # completed | cached | timeout | failed
+    status: str            # completed | cached | timeout | failed | poisoned
     duration: float        # seconds spent computing (0 for cached)
     error: str | None = None
     attempts: int = 1
@@ -74,38 +79,29 @@ def _run_cell_guarded(cell: Cell, scale: RunScale,
                 f"{type(exc).__name__}: {exc}")
 
 
-def _cell_worker(cell: Cell, scale_name: str,
-                 timeout: float | None) -> tuple[str, object, float,
-                                                 str | None,
-                                                 dict[str, int]]:
-    """Pool entry point: compute one cell and persist it immediately.
-
-    Workers are long-lived, so their matrix caches warm up across the
-    cells they process; the per-cell counter delta rides back with the
-    result so the parent can report sweep-wide cache effectiveness.
-    """
-    scale = SCALES[scale_name]
-    snap = matrix_cache().snapshot()
-    status, value, duration, error = _run_cell_guarded(cell, scale,
-                                                       timeout)
-    if status == "completed":
-        # worker-side persistence: survives even if the parent dies
-        store_cell(cell, scale, value)
-    return status, value, duration, error, matrix_cache().delta_since(snap)
-
-
 def execute_cells(cells: Sequence[Cell], scale: RunScale, *,
                   jobs: int = 1, timeout: float | None = None,
                   retries: int = 0, backoff: float = 1.0,
+                  grace: float = 5.0, max_worker_deaths: int = 3,
                   on_outcome: Callable[[CellOutcome], None] | None = None,
+                  on_report: Callable[[object], None] | None = None,
                   sleep: Callable[[float], None] = time.sleep
                   ) -> list[CellOutcome]:
     """Bring every cell to a terminal state; return one outcome each.
 
     ``on_outcome`` fires as each cell settles (manifest recording).
-    A timeout is final — the budget would just expire again — while
-    any other failure is retried up to *retries* times (serially with
-    exponential backoff; immediately when pooled).
+    A soft (SIGALRM) timeout is final — the budget would just expire
+    again — while any other failure is retried up to *retries* times
+    with jittered exponential backoff (serial and pooled paths share
+    the :func:`~repro.resilience.isolation.backoff_delays` schedule).
+
+    With ``jobs > 1`` the supervised runtime adds two knobs: *grace*
+    is the watchdog's SIGTERM→SIGKILL escalation period for workers
+    hung past the budget, and *max_worker_deaths* quarantines a cell
+    as ``poisoned`` once it has taken that many workers down with it.
+    ``on_report`` receives the pool's
+    :class:`~repro.supervise.pool.SupervisionReport` (crash records,
+    respawn/kill counters) when a pooled phase ran.
     """
     outcomes: dict[Cell, CellOutcome] = {}
 
@@ -123,13 +119,25 @@ def execute_cells(cells: Sequence[Cell], scale: RunScale, *,
 
     if todo and jobs > 1:
         try:
-            _execute_pooled(todo, scale, jobs, timeout, retries, settle)
-            todo = [c for c in todo if c not in outcomes]
+            # imported lazily: supervise.worker imports this module
+            from ..supervise.pool import SupervisedPool
+
+            pool = SupervisedPool(
+                jobs, scale, timeout=timeout, grace=grace,
+                retries=retries, backoff=backoff,
+                max_worker_deaths=max_worker_deaths)
+            leftover = pool.run(todo, settle)
+            if on_report is not None:
+                on_report(pool.report)
+            if leftover:
+                print(f"!! supervised pool left {len(leftover)} cell(s) "
+                      f"unfinished; finishing serially", file=sys.stderr)
         except Exception as exc:
-            # a broken pool must not sink the sweep — finish serially
+            # defense in depth: even a broken supervisor must not sink
+            # the sweep — finish the remaining cells serially
             print(f"!! cell pool failed ({type(exc).__name__}: {exc}); "
                   f"finishing remaining cells serially", file=sys.stderr)
-            todo = [c for c in todo if c not in outcomes]
+        todo = [c for c in todo if c not in outcomes]
 
     for cell in todo:
         settle(_execute_serial(cell, scale, timeout, retries, backoff,
@@ -158,37 +166,3 @@ def _execute_serial(cell: Cell, scale: RunScale, timeout: float | None,
         print(f"!! cell {cell.cell_id} attempt {attempts} failed "
               f"({error}); retrying in {delay:g}s", file=sys.stderr)
         sleep(delay)
-
-
-def _execute_pooled(todo: list[Cell], scale: RunScale, jobs: int,
-                    timeout: float | None, retries: int,
-                    settle: Callable[[CellOutcome], None]) -> None:
-    attempts: dict[Cell, int] = {}
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        pending = {}
-        for cell in todo:
-            attempts[cell] = 1
-            pending[pool.submit(_cell_worker, cell, scale.name,
-                                timeout)] = cell
-        while pending:
-            done, _ = wait(pending, return_when=FIRST_COMPLETED)
-            for fut in done:
-                cell = pending.pop(fut)
-                status, value, duration, error, cache_delta = fut.result()
-                matrix_cache().absorb(cache_delta)
-                if status == "completed":
-                    # memo only: the worker already persisted to disk
-                    store_cell(cell, scale, value, persist=False)
-                    settle(CellOutcome(cell, status, duration,
-                                       attempts=attempts[cell]))
-                elif (status == "failed"
-                        and attempts[cell] <= retries):
-                    attempts[cell] += 1
-                    print(f"!! cell {cell.cell_id} attempt "
-                          f"{attempts[cell] - 1} failed ({error}); "
-                          f"resubmitting", file=sys.stderr)
-                    pending[pool.submit(_cell_worker, cell, scale.name,
-                                        timeout)] = cell
-                else:
-                    settle(CellOutcome(cell, status, duration, error,
-                                       attempts[cell]))

@@ -12,11 +12,15 @@ A sweep runs in two phases.  **Phase 1** gathers every *cell* — one
 ``(solver, matrix, format)`` run — needed by the requested experiments
 (shared cells, e.g. Table III and Fig. 10 consuming the same IR runs,
 are executed once), and drives them through the cell engine: across
-``--jobs N`` worker processes, each cell under the ``--timeout``
-budget with ``--retries``, each outcome recorded in the JSON manifest
-and each payload persisted in the content-addressed result cache under
-``results/.cache/``.  **Phase 2** assembles each experiment's
-table/figure from the (now warm) cache and writes its CSV atomically.
+``--jobs N`` *supervised* worker processes (heartbeats, external
+watchdog kills with ``--grace`` escalation, respawn, poison-cell
+quarantine after ``--max-worker-deaths``; see ``repro.supervise``),
+each cell under the ``--timeout`` budget with ``--retries``, each
+outcome recorded in the JSON manifest — including a ``supervision``
+section with per-crash diagnostics — and each payload persisted in
+the content-addressed result cache under ``results/.cache/``.
+**Phase 2** assembles each experiment's table/figure from the (now
+warm) cache and writes its CSV atomically.
 
 Because cells persist as they finish, a sweep killed at any instant
 loses at most the cells in flight; ``--resume`` (or simply re-running)
@@ -124,11 +128,20 @@ def _gather_cells(ids: list[str], scale: RunScale
 
 def _run_cell_phase(owners: dict[Cell, list[str]], scale: RunScale,
                     manifest: RunManifest, jobs: int,
-                    timeout: float | None, retries: int, backoff: float
+                    timeout: float | None, retries: int, backoff: float,
+                    grace: float = 5.0, max_worker_deaths: int = 3
                     ) -> tuple[dict[str, list[str]], dict[str, float],
                                list[CellOutcome]]:
     """Execute the gathered cells; returns (failures by experiment,
-    compute-seconds by experiment, all outcomes)."""
+    compute-seconds by experiment, all outcomes).
+
+    When the supervised pool ran (``jobs > 1``) its report — worker
+    crash records, respawn/kill counters, quarantined cells — is
+    persisted as the manifest's ``supervision`` section and a one-line
+    summary is printed, so an unattended sweep's survival story is
+    readable afterwards (``python -m repro.telemetry summarize
+    results/run_manifest.json``).
+    """
     failures: dict[str, list[str]] = {}
     compute_s: dict[str, float] = {}
 
@@ -146,9 +159,22 @@ def _run_cell_phase(owners: dict[Cell, list[str]], scale: RunScale,
                     f"{cell.cell_id}: {outcome.status}"
                     + (f" ({outcome.error})" if outcome.error else ""))
 
+    def record_supervision(report) -> None:
+        payload = {"scale": scale.name, **report.as_dict()}
+        manifest.record_section("supervision", payload)
+        if report.worker_deaths or report.quarantined or report.degraded:
+            print(f"===== supervision: {report.worker_deaths} worker "
+                  f"death(s) ({report.term_kills} watchdog SIGTERMs, "
+                  f"{report.hard_kills} SIGKILL escalations), "
+                  f"{report.respawns} respawn(s), "
+                  f"{len(report.quarantined)} quarantined cell(s)"
+                  + (", degraded to serial" if report.degraded else ""))
+
     outcomes = execute_cells(
         list(owners), scale, jobs=jobs, timeout=timeout,
-        retries=retries, backoff=backoff, on_outcome=record)
+        retries=retries, backoff=backoff, grace=grace,
+        max_worker_deaths=max_worker_deaths, on_outcome=record,
+        on_report=record_supervision)
     return failures, compute_s, outcomes
 
 
@@ -200,7 +226,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--backoff", type=float, default=1.0,
                         metavar="SECONDS",
                         help="initial retry backoff, doubled per retry "
-                             "(default: 1.0)")
+                             "and jittered when pooled (default: 1.0)")
+    parser.add_argument("--grace", type=float, default=5.0,
+                        metavar="SECONDS",
+                        help="supervised-pool escalation period: a "
+                             "worker hung past --timeout gets SIGTERM, "
+                             "then SIGKILL this many seconds later "
+                             "(default: 5.0)")
+    parser.add_argument("--max-worker-deaths", type=int, default=3,
+                        metavar="K",
+                        help="quarantine a cell as poisoned once it has "
+                             "killed K workers (default: 3)")
     parser.add_argument("--resume", action="store_true",
                         help="skip experiments the run manifest records "
                              "as completed at this scale (cells are "
@@ -247,6 +283,10 @@ def main(argv: list[str] | None = None) -> int:
     if jobs < 1:
         print(f"error: --jobs {jobs} must be >= 1", file=sys.stderr)
         return 2
+    if args.max_worker_deaths < 1:
+        print(f"error: --max-worker-deaths {args.max_worker_deaths} "
+              f"must be >= 1", file=sys.stderr)
+        return 2
 
     sweep_t0 = time.time()
     manifest = RunManifest(os.path.join(results_dir(),
@@ -290,7 +330,8 @@ def main(argv: list[str] | None = None) -> int:
                   f"{scale.name!r}, jobs={jobs}")
             cell_failures, compute_s, outcomes = _run_cell_phase(
                 owners, scale, manifest, jobs, args.timeout,
-                args.retries, args.backoff)
+                args.retries, args.backoff, grace=args.grace,
+                max_worker_deaths=args.max_worker_deaths)
             cached = sum(1 for o in outcomes if o.status == "cached")
             computed = sum(1 for o in outcomes
                            if o.status == "completed")

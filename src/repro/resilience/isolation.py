@@ -6,7 +6,12 @@ runner bounds each experiment with a wall-clock budget.  SIGALRM is the
 only mechanism that can interrupt CPU-bound Python from within the same
 process, so :func:`time_limit` degrades to a no-op off the main thread
 or on platforms without it — the runner still gets crash isolation,
-just not preemption.
+just not preemption.  :func:`time_limit` is therefore the *soft* layer
+of the timeout contract: hung native code (or anything holding the GIL
+off the main thread) sails straight past it.  The *hard* layer is the
+parent-side watchdog of :mod:`repro.supervise.pool`, which enforces
+the same budget externally with SIGTERM-then-SIGKILL on supervised
+worker processes — see ``docs/robustness.md`` for the full contract.
 """
 
 from __future__ import annotations
@@ -14,11 +19,11 @@ from __future__ import annotations
 import contextlib
 import signal
 import threading
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from ..errors import ExperimentTimeout
 
-__all__ = ["time_limit", "backoff_delays"]
+__all__ = ["time_limit", "backoff_delays", "jittered"]
 
 
 def _can_use_sigalrm() -> bool:
@@ -61,3 +66,20 @@ def backoff_delays(retries: int, base: float = 1.0,
     for _ in range(max(0, retries)):
         yield delay
         delay *= factor
+
+
+def jittered(delays: Iterable[float], rng=None, low: float = 0.5,
+             high: float = 1.5) -> Iterator[float]:
+    """Multiply each delay by ``uniform(low, high)`` — retry desynching.
+
+    The pooled retry path wraps :func:`backoff_delays` in this so that
+    cells requeued by the same event (a dead worker taking several
+    cells' retries with it, a burst of transient failures) don't all
+    come back at the same instant.  *rng* is anything with a
+    ``uniform`` method (``random.Random(seed)`` for deterministic
+    schedules); the module-level :mod:`random` is used by default.
+    """
+    if rng is None:
+        import random as rng  # type: ignore[no-redef]
+    for delay in delays:
+        yield delay * rng.uniform(low, high)

@@ -104,7 +104,10 @@ class RunManifest:
                     save: bool = True) -> None:
         """Record one cell outcome; persists immediately by default."""
         self.data["cells"][cell_id] = {
-            "status": status,        # completed | cached | failed | timeout
+            # completed | cached | failed | timeout | poisoned
+            # (poisoned: quarantined by the supervised pool after
+            # repeatedly killing its worker — see repro.supervise)
+            "status": status,
             "scale": scale,
             "duration_s": round(float(duration), 3),
             "experiments": sorted(experiments),

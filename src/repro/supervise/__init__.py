@@ -1,0 +1,36 @@
+"""repro.supervise — the supervised worker runtime for the cell engine.
+
+Replaces the bare ``ProcessPoolExecutor`` path of ``--jobs N`` sweeps
+with individually spawned, heartbeat-monitored worker processes
+(:mod:`~repro.supervise.worker`) driven by a parent-side watchdog
+(:mod:`~repro.supervise.pool`): external wall-clock enforcement with
+SIGTERM→SIGKILL escalation, crash diagnostics into manifest v2,
+worker respawn with jittered backoff, poison-cell quarantine, and
+graceful degradation to serial execution.  Seeded process-level chaos
+(:mod:`~repro.supervise.chaos`, ``REPRO_CHAOS``) makes every one of
+those paths testable and CI-checkable.
+
+Supervision never changes results — cells are pure functions of
+``(cell, scale)``, so CSVs from a supervised, killed-and-respawned
+sweep are byte-identical to a serial run's.  It only changes what a
+sweep *survives*.
+
+The pool classes are exported lazily (PEP 562): the chaos module is
+imported by the hot cache-write path, and loading it must not drag in
+the pool → engine → experiment-suite import chain.
+"""
+
+from .chaos import CHAOS_KINDS, ChaosConfig, chaos_from_env
+
+__all__ = ["CHAOS_KINDS", "ChaosConfig", "CrashRecord",
+           "SupervisedPool", "SupervisionReport", "chaos_from_env"]
+
+_LAZY = ("CrashRecord", "SupervisedPool", "SupervisionReport")
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from . import pool
+
+        return getattr(pool, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,124 @@
+"""The supervised worker: a pipe-driven cell executor with a heartbeat.
+
+One worker process runs :func:`worker_main` over a duplex
+:class:`multiprocessing.Pipe` shared with the parent-side pool.  The
+protocol is deliberately tiny — tuples whose first element is a tag:
+
+parent → worker
+    ``("task", cell, scale_name, timeout, attempt)`` — compute one
+    cell; ``("stop",)`` — drain and exit cleanly.
+
+worker → parent
+    ``("hb", worker, cell_id)`` — periodic liveness beacon from a
+    daemon thread (also what lets the parent report *when* a crashed
+    worker was last known good, and on what);
+    ``("result", worker, cell, status, value, duration, error,
+    cache_delta)`` — one cell brought to a terminal state.
+
+Workers are long-lived: their per-process matrix caches warm up across
+cells, and each result carries the cache-counter delta so the parent
+can aggregate sweep-wide effectiveness, exactly as the PR-5 pooled
+path did.  Completed cells are persisted to the result cache *by the
+worker* before the result message is sent, so a sweep whose parent is
+killed keeps every finished cell.
+
+The timeout contract has two layers (see ``docs/robustness.md``): the
+worker applies the soft SIGALRM budget itself (via the engine's
+guarded runner) and reports a clean final ``timeout`` status; the
+parent watchdog enforces the same budget *externally* with
+SIGTERM-then-SIGKILL for the cases SIGALRM cannot reach — hung native
+code, a blocked main thread, or a worker that died mid-cell.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import signal
+import threading
+import time
+
+from ..config import SCALES
+from ..experiments import common, engine
+from ..kernels.matcache import matrix_cache
+from .chaos import chaos_worker_entry
+
+__all__ = ["worker_main"]
+
+
+def worker_main(conn, worker: str, heartbeat_interval: float = 1.0) -> None:
+    """Run the worker loop until told to stop or the parent vanishes."""
+    current: dict[str, str | None] = {"cell": None}
+    send_lock = threading.Lock()
+    stop_beating = threading.Event()
+
+    def send(message) -> bool:
+        with send_lock:
+            try:
+                conn.send(message)
+                return True
+            except (BrokenPipeError, OSError):
+                return False    # parent gone; the loop will exit
+
+    def beat() -> None:
+        while not stop_beating.wait(heartbeat_interval):
+            if not send(("hb", worker, current["cell"])):
+                return
+
+    beater = threading.Thread(target=beat, daemon=True,
+                              name=f"{worker}-heartbeat")
+    # The beater inherits this thread's signal mask, so block SIGTERM
+    # around its start: the watchdog's SIGTERM must land on the *task*
+    # thread (killing the worker mid-cell), never be absorbed by the
+    # heartbeat thread — and task code that blocks SIGTERM to emulate
+    # hung native code then really is immune until SIGKILL.
+    with contextlib.suppress(AttributeError, ValueError, OSError):
+        unblock = signal.pthread_sigmask(signal.SIG_BLOCK,
+                                         {signal.SIGTERM})
+    beater.start()
+    with contextlib.suppress(AttributeError, ValueError, OSError,
+                             NameError):
+        signal.pthread_sigmask(signal.SIG_SETMASK, unblock)
+
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break           # parent died or closed the pipe
+            if not isinstance(message, tuple) or not message:
+                continue
+            if message[0] == "stop":
+                break
+            if message[0] != "task":
+                continue
+            _, cell, scale_name, timeout, attempt = message
+            current["cell"] = cell.cell_id
+            # chaos kills/hangs land here — on a disposable process,
+            # before any compute time is sunk
+            chaos_worker_entry(cell.cell_id, int(attempt))
+            scale = SCALES[scale_name]
+            snap = matrix_cache().snapshot()
+            # resolved through the module so tests can monkeypatch
+            # engine.compute_cell and have forked workers see it
+            status, value, duration, error = engine._run_cell_guarded(
+                cell, scale, timeout)
+            if status == "completed":
+                # worker-side persistence: survives a dying parent
+                common.store_cell(cell, scale, value)
+            current["cell"] = None
+            send(("result", worker, cell, status, value, duration,
+                  error, matrix_cache().delta_since(snap)))
+    finally:
+        stop_beating.set()
+        with send_lock:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        # don't linger on interpreter teardown if the beater is mid-send
+        beater.join(timeout=heartbeat_interval + 1.0)
+        # a worker that lost its parent mid-task exits nonzero so any
+        # process-level supervisor above us sees the failure
+        if current["cell"] is not None:
+            os._exit(1)

@@ -2,7 +2,10 @@
 
 Subcommands::
 
-    summarize TRACE              render one trace (sites, solvers, time)
+    summarize FILE               render one trace (sites, solvers, time)
+                                 — or, given a run manifest JSON, its
+                                 run/cell statuses and the supervised
+                                 pool's crash/respawn/quarantine report
     diff OLD NEW                 counter/span deltas between two traces
     bench-diff BASELINE CURRENT  per-experiment (or per-kernel)
                                  wall-clock vs a committed baseline
@@ -14,8 +17,10 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .analyze import (diff_bench, diff_traces, render_bench_diff,
-                      render_diff, render_summary, summarize_trace)
+from .analyze import (diff_bench, diff_traces, load_manifest_payload,
+                      render_bench_diff, render_diff,
+                      render_manifest_summary, render_summary,
+                      summarize_manifest, summarize_trace)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -24,8 +29,10 @@ def main(argv: list[str] | None = None) -> int:
         description="Summarize and diff telemetry traces.")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("summarize", help="render one trace file")
-    p.add_argument("trace", help="JSON-lines trace file")
+    p = sub.add_parser("summarize",
+                       help="render a trace file or a run manifest")
+    p.add_argument("trace", help="JSON-lines trace file, or a "
+                                 "run_manifest.json (auto-detected)")
     p.add_argument("--top", type=int, default=12,
                    help="rows in the top-sites/cells tables")
 
@@ -47,7 +54,12 @@ def main(argv: list[str] | None = None) -> int:
 
     args = parser.parse_args(argv)
     if args.command == "summarize":
-        print(render_summary(summarize_trace(args.trace), top=args.top))
+        manifest = load_manifest_payload(args.trace)
+        if manifest is not None:
+            print(render_manifest_summary(summarize_manifest(manifest)))
+        else:
+            print(render_summary(summarize_trace(args.trace),
+                                 top=args.top))
         return 0
     if args.command == "diff":
         print(render_diff(diff_traces(args.old, args.new)))

@@ -12,9 +12,10 @@ from typing import Iterable
 
 from ..analysis.reporting import format_table
 
-__all__ = ["diff_bench", "diff_traces", "read_events",
-           "render_bench_diff", "render_diff", "render_summary",
-           "summarize_trace"]
+__all__ = ["diff_bench", "diff_traces", "load_manifest_payload",
+           "read_events", "render_bench_diff", "render_diff",
+           "render_manifest_summary", "render_summary",
+           "summarize_manifest", "summarize_trace"]
 
 #: the SiteCounters fields, in table-column order
 COUNTER_FIELDS = ("total", "exact", "inexact", "nar", "saturated",
@@ -151,6 +152,110 @@ def render_summary(summary: dict, top: int = 12) -> str:
             ("cell", "seconds"), rows,
             title=f"top {len(rows)} cells by compute time",
             first_col_width=44))
+    return "\n".join(parts)
+
+
+def load_manifest_payload(path: str) -> dict | None:
+    """The run-manifest dict at *path*, or ``None`` if it is not one.
+
+    Distinguishes a manifest (one pretty-printed JSON document with a
+    ``runs`` map) from a trace (JSON-*lines* events) so ``summarize``
+    can accept either file without a flag.
+    """
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except ValueError:
+        return None
+    if isinstance(data, dict) and isinstance(data.get("runs"), dict):
+        return data
+    return None
+
+
+def summarize_manifest(manifest: str | dict) -> dict:
+    """Aggregate a run manifest (path or dict) into one summary dict.
+
+    Keys: ``runs`` and ``cells`` — ``{status: count}`` maps;
+    ``poisoned`` — quarantined cell ids; ``supervision`` — the
+    supervised pool's report sections (one per pooled phase, each with
+    crash/respawn/kill counters and per-crash records), or ``[]`` for
+    serial sweeps.
+    """
+    if isinstance(manifest, str):
+        data = load_manifest_payload(manifest)
+        if data is None:
+            raise ValueError(f"{manifest}: not a run manifest")
+    else:
+        data = manifest
+    runs: dict[str, int] = {}
+    for entry in data.get("runs", {}).values():
+        status = entry.get("status", "?")
+        runs[status] = runs.get(status, 0) + 1
+    cells: dict[str, int] = {}
+    poisoned: list[str] = []
+    for cell_id, entry in data.get("cells", {}).items():
+        status = entry.get("status", "?")
+        cells[status] = cells.get(status, 0) + 1
+        if status == "poisoned":
+            poisoned.append(cell_id)
+    supervision = data.get("supervision")
+    if supervision is None:
+        sections: list[dict] = []
+    elif isinstance(supervision, list):
+        sections = [s for s in supervision if isinstance(s, dict)]
+    else:
+        sections = [supervision] if isinstance(supervision, dict) else []
+    return {"runs": runs, "cells": cells, "poisoned": sorted(poisoned),
+            "supervision": sections}
+
+
+def render_manifest_summary(summary: dict) -> str:
+    """Human-readable report for a manifest summary (supervision view)."""
+    parts: list[str] = []
+
+    def _statuses(counts: dict[str, int]) -> str:
+        return ", ".join(f"{n} {status}" for status, n in
+                         sorted(counts.items())) or "none recorded"
+
+    parts.append(f"experiments: {_statuses(summary['runs'])}")
+    parts.append(f"cells: {_statuses(summary['cells'])}")
+    if summary["poisoned"]:
+        parts.append("poisoned cells:")
+        parts.extend(f"  - {cell_id}" for cell_id in summary["poisoned"])
+
+    if not summary["supervision"]:
+        parts.append("\nsupervision: no pooled phase recorded "
+                     "(serial sweep, or pre-supervision manifest)")
+        return "\n".join(parts)
+
+    rows = []
+    crashes: list[dict] = []
+    for section in summary["supervision"]:
+        rows.append((section.get("scale", "?"), section.get("jobs"),
+                     section.get("spawned"), section.get("respawns"),
+                     section.get("worker_deaths"),
+                     section.get("term_kills"),
+                     section.get("hard_kills"),
+                     len(section.get("quarantined") or ()),
+                     "yes" if section.get("degraded") else "no"))
+        crashes.extend(c for c in section.get("crashes", ())
+                       if isinstance(c, dict))
+    parts.append("\n" + format_table(
+        ("scale", "jobs", "spawned", "respawns", "deaths", "term",
+         "kill", "quar", "degraded"), rows,
+        title="supervision (worker crashes / respawns / quarantine)",
+        first_col_width=12, col_width=9))
+    if crashes:
+        crash_rows = [(c.get("cell") or "(idle)", c.get("worker"),
+                       c.get("kind"), c.get("signal") or c.get("exitcode"),
+                       c.get("attempt"),
+                       "-" if c.get("last_heartbeat_age_s") is None
+                       else f"{c['last_heartbeat_age_s']:.1f}s")
+                      for c in crashes]
+        parts.append("\n" + format_table(
+            ("cell", "worker", "kind", "cause", "attempt", "hb_age"),
+            crash_rows, title="worker crash records",
+            first_col_width=44, col_width=9))
     return "\n".join(parts)
 
 

@@ -10,19 +10,26 @@ import pytest
 from repro.config import SCALES
 from repro.experiments import common
 from repro.experiments.cache import (CACHE_DIR_NAME, ResultCache,
-                                     cache_enabled, clear_result_cache,
-                                     code_fingerprint, result_cache)
+                                     cache_disabled_reason,
+                                     cache_enabled, cache_stats,
+                                     clear_result_cache,
+                                     code_fingerprint, result_cache,
+                                     reset_cache_stats)
 from repro.experiments.common import Cell, cell_value, clear_cache
 
 
 @pytest.fixture(autouse=True)
 def _isolated(tmp_path, monkeypatch):
-    """Fresh results dir and empty in-process memo for every test."""
+    """Fresh results dir, empty memo, armed cache for every test."""
     monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
     monkeypatch.delenv("REPRO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_CHAOS", raising=False)
+    monkeypatch.delenv("REPRO_CHAOS_SEED", raising=False)
+    reset_cache_stats()
     clear_cache()
     yield tmp_path
     clear_cache()
+    reset_cache_stats()
 
 
 class TestResultCache:
@@ -91,6 +98,107 @@ class TestResultCache:
     def test_code_fingerprint_stable(self):
         assert code_fingerprint() == code_fingerprint()
         assert len(code_fingerprint()) == 64
+
+
+class TestChecksumFooter:
+    """Entries carry sha256 footers: damage is detected, not inferred
+    from unpickling luck."""
+
+    def test_entry_ends_with_magic_and_checksum(self, tmp_path):
+        import hashlib
+
+        from repro.experiments.cache import _FOOTER_LEN, _FOOTER_MAGIC
+        cache = ResultCache(str(tmp_path / "c"), fingerprint="f1")
+        cache.put("cg:a:fp32", "small", {"x": 1.5})
+        with open(cache.entry_path("cg:a:fp32", "small"), "rb") as fh:
+            blob = fh.read()
+        payload = blob[:-_FOOTER_LEN]
+        assert blob[-_FOOTER_LEN:-32] == _FOOTER_MAGIC
+        assert blob[-32:] == hashlib.sha256(payload).digest()
+        assert pickle.loads(payload)["value"] == {"x": 1.5}
+
+    def test_single_flipped_byte_is_detected(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"), fingerprint="f1")
+        cache.put("cg:a:fp32", "small", list(range(50)))
+        path = cache.entry_path("cg:a:fp32", "small")
+        with open(path, "r+b") as fh:
+            fh.seek(10)
+            byte = fh.read(1)
+            fh.seek(10)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        assert cache.get("cg:a:fp32", "small") == (False, None)
+        assert not os.path.exists(path)
+
+    def test_footerless_legacy_entry_is_invalidated(self, tmp_path):
+        # a bare pickle (pre-footer format) must be dropped, not served
+        cache = ResultCache(str(tmp_path / "c"), fingerprint="f1")
+        path = cache.entry_path("cg:a:fp32", "small")
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as fh:
+            pickle.dump({"cell": "cg:a:fp32", "scale": "small",
+                         "value": 7}, fh)
+        assert cache.get("cg:a:fp32", "small") == (False, None)
+        assert cache_stats().invalidations == 1
+
+    def test_truncation_inside_the_footer_is_detected(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"), fingerprint="f1")
+        cache.put("cg:a:fp32", "small", 7)
+        path = cache.entry_path("cg:a:fp32", "small")
+        with open(path, "r+b") as fh:
+            fh.truncate(os.path.getsize(path) - 1)
+        assert cache.get("cg:a:fp32", "small") == (False, None)
+
+
+class TestEnospcDegradation:
+    """A full disk disables persistence for the rest of the run — one
+    warning, no failed cells.  REPRO_CHAOS=enospc:1 injects the fault
+    deterministically."""
+
+    @pytest.fixture
+    def full_disk(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "enospc:1")
+
+    def test_put_disables_cache_with_single_warning(self, tmp_path,
+                                                    full_disk, capsys):
+        cache = ResultCache(str(tmp_path / "c"), fingerprint="f1")
+        assert cache.put("cg:a:fp32", "small", 1) is None
+        assert cache.put("cg:b:fp32", "small", 2) is None
+        err = capsys.readouterr().err
+        assert err.count("result cache disabled") == 1
+        assert not cache_enabled()
+        assert "No space left on device" in cache_disabled_reason()
+        assert cache_stats().write_errors >= 1
+        assert cache_stats().stores == 0
+
+    def test_store_cell_keeps_the_memo_value(self, full_disk):
+        cell = Cell("chol", "bcsstk02", "fp64", (("rescaled", False),))
+        scale = SCALES["small"]
+        common.store_cell(cell, scale, 0.5)      # must not raise
+        assert common.has_cell(cell, scale)      # memo survives
+        clear_cache()
+        assert not common.has_cell(cell, scale)  # nothing on disk
+
+    def test_reset_cache_stats_rearms(self, tmp_path, full_disk,
+                                      monkeypatch):
+        cache = ResultCache(str(tmp_path / "c"), fingerprint="f1")
+        cache.put("cg:a:fp32", "small", 1)
+        assert not cache_enabled()
+        monkeypatch.delenv("REPRO_CHAOS")        # the disk "drains"
+        reset_cache_stats()                      # next sweep starts
+        assert cache_enabled()
+        assert cache.put("cg:a:fp32", "small", 1) is not None
+        assert cache.get("cg:a:fp32", "small") == (True, 1)
+
+    def test_other_oserrors_still_raise(self, tmp_path, monkeypatch):
+        import repro.experiments.cache as cache_mod
+
+        def explode(path, mode):
+            raise PermissionError("not a full disk")
+        monkeypatch.setattr(cache_mod, "atomic_open", explode)
+        cache = ResultCache(str(tmp_path / "c"), fingerprint="f1")
+        with pytest.raises(PermissionError):
+            cache.put("cg:a:fp32", "small", 1)
+        assert cache_enabled()                   # not a degradation case
 
 
 class TestCacheEnv:

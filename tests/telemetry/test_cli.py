@@ -46,6 +46,82 @@ class TestSummarize:
         assert "top 2 sites" in capsys.readouterr().out
 
 
+def _manifest(**extra) -> dict:
+    return {"version": 2,
+            "runs": {"zz-mini": {"status": "completed",
+                                 "scale": "small"}},
+            "cells": {"chol:a:fp32": {"status": "completed"},
+                      "chol:b:fp32": {"status": "cached"},
+                      "chol:c:posit32es2": {"status": "poisoned"}},
+            **extra}
+
+
+SUPERVISION = {"scale": "small", "jobs": 4, "spawned": 6, "respawns": 2,
+               "worker_deaths": 3, "term_kills": 1, "hard_kills": 1,
+               "quarantined": ["chol:c:posit32es2"], "degraded": False,
+               "crashes": [{"worker": "w1", "pid": 11, "exitcode": -9,
+                            "signal": "SIGKILL",
+                            "cell": "chol:c:posit32es2", "attempt": 1,
+                            "kind": "watchdog",
+                            "last_heartbeat_age_s": 1.25},
+                           {"worker": "w2", "pid": 12, "exitcode": 1,
+                            "signal": None, "cell": None, "attempt": 0,
+                            "kind": "crash",
+                            "last_heartbeat_age_s": None}]}
+
+
+class TestSummarizeManifest:
+    """summarize auto-detects a run manifest and renders its
+    supervision section instead of choking on non-JSONL input."""
+
+    def test_manifest_summary(self):
+        from repro.telemetry.analyze import summarize_manifest
+        summary = summarize_manifest(_manifest(supervision=SUPERVISION))
+        assert summary["cells"] == {"completed": 1, "cached": 1,
+                                    "poisoned": 1}
+        assert summary["poisoned"] == ["chol:c:posit32es2"]
+        assert summary["supervision"][0]["worker_deaths"] == 3
+
+    def test_cli_renders_supervision_counters(self, tmp_path, capsys):
+        path = tmp_path / "run_manifest.json"
+        path.write_text(json.dumps(_manifest(supervision=SUPERVISION)))
+        assert main(["summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 poisoned" in out
+        assert "worker crash records" in out
+        assert "SIGKILL" in out and "watchdog" in out
+        assert "chol:c:posit32es2" in out
+
+    def test_cli_serial_manifest_says_so(self, tmp_path, capsys):
+        path = tmp_path / "run_manifest.json"
+        path.write_text(json.dumps(_manifest()))
+        assert main(["summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "no pooled phase recorded" in out
+
+    def test_trace_files_still_summarize(self, trace_file, capsys):
+        # a JSONL trace must not be misdetected as a manifest
+        assert main(["summarize", trace_file]) == 0
+        assert "trace: unit" in capsys.readouterr().out
+
+    def test_real_supervised_run_summarizes(self, tmp_path, capsys,
+                                            monkeypatch):
+        """End to end: a pooled runner sweep's manifest renders."""
+        from tests.experiments.test_engine import _register_mini
+        from repro.experiments.common import clear_cache
+        from repro.experiments.runner import main as runner_main
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        clear_cache()
+        _register_mini(monkeypatch)
+        assert runner_main(["zz-mini", "--jobs", "2"]) == 0
+        clear_cache()
+        assert main(["summarize",
+                     str(tmp_path / "run_manifest.json")]) == 0
+        out = capsys.readouterr().out
+        assert "supervision (worker crashes" in out
+        assert "experiments: 1 completed" in out
+
+
 class TestDiff:
     def test_identical_traces(self, trace_file, capsys):
         assert main(["diff", trace_file, trace_file]) == 0
