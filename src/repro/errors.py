@@ -8,6 +8,14 @@ propagate normally.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError", "PositError", "NaRError", "InvalidPositConfig",
+    "FormatError", "UnknownFormatError", "OracleUnsupportedFormat",
+    "LinAlgError", "FactorizationError", "ConvergenceError",
+    "ScalingError", "FaultInjected", "RecoveryExhausted",
+    "ExperimentTimeout", "MatrixGenerationError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro package."""

@@ -18,12 +18,19 @@ bit-rotted entry is *detected* (not merely "happens to unpickle
 badly"), discarded and recomputed, never fatal.
 
 Writes are ENOSPC-safe: a cache store that fails with a full disk
-(``ENOSPC``/``EDQUOT``) disables the cache for the rest of the run
-with a single warning instead of failing the cell — results keep
-flowing through the in-process memo, only persistence stops.  The
-process-level chaos harness (:mod:`repro.supervise.chaos`,
-``REPRO_CHAOS=enospc:p``) injects exactly this failure to keep the
-path tested.
+(``ENOSPC``/``EDQUOT``) disables the cache with a single warning
+instead of failing the cell — results keep flowing through the
+in-process memo, only persistence stops.  The disablement is a
+**cooldown, not a latch**: after ``REPRO_CACHE_REARM_S`` seconds
+(default 60) the next :func:`cache_enabled` check re-arms persistence,
+and the next store either succeeds (the disk drained) or re-disables
+in a single syscall.  A one-sweep CLI run never notices; a long-lived
+parent — the experiment service of :mod:`repro.service`, where one
+client's full-disk episode must not disable persistence for every
+later client — heals automatically.  :func:`reset_cache_stats` still
+re-arms immediately at sweep boundaries.  The process-level chaos
+harness (:mod:`repro.supervise.chaos`, ``REPRO_CHAOS=enospc:p``)
+injects exactly this failure to keep the path tested.
 
 Disable with ``REPRO_CACHE=off`` (benchmarking cold paths, debugging).
 """
@@ -36,6 +43,7 @@ import hashlib
 import os
 import pickle
 import sys
+import time
 from typing import Any
 
 from ..analysis.reporting import results_dir
@@ -61,6 +69,28 @@ _fingerprint: str | None = None
 #: why on-disk caching was disabled mid-run (full disk), or None
 _disabled_reason: str | None = None
 
+#: when the cache disabled itself (``time.monotonic()``), for re-arming
+_disabled_at: float | None = None
+
+#: seconds a full-disk disablement lasts before the next check re-arms
+_REARM_ENV = "REPRO_CACHE_REARM_S"
+_REARM_DEFAULT_S = 60.0
+
+
+def _rearm_after_s() -> float:
+    """The re-probe cooldown (``REPRO_CACHE_REARM_S``, default 60s)."""
+    raw = os.environ.get(_REARM_ENV, "").strip()
+    if not raw:
+        return _REARM_DEFAULT_S
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"{_REARM_ENV}={raw!r} is not a number of "
+                         f"seconds") from None
+    if value < 0:
+        raise ValueError(f"{_REARM_ENV}={value} must be >= 0")
+    return value
+
 
 class CacheStats:
     """Process-wide cache traffic counters (``--cache-stats``).
@@ -70,11 +100,12 @@ class CacheStats:
     that finds a damaged entry counts as both a miss and an
     invalidation (the entry is deleted and recomputed); a store that
     fails on a full disk counts as a ``write_error`` (and disables the
-    cache for the rest of the run).
+    cache until the re-arm cooldown expires); each automatic
+    re-enablement counts as a ``rearm``.
     """
 
     __slots__ = ("hits", "misses", "stores", "invalidations",
-                 "write_errors")
+                 "write_errors", "rearms")
 
     def __init__(self) -> None:
         self.reset()
@@ -85,6 +116,7 @@ class CacheStats:
         self.stores = 0
         self.invalidations = 0
         self.write_errors = 0
+        self.rearms = 0
 
     @property
     def lookups(self) -> int:
@@ -94,7 +126,8 @@ class CacheStats:
         return {"lookups": self.lookups, "hits": self.hits,
                 "misses": self.misses, "stores": self.stores,
                 "invalidations": self.invalidations,
-                "write_errors": self.write_errors}
+                "write_errors": self.write_errors,
+                "rearms": self.rearms}
 
     def __repr__(self) -> str:
         return (f"<CacheStats {self.hits} hits / {self.lookups} lookups, "
@@ -114,12 +147,12 @@ def reset_cache_stats() -> CacheStats:
     """Zero the counters (start of a sweep); returns the live object.
 
     Also re-arms a cache that a *previous* sweep in this process
-    disabled after a full-disk write error — "disabled for the rest of
-    the run" is per sweep, and the next store will re-disable it in
-    one syscall if the disk is still full.
+    disabled after a full-disk write error — the next store will
+    re-disable it in one syscall if the disk is still full.
     """
-    global _disabled_reason
+    global _disabled_reason, _disabled_at
     _disabled_reason = None
+    _disabled_at = None
     _STATS.reset()
     return _STATS
 
@@ -128,13 +161,26 @@ def cache_enabled() -> bool:
     """False when ``REPRO_CACHE`` opts out — or a write error opted us out.
 
     The second case is runtime degradation: a store that hit
-    ``ENOSPC``/``EDQUOT`` disabled on-disk caching for the rest of the
-    run (see :func:`cache_disabled_reason`), because every subsequent
-    write would fail the same way and each cell's result is still
-    available through the in-process memo.
+    ``ENOSPC``/``EDQUOT`` disabled on-disk caching (see
+    :func:`cache_disabled_reason`), because every subsequent write
+    would fail the same way and each cell's result is still available
+    through the in-process memo.  The disablement expires after the
+    ``REPRO_CACHE_REARM_S`` cooldown (default 60s): this check then
+    re-arms persistence and the next store re-probes the disk — one
+    failed syscall if it is still full, a working cache if it drained.
+    Per-process lifetimes (the experiment service) therefore recover
+    without a sweep boundary.
     """
+    global _disabled_reason, _disabled_at
     if _disabled_reason is not None:
-        return False
+        if (_disabled_at is None
+                or time.monotonic() - _disabled_at < _rearm_after_s()):
+            return False
+        _disabled_reason = None
+        _disabled_at = None
+        _STATS.rearms += 1
+        print("!! result cache re-armed after cooldown; next store "
+              "re-probes the disk", file=sys.stderr)
     return os.environ.get("REPRO_CACHE", "on").strip().lower() not in _FALSEY
 
 
@@ -144,13 +190,14 @@ def cache_disabled_reason() -> str | None:
 
 
 def _disable_cache(reason: str) -> None:
-    """Stop persisting for the rest of the run; warn exactly once."""
-    global _disabled_reason
+    """Stop persisting until the cooldown expires; warn once per episode."""
+    global _disabled_reason, _disabled_at
     if _disabled_reason is None:
         _disabled_reason = reason
-        print(f"!! result cache disabled for the rest of the run: "
-              f"{reason} (cells keep completing; only persistence "
-              f"stops)", file=sys.stderr)
+        _disabled_at = time.monotonic()
+        print(f"!! result cache disabled: {reason} (cells keep "
+              f"completing; only persistence stops; re-probing in "
+              f"{_rearm_after_s():g}s)", file=sys.stderr)
 
 
 def iter_source_files(pkg_root: str):

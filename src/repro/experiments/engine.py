@@ -40,7 +40,7 @@ from ..errors import ExperimentTimeout
 from ..resilience.isolation import backoff_delays, time_limit
 from .common import Cell, compute_cell, has_cell, store_cell
 
-__all__ = ["CellOutcome", "execute_cells"]
+__all__ = ["CellOutcome", "execute_cells", "execute_request"]
 
 
 @dataclass
@@ -85,8 +85,8 @@ def execute_cells(cells: Sequence[Cell], scale: RunScale, *,
                   grace: float = 5.0, max_worker_deaths: int = 3,
                   on_outcome: Callable[[CellOutcome], None] | None = None,
                   on_report: Callable[[object], None] | None = None,
-                  sleep: Callable[[float], None] = time.sleep
-                  ) -> list[CellOutcome]:
+                  sleep: Callable[[float], None] = time.sleep,
+                  pool: object | None = None) -> list[CellOutcome]:
     """Bring every cell to a terminal state; return one outcome each.
 
     ``on_outcome`` fires as each cell settles (manifest recording).
@@ -102,6 +102,13 @@ def execute_cells(cells: Sequence[Cell], scale: RunScale, *,
     ``on_report`` receives the pool's
     :class:`~repro.supervise.pool.SupervisionReport` (crash records,
     respawn/kill counters) when a pooled phase ran.
+
+    A caller that owns a long-lived
+    :class:`~repro.supervise.pool.SupervisedPool` (the experiment
+    service) passes it as *pool*: the batch runs on that fleet and the
+    pool is **not** shut down here — its ``keep_alive`` lifecycle
+    belongs to the owner, and *jobs*/*timeout*/... are superseded by
+    the pool's own configuration.
     """
     outcomes: dict[Cell, CellOutcome] = {}
 
@@ -117,15 +124,16 @@ def execute_cells(cells: Sequence[Cell], scale: RunScale, *,
         else:
             todo.append(cell)
 
-    if todo and jobs > 1:
+    if todo and (pool is not None or jobs > 1):
         try:
-            # imported lazily: supervise.worker imports this module
-            from ..supervise.pool import SupervisedPool
+            if pool is None:
+                # imported lazily: supervise.worker imports this module
+                from ..supervise.pool import SupervisedPool
 
-            pool = SupervisedPool(
-                jobs, scale, timeout=timeout, grace=grace,
-                retries=retries, backoff=backoff,
-                max_worker_deaths=max_worker_deaths)
+                pool = SupervisedPool(
+                    jobs, scale, timeout=timeout, grace=grace,
+                    retries=retries, backoff=backoff,
+                    max_worker_deaths=max_worker_deaths)
             leftover = pool.run(todo, settle)
             if on_report is not None:
                 on_report(pool.report)
@@ -144,6 +152,25 @@ def execute_cells(cells: Sequence[Cell], scale: RunScale, *,
                                sleep))
 
     return [outcomes[cell] for cell in dict.fromkeys(cells)]
+
+
+def execute_request(cells: Sequence[Cell], request, *,
+                    on_outcome: Callable[[CellOutcome], None] | None = None,
+                    on_report: Callable[[object], None] | None = None,
+                    pool: object | None = None) -> list[CellOutcome]:
+    """:func:`execute_cells` driven by a :class:`repro.request.RunRequest`.
+
+    The one place the request's execution knobs are unpacked into the
+    engine — the runner CLI, :func:`repro.submit` and the experiment
+    service all call through here, so the knob set cannot drift
+    between surfaces.
+    """
+    return execute_cells(
+        cells, request.run_scale, jobs=request.jobs,
+        timeout=request.timeout, retries=request.retries,
+        backoff=request.backoff, grace=request.grace,
+        max_worker_deaths=request.max_worker_deaths,
+        on_outcome=on_outcome, on_report=on_report, pool=pool)
 
 
 def _execute_serial(cell: Cell, scale: RunScale, timeout: float | None,

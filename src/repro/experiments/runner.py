@@ -38,13 +38,14 @@ import time
 from typing import Callable
 
 from ..analysis.reporting import results_dir, write_json
-from ..config import SCALES, RunScale, jobs_from_env, scale_from_env
+from ..config import SCALES, RunScale
 from ..errors import ExperimentTimeout
+from ..request import RunRequest
 from ..resilience.isolation import backoff_delays, time_limit
 from ..resilience.manifest import MANIFEST_NAME, RunManifest
 from .cache import cache_enabled, reset_cache_stats
 from .common import Cell, ExperimentResult
-from .engine import CellOutcome, execute_cells
+from .engine import CellOutcome, execute_request
 from .registry import PAPER_ARTIFACTS, REGISTRY, get_experiment
 
 __all__ = ["EXPERIMENTS", "PAPER_ARTIFACTS", "BENCH_NAME", "main",
@@ -126,10 +127,8 @@ def _gather_cells(ids: list[str], scale: RunScale
     return owners
 
 
-def _run_cell_phase(owners: dict[Cell, list[str]], scale: RunScale,
-                    manifest: RunManifest, jobs: int,
-                    timeout: float | None, retries: int, backoff: float,
-                    grace: float = 5.0, max_worker_deaths: int = 3
+def _run_cell_phase(owners: dict[Cell, list[str]], request: RunRequest,
+                    manifest: RunManifest
                     ) -> tuple[dict[str, list[str]], dict[str, float],
                                list[CellOutcome]]:
     """Execute the gathered cells; returns (failures by experiment,
@@ -142,6 +141,7 @@ def _run_cell_phase(owners: dict[Cell, list[str]], scale: RunScale,
     readable afterwards (``python -m repro.telemetry summarize
     results/run_manifest.json``).
     """
+    scale = request.run_scale
     failures: dict[str, list[str]] = {}
     compute_s: dict[str, float] = {}
 
@@ -170,10 +170,8 @@ def _run_cell_phase(owners: dict[Cell, list[str]], scale: RunScale,
                   f"{len(report.quarantined)} quarantined cell(s)"
                   + (", degraded to serial" if report.degraded else ""))
 
-    outcomes = execute_cells(
-        list(owners), scale, jobs=jobs, timeout=timeout,
-        retries=retries, backoff=backoff, grace=grace,
-        max_worker_deaths=max_worker_deaths, on_outcome=record,
+    outcomes = execute_request(
+        list(owners), request, on_outcome=record,
         on_report=record_supervision)
     return failures, compute_s, outcomes
 
@@ -274,19 +272,25 @@ def main(argv: list[str] | None = None) -> int:
             return 2
     ids = list(dict.fromkeys(ids))      # dedup, keep request order
 
+    # the CLI flags normalize into the same RunRequest the service and
+    # repro.submit() build — one knob set across every entry point
     try:
-        scale = SCALES[args.scale] if args.scale else scale_from_env()
-        jobs = args.jobs if args.jobs is not None else jobs_from_env()
+        request = RunRequest.make(
+            scale=args.scale, jobs=args.jobs, timeout=args.timeout,
+            retries=args.retries, backoff=args.backoff,
+            grace=args.grace, max_worker_deaths=args.max_worker_deaths,
+            trace=args.trace)
     except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        # validation messages lead with the knob name; point the user
+        # at the CLI flag they actually typed
+        msg = str(exc)
+        knob = msg.split(" ", 1)[0]
+        if knob in RunRequest.KNOBS:
+            msg = f"--{knob.replace('_', '-')}: {msg}"
+        print(f"error: {msg}", file=sys.stderr)
         return 2
-    if jobs < 1:
-        print(f"error: --jobs {jobs} must be >= 1", file=sys.stderr)
-        return 2
-    if args.max_worker_deaths < 1:
-        print(f"error: --max-worker-deaths {args.max_worker_deaths} "
-              f"must be >= 1", file=sys.stderr)
-        return 2
+    scale = request.run_scale
+    jobs = request.jobs
 
     sweep_t0 = time.time()
     manifest = RunManifest(os.path.join(results_dir(),
@@ -306,6 +310,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"note: --trace forces --jobs 1 (was {jobs}); worker "
               f"processes cannot feed the in-process collector",
               file=sys.stderr)
+        request = request.replace(jobs=1)
         jobs = 1
     session_cm = session = None
     if args.trace:
@@ -329,9 +334,7 @@ def main(argv: list[str] | None = None) -> int:
                   f"{len(ids) - len(skipped)} experiment(s) at scale "
                   f"{scale.name!r}, jobs={jobs}")
             cell_failures, compute_s, outcomes = _run_cell_phase(
-                owners, scale, manifest, jobs, args.timeout,
-                args.retries, args.backoff, grace=args.grace,
-                max_worker_deaths=args.max_worker_deaths)
+                owners, request, manifest)
             cached = sum(1 for o in outcomes if o.status == "cached")
             computed = sum(1 for o in outcomes
                            if o.status == "completed")

@@ -1,0 +1,165 @@
+"""`RunRequest` — the one normalized bundle of execution knobs.
+
+Before this module, the same six knobs (scale, jobs, timeout, retries,
+backoff, grace, ...) were spelled three different ways: as argparse
+flags on the runner CLI, as kwargs threaded through
+``repro.run_experiment`` / the engine, and (with PR 7) as JSON fields
+on the service wire.  Each surface could — and did — drift.  Now every
+entry point constructs a :class:`RunRequest` and hands it down:
+
+* the runner CLI (``python -m repro.experiments``) builds one from its
+  parsed arguments (:meth:`RunRequest.make`);
+* the library façade (:func:`repro.submit`,
+  :func:`repro.run_experiment`, :func:`repro.context`) accepts one (or
+  builds one from the same keyword names);
+* the experiment service (:mod:`repro.service`) carries one on the
+  wire (:meth:`RunRequest.as_dict` / :meth:`RunRequest.from_dict`) and
+  replays it through the very same engine call.
+
+A knob added here is automatically available — with the same name,
+default and validation — on all three surfaces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+from .config import SCALES, RunScale, jobs_from_env, scale_from_env
+
+__all__ = ["RunRequest"]
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """Normalized execution knobs shared by CLI, library and service.
+
+    Attributes
+    ----------
+    scale:
+        Run-scale *name* (``smoke`` / ``small`` / ``medium`` /
+        ``full``); resolve the :class:`~repro.config.RunScale` object
+        through :attr:`run_scale`.  Stored by name so the request is
+        JSON-serializable as-is.
+    jobs:
+        Worker processes for the cell grid (1 = the bit-for-bit serial
+        reference path).
+    timeout:
+        Per-cell wall-clock budget in seconds (``None`` = unlimited).
+    retries:
+        Retry budget per crashed cell (soft timeouts are final).
+    backoff:
+        Initial retry backoff in seconds, doubled per retry and
+        jittered when pooled.
+    grace:
+        Watchdog SIGTERM→SIGKILL escalation period for workers hung
+        past the budget.
+    max_worker_deaths:
+        Poison-cell quarantine threshold.
+    trace:
+        Telemetry trace: ``False`` (off), ``True`` (default trace
+        file), or an explicit path.
+    cache:
+        Result-cache policy: ``"on"`` (read and write) or ``"off"``
+        (compute cold, persist nothing).
+    """
+
+    #: every knob name — also the runner CLI flag names (with ``-``)
+    KNOBS: ClassVar[frozenset[str]] = frozenset((
+        "scale", "jobs", "timeout", "retries", "backoff", "grace",
+        "max_worker_deaths", "trace", "cache"))
+
+    scale: str = "small"
+    jobs: int = 1
+    timeout: float | None = None
+    retries: int = 1
+    backoff: float = 1.0
+    grace: float = 5.0
+    max_worker_deaths: int = 3
+    trace: bool | str = False
+    cache: str = "on"
+
+    def __post_init__(self) -> None:
+        if self.scale not in SCALES:
+            raise ValueError(f"unknown scale {self.scale!r} "
+                             f"(choose from {sorted(SCALES)})")
+        if int(self.jobs) < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.timeout is not None and not float(self.timeout) > 0:
+            raise ValueError(f"timeout must be positive or None, "
+                             f"got {self.timeout}")
+        if int(self.retries) < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if float(self.backoff) < 0:
+            raise ValueError(f"backoff must be >= 0, "
+                             f"got {self.backoff}")
+        if not float(self.grace) > 0:
+            raise ValueError(f"grace must be positive, got {self.grace}")
+        if int(self.max_worker_deaths) < 1:
+            raise ValueError(f"max_worker_deaths must be >= 1, "
+                             f"got {self.max_worker_deaths}")
+        if self.cache not in ("on", "off"):
+            raise ValueError(f"cache must be 'on' or 'off', "
+                             f"got {self.cache!r}")
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def make(cls, scale: RunScale | str | None = None,
+             jobs: int | None = None, **knobs: Any) -> "RunRequest":
+        """Build a request, resolving environment defaults.
+
+        *scale* accepts a :class:`RunScale`, a scale name, or ``None``
+        (``$REPRO_SCALE`` / ``small``); *jobs* ``None`` falls back to
+        ``$REPRO_JOBS`` / 1.  Remaining keyword names are the dataclass
+        fields — exactly the runner CLI's flag names.
+        """
+        if scale is None:
+            scale = scale_from_env()
+        if isinstance(scale, RunScale):
+            scale = scale.name
+        if jobs is None:
+            jobs = jobs_from_env()
+        return cls(scale=scale, jobs=int(jobs), **knobs)
+
+    def replace(self, **changes: Any) -> "RunRequest":
+        """A copy with *changes* applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    # -- resolution ------------------------------------------------------
+    @property
+    def run_scale(self) -> RunScale:
+        """The resolved :class:`~repro.config.RunScale` object."""
+        return SCALES[self.scale]
+
+    @property
+    def cache_enabled(self) -> bool:
+        return self.cache == "on"
+
+    # -- wire form -------------------------------------------------------
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe mapping of every knob (the service wire form)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunRequest":
+        """Rebuild from :meth:`as_dict` output; unknown keys rejected.
+
+        Raises ``ValueError`` on unknown keys or invalid values, so a
+        mistyped knob on the wire fails loudly instead of silently
+        running with a default.
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown RunRequest field(s) {unknown}; "
+                             f"known: {sorted(known)}")
+        coerced = dict(data)
+        for name, cast in (("jobs", int), ("retries", int),
+                           ("max_worker_deaths", int),
+                           ("backoff", float), ("grace", float)):
+            if name in coerced:
+                coerced[name] = cast(coerced[name])
+        if coerced.get("timeout") is not None:
+            coerced["timeout"] = float(coerced["timeout"])
+        return cls(**coerced)

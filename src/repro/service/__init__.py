@@ -1,0 +1,30 @@
+"""repro.service — the multi-tenant experiment service.
+
+A long-lived asyncio server (:class:`ExperimentServer`) that shares
+one result cache, one singleflight in-flight table, and one supervised
+worker fleet across every connected client, plus the versioned
+JSON-lines wire protocol (:mod:`repro.service.protocol`) and the
+client library (:mod:`repro.service.client`).
+
+Shell usage::
+
+    python -m repro.service serve --socket /tmp/repro.sock --jobs 4
+    python -m repro.service submit --address unix:/tmp/repro.sock fig6
+    python -m repro.service status --address unix:/tmp/repro.sock
+
+Library usage::
+
+    from repro.service import Client
+    with Client("unix:/tmp/repro.sock") as c:
+        result = c.submit_experiments(["fig6"], scale="smoke")
+"""
+
+from .client import AsyncClient, BusyError, Client, ServiceError
+from .protocol import PROTOCOL_VERSION, ProtocolError
+from .server import ExperimentServer, ServiceStats
+
+__all__ = [
+    "ExperimentServer", "ServiceStats",
+    "AsyncClient", "Client", "ServiceError", "BusyError",
+    "PROTOCOL_VERSION", "ProtocolError",
+]

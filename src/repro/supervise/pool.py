@@ -154,6 +154,13 @@ class SupervisedPool:
     in-worker exception retry budget, *backoff* the base of the
     (jittered, exponential) requeue delay, and *max_worker_deaths* the
     poison-cell quarantine threshold.
+
+    With ``keep_alive=True`` the pool outlives individual :meth:`run`
+    batches: workers (and their warm per-process matrix caches) stay
+    up between batches, which is how a long-lived parent — the
+    experiment service — amortizes spawn cost across many client
+    sweeps.  The owner must call :meth:`shutdown` (or use the pool as
+    a context manager) when done.
     """
 
     def __init__(self, jobs: int, scale: RunScale, *,
@@ -161,7 +168,7 @@ class SupervisedPool:
                  retries: int = 0, backoff: float = 1.0,
                  max_worker_deaths: int = 3,
                  heartbeat_interval: float = 1.0,
-                 jitter_seed: int = 0):
+                 jitter_seed: int = 0, keep_alive: bool = False):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if max_worker_deaths < 1:
@@ -175,6 +182,7 @@ class SupervisedPool:
         self.backoff = float(backoff)
         self.max_worker_deaths = int(max_worker_deaths)
         self.heartbeat_interval = float(heartbeat_interval)
+        self.keep_alive = bool(keep_alive)
         self.report = SupervisionReport(jobs=self.jobs)
         #: consecutive worker deaths with no completed cell in between
         #: beyond this → the pool itself is judged broken
@@ -206,6 +214,16 @@ class SupervisedPool:
             self.report.respawns += 1
         return handle
 
+    def shutdown(self) -> None:
+        """Stop every worker (idempotent; required with *keep_alive*)."""
+        self._shutdown()
+
+    def __enter__(self) -> "SupervisedPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._shutdown()
+
     def _shutdown(self) -> None:
         for handle in self._workers.values():
             try:
@@ -236,6 +254,11 @@ class SupervisedPool:
         caller (the engine) finishes those cells serially in-process.
         Quarantined/failed/timed-out cells are *settled*, not returned:
         their state is terminal.
+
+        Callable repeatedly on a ``keep_alive`` pool: each call is one
+        batch over the same (still warm) worker fleet.  A pool that
+        degraded stays degraded — later batches return their cells
+        immediately for serial execution.
         """
         from multiprocessing.connection import wait as conn_wait
 
@@ -256,7 +279,9 @@ class SupervisedPool:
             settle(outcome)
 
         try:
-            for _ in range(min(self.jobs, len(ready))):
+            # top up rather than blindly spawn: a keep_alive pool
+            # re-enters here with last batch's workers still running
+            while len(self._workers) < min(self.jobs, len(ready)):
                 self._spawn()
             while unfinished and not self.report.degraded:
                 now = time.monotonic()
@@ -321,7 +346,8 @@ class SupervisedPool:
                                        settle_terminal, requeue)
                 self._watchdog()
         finally:
-            self._shutdown()
+            if not self.keep_alive:
+                self._shutdown()
 
         return [c for c in cells if c in unfinished]
 

@@ -62,7 +62,14 @@ def worker_main(conn, worker: str, heartbeat_interval: float = 1.0) -> None:
 
     def beat() -> None:
         while not stop_beating.wait(heartbeat_interval):
-            if not send(("hb", worker, current["cell"])):
+            cell = current["cell"]
+            if cell is None:
+                # idle workers stay silent: a long-lived parent (the
+                # experiment service keeps its pool across batches)
+                # does not drain the pipe between batches, and hours of
+                # buffered beats would eventually block the pipe
+                continue
+            if not send(("hb", worker, cell)):
                 return
 
     beater = threading.Thread(target=beat, daemon=True,

@@ -189,6 +189,60 @@ class TestEnospcDegradation:
         assert cache.put("cg:a:fp32", "small", 1) is not None
         assert cache.get("cg:a:fp32", "small") == (True, 1)
 
+    def test_cooldown_rearms_without_sweep_boundary(self, tmp_path,
+                                                    full_disk,
+                                                    monkeypatch):
+        """A long-lived process (the experiment service) recovers once
+        the ``REPRO_CACHE_REARM_S`` cooldown expires — no
+        reset_cache_stats() required."""
+        monkeypatch.setenv("REPRO_CACHE_REARM_S", "0")
+        cache = ResultCache(str(tmp_path / "c"), fingerprint="f1")
+        cache.put("cg:a:fp32", "small", 1)
+        assert cache_disabled_reason() is not None
+        monkeypatch.delenv("REPRO_CHAOS")        # the disk "drains"
+        # cooldown of 0s: the very next check re-arms persistence
+        assert cache_enabled()
+        assert cache_stats().rearms == 1
+        assert cache_disabled_reason() is None
+        assert cache.put("cg:a:fp32", "small", 1) is not None
+        assert cache.get("cg:a:fp32", "small") == (True, 1)
+
+    def test_still_full_disk_redisables_after_rearm(self, tmp_path,
+                                                    full_disk,
+                                                    monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_REARM_S", "0")
+        cache = ResultCache(str(tmp_path / "c"), fingerprint="f1")
+        cache.put("cg:a:fp32", "small", 1)
+        assert cache_disabled_reason() is not None
+        # cooldown expired: the enablement check (store_cell's gate)
+        # re-arms, but chaos still injects ENOSPC on the re-probe store
+        assert cache_enabled()
+        assert cache_stats().rearms == 1
+        assert cache.put("cg:b:fp32", "small", 2) is None
+        assert cache_disabled_reason() is not None
+        assert cache_stats().write_errors == 2
+
+    def test_disabled_until_cooldown_expires(self, tmp_path, full_disk,
+                                             monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_REARM_S", "3600")
+        cache = ResultCache(str(tmp_path / "c"), fingerprint="f1")
+        cache.put("cg:a:fp32", "small", 1)
+        monkeypatch.delenv("REPRO_CHAOS")
+        assert not cache_enabled()               # cooldown still running
+        assert cache_stats().rearms == 0
+
+    def test_bad_rearm_env_is_rejected(self, monkeypatch, full_disk,
+                                       tmp_path):
+        from repro.experiments.cache import _rearm_after_s
+        monkeypatch.setenv("REPRO_CACHE_REARM_S", "soon")
+        with pytest.raises(ValueError, match="not a number"):
+            _rearm_after_s()
+        monkeypatch.setenv("REPRO_CACHE_REARM_S", "-5")
+        with pytest.raises(ValueError, match="must be >= 0"):
+            _rearm_after_s()
+        monkeypatch.delenv("REPRO_CACHE_REARM_S")
+        assert _rearm_after_s() == 60.0
+
     def test_other_oserrors_still_raise(self, tmp_path, monkeypatch):
         import repro.experiments.cache as cache_mod
 

@@ -68,7 +68,7 @@ class TestCacheStats:
         d = stats.as_dict()
         assert d == {"hits": 0, "misses": 0, "stores": 0,
                      "invalidations": 0, "lookups": 0,
-                     "write_errors": 0}
+                     "write_errors": 0, "rearms": 0}
         stats.hits = 3
         assert reset_cache_stats().hits == 0
 
