@@ -84,13 +84,30 @@ def test_context_ops(name, n):
     rng = np.random.default_rng(54321)
     v = np.asarray(ctx.asarray(rng.standard_normal(n)))
     A = np.asarray(ctx.asarray(rng.standard_normal((n, n))))
+    B = np.asarray(ctx.asarray(rng.standard_normal((n, n))))
     for op, fn in (("dot", lambda: ctx.dot(v, v)),
                    ("matvec", lambda: ctx.matvec(A, v)),
-                   ("sum", lambda: ctx.sum(v))):
+                   ("sum", lambda: ctx.sum(v)),
+                   ("gemm", lambda: ctx.gemm(A, B))):
         fn()
         _RESULTS[f"{op}/{name}/n{n}"] = {
             "seconds": round(kbench.measure(fn), 9)}
         assert _RESULTS[f"{op}/{name}/n{n}"]["seconds"] > 0
+    pairs = [(A, B)] * 4
+    serial = [ctx.gemm(a, b) for a, b in pairs]
+    batched = ctx.gemm_many(pairs)
+    for s, b in zip(serial, batched):
+        # timed paths must agree bit-for-bit
+        np.testing.assert_array_equal(s, b)
+    entry = {"seconds": round(
+                 kbench.measure(lambda: ctx.gemm_many(pairs)), 9),
+             "serial_s": round(
+                 kbench.measure(
+                     lambda: [ctx.gemm(a, b) for a, b in pairs]), 9)}
+    entry["speedup_vs_serial"] = round(
+        entry["serial_s"] / entry["seconds"], 3)
+    _RESULTS[f"gemm_many/{name}/n{n}"] = entry
+    assert entry["seconds"] > 0
 
 
 @pytest.mark.skipif(not lut_enabled(), reason="REPRO_LUT=off")

@@ -64,6 +64,11 @@ class IEEEFormat(NumberFormat):
         self._lut_max_n = (lut.max_eligible_n(self.nbits)
                            if self.nbits <= lut.MAX_TABLE_BITS else -1)
         self._table = None
+        self._table2 = None
+
+    #: per-bucket rounding ufunc of the two-level affine path
+    #: (directed-mode subclasses replace it per instance)
+    _affine_step = staticmethod(np.rint)
 
     def _lut_table(self) -> "lut.RoundingTable":
         if self._table is None:
@@ -75,13 +80,50 @@ class IEEEFormat(NumberFormat):
                 self._round_impl)
         return self._table
 
+    def _two_level_spec(self
+                        ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Every bucket is affine for an IEEE format: the granule
+        ``2**(max(s, emin) - (p-1))`` is a function of the frexp
+        exponent alone and :meth:`_round_impl`'s scale/rint/unscale is
+        exactly the per-bucket affine step, with overflow handled by
+        the *post* hook.  The dense table therefore only ever sees
+        non-finite inputs, which it delegates to the reference."""
+        e = np.arange(lut.FREXP_E_LO, lut.FREXP_E_LO + lut.FREXP_E_TABLE,
+                      dtype=np.int64)
+        s_eff = np.maximum(e - 1, np.int64(self.emin))
+        g = np.ldexp(1.0, (s_eff - np.int64(self.precision - 1))
+                     .astype(np.int32))
+        affine = np.ones(lut.FREXP_E_TABLE, dtype=np.bool_)
+        candidates = np.array([0.0, self._max, -self._max,
+                               np.inf, -np.inf])
+        return g, affine, candidates
+
+    def _affine_post(self, r: np.ndarray) -> np.ndarray:
+        """Overflow rule of :meth:`_round_impl`, verbatim."""
+        overflow_threshold = self._max * (1.0 + 0.5 * self._eps)
+        r = np.where(np.abs(r) >= overflow_threshold,
+                     np.copysign(np.inf, r), r)
+        r = np.where((np.abs(r) > self._max) & np.isfinite(r),
+                     np.copysign(self._max, r), r)
+        return r
+
+    def _two_level_table(self) -> "lut.TwoLevelTable":
+        if self._table2 is None:
+            self._table2 = lut.two_level_table(
+                self._key(), self._two_level_spec, self._round_impl,
+                step=self._affine_step, post=self._affine_post)
+        return self._table2
+
     def round(self, x):
         arr = np.asarray(x, dtype=np.float64)
         scalar = arr.ndim == 0
         if scalar:
             arr = arr.reshape(1)
-        if arr.size <= self._lut_max_n and lut._ENABLED:
-            out = self._lut_table().round_array(arr)
+        if lut._ENABLED:
+            if arr.size <= self._lut_max_n:
+                out = self._lut_table().round_array(arr)
+            else:
+                out = self._two_level_table().round_array(arr)
         else:
             out = self._round_impl(arr)
         return float(out[0]) if scalar else out

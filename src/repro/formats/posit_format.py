@@ -8,7 +8,8 @@ import numpy as np
 
 from ..kernels import lut
 from ..posit.codec import PositConfig, decode_float, encode, posit_config
-from ..posit.rounding import _posit_round_impl, posit_decode_array
+from ..posit.rounding import (_posit_round_impl, posit_decode_array,
+                              posit_two_level_spec)
 from .base import NumberFormat
 
 __all__ = ["PositFormat", "POSIT8_0", "POSIT16_1", "POSIT16_2",
@@ -37,6 +38,7 @@ class PositFormat(NumberFormat):
         self._lut_max_n = (lut.max_eligible_n(nbits)
                            if nbits <= lut.MAX_TABLE_BITS else -1)
         self._table = None
+        self._table2 = None
 
     @property
     def config(self) -> PositConfig:
@@ -57,13 +59,28 @@ class PositFormat(NumberFormat):
                 self._bitwise_round)
         return self._table
 
+    def _two_level_table(self) -> "lut.TwoLevelTable":
+        if self._table2 is None:
+            cfg = self._cfg
+            self._table2 = lut.two_level_table(
+                self._key(),
+                lambda: posit_two_level_spec(cfg),
+                self._bitwise_round)
+        return self._table2
+
     def round(self, x):
         arr = np.asarray(x, dtype=np.float64)
         scalar = arr.ndim == 0
         if scalar:
             arr = arr.reshape(1)
-        if arr.size <= self._lut_max_n and lut._ENABLED:
-            out = self._lut_table().round_array(arr)
+        if lut._ENABLED:
+            # narrow format + small array: one dense searchsorted;
+            # everything else: exponent-bucketed two-level table (the
+            # only table route for posit32-class formats)
+            if arr.size <= self._lut_max_n:
+                out = self._lut_table().round_array(arr)
+            else:
+                out = self._two_level_table().round_array(arr)
         else:
             out = _posit_round_impl(arr, self._cfg)
         return float(out[0]) if scalar else out

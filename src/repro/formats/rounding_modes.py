@@ -50,9 +50,17 @@ class DirectedIEEEFormat(IEEEFormat):
                          f"p{precision}e{exp_bits}_{mode}",
                          display_name=f"IEEE(p={precision}, "
                                       f"w={exp_bits}, {mode})")
+        # two-level affine step: directed modes step with the matching
+        # ufunc (all are sign-aware, so the signed-value path is exact)
+        self._affine_step = {"toward_zero": np.trunc, "down": np.floor,
+                             "up": np.ceil}[mode]
 
     def _key(self):
         return super()._key() + (self.mode,)
+
+    def _affine_post(self, r: np.ndarray) -> np.ndarray:
+        """Saturation rule of :meth:`_round_impl`, verbatim."""
+        return np.clip(r, -self._max, self._max)
 
     def _round_impl(self, arr: np.ndarray) -> np.ndarray:
         out = arr.copy()

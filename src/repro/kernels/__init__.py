@@ -1,14 +1,20 @@
 """``repro.kernels`` — the performance layer under the numerics.
 
-Three coordinated attacks on intra-cell cost, all bit-identical to the
+Coordinated attacks on intra-cell cost, all bit-identical to the
 reference kernels they accelerate (the golden-digest and oracle
 conformance suites hold them to that):
 
 :mod:`repro.kernels.lut`
-    Table-driven rounding for narrow formats (≤ 2¹⁶ patterns): a sorted
+    Table-driven rounding: for narrow formats (≤ 2¹⁶ patterns) a sorted
     representable-value table plus bisection-probed decision boundaries,
     rounding via ``np.searchsorted`` instead of the ~20-op bitwise
-    chain.  See :func:`lut.rounding_table`.
+    chain; for posit32/fp32-class widths a two-level exponent-bucketed
+    table (:class:`lut.TwoLevelTable`).  See :func:`lut.rounding_table`
+    and :func:`lut.two_level_table`.
+:mod:`repro.kernels.gemm`
+    Blocked and batched rounded GEMM: the rank-1 term cube is tiled
+    into (i, j) panels quantized once each, preserving the summation
+    schedule bit-for-bit.  ``REPRO_GEMM_BLOCKED=off`` opts out.
 :mod:`repro.kernels.scratch`
     Shape-keyed, thread-local pools of reusable ndarray buffers, so the
     quantize pipeline (``posit_round``, ``FPContext``, the summation
@@ -30,7 +36,7 @@ eager submodule imports here would create a cycle.
 
 from __future__ import annotations
 
-__all__ = ["bench", "lut", "matcache", "scratch"]
+__all__ = ["bench", "gemm", "lut", "matcache", "scratch"]
 
 
 def __getattr__(name: str):

@@ -1,7 +1,8 @@
 """Kernel microbenchmarks and the ``BENCH_kernels.json`` trajectory.
 
 Measures the primitives every experiment is built on — quantize, dot,
-matvec, rounded sum — per format and size, and writes a bench payload
+matvec, rounded sum, blocked gemm and the batched ``gemm_many`` —
+per format and size, and writes a bench payload
 (``kind: "kernels"``) that ``python -m repro.telemetry bench-diff``
 compares against the committed ``benchmarks/BENCH_kernels.json`` the
 same way experiment sweeps diff against ``BENCH_experiments.json``.
@@ -122,11 +123,28 @@ def microbench(formats: tuple[str, ...] = QUANTIZE_FORMATS,
             ctx.sum(v)
             kernels[f"sum/{name}/n{n}"] = {
                 "seconds": measure(lambda: ctx.sum(v), repeats)}
+            B = np.asarray(ctx.asarray(rng.standard_normal((n, n))))
+            ctx.gemm(A, B)
+            kernels[f"gemm/{name}/n{n}"] = {
+                "seconds": measure(lambda: ctx.gemm(A, B), repeats)}
+            # batched: 4 same-shape products through one quantize/fold
+            # per chunk, vs the same 4 through the scalar loop
+            pairs = [(A, B)] * 4
+            ctx.gemm_many(pairs)
+            entry = {"seconds": measure(lambda: ctx.gemm_many(pairs),
+                                        repeats),
+                     "serial_s": measure(
+                         lambda: [ctx.gemm(a, b) for a, b in pairs],
+                         repeats)}
+            entry["speedup_vs_serial"] = round(
+                entry["serial_s"] / entry["seconds"], 3)
+            kernels[f"gemm_many/{name}/n{n}"] = entry
 
     for key, entry in kernels.items():
         entry["seconds"] = round(entry["seconds"], 9)
-        if "bitwise_s" in entry:
-            entry["bitwise_s"] = round(entry["bitwise_s"], 9)
+        for extra in ("bitwise_s", "serial_s"):
+            if extra in entry:
+                entry[extra] = round(entry[extra], 9)
     return kernels
 
 

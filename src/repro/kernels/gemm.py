@@ -1,0 +1,133 @@
+"""Blocked and batched GEMM kernels for the emulated contexts.
+
+:meth:`repro.FPContext.gemm` materializes the full rank-1 term cube
+``terms[i, k, j] = A[i, k] * B[k, j]`` before rounding and reducing —
+exact but O(m·k·n) memory, and each quantize call sees the whole cube.
+The kernels here tile that cube into **(i, j) panels**: one operand
+slice is multiplied into a bounded scratch cube, quantized once per
+panel (amortizing the rounding-table dispatch over the whole panel),
+and folded with the context's summation schedule.
+
+Bit-identity argument: quantization is elementwise, and both summation
+orders (:mod:`repro.arith.summation`) fold each output lane ``(i, j)``
+independently along k.  Splitting the *i*/*j* axes therefore permutes
+neither the products nor any fold, so every partial sum — and hence
+every rounded value — is unchanged.  Splitting k would change the fold
+shape, so the panel iterator never tiles k.  The differential harness
+(``tests/kernels/test_batched_differential.py``) and the batched golden
+digests hold the kernels to this.
+
+``REPRO_GEMM_BLOCKED=off`` restores the monolithic path (read at
+import, like ``REPRO_LUT``); telemetry gains one ``gemm.block`` span
+per panelled call when a tracer is active.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..arith.summation import rounded_sum_last_axis
+from .scratch import ScratchPool
+
+__all__ = ["BLOCK_ELEMS", "batched_gemm", "blocked_enabled",
+           "blocked_gemm", "panel_ranges"]
+
+#: element budget for one panel's product cube — big enough that the
+#: per-panel Python overhead is noise, small enough to stay cache-warm
+#: (measured crossover on the fig06/table02 problem sizes)
+BLOCK_ELEMS = 1 << 15
+
+_SCRATCH = ScratchPool()
+
+_ENABLED = os.environ.get("REPRO_GEMM_BLOCKED", "").strip().lower() not in (
+    "off", "0", "no", "false")
+
+
+def blocked_enabled() -> bool:
+    """True unless disabled via ``REPRO_GEMM_BLOCKED=off`` (import-time)."""
+    return _ENABLED
+
+
+def panel_ranges(m: int, n: int, k: int, budget: int = BLOCK_ELEMS):
+    """Yield ``(i0, i1, j0, j1)`` output panels for an m×k · k×n GEMM.
+
+    Each panel's product cube holds at most *budget* elements when
+    possible (a single k-lane can exceed any budget; k is never split —
+    see the module docstring).  Full-width row panels are preferred so
+    the operand slices stay contiguous.
+    """
+    if k * n <= budget:
+        rows, cols = max(1, min(m, budget // max(k * n, 1))), n
+    else:
+        rows, cols = 1, max(1, min(n, budget // max(k, 1)))
+    for i0 in range(0, m, rows):
+        for j0 in range(0, n, cols):
+            yield i0, min(i0 + rows, m), j0, min(j0 + cols, n)
+
+
+def blocked_gemm(A: np.ndarray, B: np.ndarray, quantize_mul, rnd,
+                 sum_order: str, budget: int = BLOCK_ELEMS) -> np.ndarray:
+    """Panel-tiled rounded GEMM, bit-identical to the monolithic cube.
+
+    *quantize_mul* rounds one panel's product cube (the context's
+    ``gemm.mul`` site); *rnd* / *sum_order* drive the per-lane fold.
+    """
+    m, k = A.shape
+    n = B.shape[1]
+    panels = list(panel_ranges(m, n, k, budget))
+    out = None if len(panels) == 1 else np.empty((m, n), dtype=np.float64)
+    for i0, i1, j0, j1 in panels:
+        buf = _SCRATCH.take((i1 - i0, k, j1 - j0))
+        try:
+            with np.errstate(invalid="ignore", over="ignore"):
+                np.multiply(A[i0:i1, :, np.newaxis],
+                            B[np.newaxis, :, j0:j1], out=buf)
+            terms = quantize_mul(buf)
+        finally:
+            _SCRATCH.give(buf)
+        # move k to the last axis: terms[i, k, j] -> [i, j, k]
+        folded = rounded_sum_last_axis(np.moveaxis(terms, 1, -1),
+                                       rnd, sum_order)
+        if out is None:
+            return folded
+        out[i0:i1, j0:j1] = folded
+    return out
+
+
+def batched_gemm(As, Bs, quantize_mul, rnd, sum_order: str,
+                 budget: int = BLOCK_ELEMS) -> list[np.ndarray]:
+    """Rounded GEMM over a batch of same-shape operand pairs.
+
+    Stacks chunks of the batch into one ``(b, m, k, n)`` product cube
+    so the whole chunk is quantized and folded in single calls —
+    element-identical to looping :func:`blocked_gemm` over the pairs,
+    because quantization is elementwise and every ``(b, i, j)`` lane
+    still folds independently along k.  Pairs whose single product cube
+    exceeds the budget fall back to the per-pair blocked kernel.
+    """
+    m, k = As[0].shape
+    n = Bs[0].shape[1]
+    per = m * k * n
+    if per > budget:
+        return [blocked_gemm(A, B, quantize_mul, rnd, sum_order, budget)
+                for A, B in zip(As, Bs)]
+    chunk = max(1, budget // max(per, 1))
+    out: list[np.ndarray] = []
+    for c0 in range(0, len(As), chunk):
+        A = np.stack(As[c0:c0 + chunk])
+        B = np.stack(Bs[c0:c0 + chunk])
+        buf = _SCRATCH.take((A.shape[0], m, k, n))
+        try:
+            with np.errstate(invalid="ignore", over="ignore"):
+                np.multiply(A[:, :, :, np.newaxis],
+                            B[:, np.newaxis, :, :], out=buf)
+            terms = quantize_mul(buf)
+        finally:
+            _SCRATCH.give(buf)
+        # terms[b, i, k, j] -> [b, i, j, k]
+        folded = rounded_sum_last_axis(np.moveaxis(terms, 2, -1),
+                                       rnd, sum_order)
+        out.extend(folded[b] for b in range(folded.shape[0]))
+    return out

@@ -1,11 +1,20 @@
-"""Table-driven rounding for narrow formats (≤ 2¹⁶ patterns).
+"""Table-driven rounding: one-level tables for narrow formats and
+two-level (exponent-bucketed) tables toward posit32/fp32 emulation.
 
 The reference rounders (the posit bitwise kernel, the IEEE softfloat
 emulation) spend ~20 C-level calls per invocation.  For a format whose
 representable set fits in a table — posit(≤16, ·), fp16-class emulated
 IEEE, bfloat16, the FP8 minifloats — rounding is a single
 ``np.searchsorted`` over precomputed **decision boundaries** plus one
-``take``.
+``take`` (:class:`RoundingTable`).  Wider formats (posit32es2/es3,
+emulated binary32) cannot enumerate 2³² patterns, but their value sets
+are *piecewise uniform*: within one power-of-two bucket the spacing is
+constant except in the tapered/clamp/overflow extremes.
+:class:`TwoLevelTable` exploits that — a first level indexed by the
+frexp exponent yields the bucket's granule (uniform regions round with
+one divide/rint/multiply) and the few non-uniform buckets fall through
+to a second-level dense :class:`RoundingTable` covering only those
+regions' values.
 
 Correctness by construction
 ---------------------------
@@ -33,20 +42,28 @@ tables entirely.
 from __future__ import annotations
 
 import os
+import threading
 from typing import Callable, Hashable
 
 import numpy as np
 
-__all__ = ["RoundingTable", "lut_enabled", "max_eligible_n",
-           "rounding_table", "MAX_TABLE_BITS"]
+__all__ = ["RoundingTable", "TwoLevelTable", "lut_enabled",
+           "max_eligible_n", "rounding_table", "two_level_table",
+           "MAX_TABLE_BITS", "FREXP_E_LO", "FREXP_E_TABLE"]
 
-#: widest format a table is built for (2**16 values / boundaries)
+#: widest format a one-level dense table is built for (2**16 patterns)
 MAX_TABLE_BITS = 16
+
+#: frexp exponents of finite nonzero doubles span [-1073, 1024]; every
+#: two-level first-level table is indexed by ``frexp(x)[1] - FREXP_E_LO``
+FREXP_E_LO = -1073
+FREXP_E_TABLE = 2098
 
 _INT64_MIN = np.int64(np.iinfo(np.int64).min)
 
-#: process-wide table cache, keyed by the format's identity key
+#: process-wide table caches, keyed by the format's identity key
 _TABLES: dict[Hashable, "RoundingTable"] = {}
+_TABLES2: dict[Hashable, "TwoLevelTable"] = {}
 
 _ENABLED = os.environ.get("REPRO_LUT", "").strip().lower() not in (
     "off", "0", "no", "false")
@@ -148,6 +165,126 @@ class RoundingTable:
         return out
 
 
+class TwoLevelTable:
+    """Exponent-bucketed rounding for formats too wide for one table.
+
+    Level 1 is a pair of :data:`FREXP_E_TABLE`-entry arrays indexed by
+    the biased frexp exponent of the input: ``granules[e]`` is the
+    uniform spacing of representable values in that bucket and
+    ``affine[e]`` marks buckets where value rounding is exactly
+    ``step(x / g) * g`` (``step`` defaults to :func:`np.rint`,
+    round-half-even).  Level 2 is one dense :class:`RoundingTable`
+    restricted to the values of the *non*-affine buckets — the posit
+    tapered extremes, the sub-minpos/above-maxpos clamp zones, IEEE
+    overflow binades — which hold only a handful of values, so the
+    dense table stays tiny no matter how wide the format is.
+
+    Non-finite inputs always take the dense route (which delegates
+    them to the reference rounder), and an optional *post* hook lets
+    IEEE-style formats apply their overflow/saturation rule to the
+    affine result.  Bit-identity with the reference is enforced by the
+    conformance suite (exhaustive for narrow formats, boundary-biased
+    stratified for posit32/binary32).
+    """
+
+    def __init__(self, granules: np.ndarray, affine: np.ndarray,
+                 dense: RoundingTable,
+                 reference: Callable[[np.ndarray], np.ndarray],
+                 step: Callable = np.rint,
+                 post: Callable[[np.ndarray], np.ndarray] | None = None):
+        if granules.shape != (FREXP_E_TABLE,) \
+                or affine.shape != (FREXP_E_TABLE,):
+            raise ValueError(
+                f"level-1 tables must have shape ({FREXP_E_TABLE},)")
+        self.granules = np.ascontiguousarray(granules, dtype=np.float64)
+        self.affine = np.ascontiguousarray(affine, dtype=np.bool_)
+        self.dense = dense
+        self._reference = reference
+        self._step = step
+        self._post = post
+        # per-thread workspace bundles keyed by shape: one dict access
+        # hands out all five intermediates (vs. five pool take/gives)
+        self._ws = threading.local()
+
+    @classmethod
+    def build(cls, granules: np.ndarray, affine: np.ndarray,
+              dense_candidates: np.ndarray,
+              reference: Callable[[np.ndarray], np.ndarray],
+              step: Callable = np.rint,
+              post: Callable[[np.ndarray], np.ndarray] | None = None
+              ) -> "TwoLevelTable":
+        """Assemble from a format's bucket spec and trusted rounder.
+
+        *dense_candidates* must contain every value an input from a
+        non-affine bucket can round to (bracketing neighbours from the
+        adjacent affine buckets included); the dense boundaries are then
+        bisection-probed against *reference* exactly like the one-level
+        tables, so no clamp/overflow tie logic exists to get wrong.
+        """
+        dense = RoundingTable.build(dense_candidates, reference)
+        return cls(granules, affine, dense, reference, step, post)
+
+    def _workspace(self, shape: tuple) -> tuple[list, tuple]:
+        stacks = getattr(self._ws, "stacks", None)
+        if stacks is None:
+            stacks = {}
+            self._ws.stacks = stacks
+        stack = stacks.setdefault(shape, [])
+        if stack:
+            return stack, stack.pop()
+        return stack, (np.empty(shape), np.empty(shape),
+                       np.empty(shape, np.int32),
+                       np.empty(shape, np.bool_),
+                       np.empty(shape, np.bool_))
+
+    def round_array(self, arr: np.ndarray) -> np.ndarray:
+        """Round a float64 array; always returns a fresh array."""
+        stack, ws = self._workspace(arr.shape)
+        m, g, e, aff, fin = ws
+        try:
+            with np.errstate(invalid="ignore", over="ignore"):
+                np.frexp(arr, m, e)
+                np.subtract(e, np.int32(FREXP_E_LO), out=e)
+                self.granules.take(e, out=g)
+                self.affine.take(e, out=aff)
+                # uniform-bucket rounding; non-affine lanes compute
+                # garbage here and are overwritten below
+                np.divide(arr, g, out=m)
+                self._step(m, out=m)
+                out = np.multiply(m, g)
+                np.isfinite(arr, out=fin)
+                np.logical_and(aff, fin, out=aff)
+                if self._post is not None:
+                    out = self._post(out)
+            if not aff.all():
+                np.logical_not(aff, out=aff)
+                out[aff] = self.dense.round_array(arr[aff])
+            return out
+        finally:
+            if len(stack) < 4:
+                stack.append(ws)
+
+
+def two_level_table(key: Hashable,
+                    spec_fn: Callable[[], tuple],
+                    reference: Callable[[np.ndarray], np.ndarray],
+                    step: Callable = np.rint,
+                    post: Callable[[np.ndarray], np.ndarray] | None = None
+                    ) -> TwoLevelTable:
+    """The cached two-level table for *key*, building it on first use.
+
+    *spec_fn* returns ``(granules, affine, dense_candidates)``; *key*
+    follows the same contract as :func:`rounding_table`.
+    """
+    table = _TABLES2.get(key)
+    if table is None:
+        granules, affine, candidates = spec_fn()
+        table = TwoLevelTable.build(granules, affine, candidates,
+                                    reference, step=step, post=post)
+        _TABLES2[key] = table
+    return table
+
+
 def rounding_table(key: Hashable,
                    values_fn: Callable[[], np.ndarray],
                    reference: Callable[[np.ndarray], np.ndarray]
@@ -168,3 +305,4 @@ def rounding_table(key: Hashable,
 def clear_tables() -> None:
     """Drop every cached table (tests)."""
     _TABLES.clear()
+    _TABLES2.clear()

@@ -45,6 +45,7 @@ __all__ = [
     "posit_round",
     "posit_encode_array",
     "posit_decode_array",
+    "posit_two_level_spec",
     "VECTORIZED_MAX_NBITS",
 ]
 
@@ -83,6 +84,43 @@ def _granule_tables(cfg: PositConfig
         tabs = (float(cfg.minpos), float(cfg.maxpos), fast, g)
         _GRANULES[(cfg.nbits, cfg.es)] = tabs
     return tabs
+
+
+def posit_two_level_spec(cfg: PositConfig
+                         ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Bucket spec for a :class:`repro.kernels.lut.TwoLevelTable`.
+
+    Returns ``(granules, affine, dense_candidates)``.  The affine
+    buckets are exactly the fast region of :func:`posit_round` — scales
+    storing at least one fraction bit, where posits are uniformly
+    spaced and ``rint(x/g)*g`` equals pattern rounding (rint is
+    sign-symmetric, so the signed form needs no abs/copysign).  The
+    dense candidates enumerate every posit value of the tapered
+    extremes below/above that region, bracketed by the first value
+    inside it, so dense-lane inputs can round to any value they are
+    able to reach.
+    """
+    _, _, fast, g = _granule_tables(cfg)
+    affine = fast.copy()
+    npat = np.int64(cfg.maxpos_pattern + 1)
+    if affine.any():
+        idx = np.flatnonzero(affine)
+        # table index i covers |x| in [2**s, 2**(s+1)), s = i + _E_LO - 1
+        s_lo = int(idx[0]) + _E_LO - 1
+        s_hi = int(idx[-1]) + _E_LO - 1
+        edges = posit_encode_array(
+            np.array([2.0 ** s_lo, 2.0 ** (s_hi + 1)]), cfg)
+        pats = np.concatenate([
+            np.arange(0, min(int(edges[0]) + 2, int(npat))),
+            np.arange(max(int(edges[1]) - 1, 0), int(npat)),
+        ])
+    else:
+        # no uniformly-spaced region (very narrow formats): the whole
+        # value set becomes the dense table
+        pats = np.arange(int(npat))
+    vals = posit_decode_array(pats, cfg)
+    candidates = np.concatenate([vals, -vals])
+    return g.copy(), affine, candidates
 
 
 def _check_vectorizable(cfg: PositConfig) -> None:

@@ -166,12 +166,19 @@ class SubmitCells:
 
 @dataclass(frozen=True)
 class SubmitQuantize:
-    """Round a value batch in one format (cheap, served inline)."""
+    """Round a value batch in one format (cheap, served inline).
+
+    ``values`` is either a flat tuple of floats (one batch) or a tuple
+    of float tuples (one group per array — the wire form of
+    :meth:`repro.FPContext.quantize_many`); the reply's ``values``
+    mirrors the shape.  Both forms predate no wire field, so no
+    PROTOCOL_VERSION bump is needed.
+    """
 
     TYPE: ClassVar[str] = "submit-quantize"
     id: str
     fmt: str
-    values: tuple[float, ...]
+    values: tuple[float | tuple[float, ...], ...]
 
 
 @dataclass(frozen=True)
@@ -237,7 +244,8 @@ class JobResult:
 
     ``experiments`` maps experiment id → ``{status, csv_path, error}``
     for experiment jobs; ``cells`` is the outcome tally; ``values``
-    carries quantize results.
+    carries quantize results (flat, or grouped per input array for a
+    batched quantize — mirroring the submit's shape).
     """
 
     TYPE: ClassVar[str] = "result"
@@ -245,7 +253,7 @@ class JobResult:
     status: str                      # completed | failed
     experiments: dict[str, Any] = field(default_factory=dict)
     cells: dict[str, int] = field(default_factory=dict)
-    values: tuple[float, ...] | None = None
+    values: tuple[float | tuple[float, ...], ...] | None = None
     error: str | None = None
 
 
@@ -290,6 +298,30 @@ def _cells_from_json(value: Any) -> tuple[CellSpec, ...]:
     return tuple(CellSpec.from_json(c) for c in value)
 
 
+def _values_from_json(value: Any) -> tuple | None:
+    """Quantize values: a flat float tuple or a tuple of float tuples.
+
+    The generic list→tuple conversion in :func:`decode` is shallow, so
+    grouped batches need this to come back as nested *tuples* (keeping
+    the dataclasses hashable and round-trip equal).
+    """
+    if value is None:
+        return None
+    if not isinstance(value, list):
+        raise ProtocolError(f"malformed values field {value!r}",
+                            hint="expected a list of numbers or a list "
+                                 "of number lists")
+    try:
+        return tuple(tuple(float(x) for x in v)
+                     if isinstance(v, (list, tuple)) else float(v)
+                     for v in value)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed values field: {exc}",
+                            hint="values must be numbers (flat batch) "
+                                 "or lists of numbers (grouped batch)"
+                            ) from None
+
+
 #: per-message structured decoders — keyed by *class*, not field name
 #: (``cells`` is a CellSpec tuple on SubmitCells but an int on
 #: Accepted and a tally dict on JobResult)
@@ -297,6 +329,8 @@ _STRUCTURED: dict[type, dict[str, Any]] = {
     SubmitExperiments: {"request": _request_from_json},
     SubmitCells: {"request": _request_from_json,
                   "cells": _cells_from_json},
+    SubmitQuantize: {"values": _values_from_json},
+    JobResult: {"values": _values_from_json},
 }
 
 

@@ -404,10 +404,15 @@ class ExperimentServer:
 
     async def _run_quantize(self, conn: _Conn,
                             message: SubmitQuantize) -> None:
-        if len(message.values) > _MAX_QUANTIZE_VALUES:
+        grouped = any(isinstance(v, (tuple, list))
+                      for v in message.values)
+        total = (sum(len(v) if isinstance(v, (tuple, list)) else 1
+                     for v in message.values) if grouped
+                 else len(message.values))
+        if total > _MAX_QUANTIZE_VALUES:
             await conn.send(ErrorReply(
                 message.id,
-                f"quantize batch too large ({len(message.values)} > "
+                f"quantize batch too large ({total} > "
                 f"{_MAX_QUANTIZE_VALUES})",
                 hint="split the batch across several requests"))
             return
@@ -415,8 +420,21 @@ class ExperimentServer:
             from ..arith.context import FPContext
 
             ctx = FPContext(message.fmt)
-            rounded = np.asarray(
-                ctx.round(np.asarray(message.values, dtype=np.float64)))
+            if grouped:
+                # one rounding call for the whole group batch
+                # (FPContext.quantize_many; element-identical to
+                # rounding each group separately)
+                arrays = ctx.quantize_many(
+                    [np.asarray(v, dtype=np.float64)
+                     for v in message.values])
+                values = tuple(
+                    tuple(float(x) for x in np.atleast_1d(a))
+                    for a in arrays)
+            else:
+                rounded = np.asarray(ctx.round(
+                    np.asarray(message.values, dtype=np.float64)))
+                values = tuple(float(v)
+                               for v in np.atleast_1d(rounded))
         except Exception as exc:
             await conn.send(ErrorReply(
                 message.id, f"{type(exc).__name__}: {exc}",
@@ -424,9 +442,7 @@ class ExperimentServer:
             return
         self.stats.jobs_submitted += 1
         self.stats.jobs_completed += 1
-        await conn.send(JobResult(
-            message.id, "completed",
-            values=tuple(float(v) for v in np.atleast_1d(rounded))))
+        await conn.send(JobResult(message.id, "completed", values=values))
 
     # -- the batch executor ----------------------------------------------
     async def _executor_loop(self) -> None:

@@ -9,7 +9,9 @@ Subcommands::
     diff OLD NEW                 counter/span deltas between two traces
     bench-diff BASELINE CURRENT  per-experiment (or per-kernel)
                                  wall-clock vs a committed baseline
-                                 (warn-only; --strict to fail)
+                                 (warn-only; --strict to fail on any
+                                 warning, --fail-pct/--fail-match to
+                                 hard-fail committed ratchet entries)
 """
 
 from __future__ import annotations
@@ -51,6 +53,13 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--strict", action="store_true",
                    help="exit nonzero when any warning fires "
                         "(default: warn-only, exit 0)")
+    p.add_argument("--fail-pct", type=float, default=None,
+                   help="hard-fail (exit 1, even without --strict) "
+                        "when a matching entry regresses beyond this "
+                        "percentage — the committed-ratchet contract")
+    p.add_argument("--fail-match", default="",
+                   help="substring selecting which entry ids the "
+                        "--fail-pct ratchet applies to (default: all)")
 
     args = parser.parse_args(argv)
     if args.command == "summarize":
@@ -65,8 +74,11 @@ def main(argv: list[str] | None = None) -> int:
         print(render_diff(diff_traces(args.old, args.new)))
         return 0
     diff = diff_bench(args.baseline, args.current,
-                      warn_pct=args.warn_pct)
+                      warn_pct=args.warn_pct, fail_pct=args.fail_pct,
+                      fail_match=args.fail_match)
     print(render_bench_diff(diff))
+    if diff.get("failures"):
+        return 1
     if args.strict and diff["warnings"]:
         return 1
     return 0

@@ -318,17 +318,24 @@ def _load_bench(payload: str | dict) -> dict:
 
 
 def diff_bench(baseline: str | dict, current: str | dict,
-               warn_pct: float = 25.0) -> dict:
+               warn_pct: float = 25.0, fail_pct: float | None = None,
+               fail_match: str = "") -> dict:
     """Compare per-entry wall-clock against a committed baseline.
 
     Understands both bench payload kinds: the experiment sweep
     (``"experiments"`` map, timed by ``duration_s``, with a status to
     check) and the kernel microbench (``"kernels"`` map, timed by
     ``seconds``).  Returns ``{"rows": [...], "warnings": [...],
-    "scale_mismatch": bool}``; a row per entry id present in either
-    payload with ``baseline_s`` / ``current_s`` / ``pct`` (None when
-    not comparable) and ``warn`` set on regressions beyond *warn_pct*.
-    Missing-in-either and failed entries also warn.
+    "failures": [...], "scale_mismatch": bool}``; a row per entry id
+    present in either payload with ``baseline_s`` / ``current_s`` /
+    ``pct`` (None when not comparable) and ``warn`` set on regressions
+    beyond *warn_pct*.  Missing-in-either and failed entries also warn.
+
+    With *fail_pct* set, entries whose id contains *fail_match* (every
+    entry when empty) and regress beyond that percentage are **hard
+    failures** — the ratchet contract for committed kernel speedups,
+    enforced regardless of the warn-only default (the CLI exits
+    nonzero whenever ``failures`` is non-empty).
     """
     base = _load_bench(baseline)
     cur = _load_bench(current)
@@ -343,13 +350,14 @@ def diff_bench(baseline: str | dict, current: str | dict,
     kind = label
     rows: list[dict] = []
     warnings: list[str] = []
+    failures: list[str] = []
     for eid in sorted(set(base_exps) | set(cur_exps)):
         b = base_exps.get(eid)
         c = cur_exps.get(eid)
         row = {"id": eid,
                "baseline_s": b.get(metric) if b else None,
                "current_s": c.get(metric) if c else None,
-               "pct": None, "warn": False}
+               "pct": None, "warn": False, "fail": False}
         if b is None:
             row["warn"] = True
             warnings.append(f"{eid}: new {label} (no baseline)")
@@ -363,7 +371,14 @@ def diff_bench(baseline: str | dict, current: str | dict,
             bs, cs = row["baseline_s"], row["current_s"]
             if bs and bs > 0:
                 row["pct"] = 100.0 * (cs - bs) / bs
-                if row["pct"] > warn_pct:
+                if (fail_pct is not None and fail_match in eid
+                        and row["pct"] > fail_pct):
+                    row["fail"] = True
+                    failures.append(
+                        f"{eid}: {bs:.3f}s -> {cs:.3f}s "
+                        f"(+{row['pct']:.0f}% > {fail_pct:.0f}% "
+                        f"ratchet)")
+                elif row["pct"] > warn_pct:
                     row["warn"] = True
                     warnings.append(
                         f"{eid}: {bs:.3f}s -> {cs:.3f}s "
@@ -375,7 +390,7 @@ def diff_bench(baseline: str | dict, current: str | dict,
                            f"{base.get('scale')!r} vs current "
                            f"{cur.get('scale')!r} — timings not "
                            f"comparable")
-    return {"rows": rows, "warnings": warnings,
+    return {"rows": rows, "warnings": warnings, "failures": failures,
             "scale_mismatch": mismatch, "kind": kind}
 
 
@@ -387,15 +402,19 @@ def render_bench_diff(diff: dict) -> str:
         table_rows.append((
             row["id"], row["baseline_s"], row["current_s"],
             "-" if pct is None else f"{pct:+.0f}%",
-            "WARN" if row["warn"] else ""))
+            "FAIL" if row.get("fail") else
+            ("WARN" if row["warn"] else "")))
     kind = diff.get("kind", "experiment")
     parts = [format_table(
         (kind, "baseline_s", "current_s", "pct", ""),
         table_rows, title="wall-clock vs baseline",
         first_col_width=16 if kind == "experiment" else 28)]
+    if diff.get("failures"):
+        parts.append("\nratchet failures:")
+        parts.extend(f"  - {f}" for f in diff["failures"])
     if diff["warnings"]:
         parts.append("\nwarnings:")
         parts.extend(f"  - {w}" for w in diff["warnings"])
-    else:
+    elif not diff.get("failures"):
         parts.append("\nno regressions beyond threshold")
     return "\n".join(parts)
