@@ -26,7 +26,7 @@ from ..formats.native import FLOAT64
 from ..formats.registry import get_format
 from ..kernels import gemm as _gemm_kernels
 from ..kernels.scratch import ScratchPool
-from .sparse import ELLMatrix
+from .sparse import CSRMatrix, ELLMatrix
 from .summation import SUM_ORDERS, rounded_sum_last_axis
 
 __all__ = ["FPContext", "INSTRUMENT_KINDS", "get_active_injector",
@@ -198,11 +198,12 @@ class FPContext:
     def asarray(self, x):
         """Convert to a float64 array holding format-representable values.
 
-        :class:`~repro.arith.sparse.ELLMatrix` inputs come back as
-        quantized ELL matrices (padding entries are exact zeros either
-        way).
+        :class:`~repro.arith.sparse.ELLMatrix` and
+        :class:`~repro.arith.sparse.CSRMatrix` inputs come back as
+        quantized sparse matrices (padding entries are exact zeros
+        either way).
         """
-        if isinstance(x, ELLMatrix):
+        if isinstance(x, (ELLMatrix, CSRMatrix)):
             # sparse storage is not fault-instrumented (padding zeros
             # would absorb a rate-proportional share of the hits)
             return x if self._exact else x.quantized(
@@ -282,11 +283,33 @@ class FPContext:
     def matvec(self, A, x) -> np.ndarray:
         """Rounded matrix-vector product (row-wise rounded dots).
 
-        Accepts a dense array or an :class:`ELLMatrix`; the sparse path
-        rounds one product per stored entry and reduces over the padded
-        row width instead of the full dimension.
+        Accepts a dense array, an :class:`ELLMatrix` or a
+        :class:`CSRMatrix`; the sparse paths round one product per
+        stored entry and reduce over the padded row width instead of
+        the full dimension.  The CSR path quantizes the products in
+        compact form and scatters them into the padded shape, which is
+        bit-identical to the ELL path (quantization is elementwise).
         """
         x = np.asarray(x, dtype=np.float64)
+        if isinstance(A, CSRMatrix):
+            if self._exact:
+                return self.inject("matvec", A.matvec64(x))
+            ext = _SCRATCH.take((A.nnz + 1,))
+            try:
+                np.take(x, A.indices, out=ext[:-1])
+                with np.errstate(invalid="ignore", over="ignore"):
+                    np.multiply(A.data, ext[:-1], out=ext[:-1])
+                    # the shared padding product, exactly as the ELL
+                    # padding slots compute it: 0.0 * x[0]
+                    ext[-1] = 0.0 * x[0] if x.size else 0.0
+                products = self._quantize("matvec.mul", ext)
+            finally:
+                _SCRATCH.give(ext)
+            return self.inject("matvec",
+                               rounded_sum_last_axis(
+                                   np.asarray(products)[A.slot_map()],
+                                   self._rnd_for("matvec.sum"),
+                                   self.sum_order))
         if isinstance(A, ELLMatrix):
             if self._exact:
                 return self.inject("matvec", A.matvec64(x))

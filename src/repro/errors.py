@@ -54,6 +54,15 @@ class OracleUnsupportedFormat(FormatError):
     """
 
 
+class OracleError(ReproError):
+    """The exact-arithmetic oracle could not certify a result.
+
+    Raised when an adaptive-precision comparison fails to decide at its
+    precision cap — practically unreachable for the supported formats,
+    but an explicit failure beats silently returning a wrong reference.
+    """
+
+
 class LinAlgError(ReproError):
     """Base class for solver failures."""
 

@@ -47,11 +47,13 @@ from .cache import cache_enabled, result_cache
 
 __all__ = [
     "CG_FORMATS", "IR_FORMATS", "CHOLESKY_FORMATS",
+    "GRID_SOLVERS", "GRID_FORMATS",
     "ExperimentResult", "Cell",
-    "cg_cells", "cholesky_cells", "ir_cells",
+    "cg_cells", "cholesky_cells", "ir_cells", "grid_cells",
     "compute_cell", "cell_value", "store_cell", "has_cell",
     "suite_systems",
     "run_cg_suite", "run_cholesky_suite", "run_ir_suite",
+    "run_solver_grid",
     "clear_cache",
 ]
 
@@ -61,6 +63,13 @@ CG_FORMATS = ("fp64", "fp32", "posit32es2", "posit32es3")
 CHOLESKY_FORMATS = ("fp32", "posit32es2", "posit32es3")
 #: formats compared in the IR experiments (Tables II/III, Fig. 10)
 IR_FORMATS = ("fp16", "posit16es1", "posit16es2")
+#: Krylov methods of the extended solver grid (X-grid)
+GRID_SOLVERS = ("cg", "bicgstab", "gmres")
+#: format zoo compared in the extended solver grid: the paper's posits,
+#: the takum pair (linear tapered, §repro.formats.takum), and the IEEE
+#: ladder they compete with
+GRID_FORMATS = ("fp16", "bf16", "fp32", "posit16es2", "posit32es2",
+                "takum16", "takum32")
 
 
 @dataclass
@@ -153,6 +162,28 @@ def ir_cells(scale: RunScale, higham: bool = False,
                  for m in _resolve_names(names) for f in formats)
 
 
+def grid_cells(scale: RunScale,
+               solvers: tuple[str, ...] = GRID_SOLVERS,
+               formats: tuple[str, ...] = GRID_FORMATS,
+               rtol: float = 1e-5,
+               names: tuple[str, ...] | None = None) -> tuple[Cell, ...]:
+    """Cells of the extended solver grid: one per (solver, matrix, fmt).
+
+    Every grid cell runs the rescaled system through the CSR layout —
+    bit-identical to ELL (see :mod:`repro.arith.sparse`), so the grid
+    shares solver semantics with the Fig. 6/7 sweeps while exercising
+    the compact layout end to end.
+    """
+    unknown = [s for s in solvers if s not in GRID_SOLVERS]
+    if unknown:
+        raise ValueError(f"unknown grid solvers {unknown}; "
+                         f"known: {list(GRID_SOLVERS)}")
+    return tuple(Cell("grid", m, f,
+                      _options(solver=s, rtol=float(rtol)))
+                 for s in solvers for m in _resolve_names(names)
+                 for f in formats)
+
+
 def compute_cell(cell: Cell, scale: RunScale) -> Any:
     """Execute one cell from scratch (no cache consultation).
 
@@ -199,6 +230,28 @@ def _compute_cell(cell: Cell, scale: RunScale) -> Any:
                                   b).relative_backward_error
         except FactorizationError:
             return np.inf
+    if cell.kind == "grid":
+        from ..arith.sparse import CSRMatrix
+        from ..linalg.bicg import bicgstab
+        from ..linalg.gmres import gmres
+        ss = cache.get_or_build(
+            ("cg.rescale", cell.matrix, scale.name),
+            lambda: scale_to_inf_norm(A, b))
+        A, b = ss.A, ss.b
+        A = cache.get_or_build(("csr", cell.matrix, scale.name, True),
+                               lambda: CSRMatrix.from_dense(A))
+        ctx = FPContext(cell.fmt)
+        rtol = cell.option("rtol", 1e-5)
+        cap = scale.cg_max_iterations
+        solver = cell.option("solver")
+        if solver == "cg":
+            return conjugate_gradient(ctx, A, b, rtol=rtol,
+                                      max_iterations=cap)
+        if solver == "bicgstab":
+            return bicgstab(ctx, A, b, rtol=rtol, max_iterations=cap)
+        if solver == "gmres":
+            return gmres(ctx, A, b, rtol=rtol, max_iterations=cap)
+        raise ValueError(f"unknown grid solver {solver!r}")
     if cell.kind == "ir":
         if cell.option("higham"):
             try:
@@ -334,6 +387,32 @@ def run_cholesky_suite(scale: RunScale, rescaled: bool = False,
     return _memo(("chol", scale.name, rescaled, formats,
                   names if names is None else tuple(names)),
                  lambda: _assemble(cells, scale))
+
+
+def run_solver_grid(scale: RunScale,
+                    solvers: tuple[str, ...] = GRID_SOLVERS,
+                    formats: tuple[str, ...] = GRID_FORMATS,
+                    rtol: float = 1e-5,
+                    names: tuple[str, ...] | None = None
+                    ) -> dict[str, dict[tuple[str, str], Any]]:
+    """The extended solver grid over the suite (CSR layout, rescaled).
+
+    Returns ``{matrix: {(solver, format): result}}`` where the result
+    is the solver's native dataclass (CGResult / BiCGResult /
+    GMRESResult).
+    """
+    cells = grid_cells(scale, solvers=solvers, formats=formats,
+                       rtol=rtol, names=names)
+
+    def assemble():
+        out: dict[str, dict[tuple[str, str], Any]] = {}
+        for cell in cells:
+            out.setdefault(cell.matrix, {})[
+                (cell.option("solver"), cell.fmt)] = cell_value(cell,
+                                                                scale)
+        return out
+    return _memo(("grid", scale.name, solvers, formats, rtol,
+                  names if names is None else tuple(names)), assemble)
 
 
 def run_ir_suite(scale: RunScale, higham: bool = False,

@@ -68,6 +68,7 @@ _MODULE_ORDER = (
     "ext_quire", "ext_fft", "ext_bicg", "ext_scaling", "ext_sod",
     "ext_gustafson", "ext_cg_target", "ext_stochastic", "ext_jacobi",
     "ext_factor_norms", "ext_bounds", "ext_recovery",
+    "ext_solver_grid",
 )
 
 _EXPERIMENT_PREFIXES = ("fig", "table", "ext_")

@@ -16,11 +16,16 @@ from .properties import (digits_of_precision_at, format_summary, golden_zone,
 from .registry import (FormatInfo, available_formats, get_format,
                        register_format)
 from .rounding_modes import DirectedIEEEFormat, StochasticRounding
+from .takum import (TAKUM8, TAKUM16, TAKUM32, TAKUM_LOG8, TAKUM_LOG16,
+                    TAKUM_LOG32, TakumFormat)
 
 __all__ = [
     "NumberFormat", "NativeIEEEFormat", "IEEEFormat", "PositFormat",
+    "TakumFormat",
     "FLOAT16", "FLOAT32", "FLOAT64", "BFLOAT16", "FP8_E4M3", "FP8_E5M2",
     "POSIT8_0", "POSIT16_1", "POSIT16_2", "POSIT32_2", "POSIT32_3",
+    "TAKUM8", "TAKUM16", "TAKUM32",
+    "TAKUM_LOG8", "TAKUM_LOG16", "TAKUM_LOG32",
     "get_format", "register_format", "available_formats", "FormatInfo",
     "spacing_at", "digits_of_precision_at", "precision_curve",
     "golden_zone", "format_summary",

@@ -26,6 +26,8 @@ from .ieee import BFLOAT16, FP8_E4M3, FP8_E5M2, IEEEFormat
 from .native import FLOAT16, FLOAT32, FLOAT64
 from .posit_format import (POSIT8_0, POSIT16_1, POSIT16_2, POSIT32_2,
                            POSIT32_3, PositFormat)
+from .takum import (TAKUM8, TAKUM16, TAKUM32, TAKUM_LOG8, TAKUM_LOG16,
+                    TAKUM_LOG32, TakumFormat)
 
 __all__ = ["FormatInfo", "get_format", "register_format",
            "available_formats"]
@@ -70,12 +72,25 @@ for _fmt, _aliases in [
     (POSIT16_2, ("posit16", "p16e2")),
     (POSIT32_2, ("posit32", "p32e2")),
     (POSIT32_3, ("p32e3",)),
+    (TAKUM8, ("tak8", "takum-8")),
+    (TAKUM16, ("tak16", "takum-16")),
+    (TAKUM32, ("tak32", "takum-32")),
+    (TAKUM_LOG8, ("takumlog8", "takum8log", "taklog8", "takum-log8")),
+    (TAKUM_LOG16, ("takumlog16", "takum16log", "taklog16",
+                   "takum-log16")),
+    (TAKUM_LOG32, ("takumlog32", "takum32log", "taklog32",
+                   "takum-log32")),
 ]:
     register_format(_fmt, *_aliases)
 
 _POSIT_RE = re.compile(r"^posit(\d+)es(\d+)$")
 _POSIT_SHORT_RE = re.compile(r"^p(\d+)e(\d+)$")
 _IEEE_RE = re.compile(r"^ieee(\d+)p(\d+)e(\d+)$")
+#: linear takum: takumN / takN; log takum tolerates the spellings the
+#: literature mixes freely (takum_logN, takumlogN, takumNlog, taklogN)
+_TAKUM_RE = re.compile(r"^tak(?:um)?[-_]?(\d+)$")
+_TAKUM_LOG_RE = re.compile(
+    r"^tak(?:um)?[-_]?log[-_]?(\d+)$|^takum[-_]?(\d+)[-_]?log$")
 
 
 def get_format(name: str | NumberFormat) -> NumberFormat:
@@ -99,6 +114,16 @@ def get_format(name: str | NumberFormat) -> NumberFormat:
     if m:
         return register_format(IEEEFormat(int(m.group(2)),
                                           int(m.group(3))))
+    m = _TAKUM_LOG_RE.match(key)          # log first: takumN also matches
+    if m:
+        nbits = int(m.group(1) or m.group(2))
+        # alternate spellings of an already-resolved width reuse it
+        canon = _FORMATS.get(f"takum_log{nbits}")
+        return canon or register_format(TakumFormat(nbits, log=True))
+    m = _TAKUM_RE.match(key)
+    if m:
+        canon = _FORMATS.get(f"takum{int(m.group(1))}")
+        return canon or register_format(TakumFormat(int(m.group(1))))
     known = sorted(set(_FORMATS) | set(_ALIASES))
     near = get_close_matches(key, known, n=3, cutoff=0.6)
     hint = f" (did you mean: {', '.join(near)}?)" if near else ""

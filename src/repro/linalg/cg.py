@@ -106,7 +106,7 @@ def conjugate_gradient(ctx: FPContext, A: np.ndarray, b: np.ndarray,
     :class:`~repro.arith.sparse.ELLMatrix` (the padded-row sparse
     layout), which makes full-scale suite runs tractable.
     """
-    from ..arith.sparse import ELLMatrix
+    from ..arith.sparse import CSRMatrix, ELLMatrix
     trace = maybe_trace("cg", ctx.fmt.name, trace)
     A = ctx.asarray(A)
     b = ctx.asarray(np.asarray(b, dtype=np.float64))
@@ -114,7 +114,7 @@ def conjugate_gradient(ctx: FPContext, A: np.ndarray, b: np.ndarray,
 
     minv = None
     if jacobi:
-        diag = (A.diagonal() if isinstance(A, ELLMatrix)
+        diag = (A.diagonal() if isinstance(A, (ELLMatrix, CSRMatrix))
                 else np.diag(np.asarray(A)))
         if np.any(diag <= 0) or not np.all(np.isfinite(diag)):
             raise ValueError("Jacobi preconditioning requires a positive "

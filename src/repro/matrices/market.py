@@ -26,20 +26,33 @@ class MatrixMarketError(ReproError):
 
 
 def read_matrix_market(path: str, dense: bool = True,
-                       validate: bool = True) -> np.ndarray:
-    """Read a MatrixMarket file into a dense float64 symmetric matrix."""
+                       validate: bool = True):
+    """Read a MatrixMarket file into a symmetric float64 matrix.
+
+    With ``dense=True`` (default) returns a dense ndarray.  With
+    ``dense=False`` returns a ``scipy.sparse.csr_matrix`` and **never
+    densifies** — parsing, validation and conversion all stay in
+    sparse form, so genuinely large Matrix Market files load in
+    O(nnz) memory (feed the result to
+    :meth:`repro.arith.CSRMatrix.from_scipy`).
+    """
     if not os.path.exists(path):
         raise MatrixMarketError(f"no such file: {path}")
     try:
         M = scipy.io.mmread(path)
     except Exception as exc:  # scipy raises bare ValueError on bad files
         raise MatrixMarketError(f"failed to parse {path}: {exc}") from exc
+    if not dense:
+        csr = scipy.sparse.csr_matrix(M, dtype=np.float64)
+        if validate:
+            validate_spd_structure(csr, source=path)
+        return csr
     if scipy.sparse.issparse(M):
         M = M.toarray()
     A = np.asarray(M, dtype=np.float64)
     if validate:
         validate_spd_structure(A, source=path)
-    return A if dense else scipy.sparse.csr_matrix(A)
+    return A
 
 
 def write_matrix_market(path: str, A: np.ndarray,
@@ -49,14 +62,34 @@ def write_matrix_market(path: str, A: np.ndarray,
     scipy.io.mmwrite(path, sp, comment=comment, symmetry="symmetric")
 
 
-def validate_spd_structure(A: np.ndarray, source: str = "<array>",
+def validate_spd_structure(A, source: str = "<array>",
                            sym_rtol: float = 1e-12) -> None:
     """Check the structural requirements of the paper's experiments.
 
     Square, finite, symmetric (to tolerance) and positive diagonal.
     Positive-definiteness itself is not verified here (it costs a
     factorization); the solvers report it faithfully if violated.
+    Accepts a dense array or any scipy sparse matrix; sparse input is
+    validated sparsely (no densification).
     """
+    if scipy.sparse.issparse(A):
+        if A.ndim != 2 or A.shape[0] != A.shape[1]:
+            raise MatrixMarketError(
+                f"{source}: matrix is not square: {A.shape}")
+        data = np.asarray(A.tocoo().data, dtype=np.float64)
+        if not np.all(np.isfinite(data)):
+            raise MatrixMarketError(
+                f"{source}: matrix has non-finite entries")
+        scale = float(np.max(np.abs(data))) if data.size else 1.0
+        scale = scale or 1.0
+        asym = A - A.T  # stays sparse: O(nnz)
+        gap = float(np.max(np.abs(asym.data))) if asym.nnz else 0.0
+        if gap > sym_rtol * scale:
+            raise MatrixMarketError(f"{source}: matrix is not symmetric")
+        if np.any(A.diagonal() <= 0):
+            raise MatrixMarketError(
+                f"{source}: non-positive diagonal entries")
+        return
     A = np.asarray(A)
     if A.ndim != 2 or A.shape[0] != A.shape[1]:
         raise MatrixMarketError(f"{source}: matrix is not square: {A.shape}")

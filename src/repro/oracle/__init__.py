@@ -16,6 +16,10 @@ Layers
     encode for posit (extended-pattern-space RNE, geometric ties in the
     tapered regions, saturation) and IEEE (value-nearest RNE with
     subnormals and overflow-to-infinity).
+:mod:`~repro.oracle.takum_codec`
+    Reference codecs for the takum zoo: exact rationals for linear
+    takum, adaptive-precision Decimal enclosures for logarithmic takum
+    (whose values ``±e^(l/2)`` are transcendental).
 :mod:`~repro.oracle.reference`
     Correctly rounded scalar ops with each family's special-value
     algebra, plus dot/axpy/matvec references that mirror the
@@ -30,6 +34,7 @@ Layers
 
 from .codecs import (IEEEOracleCodec, OracleCodec, PositOracleCodec,
                      TABLE_MAX_NBITS, oracle_codec)
+from .takum_codec import TakumLogOracleCodec, TakumOracleCodec
 from .rational import (Rat, rat, rdot, rfma, rsum, to_fraction)
 from .reference import (SCALAR_OPS, exact_fma, format_contract,
                         oracle_scalar, ref_axpy, ref_dot, ref_fma,
@@ -53,6 +58,7 @@ __all__ = [
     "Rat", "rat", "to_fraction", "rsum", "rdot", "rfma",
     # codecs
     "OracleCodec", "PositOracleCodec", "IEEEOracleCodec",
+    "TakumOracleCodec", "TakumLogOracleCodec",
     "oracle_codec", "TABLE_MAX_NBITS",
     # reference semantics
     "SCALAR_OPS", "oracle_scalar", "ref_round", "ref_sum", "ref_dot",

@@ -44,6 +44,7 @@ from ..formats.native import NativeIEEEFormat
 from ..formats.posit_format import PositFormat
 from ..formats.registry import get_format
 from ..formats.rounding_modes import DirectedIEEEFormat, StochasticRounding
+from ..formats.takum import TakumFormat
 from .rational import (Rat, floor_log2_rat, rabs, radd, rcmp, rmul, rsign,
                        to_fraction)
 
@@ -72,6 +73,9 @@ class OracleCodec(abc.ABC):
     nbits: int
     #: largest finite magnitude pattern
     max_mag: int
+    #: True for the posit/takum family: one NaR pattern that absorbs
+    #: every operation, two's-complement negation, no infinities
+    has_nar: bool = False
 
     # -- exact decode -------------------------------------------------------
     @abc.abstractmethod
@@ -142,6 +146,8 @@ class OracleCodec(abc.ABC):
 
 class PositOracleCodec(OracleCodec):
     """Reference codec for posit(nbits, es), Posit Standard semantics."""
+
+    has_nar = True
 
     def __init__(self, nbits: int, es: int):
         if nbits < 2 or es < 0:
@@ -397,6 +403,10 @@ _NATIVE_PARAMS = {"fp16": (11, 5), "fp32": (24, 8), "fp64": (53, 11)}
 def _codec_for(fmt: NumberFormat) -> OracleCodec:
     if isinstance(fmt, PositFormat):
         return PositOracleCodec(fmt.nbits, fmt.es)
+    if isinstance(fmt, TakumFormat):
+        # local import: takum_codec extends OracleCodec from this module
+        from .takum_codec import takum_oracle_codec
+        return takum_oracle_codec(fmt.nbits, log=fmt.log)
     if isinstance(fmt, NativeIEEEFormat):
         try:
             return IEEEOracleCodec(*_NATIVE_PARAMS[fmt.name])

@@ -27,8 +27,9 @@ replayable::
 The CLI writes a machine-readable JSON report under ``results/`` and
 exits non-zero when any divergence survives.  ``--tier 2`` is the
 nightly configuration: exhaustive pair sweeps for every posit with
-``nbits <= 10`` and ``es <= 2`` plus the 8-bit IEEE minifloats, and
-exhaustive unary sweeps up to 16 bits (float16 included).
+``nbits <= 10`` and ``es <= 2``, every takum (linear and logarithmic)
+with ``nbits <= 10``, and the 8-bit IEEE minifloats, plus exhaustive
+unary sweeps up to 16 bits (float16 and takum16 included).
 """
 
 from __future__ import annotations
@@ -44,7 +45,7 @@ import numpy as np
 from ..analysis.reporting import write_json
 from ..arith.context import FPContext
 from ..formats.registry import get_format
-from .codecs import IEEEOracleCodec, PositOracleCodec, oracle_codec
+from .codecs import IEEEOracleCodec, oracle_codec
 from .rational import rat
 from .reference import (format_contract, oracle_scalar, ref_axpy,
                         ref_dot, ref_matvec, ref_round, same_value)
@@ -72,13 +73,18 @@ _TIER1_FORMATS = (
     "posit4es0", "posit4es1", "posit5es1", "posit6es0", "posit6es1",
     "posit6es2", "posit8es0", "posit8es1", "posit8es2",
     "fp8e4m3", "fp8e5m2",
+    "takum6", "takum8", "takum_log6", "takum_log8",
     "posit16es1", "posit16es2", "posit32es2", "fp16", "bf16", "fp32",
+    "takum16", "takum32", "takum_log16", "takum_log32",
 )
 
 _TIER2_FORMATS = tuple(
     f"posit{n}es{es}" for n in range(3, 11) for es in range(0, 3)
-) + ("fp8e4m3", "fp8e5m2", "fp16", "bf16",
+) + tuple(f"takum{n}" for n in range(6, 11)) \
+  + tuple(f"takum_log{n}" for n in range(6, 11)) \
+  + ("fp8e4m3", "fp8e5m2", "fp16", "bf16",
      "posit16es1", "posit16es2", "posit32es2", "posit32es3",
+     "takum16", "takum32", "takum_log16", "takum_log32",
      "fp32", "fp64")
 
 
@@ -144,7 +150,7 @@ def boundary_biased_patterns(fmt, count: int,
         patterns.append(codec._signed_pattern(m, False))
         if m:
             patterns.append(codec._signed_pattern(m, True))
-    if isinstance(codec, PositOracleCodec):
+    if codec.has_nar:
         patterns.append(codec.nar_pattern)
     else:
         sign_bit = 1 << (codec.nbits - 1)

@@ -28,8 +28,8 @@ import math
 from typing import Callable, Sequence
 
 from ..formats.base import NumberFormat
-from .codecs import (IEEEOracleCodec, OracleCodec, PositOracleCodec,
-                     oracle_codec)
+from .codecs import IEEEOracleCodec, OracleCodec, oracle_codec
+from .takum_codec import TakumLogOracleCodec, TakumOracleCodec
 from .rational import Rat, radd, rat, rdiv, rfma, rmul, rsub, to_fraction
 
 __all__ = [
@@ -59,8 +59,17 @@ def format_contract(fmt: NumberFormat | str) -> str:
     format*, and conformance must model the intermediate rounding.
     """
     codec = oracle_codec(fmt)
+    if isinstance(codec, TakumLogOracleCodec):
+        # log-takum values are transcendental: the format's carrier
+        # values *are* correctly rounded doubles, so the contract is
+        # carrier by construction at every width
+        return "carrier"
     if isinstance(codec, IEEEOracleCodec):
         p = codec.precision
+    elif isinstance(codec, TakumOracleCodec):
+        # takum: sign + direction + 3 regime bits leave nbits - 5 - r
+        # mantissa bits, r >= 0, so nbits - 4 significand bits at best
+        p = max(1, codec.nbits - 4)
     else:
         # posit: sign + >=2 regime bits + es leave nbits - 2 - es
         # significand bits (hidden bit included) at best
@@ -132,10 +141,10 @@ def oracle_scalar(fmt: NumberFormat | str, contract: str = "exact"
         raise ValueError(f"unknown contract {contract!r}")
     carrier = contract == "carrier"
 
-    if isinstance(codec, PositOracleCodec):
+    if codec.has_nar:
         def oracle(op: str, a: float, b: float = 0.0) -> float:
-            # NaR absorbs; infinities cannot be posit values, but the
-            # codec maps any non-finite carrier to NaR, so mirror that.
+            # NaR absorbs; infinities cannot be posit/takum values, but
+            # the codec maps any non-finite carrier to NaR; mirror that.
             if not math.isfinite(a) or (op != "sqrt"
                                         and not math.isfinite(b)):
                 return math.nan
@@ -195,7 +204,7 @@ def ref_round(fmt: NumberFormat | str, x: float) -> float:
     """Reference for ``fmt.round``: correctly rounded quantization of *x*."""
     codec = oracle_codec(fmt)
     if not math.isfinite(x):
-        if isinstance(codec, PositOracleCodec) or math.isnan(x):
+        if codec.has_nar or math.isnan(x):
             return math.nan
         return x                              # IEEE keeps ±inf
     return _nearest(codec, rat(x))

@@ -1,0 +1,341 @@
+"""Reference codecs for takum and takum-log, from the draft standard.
+
+Takum ("tapered accuracy kudos to minimal unum") is the 2024 posit
+successor: a sign bit, a *direction* bit ``D``, a 3-bit regime ``R``, a
+characteristic field of ``r`` bits and a mantissa of ``p = n - 5 - r``
+bits, giving a fixed dynamic range (characteristic ``c`` in
+``[-255, 254]``) regardless of width.  The **linear** variant represents
+``(-1)^S (1 + m) 2^c``; the **logarithmic** variant reads the same
+fields as a base-``sqrt(e)`` exponent ``l = (1 - 2S)(c + m)`` and
+represents ``(-1)^S e^(l/2)``.
+
+Like the posit codec next door, everything here is derived from the
+format *specification* in unbounded arithmetic and shares no code with
+the production paths (:mod:`repro.formats.takum`), so the differential
+sweeps compare two independent derivations:
+
+* :class:`TakumOracleCodec` — exact rationals throughout.  Rounding is
+  extended-pattern-space RNE exactly as for posits: the cut-off between
+  two adjacent ``n``-bit patterns is the value of the ``(n+1)``-bit
+  pattern between them, which is an arithmetic midpoint wherever
+  mantissa bits exist and a geometric one in the tapered extremes where
+  the characteristic is truncated.  Ties go to the even pattern.
+* :class:`TakumLogOracleCodec` — values are transcendental
+  (``e^(l/2)`` with dyadic ``l``), so every comparison of a rational
+  operand against a representable value or rounding boundary runs
+  through adaptive-precision ``Decimal`` enclosures of the exponential,
+  tightened until the interval excludes the operand.  The loop
+  terminates for every input that is not *exactly* a representable
+  value: by Lindemann-Weierstrass ``e^x`` is irrational for rational
+  ``x != 0``, so a rational operand can only coincide with the grid at
+  ``l = 0`` (value 1), which is special-cased.  Decoded float64 values
+  are the correctly rounded images of the exact exponentials, certified
+  by the same enclosures.
+
+Saturation mirrors posit semantics: ``0 < |x| <= minpos`` rounds to
+±minpos (never to zero), ``|x| >= maxpos`` to ±maxpos (never to NaR),
+and negation is two's complement on the full pattern.
+"""
+
+from __future__ import annotations
+
+import decimal
+from decimal import Decimal
+from fractions import Fraction
+from functools import lru_cache
+
+from ..errors import OracleError, OracleUnsupportedFormat
+from .codecs import OracleCodec, _bisect_sqrt
+from .rational import Rat, rcmp, rmul, to_fraction
+
+__all__ = ["TakumOracleCodec", "TakumLogOracleCodec", "takum_oracle_codec"]
+
+
+def _fields(mag: int, nbits: int) -> tuple[int, int, int]:
+    """``(c, M, p)`` of an ``nbits``-wide magnitude pattern ``mag >= 1``.
+
+    The magnitude is the low ``nbits - 1`` bits of a non-negative
+    pattern: direction bit, 3 regime bits, then ``min(r, nbits - 5)``
+    characteristic bits (zero-padded on the right when the width cannot
+    hold all ``r``) and ``p = nbits - 5 - r`` mantissa bits (none when
+    the characteristic is truncated).
+    """
+    d = (mag >> (nbits - 2)) & 1
+    rfield = (mag >> (nbits - 5)) & 7
+    r = rfield if d else 7 - rfield
+    avail = nbits - 5
+    cb = r if r < avail else avail
+    cfield = ((mag >> (avail - cb)) & ((1 << cb) - 1)) << (r - cb)
+    c = ((1 << r) - 1 + cfield) if d else (1 - (1 << (r + 1)) + cfield)
+    p = avail - cb
+    return c, mag & ((1 << p) - 1), p
+
+
+def _linear_value(mag: int, nbits: int) -> Rat:
+    """Exact ``(1 + M/2**p) * 2**c`` of a linear-takum magnitude."""
+    c, m, p = _fields(mag, nbits)
+    num, scale = (1 << p) + m, c - p
+    return (num << scale, 1) if scale >= 0 else (num, 1 << -scale)
+
+
+def _half_ell(mag: int, nbits: int) -> tuple[int, int]:
+    """``l/2`` of a magnitude as a dyadic ``(num, log2_den)``, canonical.
+
+    ``l/2 = (c + M/2**p) / 2 = (c * 2**p + M) / 2**(p+1)``; trailing
+    zero bits are stripped so equal exponents share one cache entry.
+    """
+    c, m, p = _fields(mag, nbits)
+    num, log2_den = (c << p) + m, p + 1
+    while num and not (num & 1) and log2_den:
+        num >>= 1
+        log2_den -= 1
+    return num, log2_den
+
+
+# -- adaptive-precision enclosures of e**(num / 2**log2_den) ----------------
+
+#: Decimal working precisions: start small (the grids are coarse), double
+#: until the enclosure decides.  The cap is never reached for takum
+#: operands — it would take an operand agreeing with a transcendental
+#: boundary to thousands of digits.
+_PREC_START, _PREC_CAP = 40, 40960
+
+
+@lru_cache(maxsize=None)
+def _exp_enclosure(num: int, log2_den: int,
+                   prec: int) -> tuple[Fraction, Fraction]:
+    """A rigorous ``[lo, hi]`` containing ``e**(num / 2**log2_den)``.
+
+    ``Decimal.exp`` at precision ``prec`` is correctly rounded, so the
+    result is within one ulp of the true value; a symmetric margin of
+    ``|y| * 10**(4 - prec)`` covers that generously while still
+    shrinking geometrically as ``prec`` doubles.
+    """
+    with decimal.localcontext() as ctx:
+        ctx.prec = prec + 8
+        y = (Decimal(num) / Decimal(1 << log2_den)).exp()
+        margin = y.copy_abs() * Decimal(10) ** (4 - prec)
+        return Fraction(y - margin), Fraction(y + margin)
+
+
+def _cmp_exp(q: Rat, num: int, log2_den: int) -> int:
+    """Sign of ``q - e**(num / 2**log2_den)`` for rational ``q``.
+
+    Returns 0 only in the one rationally-decidable case ``num == 0``;
+    otherwise escalates the enclosure until it excludes ``q``.
+    """
+    if num == 0:
+        return rcmp(q, (1, 1))
+    qf = to_fraction(q)
+    prec = _PREC_START
+    while prec <= _PREC_CAP:
+        lo, hi = _exp_enclosure(num, log2_den, prec)
+        if qf < lo:
+            return -1
+        if qf > hi:
+            return 1
+        prec *= 2
+    raise OracleError(                            # pragma: no cover
+        f"exp comparison of {q} vs e**({num}/2**{log2_den}) undecided "
+        f"at {_PREC_CAP} digits")
+
+
+@lru_cache(maxsize=None)
+def _cr_exp(num: int, log2_den: int) -> float:
+    """The correctly rounded float64 image of ``e**(num / 2**log2_den)``."""
+    if num == 0:
+        return 1.0
+    prec = _PREC_START
+    while prec <= _PREC_CAP:
+        lo, hi = _exp_enclosure(num, log2_den, prec)
+        flo, fhi = float(lo), float(hi)
+        if flo == fhi:                # enclosure rounds to a single double
+            return flo
+        prec *= 2
+    raise OracleError(                            # pragma: no cover
+        f"e**({num}/2**{log2_den}) not certified at {_PREC_CAP} digits")
+
+
+class _TakumCodecBase(OracleCodec):
+    """Pattern-space layout shared by both takum variants."""
+
+    #: both variants use posit-style NaR/two's-complement semantics
+    has_nar = True
+
+    def __init__(self, nbits: int):
+        if not (6 <= nbits <= 64):
+            raise OracleUnsupportedFormat(
+                f"takum({nbits}) is not a valid configuration "
+                f"(need 6 <= nbits <= 64)")
+        self.nbits = nbits
+        self.npat = 1 << nbits
+        self.nar_pattern = 1 << (nbits - 1)
+        self.max_mag = self.nar_pattern - 1
+        self.one_mag = 1 << (nbits - 2)           # D=1, R=0: c = 0, m = 0
+
+    def finite_value(self, pattern: int) -> Rat | None:
+        pattern &= self.npat - 1
+        if pattern == self.nar_pattern:
+            return None
+        if pattern > self.nar_pattern:
+            num, den = self.decode_mag(self.npat - pattern)
+            return (-num, den)
+        return self.decode_mag(pattern)
+
+    def decode_float(self, pattern: int) -> float:
+        q = self.finite_value(pattern)
+        if q is None:
+            return float("nan")
+        return float(to_fraction(q))
+
+    def _signed_pattern(self, mag: int, negative: bool) -> int:
+        return (self.npat - mag) & (self.npat - 1) if negative else mag
+
+
+class TakumOracleCodec(_TakumCodecBase):
+    """Reference codec for linear takum(nbits)."""
+
+    def __init__(self, nbits: int):
+        super().__init__(nbits)
+        self.maxpos: Rat = self.decode_mag(self.max_mag)
+        self.minpos: Rat = self.decode_mag(1)
+        #: |c| never exceeds 255: every in-range power of two is a probe
+        self.max_scale = 254
+
+    def decode_mag(self, mag: int) -> Rat:
+        if mag == 0:
+            return (0, 1)
+        return _linear_value(mag, self.nbits)
+
+    def _boundary(self, mag: int) -> Rat:
+        """The rounding cut-off between ``mag`` and ``mag + 1``: the
+        exact value of the ``(nbits+1)``-bit pattern between them."""
+        return _linear_value(2 * mag + 1, self.nbits + 1)
+
+    def nearest_mag(self, q: Rat) -> int:
+        if rcmp(q, self.minpos) <= 0:
+            return 1
+        if rcmp(q, self.maxpos) >= 0:
+            return self.max_mag
+        lo, hi = 1, self.max_mag                  # v(lo) <= q < v(hi)
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if rcmp(self.decode_mag(mid), q) <= 0:
+                lo = mid
+            else:
+                hi = mid
+        d = rcmp(q, self._boundary(lo))
+        if d > 0:
+            return hi
+        if d < 0:
+            return lo
+        return lo if lo % 2 == 0 else hi          # tie: even pattern
+
+    def sqrt_mag(self, q: Rat) -> int:
+        # sqrt(q) <= minpos  <=>  q <= minpos**2  (mirrored for maxpos)
+        if rcmp(q, rmul(self.minpos, self.minpos)) <= 0:
+            return 1
+        if rcmp(q, rmul(self.maxpos, self.maxpos)) >= 0:
+            return self.max_mag
+        lo = _bisect_sqrt(self, q)
+        v_lo = self.decode_mag(lo)
+        if rcmp(rmul(v_lo, v_lo), q) == 0:
+            return lo
+        b = self._boundary(lo)
+        d = rcmp(q, rmul(b, b))                   # sqrt(q) vs b, squared
+        if d > 0:
+            return lo + 1
+        if d < 0:
+            return lo
+        return lo if lo % 2 == 0 else lo + 1      # root hits the cut-off
+
+    # docstring inherited
+    nearest_mag.__doc__ = OracleCodec.nearest_mag.__doc__
+    sqrt_mag.__doc__ = OracleCodec.sqrt_mag.__doc__
+
+
+class TakumLogOracleCodec(_TakumCodecBase):
+    """Reference codec for takum-log(nbits)."""
+
+    def __init__(self, nbits: int):
+        super().__init__(nbits)
+        #: |l/2| < 128, so |log2(value)| < 128 * log2(e) ~ 184.66; 183
+        #: keeps every power-of-two probe strictly inside (minpos, maxpos)
+        self.max_scale = 183
+
+    def decode_mag(self, mag: int) -> Rat:
+        """The float64 image of ``e**(l/2)``, as an exact rational.
+
+        The true value is transcendental; the format's *carrier* values
+        (what ``from_bits`` returns and arithmetic consumes) are its
+        correctly rounded doubles, certified by the enclosure loop.
+        """
+        if mag == 0:
+            return (0, 1)
+        return float(self._image(mag)).as_integer_ratio()
+
+    def _image(self, mag: int) -> float:
+        return _cr_exp(*_half_ell(mag, self.nbits))
+
+    def _cmp_value(self, q: Rat, mag: int) -> int:
+        """Sign of ``q - e**(l(mag)/2)`` (the *true* grid value)."""
+        return _cmp_exp(q, *_half_ell(mag, self.nbits))
+
+    def _cmp_boundary(self, q: Rat, mag: int, doubled: bool = False) -> int:
+        """``q`` vs the cut-off between ``mag`` and ``mag + 1`` (or its
+        square, for square-root decisions).  Never an exact tie: the
+        boundary exponent is a nonzero dyadic, so the value is
+        transcendental."""
+        num, log2_den = _half_ell(2 * mag + 1, self.nbits + 1)
+        if doubled:
+            if log2_den:
+                log2_den -= 1
+            else:
+                num <<= 1
+        return _cmp_exp(q, num, log2_den)
+
+    def nearest_mag(self, q: Rat) -> int:
+        if self._cmp_value(q, 1) <= 0:            # q <= minpos
+            return 1
+        if self._cmp_value(q, self.max_mag) >= 0:
+            return self.max_mag
+        lo, hi = 1, self.max_mag                  # v(lo) <= q < v(hi)
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self._cmp_value(q, mid) >= 0:
+                lo = mid
+            else:
+                hi = mid
+        return hi if self._cmp_boundary(q, lo) > 0 else lo
+
+    def sqrt_mag(self, q: Rat) -> int:
+        # sqrt(q) vs e**x  <=>  q vs e**(2x): reuse the enclosures with
+        # the exponent doubled, so the root itself is never approximated
+        def cmp_sq(mag: int) -> int:
+            num, log2_den = _half_ell(mag, self.nbits)
+            if log2_den:
+                log2_den -= 1
+            else:
+                num <<= 1
+            return _cmp_exp(q, num, log2_den)
+
+        if cmp_sq(1) <= 0:                        # sqrt(q) <= minpos
+            return 1
+        if cmp_sq(self.max_mag) >= 0:
+            return self.max_mag
+        lo, hi = 1, self.max_mag
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if cmp_sq(mid) >= 0:
+                lo = mid
+            else:
+                hi = mid
+        return hi if self._cmp_boundary(q, lo, doubled=True) > 0 else lo
+
+    nearest_mag.__doc__ = OracleCodec.nearest_mag.__doc__
+    sqrt_mag.__doc__ = OracleCodec.sqrt_mag.__doc__
+
+
+def takum_oracle_codec(nbits: int, log: bool = False) -> _TakumCodecBase:
+    """The reference codec for takum(nbits), linear or logarithmic."""
+    return TakumLogOracleCodec(nbits) if log else TakumOracleCodec(nbits)

@@ -1,7 +1,8 @@
 """Golden-file regression tests for the paper artifacts (smoke scale).
 
-Three small experiment CSVs — fig6 (CG iterations), fig8 (Cholesky
-backward error) and table2 (naive IR) — are regenerated at
+Four small experiment CSVs — fig6 (CG iterations), fig8 (Cholesky
+backward error), table2 (naive IR) and the X13 solver × format grid —
+are regenerated at
 ``SCALES["smoke"]`` and compared column-by-column against checked-in
 digests.  Floats are canonicalized to 10 significant digits before
 hashing, so the comparison tolerates formatting drift but catches any
@@ -27,14 +28,15 @@ from pathlib import Path
 import pytest
 
 from repro.config import SCALES
-from repro.experiments import (common, fig06_cg, fig08_cholesky,
-                               table02_ir_naive)
+from repro.experiments import (common, ext_solver_grid, fig06_cg,
+                               fig08_cholesky, table02_ir_naive)
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "smoke_digests.json"
 
-_EXPERIMENTS = (fig06_cg, fig08_cholesky, table02_ir_naive)
+_EXPERIMENTS = (fig06_cg, fig08_cholesky, table02_ir_naive,
+                ext_solver_grid)
 ARTIFACTS = ("fig06_cg.csv", "fig08_cholesky.csv",
-             "table02_ir_naive.csv")
+             "table02_ir_naive.csv", "ext_solver_grid.csv")
 
 
 def _canon(value: str) -> str:

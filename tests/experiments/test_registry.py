@@ -15,7 +15,7 @@ from repro.experiments.registry import (PAPER_ARTIFACTS, REGISTRY,
 EXTENSION_IDS = ("ext-quire", "ext-fft", "ext-bicg", "ext-scaling",
                  "ext-sod", "ext-gustafson", "ext-cg-target",
                  "ext-stochastic", "ext-jacobi", "ext-factor-norms",
-                 "ext-bounds", "ext-recovery")
+                 "ext-bounds", "ext-recovery", "ext-solver-grid")
 
 
 class TestDiscovery:
@@ -94,6 +94,15 @@ class TestCellEnumeration:
                     "fig10"):
             cells = get_experiment(eid).enumerate_cells(scale)
             assert len(cells) >= 19, eid     # one per suite matrix min
+
+    def test_solver_grid_enumerates_cells(self):
+        scale = SCALES["small"]
+        cells = get_experiment("ext-solver-grid").enumerate_cells(scale)
+        # 3 solvers x 5 matrices x 7 formats
+        assert len(cells) == 105
+        assert {c.kind for c in cells} == {"grid"}
+        assert {c.option("solver") for c in cells} == \
+            {"cg", "bicgstab", "gmres"}
 
     def test_monolithic_experiments_have_no_cells(self):
         scale = SCALES["small"]

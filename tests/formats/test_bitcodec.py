@@ -18,7 +18,8 @@ from repro.formats.registry import available_formats, get_format
 
 ALL_FORMATS = sorted({f.name for f in available_formats().values()}
                      | {"posit24es1", "posit24es2"})
-SMALL_FORMATS = ["fp8e4m3", "fp8e5m2", "posit8es0"]
+SMALL_FORMATS = ["fp8e4m3", "fp8e5m2", "posit8es0", "takum8",
+                 "takum_log8"]
 
 PROBE_VALUES = [0.0, 1.0, -1.0, 0.5, -3.5, 0.0625, 240.0, -1234.5,
                 1e-4, -1e-4]
@@ -77,8 +78,8 @@ def test_specials(name):
     nan_back = fmt.from_bits(fmt.to_bits(float("nan")))
     assert math.isnan(nan_back)
     inf_back = fmt.from_bits(fmt.to_bits(float("inf")))
-    if name.startswith("posit"):
-        assert math.isnan(inf_back)  # posit: all non-reals are NaR
+    if name.startswith(("posit", "takum")):
+        assert math.isnan(inf_back)  # posit/takum: all non-reals are NaR
     else:
         assert math.isinf(inf_back) and inf_back > 0
         neg = fmt.from_bits(fmt.to_bits(float("-inf")))

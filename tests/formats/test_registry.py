@@ -81,6 +81,64 @@ class TestAliases:
             get_format("zzz-not-a-format")
 
 
+class TestTakumAliases:
+    """Every takum spelling the literature mixes reaches one object."""
+
+    @pytest.mark.parametrize("alias,canonical", [
+        ("tak8", "takum8"), ("tak16", "takum16"), ("tak32", "takum32"),
+        ("takum-16", "takum16"),
+        ("takumlog16", "takum_log16"), ("takum16log", "takum_log16"),
+        ("taklog16", "takum_log16"), ("takum-log16", "takum_log16"),
+        ("takumlog32", "takum_log32"), ("taklog8", "takum_log8"),
+    ])
+    def test_alias_is_canonical(self, alias, canonical):
+        assert get_format(alias) is get_format(canonical)
+
+    def test_registered_instances(self):
+        from repro.formats import TAKUM16, TAKUM_LOG16
+        assert get_format("takum16") is TAKUM16
+        assert get_format("tak16") is TAKUM16
+        assert get_format("takum_log16") is TAKUM_LOG16
+
+    def test_available_formats_cover_takum(self):
+        info = available_formats()
+        for name in ("takum8", "takum16", "takum32", "takum_log8",
+                     "takum_log16", "takum_log32"):
+            assert name in info, name
+        assert "tak16" in info["takum16"].aliases
+        assert "takumlog16" in info["takum_log16"].aliases
+        assert "takum16log" in info["takum_log16"].aliases
+
+    def test_near_miss_hint_for_takum(self):
+        try:
+            get_format("takun16")
+        except UnknownFormatError as exc:
+            assert "takum16" in str(exc) or "tak16" in str(exc)
+        else:  # pragma: no cover - must raise
+            raise AssertionError("takun16 resolved unexpectedly")
+
+    def test_dynamic_takum_widths(self):
+        from repro.formats.takum import TakumFormat
+        fmt = get_format("takum10")
+        assert isinstance(fmt, TakumFormat)
+        assert fmt.nbits == 10 and not fmt.log
+        assert get_format("tak10") is fmt
+
+    def test_dynamic_log_takum_widths(self):
+        from repro.formats.takum import TakumFormat
+        fmt = get_format("takum_log12")
+        assert isinstance(fmt, TakumFormat)
+        assert fmt.nbits == 12 and fmt.log
+        # the "takumNlog" suffix spelling reaches the same object
+        assert get_format("takum12log") is fmt
+        assert get_format("taklog12") is fmt
+
+    def test_log_spelling_not_shadowed_by_linear(self):
+        # the log regex must win: "takumlog10" is not takum "log10"
+        fmt = get_format("takumlog10")
+        assert fmt.log and fmt.nbits == 10
+
+
 class TestDynamicResolution:
     def test_arbitrary_posit(self):
         fmt = get_format("posit12es1")

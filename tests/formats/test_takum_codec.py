@@ -1,0 +1,132 @@
+"""Takum codec totality — hypothesis sweeps mirroring the posit suites.
+
+The fault-injection substrate needs ``from_bits`` total on all 2**n
+patterns and ``to_bits`` exactly inverse on representable values; the
+tapered takum regimes (and the transcendental log-takum grid) are
+where those properties are easiest to break, so they get their own
+property-based sweep over the pattern space.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats.takum import TakumFormat
+from tests.strategies import (TAKUM_CORE_FORMATS, TAKUM_PATTERN_GRID,
+                              takum_patterns)
+
+_FMTS: dict[tuple[int, bool], TakumFormat] = {}
+
+
+def _fmt(nbits: int, log: bool) -> TakumFormat:
+    if (nbits, log) not in _FMTS:
+        _FMTS[(nbits, log)] = TakumFormat(nbits, log=log)
+    return _FMTS[(nbits, log)]
+
+
+@given(st.sampled_from(TAKUM_PATTERN_GRID), st.data())
+@settings(max_examples=300)
+def test_pattern_roundtrip(grid, data):
+    """to_bits ∘ from_bits is the identity on every pattern."""
+    nbits, log = grid
+    fmt = _fmt(nbits, log)
+    pattern = data.draw(takum_patterns(nbits))
+    v = fmt.from_bits(pattern)  # must never raise
+    assert fmt.to_bits(v) == pattern
+
+
+@given(st.sampled_from(TAKUM_PATTERN_GRID), st.data())
+@settings(max_examples=200)
+def test_decoded_values_are_fixed_points(grid, data):
+    nbits, log = grid
+    fmt = _fmt(nbits, log)
+    v = fmt.from_bits(data.draw(takum_patterns(nbits)))
+    r = fmt.round(v)
+    assert v == r or (math.isnan(v) and math.isnan(r))
+
+
+@given(st.sampled_from(TAKUM_PATTERN_GRID), st.data())
+@settings(max_examples=200)
+def test_negation_is_twos_complement(grid, data):
+    nbits, log = grid
+    fmt = _fmt(nbits, log)
+    pattern = data.draw(takum_patterns(nbits))
+    npat = 1 << nbits
+    v = fmt.from_bits(pattern)
+    if math.isnan(v):
+        return
+    assert fmt.to_bits(-v) == (npat - pattern) % npat
+
+
+@given(st.sampled_from(TAKUM_PATTERN_GRID), st.data())
+@settings(max_examples=200)
+def test_signed_pattern_order_matches_value_order(grid, data):
+    """Takum patterns compare like two's-complement integers."""
+    nbits, log = grid
+    fmt = _fmt(nbits, log)
+    half = 1 << (nbits - 1)
+
+    def signed(p):
+        return p - (1 << nbits) if p >= half else p
+
+    p1 = data.draw(takum_patterns(nbits))
+    p2 = data.draw(takum_patterns(nbits))
+    nar = half
+    if p1 == nar or p2 == nar:
+        return
+    v1, v2 = fmt.from_bits(p1), fmt.from_bits(p2)
+    assert (signed(p1) < signed(p2)) == (v1 < v2)
+
+
+@given(TAKUM_CORE_FORMATS)
+@settings(deadline=None)  # first 32-bit call builds rounding tables
+def test_special_patterns(grid):
+    nbits, log = grid
+    fmt = _fmt(nbits, log)
+    nar = 1 << (nbits - 1)
+    one = 1 << (nbits - 2)
+    assert fmt.from_bits(0) == 0.0
+    assert fmt.to_bits(0.0) == 0
+    assert math.isnan(fmt.from_bits(nar))
+    assert fmt.to_bits(float("nan")) == nar
+    assert fmt.to_bits(float("inf")) == nar
+    assert fmt.from_bits(one) == 1.0
+    assert fmt.from_bits((1 << nbits) - one) == -1.0
+
+
+@given(TAKUM_CORE_FORMATS)
+@settings(deadline=None)
+def test_saturation_never_wraps(grid):
+    """Overflow saturates to ±maxpos, underflow to ±minpos — never to
+    zero or NaR (the takum spec's saturation rule)."""
+    nbits, log = grid
+    fmt = _fmt(nbits, log)
+    assert fmt.round(fmt.max_value * 8) == fmt.max_value
+    assert fmt.round(-fmt.max_value * 8) == -fmt.max_value
+    assert fmt.round(fmt.min_positive / 8) == fmt.min_positive
+    assert fmt.round(-fmt.min_positive / 8) == -fmt.min_positive
+
+
+@given(TAKUM_CORE_FORMATS, st.floats(allow_nan=False,
+                                     allow_infinity=False, width=64))
+@settings(max_examples=150, deadline=None)
+def test_round_then_codec_roundtrip(grid, x):
+    nbits, log = grid
+    fmt = _fmt(nbits, log)
+    r = fmt.round(x)
+    assert fmt.from_bits(fmt.to_bits(r)) == r or math.isnan(r)
+
+
+@pytest.mark.parametrize("nbits,log", TAKUM_PATTERN_GRID)
+def test_exhaustive_roundtrip_small(nbits, log):
+    """Every pattern of the small widths round-trips exactly."""
+    fmt = _fmt(nbits, log)
+    nar = 1 << (nbits - 1)
+    for pattern in range(1 << nbits):
+        v = fmt.from_bits(pattern)
+        assert fmt.to_bits(v) == pattern
+        assert math.isnan(v) == (pattern == nar)

@@ -25,6 +25,31 @@ class TestRoundTrip:
         import scipy.sparse
         loaded = read_matrix_market(spd_file, dense=False)
         assert scipy.sparse.issparse(loaded)
+        assert isinstance(loaded, scipy.sparse.csr_matrix)
+        assert loaded.dtype == np.float64
+
+    def test_sparse_matches_dense(self, spd_file, spd_60):
+        loaded = read_matrix_market(spd_file, dense=False)
+        assert np.allclose(loaded.toarray(), spd_60, rtol=1e-12)
+
+    def test_sparse_never_densifies(self, spd_file, monkeypatch):
+        """The sparse path must not materialize a dense array."""
+        import scipy.sparse
+
+        def boom(self, *a, **k):  # pragma: no cover - should not run
+            raise AssertionError("dense=False densified the matrix")
+        for cls in (scipy.sparse.coo_matrix, scipy.sparse.csr_matrix):
+            monkeypatch.setattr(cls, "toarray", boom, raising=False)
+            monkeypatch.setattr(cls, "todense", boom, raising=False)
+        loaded = read_matrix_market(spd_file, dense=False)
+        assert loaded.nnz > 0
+
+    def test_sparse_feeds_csr_matrix(self, spd_file):
+        from repro.arith import CSRMatrix
+        loaded = read_matrix_market(spd_file, dense=False)
+        C = CSRMatrix.from_scipy(loaded)
+        assert C.n == loaded.shape[0]
+        assert C.nnz == loaded.nnz
 
     def test_sparsity_preserved(self, tmp_path):
         A = np.diag([1.0, 2.0, 3.0])
@@ -54,6 +79,24 @@ class TestErrors:
         scipy.io.mmwrite(path, scipy.sparse.coo_matrix(A))
         with pytest.raises(MatrixMarketError):
             read_matrix_market(path)
+
+    def test_unsymmetric_rejected_sparse(self, tmp_path):
+        import scipy.io
+        import scipy.sparse
+        A = np.array([[1.0, 2.0], [0.0, 1.0]])
+        path = str(tmp_path / "unsym_sp.mtx")
+        scipy.io.mmwrite(path, scipy.sparse.coo_matrix(A))
+        with pytest.raises(MatrixMarketError):
+            read_matrix_market(path, dense=False)
+
+    def test_nonfinite_rejected_sparse(self, tmp_path):
+        import scipy.io
+        import scipy.sparse
+        A = np.array([[1.0, 0.0], [0.0, np.inf]])
+        path = str(tmp_path / "inf_sp.mtx")
+        scipy.io.mmwrite(path, scipy.sparse.coo_matrix(A))
+        with pytest.raises(MatrixMarketError):
+            read_matrix_market(path, dense=False)
 
     def test_validation_can_be_skipped(self, tmp_path):
         import scipy.io
@@ -88,5 +131,17 @@ class TestValidation:
     def test_rejects_nonpositive_diagonal(self):
         A = np.eye(3)
         A[2, 2] = 0.0
+        with pytest.raises(MatrixMarketError):
+            validate_spd_structure(A)
+
+    def test_sparse_accepts_spd(self, spd_60):
+        import scipy.sparse
+        validate_spd_structure(scipy.sparse.csr_matrix(spd_60))
+
+    def test_sparse_rejects_missing_diagonal(self):
+        import scipy.sparse
+        A = scipy.sparse.csr_matrix(
+            (np.array([1.0, 1.0]), (np.array([0, 1]),
+                                    np.array([0, 1]))), shape=(3, 3))
         with pytest.raises(MatrixMarketError):
             validate_spd_structure(A)

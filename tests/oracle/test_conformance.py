@@ -155,6 +155,13 @@ def test_tier_grids():
     assert "posit32es2" in t1 and "fp16" in t1
     assert "posit10es2" in t2 and "fp64" in t2
     assert len(set(t1)) == len(t1) and len(set(t2)) == len(t2)
+    # the takum zoo rides the same grids: small widths in tier 1,
+    # the exhaustive <=10-bit ladder plus wide widths in tier 2
+    for name in ("takum6", "takum8", "takum16", "takum32",
+                 "takum_log6", "takum_log8", "takum_log16",
+                 "takum_log32"):
+        assert name in t1 or name in t2, name
+    assert "takum10" in t2 and "takum_log10" in t2
 
 
 def test_run_conformance_payload():

@@ -35,6 +35,37 @@ def test_small_posits_conform_exhaustively(name):
     assert not failures, failures
 
 
+SMALL_TAKUM_GRID = ([f"takum{n}" for n in range(6, 11)]
+                    + [f"takum_log{n}" for n in range(6, 11)])
+
+
+@pytest.mark.parametrize("name", SMALL_TAKUM_GRID)
+def test_small_takums_conform_exhaustively(name):
+    reports = sweep_format(name, exhaustive_nbits=10,
+                           unary_exhaustive_nbits=16)
+    by_op = {r.op: r for r in reports}
+    for op in BINARY_OPS + ("sqrt", "round", "encode", "decode"):
+        assert by_op[op].mode == "exhaustive", op
+    nbits = int(name.rsplit("g", 1)[-1] if "log" in name
+                else name[len("takum"):])
+    for op in BINARY_OPS:
+        assert by_op[op].checked == (1 << nbits) ** 2
+    failures = [(r.op, r.divergences, r.first)
+                for r in reports if not r.ok]
+    assert not failures, failures
+
+
+@pytest.mark.parametrize("name", ("takum16", "takum32", "takum_log16",
+                                  "takum_log32"))
+def test_wide_takums_deep_stratified(name):
+    reports = sweep_format(name, samples=2000)
+    assert all(r.mode == "stratified" for r in reports
+               if r.op in BINARY_OPS)
+    failures = [(r.op, r.divergences, r.first)
+                for r in reports if not r.ok]
+    assert not failures, failures
+
+
 def test_fp16_exhaustive_unary_stratified_binary():
     reports = sweep_format("fp16", exhaustive_nbits=10,
                            unary_exhaustive_nbits=16, samples=6000)

@@ -1,0 +1,109 @@
+"""Takum differential conformance (tier 1).
+
+The production :class:`~repro.formats.takum.TakumFormat` codecs are
+swept against the independent exact-rational / adaptive-enclosure
+oracle codecs of :mod:`repro.oracle.takum_codec`:
+
+* exhaustively for the 6-bit widths and linear takum8 (every operand
+  pair of every op);
+* exhaustively on a reduced op set for takum_log8 (the full grid runs
+  nightly in tier 2 — see ``tests/oracle/test_exhaustive.py``);
+* boundary-biased stratified for the 16/32-bit production widths.
+
+Zero divergences is the acceptance bar, matching the posit suites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.oracle.conformance import (ALL_OPS, BINARY_OPS,
+                                      boundary_biased_patterns,
+                                      sweep_format)
+from repro.oracle.reference import format_contract
+from repro.oracle.takum_codec import takum_oracle_codec
+
+
+class TestExhaustiveSmall:
+    @pytest.fixture(scope="class")
+    def reports6(self):
+        return (sweep_format("takum6") + sweep_format("takum_log6")
+                + sweep_format("takum8"))
+
+    def test_all_ops_covered(self, reports6):
+        assert [r.op for r in reports6] == list(ALL_OPS) * 3
+
+    def test_zero_divergences(self, reports6):
+        assert all(r.ok for r in reports6), \
+            [(r.format, r.op, r.first) for r in reports6 if not r.ok]
+        assert all(r.divergences == 0 and not r.first for r in reports6)
+
+    def test_binary_ops_exhaustive(self, reports6):
+        for r in reports6:
+            if r.op in BINARY_OPS and r.format.endswith("6"):
+                assert r.mode == "exhaustive"
+                assert r.checked == (1 << 6) ** 2
+
+    def test_log8_reduced_grid(self):
+        reports = sweep_format("takum_log8",
+                               ops=("round", "decode", "sqrt", "mul"))
+        assert all(r.ok for r in reports), \
+            [(r.op, r.first) for r in reports if not r.ok]
+        by_op = {r.op: r for r in reports}
+        assert by_op["mul"].mode == "exhaustive"
+        assert by_op["mul"].checked == (1 << 8) ** 2
+
+
+class TestStratifiedWide:
+    def test_takum16_clean(self):
+        reports = sweep_format("takum16", ops=("round", "add"),
+                               samples=300)
+        assert all(r.ok for r in reports), \
+            [(r.op, r.first) for r in reports if not r.ok]
+        assert all(r.mode == "stratified" for r in reports)
+
+    def test_takum_log16_clean(self):
+        reports = sweep_format("takum_log16", ops=("round", "mul"),
+                               samples=120)
+        assert all(r.ok for r in reports), \
+            [(r.op, r.first) for r in reports if not r.ok]
+
+    def test_takum32_round_clean(self):
+        (r,) = sweep_format("takum32", ops=("round",), samples=200)
+        assert r.ok
+
+    def test_takum_log32_round_clean(self):
+        (r,) = sweep_format("takum_log32", ops=("round",), samples=60)
+        assert r.ok
+
+
+class TestContracts:
+    def test_linear_narrow_is_exact(self):
+        # best-case significand p = n - 4; 2p + 2 <= 53 holds to n = 29
+        for n in (8, 12, 16):
+            assert format_contract(f"takum{n}") == "exact"
+
+    def test_linear_wide_is_carrier(self):
+        assert format_contract("takum32") == "carrier"
+
+    def test_log_is_always_carrier(self):
+        # log-takum values are transcendental; the float64 carrier
+        # images are the representable set at every width
+        for n in (8, 16, 32):
+            assert format_contract(f"takum_log{n}") == "carrier"
+
+
+class TestBoundaryPool:
+    @pytest.mark.parametrize("name", ("takum8", "takum_log8"))
+    def test_pool_hits_takum_extremes(self, name):
+        from repro.formats import get_format
+        rng = np.random.default_rng(11)
+        pats = boundary_biased_patterns(name, 64, rng)
+        assert len(pats) == len(set(pats)) >= 64
+        fobj = get_format(name)
+        codec = takum_oracle_codec(8, log=name.startswith("takum_log"))
+        vals = {codec.decode_float(p) for p in pats}
+        assert fobj.max_value in vals and -fobj.max_value in vals
+        assert fobj.min_positive in vals and 1.0 in vals
+        assert any(np.isnan(v) for v in vals)        # NaR included

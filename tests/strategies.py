@@ -17,6 +17,8 @@ __all__ = [
     "ALL_FORMAT_NAMES", "ALL_FORMATS",
     "POSIT_CORE_GRID", "POSIT_FAULT_GRID",
     "POSIT_CORE_FORMATS", "POSIT_FAULT_FORMATS",
+    "TAKUM_CORE_GRID", "TAKUM_PATTERN_GRID", "TAKUM_CORE_FORMATS",
+    "takum_patterns",
     "finite_floats", "reasonable_floats", "representable_floats",
     "adversarial_values",
 ]
@@ -26,6 +28,8 @@ __all__ = [
 ALL_FORMAT_NAMES = (
     "fp16", "fp32", "fp64", "bf16", "fp8e4m3", "fp8e5m2",
     "posit8es0", "posit16es1", "posit16es2", "posit32es2", "posit32es3",
+    "takum8", "takum16", "takum32",
+    "takum_log8", "takum_log16", "takum_log32",
 )
 
 ALL_FORMATS = st.sampled_from(ALL_FORMAT_NAMES)
@@ -40,6 +44,33 @@ POSIT_FAULT_GRID = ((6, 0), (8, 0), (8, 1), (16, 1), (16, 2), (24, 1),
 
 POSIT_CORE_FORMATS = st.sampled_from(POSIT_CORE_GRID)
 POSIT_FAULT_FORMATS = st.sampled_from(POSIT_FAULT_GRID)
+
+#: the (nbits, log) grid the takum codec tests sweep — mirrors the
+#: posit grids: the registered widths plus a tiny exhaustive one
+TAKUM_CORE_GRID = ((6, False), (8, False), (16, False), (32, False),
+                   (6, True), (8, True), (16, True), (32, True))
+#: widths where full-pattern-space strategies stay cheap
+TAKUM_PATTERN_GRID = ((6, False), (8, False), (10, False),
+                      (6, True), (8, True), (10, True))
+
+TAKUM_CORE_FORMATS = st.sampled_from(TAKUM_CORE_GRID)
+
+
+def takum_patterns(nbits: int) -> st.SearchStrategy:
+    """Every n-bit takum pattern, biased toward the interesting edges.
+
+    Mixes uniform patterns with the structural specials: zero, NaR,
+    ±one, ±minpos, ±maxpos and the patterns adjacent to each — where
+    tapered codecs earn their bugs.
+    """
+    npat = 1 << nbits
+    one = 1 << (nbits - 2)
+    edges = sorted({p % npat for base in
+                    (0, npat // 2, one, npat - one, 1, npat - 1,
+                     npat // 2 - 1, npat // 2 + 1)
+                    for p in (base - 1, base, base + 1)})
+    return st.one_of(st.sampled_from(edges),
+                     st.integers(min_value=0, max_value=npat - 1))
 
 #: any finite float64, subnormals included
 finite_floats = st.floats(allow_nan=False, allow_infinity=False,
