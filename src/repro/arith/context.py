@@ -26,6 +26,7 @@ from ..formats.native import FLOAT64
 from ..formats.registry import get_format
 from ..kernels import gemm as _gemm_kernels
 from ..kernels.scratch import ScratchPool
+from ..kernels.segment import segmented_fold, use_segmented
 from .sparse import CSRMatrix, ELLMatrix
 from .summation import SUM_ORDERS, rounded_sum_last_axis
 
@@ -287,8 +288,12 @@ class FPContext:
         :class:`CSRMatrix`; the sparse paths round one product per
         stored entry and reduce over the padded row width instead of
         the full dimension.  The CSR path quantizes the products in
-        compact form and scatters them into the padded shape, which is
-        bit-identical to the ELL path (quantization is elementwise).
+        compact form and either scatters them into the padded shape or
+        folds them segmented in O(nnz) (``REPRO_SPARSE``, see
+        :mod:`repro.kernels.segment`) — both bit-identical to the ELL
+        path.  Collector sites carry the layout (``matvec.mul`` dense,
+        ``matvec.ell.*`` / ``matvec.csr.*`` sparse); the ``matvec``
+        injector site is layout-independent.
         """
         x = np.asarray(x, dtype=np.float64)
         if isinstance(A, CSRMatrix):
@@ -302,13 +307,18 @@ class FPContext:
                     # the shared padding product, exactly as the ELL
                     # padding slots compute it: 0.0 * x[0]
                     ext[-1] = 0.0 * x[0] if x.size else 0.0
-                products = self._quantize("matvec.mul", ext)
+                products = self._quantize("matvec.csr.mul", ext)
             finally:
                 _SCRATCH.give(ext)
+            products = np.asarray(products)
+            rnd = self._rnd_for("matvec.csr.sum")
+            if use_segmented(A.n, A.row_width, A.nnz, self.sum_order):
+                return self.inject("matvec",
+                                   segmented_fold(products,
+                                                  A.segment_plan(), rnd))
             return self.inject("matvec",
                                rounded_sum_last_axis(
-                                   np.asarray(products)[A.slot_map()],
-                                   self._rnd_for("matvec.sum"),
+                                   products[A.slot_map()], rnd,
                                    self.sum_order))
         if isinstance(A, ELLMatrix):
             if self._exact:
@@ -318,12 +328,13 @@ class FPContext:
                 np.take(x, A.cols, out=gath)
                 with np.errstate(invalid="ignore", over="ignore"):
                     np.multiply(A.data, gath, out=gath)
-                products = self._quantize("matvec.mul", gath)
+                products = self._quantize("matvec.ell.mul", gath)
             finally:
                 _SCRATCH.give(gath)
             return self.inject("matvec",
                                rounded_sum_last_axis(
-                                   products, self._rnd_for("matvec.sum"),
+                                   products,
+                                   self._rnd_for("matvec.ell.sum"),
                                    self.sum_order))
         A = np.asarray(A, dtype=np.float64)
         if self._exact:

@@ -19,12 +19,21 @@ order; see :mod:`repro.arith.summation`).
 ``indices`` / ``data``, no padding) — the natural interchange layout
 for real Matrix Market inputs, and ~k/avg-degree lighter than ELL when
 row lengths are skewed.  Its emulated matvec is **bit-identical** to
-the ELL path by construction: the per-entry products are quantized in
-compact form (plus one shared padding product), then scattered through
-a precomputed slot map into the very same ``(n, k)`` padded shape and
-reduced by the same rounded pairwise fold.  Quantization is
-elementwise, so compact-then-scatter and scatter-then-quantize commute
-bit for bit.
+the ELL path by construction, along either of two routes picked by
+``REPRO_SPARSE`` (see :mod:`repro.kernels.segment`):
+
+* the *padded* route quantizes the per-entry products in compact form
+  (plus one shared padding product) and scatters them through a
+  precomputed slot map into the very same ``(n, k)`` padded shape,
+  reduced by the same rounded pairwise fold — quantization is
+  elementwise, so compact-then-scatter and scatter-then-quantize
+  commute bit for bit;
+* the *segmented* route never materializes the padded view at all: it
+  folds the compact product array through a precomputed
+  :class:`~repro.kernels.segment.SegmentPlan` reproducing the ELL tree
+  shape per row in O(nnz) work (padding slots are exact zeros that
+  round and add exactly, so only the pairs touching live values are
+  computed).
 """
 
 from __future__ import annotations
@@ -166,9 +175,14 @@ class CSRMatrix:
     indices: np.ndarray
     data: np.ndarray
     #: lazily built ``(n, k)`` gather map into the length ``nnz + 1``
-    #: extended product array; slot ``nnz`` is the shared padding product
+    #: extended product array; slot ``nnz`` is the shared padding
+    #: product.  Cached only for near-uniform patterns — see
+    #: :meth:`slot_map`.
     _slots: np.ndarray | None = field(default=None, repr=False,
                                       compare=False)
+    #: lazily built segmented-fold plan (O(nnz) index storage); like the
+    #: slot map it depends only on the sparsity pattern
+    _plan: object | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self):
         self.indptr = np.asarray(self.indptr, dtype=np.int64)
@@ -245,18 +259,41 @@ class CSRMatrix:
 
         Entry ``(i, j)`` indexes the j-th stored entry of row ``i`` in
         the compact arrays; slots past the row's length point at the
-        sentinel position ``nnz`` (the shared padding product).  Built
-        once and cached — the map depends only on the sparsity pattern.
+        sentinel position ``nnz`` (the shared padding product).  The
+        map depends only on the sparsity pattern and is cached **only**
+        when the padded view is near-compact (within
+        :data:`~repro.kernels.segment.PAD_RATIO` of ``nnz``) — skewed
+        patterns take the segmented fold on the hot path, so caching
+        their O(n·k) map would pin memory the matvec never uses.
         """
-        if self._slots is None:
-            n, k = self.n, self.row_width
-            counts = np.diff(self.indptr)
-            j = np.arange(k, dtype=np.int64)
-            slots = np.full((n, k), self.nnz, dtype=np.int64)
-            mask = j[None, :] < counts[:, None]
-            slots[mask] = (self.indptr[:-1, None] + j[None, :])[mask]
+        if self._slots is not None:
+            return self._slots
+        n, k = self.n, self.row_width
+        counts = np.diff(self.indptr)
+        j = np.arange(k, dtype=np.int64)
+        slots = np.full((n, k), self.nnz, dtype=np.int64)
+        mask = j[None, :] < counts[:, None]
+        slots[mask] = (self.indptr[:-1, None] + j[None, :])[mask]
+        from ..kernels.segment import PAD_RATIO
+        if n * k <= PAD_RATIO * max(self.nnz, 1):
             self._slots = slots
-        return self._slots
+        return slots
+
+    def drop_slot_map(self) -> None:
+        """Free a cached slot map (the plan cache stays; it is O(nnz))."""
+        self._slots = None
+
+    def segment_plan(self):
+        """The cached :class:`~repro.kernels.segment.SegmentPlan`.
+
+        Built once per sparsity pattern and shared with quantized
+        copies, like the slot map — but its index storage is O(nnz), so
+        it is always safe to retain.
+        """
+        if self._plan is None:
+            from ..kernels.segment import SegmentPlan
+            self._plan = SegmentPlan.from_csr(self.indptr, self.row_width)
+        return self._plan
 
     def to_dense(self) -> np.ndarray:
         """Materialize the dense float64 matrix."""
@@ -292,8 +329,10 @@ class CSRMatrix:
 
     def quantized(self, rnd) -> "CSRMatrix":
         """A copy with the entries rounded by *rnd*; the sparsity
-        pattern (and so the cached slot map) is shared."""
+        pattern (and so the cached slot map and segment plan) is
+        shared."""
         out = CSRMatrix(indptr=self.indptr, indices=self.indices,
                         data=np.asarray(rnd(self.data)))
         out._slots = self._slots
+        out._plan = self._plan
         return out

@@ -37,8 +37,8 @@ from ..linalg.cg import conjugate_gradient
 from ..linalg.cholesky import cholesky_solve
 from ..errors import FactorizationError
 from ..linalg.ir import IRResult, iterative_refinement
-from ..matrices.suite import (SUITE_ORDER, load_matrix, matrix_spec,
-                              right_hand_side)
+from ..matrices.suite import (EXTRA_SUITE, SUITE_ORDER, load_matrix,
+                              matrix_spec, right_hand_side)
 from ..scaling.diagonal_mean import scale_by_diagonal_mean
 from ..scaling.higham import higham_rescale
 from ..scaling.power_of_two import scale_to_inf_norm
@@ -123,10 +123,11 @@ def _options(**kwargs: Any) -> tuple[tuple[str, Any], ...]:
 
 def _resolve_names(names: tuple[str, ...] | None) -> tuple[str, ...]:
     selected = tuple(names) if names is not None else tuple(SUITE_ORDER)
-    unknown = [n for n in selected if n not in SUITE_ORDER]
+    unknown = [n for n in selected
+               if n not in SUITE_ORDER and n not in EXTRA_SUITE]
     if unknown:
-        raise KeyError(f"unknown suite matrices {unknown}; "
-                       f"known: {list(SUITE_ORDER)}")
+        raise KeyError(f"unknown suite matrices {unknown}; known: "
+                       f"{list(SUITE_ORDER) + list(EXTRA_SUITE)}")
     return selected
 
 

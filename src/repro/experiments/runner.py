@@ -305,7 +305,9 @@ def main(argv: list[str] | None = None) -> int:
     # ---- Telemetry: cache counters + optional trace session ----------
     stats = reset_cache_stats()
     from ..kernels.matcache import matrix_cache
+    from ..kernels.tabcache import table_cache_enabled, table_stats
     matrix_cache().reset_stats()
+    table_stats().reset()
     if args.trace and jobs != 1:
         print(f"note: --trace forces --jobs 1 (was {jobs}); worker "
               f"processes cannot feed the in-process collector",
@@ -412,6 +414,10 @@ def main(argv: list[str] | None = None) -> int:
     manifest.record_section("matrix_cache", {
         "scale": scale.name, "enabled": matrix_cache().enabled,
         **mstats})
+    tstats = table_stats().as_dict()
+    manifest.record_section("table_cache", {
+        "scale": scale.name, "enabled": table_cache_enabled(),
+        **tstats})
     if args.cache_stats:
         s = stats.as_dict()
         print(f"\ncache: {s['hits']} hits / {s['lookups']} lookups, "
@@ -423,6 +429,11 @@ def main(argv: list[str] | None = None) -> int:
               f"{mstats['evictions']} evictions"
               + ("" if matrix_cache().enabled
                  else " [REPRO_MATRIX_CACHE=off]"))
+        print(f"table cache: {tstats['hits']} hits, "
+              f"{tstats['misses']} misses, {tstats['builds']} builds, "
+              f"{tstats['invalidations']} invalidations"
+              + ("" if table_cache_enabled()
+                 else " [REPRO_TABLE_CACHE=off]"))
 
     total_s = time.time() - sweep_t0
     if bench:

@@ -77,7 +77,7 @@ class IEEEFormat(NumberFormat):
                 lambda: np.array([self.from_bits(p)
                                   for p in range(1 << self.nbits)],
                                  dtype=np.float64),
-                self._round_impl)
+                self._round_impl, fmt_name=self.name)
         return self._table
 
     def _two_level_spec(self
@@ -111,7 +111,8 @@ class IEEEFormat(NumberFormat):
         if self._table2 is None:
             self._table2 = lut.two_level_table(
                 self._key(), self._two_level_spec, self._round_impl,
-                step=self._affine_step, post=self._affine_post)
+                step=self._affine_step, post=self._affine_post,
+                fmt_name=self.name)
         return self._table2
 
     def round(self, x):

@@ -56,7 +56,7 @@ class PositFormat(NumberFormat):
                 self._key(),
                 lambda: posit_decode_array(
                     np.arange(cfg.npat, dtype=np.int64), cfg),
-                self._bitwise_round)
+                self._bitwise_round, fmt_name=self.name)
         return self._table
 
     def _two_level_table(self) -> "lut.TwoLevelTable":
@@ -65,7 +65,7 @@ class PositFormat(NumberFormat):
             self._table2 = lut.two_level_table(
                 self._key(),
                 lambda: posit_two_level_spec(cfg),
-                self._bitwise_round)
+                self._bitwise_round, fmt_name=self.name)
         return self._table2
 
     def round(self, x):

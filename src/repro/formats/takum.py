@@ -320,7 +320,7 @@ class TakumFormat(NumberFormat):
                 lambda: np.array([self.from_bits(p)
                                   for p in range(self._npat)],
                                  dtype=np.float64),
-                self._round_impl)
+                self._round_impl, fmt_name=self.name)
         return self._table
 
     def _two_level_spec(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -350,7 +350,7 @@ class TakumFormat(NumberFormat):
         if self._table2 is None:
             self._table2 = lut.two_level_table(
                 self._key(), self._two_level_spec, self._round_impl,
-                post=self._affine_post)
+                post=self._affine_post, fmt_name=self.name)
         return self._table2
 
     # -- scalar path for wide takum-log ------------------------------------

@@ -11,10 +11,22 @@ conformance suites hold them to that):
     chain; for posit32/fp32-class widths a two-level exponent-bucketed
     table (:class:`lut.TwoLevelTable`).  See :func:`lut.rounding_table`
     and :func:`lut.two_level_table`.
+:mod:`repro.kernels.tabcache`
+    Persistent on-disk table store under ``results/.cache/tables/``:
+    the dense and two-level LUT arrays are serialized with a checksum
+    footer and mmap-loaded back, keyed by (format key, code
+    fingerprint), so pool workers and the long-lived service build
+    posit32/takum32 tables once per machine instead of once per
+    process.  ``REPRO_TABLE_CACHE=off`` opts out.
 :mod:`repro.kernels.gemm`
     Blocked and batched rounded GEMM: the rank-1 term cube is tiled
     into (i, j) panels quantized once each, preserving the summation
     schedule bit-for-bit.  ``REPRO_GEMM_BLOCKED=off`` opts out.
+:mod:`repro.kernels.segment`
+    The compact CSR matvec reduction: a segmented rounded pairwise
+    fold over the O(nnz) product array reproducing the padded ELL tree
+    bit-for-bit, so skewed matrices stop paying the (n, k) scatter.
+    ``REPRO_SPARSE=ell|segmented|auto`` picks the route.
 :mod:`repro.kernels.scratch`
     Shape-keyed, thread-local pools of reusable ndarray buffers, so the
     quantize pipeline (``posit_round``, ``FPContext``, the summation
@@ -36,7 +48,8 @@ eager submodule imports here would create a cycle.
 
 from __future__ import annotations
 
-__all__ = ["bench", "gemm", "lut", "matcache", "scratch"]
+__all__ = ["bench", "gemm", "lut", "matcache", "scratch", "segment",
+           "tabcache"]
 
 
 def __getattr__(name: str):

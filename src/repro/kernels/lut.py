@@ -269,35 +269,63 @@ def two_level_table(key: Hashable,
                     spec_fn: Callable[[], tuple],
                     reference: Callable[[np.ndarray], np.ndarray],
                     step: Callable = np.rint,
-                    post: Callable[[np.ndarray], np.ndarray] | None = None
-                    ) -> TwoLevelTable:
+                    post: Callable[[np.ndarray], np.ndarray] | None = None,
+                    fmt_name: str = "") -> TwoLevelTable:
     """The cached two-level table for *key*, building it on first use.
 
     *spec_fn* returns ``(granules, affine, dense_candidates)``; *key*
-    follows the same contract as :func:`rounding_table`.
+    follows the same contract as :func:`rounding_table`.  First use
+    consults the persistent store of :mod:`.tabcache` before paying the
+    bisection build; *fmt_name* (the registry name) is written into
+    stored files so :func:`.tabcache.preload_cached` can warm them.
     """
     table = _TABLES2.get(key)
     if table is None:
-        granules, affine, candidates = spec_fn()
-        table = TwoLevelTable.build(granules, affine, candidates,
-                                    reference, step=step, post=post)
+        from . import tabcache
+        arrs = tabcache.load_arrays("two_level", key)
+        if arrs is not None:
+            dense = RoundingTable(arrs["values"], arrs["boundaries"],
+                                  reference)
+            table = TwoLevelTable(arrs["granules"], arrs["affine"],
+                                  dense, reference, step=step, post=post)
+        else:
+            granules, affine, candidates = spec_fn()
+            table = TwoLevelTable.build(granules, affine, candidates,
+                                        reference, step=step, post=post)
+            tabcache.table_stats().builds += 1
+            tabcache.store_arrays(
+                "two_level", key, fmt_name,
+                {"granules": table.granules, "affine": table.affine,
+                 "values": table.dense.values,
+                 "boundaries": table.dense.boundaries})
         _TABLES2[key] = table
     return table
 
 
 def rounding_table(key: Hashable,
                    values_fn: Callable[[], np.ndarray],
-                   reference: Callable[[np.ndarray], np.ndarray]
-                   ) -> RoundingTable:
+                   reference: Callable[[np.ndarray], np.ndarray],
+                   fmt_name: str = "") -> RoundingTable:
     """The cached table for *key*, building it on first use.
 
     *key* must capture everything that determines the rounding function
     (format class, parameters, rounding mode) — formats pass their
-    ``_key()`` identity tuple.
+    ``_key()`` identity tuple.  Like :func:`two_level_table`, first use
+    tries the persistent :mod:`.tabcache` store before building.
     """
     table = _TABLES.get(key)
     if table is None:
-        table = RoundingTable.build(values_fn(), reference)
+        from . import tabcache
+        arrs = tabcache.load_arrays("dense", key)
+        if arrs is not None:
+            table = RoundingTable(arrs["values"], arrs["boundaries"],
+                                  reference)
+        else:
+            table = RoundingTable.build(values_fn(), reference)
+            tabcache.table_stats().builds += 1
+            tabcache.store_arrays(
+                "dense", key, fmt_name,
+                {"values": table.values, "boundaries": table.boundaries})
         _TABLES[key] = table
     return table
 

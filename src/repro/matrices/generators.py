@@ -27,6 +27,7 @@ __all__ = [
     "apply_givens_mix",
     "spd_from_spectrum",
     "synthesize_spd",
+    "arrow_powerlaw_spd",
     "laplacian_1d",
     "laplacian_2d",
     "graph_laplacian_spd",
@@ -208,4 +209,41 @@ def random_dense_spd(n: int, kappa: float, seed: int = 0,
     lam = np.geomspace(1.0 / kappa, 1.0, n)
     A = (Q * lam) @ Q.T
     A = (A + A.T) / 2.0
+    return A * (norm2 / _norm2_sym(A))
+
+
+def arrow_powerlaw_spd(n: int, norm2: float = 1.0, alpha: float = 1.6,
+                       seed: int = 0) -> np.ndarray:
+    """Arrow-headed SPD matrix with power-law row degrees.
+
+    Row 0 couples to every variable (the arrow head) and row ``i``
+    draws ``~(n-1)·(i+1)^-alpha`` extra partners, so the row-length
+    distribution is maximally *skewed*: the padded ELL width equals the
+    dimension while the average degree stays small.  This is the
+    adversarial shape for padded sparse layouts — the fixture the
+    segmented CSR fold (:mod:`repro.kernels.segment`) is benchmarked
+    and regression-tested on.  Strict diagonal dominance makes the
+    matrix SPD; the spectrum is then scaled exactly to *norm2*.
+    """
+    if n < 2:
+        raise MatrixGenerationError("arrow matrix needs n >= 2")
+    rng = np.random.default_rng(seed)
+    A = np.zeros((n, n), dtype=np.float64)
+    head = rng.uniform(0.1, 1.0, size=n - 1) * rng.choice((-1.0, 1.0),
+                                                          size=n - 1)
+    A[0, 1:] = head
+    A[1:, 0] = head
+    for i in range(1, n):
+        deg = int((n - 1) * float(i + 1) ** -alpha)
+        if deg < 1:
+            continue
+        partners = rng.choice(n - 1, size=min(deg, n - 1), replace=False)
+        partners = partners + (partners >= i)  # skip the diagonal
+        w = rng.uniform(0.1, 1.0, size=partners.size) \
+            * rng.choice((-1.0, 1.0), size=partners.size)
+        A[i, partners] += w
+        A[partners, i] += w
+    np.fill_diagonal(A, 0.0)
+    # strict diagonal dominance => symmetric positive definite
+    np.fill_diagonal(A, np.abs(A).sum(axis=1) * 1.05 + 0.1)
     return A * (norm2 / _norm2_sym(A))

@@ -47,6 +47,7 @@ from typing import Any, Callable, Sequence
 from ..config import RunScale
 from ..experiments import common
 from ..experiments.engine import CellOutcome
+from ..kernels import tabcache
 from ..kernels.matcache import matrix_cache
 from ..resilience.isolation import backoff_delays, jittered
 from ..telemetry.trace import span
@@ -394,6 +395,8 @@ class SupervisedPool:
             _, _worker, cell, status, value, duration, error, delta = \
                 message
             matrix_cache().absorb(delta)
+            if isinstance(delta, dict):
+                tabcache.table_stats().absorb(delta.get("tables"))
             handle.cell = None
             handle.term_sent_at = None
             if status == "completed":

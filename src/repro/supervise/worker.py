@@ -40,6 +40,7 @@ import time
 
 from ..config import SCALES
 from ..experiments import common, engine
+from ..kernels import tabcache
 from ..kernels.matcache import matrix_cache
 from .chaos import chaos_worker_entry
 
@@ -48,6 +49,11 @@ __all__ = ["worker_main"]
 
 def worker_main(conn, worker: str, heartbeat_interval: float = 1.0) -> None:
     """Run the worker loop until told to stop or the parent vanishes."""
+    # warm start: mmap every rounding table the machine already built
+    # for this code version, instead of re-bisecting posit32/takum32
+    # boundaries once per worker (see docs/robustness.md)
+    with contextlib.suppress(Exception):
+        tabcache.preload_cached()
     current: dict[str, str | None] = {"cell": None}
     send_lock = threading.Lock()
     stop_beating = threading.Event()
@@ -106,6 +112,7 @@ def worker_main(conn, worker: str, heartbeat_interval: float = 1.0) -> None:
             chaos_worker_entry(cell.cell_id, int(attempt))
             scale = SCALES[scale_name]
             snap = matrix_cache().snapshot()
+            tsnap = tabcache.table_stats().snapshot()
             # resolved through the module so tests can monkeypatch
             # engine.compute_cell and have forked workers see it
             status, value, duration, error = engine._run_cell_guarded(
@@ -114,8 +121,12 @@ def worker_main(conn, worker: str, heartbeat_interval: float = 1.0) -> None:
                 # worker-side persistence: survives a dying parent
                 common.store_cell(cell, scale, value)
             current["cell"] = None
+            delta = matrix_cache().delta_since(snap)
+            # table-cache traffic rides in the same delta dict (the
+            # matrix-cache absorb ignores unknown keys)
+            delta["tables"] = tabcache.table_stats().delta_since(tsnap)
             send(("result", worker, cell, status, value, duration,
-                  error, matrix_cache().delta_since(snap)))
+                  error, delta))
     finally:
         stop_beating.set()
         with send_lock:

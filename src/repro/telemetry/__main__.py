@@ -58,8 +58,9 @@ def main(argv: list[str] | None = None) -> int:
                         "when a matching entry regresses beyond this "
                         "percentage — the committed-ratchet contract")
     p.add_argument("--fail-match", default="",
-                   help="substring selecting which entry ids the "
-                        "--fail-pct ratchet applies to (default: all)")
+                   help="comma-separated substrings selecting which "
+                        "entry ids the --fail-pct ratchet applies to "
+                        "(default: all)")
 
     args = parser.parse_args(argv)
     if args.command == "summarize":

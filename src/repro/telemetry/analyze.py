@@ -331,11 +331,12 @@ def diff_bench(baseline: str | dict, current: str | dict,
     ``pct`` (None when not comparable) and ``warn`` set on regressions
     beyond *warn_pct*.  Missing-in-either and failed entries also warn.
 
-    With *fail_pct* set, entries whose id contains *fail_match* (every
-    entry when empty) and regress beyond that percentage are **hard
-    failures** — the ratchet contract for committed kernel speedups,
-    enforced regardless of the warn-only default (the CLI exits
-    nonzero whenever ``failures`` is non-empty).
+    With *fail_pct* set, entries whose id contains any of the
+    comma-separated *fail_match* substrings (every entry when empty)
+    and regress beyond that percentage are **hard failures** — the
+    ratchet contract for committed kernel speedups, enforced
+    regardless of the warn-only default (the CLI exits nonzero
+    whenever ``failures`` is non-empty).
     """
     base = _load_bench(baseline)
     cur = _load_bench(current)
@@ -348,6 +349,8 @@ def diff_bench(baseline: str | dict, current: str | dict,
         cur_exps = cur.get("experiments", {})
         metric, label = "duration_s", "experiment"
     kind = label
+    fail_pats = [p.strip() for p in fail_match.split(",")
+                 if p.strip()] or [""]
     rows: list[dict] = []
     warnings: list[str] = []
     failures: list[str] = []
@@ -371,7 +374,8 @@ def diff_bench(baseline: str | dict, current: str | dict,
             bs, cs = row["baseline_s"], row["current_s"]
             if bs and bs > 0:
                 row["pct"] = 100.0 * (cs - bs) / bs
-                if (fail_pct is not None and fail_match in eid
+                if (fail_pct is not None
+                        and any(p in eid for p in fail_pats)
                         and row["pct"] > fail_pct):
                     row["fail"] = True
                     failures.append(

@@ -9,10 +9,15 @@ not).
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.arith import CSRMatrix, ELLMatrix, FPContext
+
+FIXTURE_DIR = os.path.join(os.path.dirname(__file__), "..", "matrices",
+                           "fixtures")
 
 
 def _sparse_spd(rng, n=40, per_row=5):
@@ -101,6 +106,30 @@ class TestConstruction:
         assert Cq._slots is C._slots
         assert np.array_equal(np.asarray(ctx.round(Cq.data)), Cq.data)
 
+    def test_slot_map_not_pinned_on_skewed_shapes(self, rng):
+        """Satellite fix: skewed matrices must not cache the (n, k) map."""
+        from repro.kernels.segment import PAD_RATIO
+        C = CSRMatrix.from_dense(_skewed(rng))
+        assert C.n * C.row_width > PAD_RATIO * C.nnz
+        slots = C.slot_map()
+        assert slots.shape == (C.n, C.row_width)  # still usable...
+        assert C._slots is None                   # ...but never pinned
+
+    def test_drop_slot_map(self, rng):
+        C = CSRMatrix.from_dense(_sparse_spd(rng))
+        C.slot_map()
+        assert C._slots is not None
+        C.drop_slot_map()
+        assert C._slots is None
+        assert C.slot_map().shape == (C.n, C.row_width)  # rebuilds
+
+    def test_quantized_shares_segment_plan(self, rng):
+        ctx = FPContext("fp16")
+        C = CSRMatrix.from_dense(_skewed(rng))
+        plan = C.segment_plan()
+        Cq = ctx.asarray(C)
+        assert Cq.segment_plan() is plan  # pattern-only, format-free
+
 
 class TestELLBitIdentity:
     FORMATS = ("fp16", "bf16", "fp32", "fp64", "posit16es2",
@@ -149,6 +178,84 @@ class TestELLBitIdentity:
         A = load_matrix(name)
         x = rng.standard_normal(A.shape[0])
         self._assert_identical(A, x)
+
+
+class TestSkewedFixture:
+    """The committed arrow/power-law Matrix Market fixture.
+
+    The adversarial shape for the padded layouts: one dense arrow row
+    drives the ELL width to n while most rows hold a handful of
+    entries, so ``auto`` mode routes the CSR matvec through the
+    segmented fold — which must stay byte-identical to ELL across the
+    format zoo, including NaR and signed-zero edge products.
+    """
+
+    FORMATS = ("fp16", "bf16", "fp32", "posit16es2", "posit32es2",
+               "takum16", "takum32", "takum_log16")
+
+    @pytest.fixture(scope="class")
+    def fixture_pair(self):
+        from repro.matrices.market import read_matrix_market
+        path = os.path.join(FIXTURE_DIR, "arrow_power.mtx")
+        A = read_matrix_market(path)
+        S = read_matrix_market(path, dense=False)
+        return A, S
+
+    def test_reader_agrees_with_dense(self, fixture_pair):
+        A, S = fixture_pair
+        assert np.array_equal(CSRMatrix.from_scipy(S).to_dense(), A)
+
+    def test_fixture_is_skewed(self, fixture_pair):
+        from repro.kernels.segment import PAD_RATIO, use_segmented
+        _, S = fixture_pair
+        C = CSRMatrix.from_scipy(S)
+        assert C.row_width == C.n  # the arrow row is fully dense
+        assert C.n * C.row_width > PAD_RATIO * C.nnz
+        assert use_segmented(C.n, C.row_width, C.nnz)
+
+    def _assert_identical(self, A, S, x, monkeypatch):
+        ell = ELLMatrix.from_dense(A)
+        csr = CSRMatrix.from_scipy(S)
+        for fname in self.FORMATS:
+            ctx = FPContext(fname)
+            ye = ctx.matvec(ctx.asarray(ell), x)
+            for mode in ("ell", "segmented", "auto"):
+                monkeypatch.setenv("REPRO_SPARSE", mode)
+                yc = ctx.matvec(ctx.asarray(csr), x)
+                assert ye.tobytes() == yc.tobytes(), \
+                    f"CSR({mode}) != ELL bitwise for {fname}"
+
+    def test_byte_identity_across_formats(self, fixture_pair, rng,
+                                          monkeypatch):
+        A, S = fixture_pair
+        self._assert_identical(A, S, rng.standard_normal(A.shape[0]),
+                               monkeypatch)
+
+    def test_byte_identity_nar_products(self, fixture_pair, rng,
+                                        monkeypatch):
+        """x[0] = NaN floods the arrow column with NaR products."""
+        A, S = fixture_pair
+        x = rng.standard_normal(A.shape[0])
+        x[0] = np.nan
+        self._assert_identical(A, S, x, monkeypatch)
+
+    def test_byte_identity_signed_zero_padding(self, fixture_pair, rng,
+                                               monkeypatch):
+        """Strictly negative x makes every padding product -0.0."""
+        A, S = fixture_pair
+        x = -np.abs(rng.standard_normal(A.shape[0])) - 0.25
+        self._assert_identical(A, S, x, monkeypatch)
+
+    def test_cg_solves_fixture_identically(self, fixture_pair):
+        from repro.linalg import conjugate_gradient
+        from repro.matrices import right_hand_side
+        A, S = fixture_pair
+        b = right_hand_side(A)
+        ctx = FPContext("posit32es2")
+        re_ = conjugate_gradient(ctx, ELLMatrix.from_dense(A), b)
+        rc = conjugate_gradient(ctx, CSRMatrix.from_scipy(S), b)
+        assert re_.iterations == rc.iterations
+        assert np.array_equal(re_.x, rc.x)
 
 
 class TestCGIntegration:
